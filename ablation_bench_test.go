@@ -1,0 +1,102 @@
+package csds
+
+import (
+	"fmt"
+	"testing"
+
+	"csds/internal/birthday"
+	"csds/internal/harness"
+	"csds/internal/sim"
+	"csds/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+// BenchmarkAblationLocks compares lock algorithms on the same featured
+// structure workloads, testing the paper's §3.2 claim that simple locks
+// (TAS/ticket) suffice for CSDSs and MCS buys nothing.
+func BenchmarkAblationLocks(b *testing.B) {
+	// The structures hard-wire their paper configurations (TAS for lists,
+	// tickets for BST-TK); the ablation exercises the lock primitives
+	// directly under CSDS-like short critical sections instead.
+	benchLocks(b)
+}
+
+// BenchmarkAblationHashGranularity compares per-bucket locks against 16
+// coarse stripes under extreme contention (§5.3's granularity remark).
+func BenchmarkAblationHashGranularity(b *testing.B) {
+	for _, alg := range []string{"hashtable/lazy", "hashtable/striped"} {
+		for _, size := range []int{16, 1024} {
+			b.Run(fmt.Sprintf("alg=%s/size=%d", alg, size), func(b *testing.B) {
+				benchCell(b, harness.Config{
+					Algorithm: alg, Threads: 20,
+					Workload: workload.Config{Size: size, UpdateRatio: 0.25},
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHTMRetries sweeps the speculation budget (§6.4 assumes
+// 5 attempts): fallbacks drop as the budget grows.
+func BenchmarkAblationHTMRetries(b *testing.B) {
+	st := sim.SkipListModel()
+	for _, attempts := range []int{1, 3, 5, 10} {
+		b.Run(fmt.Sprintf("attempts=%d", attempts), func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				res = sim.Run(sim.Config{
+					Machine: sim.PaperHaswell(), Structure: st, Threads: 32,
+					Size: 1024, UpdateRatio: 0.5, Ops: 4000,
+					ElideAttempts: attempts, Multiprogram: true, Seed: 31,
+				})
+			}
+			reportSim(b, res)
+		})
+	}
+}
+
+// BenchmarkAblationPhaseRatio sweeps the write-phase share of an update in
+// the birthday model (§6.2 assumes ~10%): the conflict probability scales
+// accordingly.
+func BenchmarkAblationPhaseRatio(b *testing.B) {
+	for _, wf := range []float64{0.05, 0.1, 0.2, 0.4} {
+		b.Run(fmt.Sprintf("writefrac=%g", wf), func(b *testing.B) {
+			var p float64
+			for i := 0; i < b.N; i++ {
+				s := birthday.PaperListExample()
+				s.WriteFrac = wf
+				p = s.ListConflict()
+			}
+			b.ReportMetric(p, "pconflict")
+		})
+	}
+}
+
+// BenchmarkAblationEBR measures the cost of epoch-based reclamation
+// against GC-only operation (the paper's C library needs EBR; Go does
+// not).
+func BenchmarkAblationEBR(b *testing.B) {
+	for _, ebrOn := range []bool{false, true} {
+		b.Run(fmt.Sprintf("ebr=%v", ebrOn), func(b *testing.B) {
+			benchCell(b, harness.Config{
+				Algorithm: "list/lazy", Threads: 8, UseEBR: ebrOn,
+				Workload: workload.Config{Size: 512, UpdateRatio: 0.5},
+			})
+		})
+	}
+}
+
+// BenchmarkAlgorithmsThroughput is a cross-algorithm sweep: every
+// registered algorithm on the paper's default cell (useful for spotting
+// regressions and for the Table 1 comparison narrative).
+func BenchmarkAlgorithmsThroughput(b *testing.B) {
+	for _, name := range Algorithms() {
+		b.Run("alg="+name, func(b *testing.B) {
+			benchCell(b, harness.Config{
+				Algorithm: name, Threads: 8,
+				Workload: workload.Config{Size: 512, UpdateRatio: 0.1},
+			})
+		})
+	}
+}

@@ -1,0 +1,96 @@
+// Command csdsbench runs a single experiment cell of the measurement
+// harness against any registered algorithm and prints every metric the
+// paper reports, in plain text or CSV.
+//
+// Examples:
+//
+//	csdsbench -alg list/lazy -threads 20 -size 2048 -updates 0.1 -dur 5s -runs 11
+//	csdsbench -alg hashtable/lazy -elide 5 -threads 32
+//	csdsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/harness"
+	"csds/internal/interrupt"
+	"csds/internal/workload"
+
+	_ "csds/internal/bst"
+	_ "csds/internal/hashtable"
+	_ "csds/internal/list"
+	_ "csds/internal/skiplist"
+)
+
+func main() {
+	alg := flag.String("alg", "list/lazy", "algorithm name (see -list)")
+	threads := flag.Int("threads", 20, "worker goroutines")
+	size := flag.Int("size", 2048, "structure size")
+	updates := flag.Float64("updates", 0.1, "update ratio")
+	zipf := flag.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
+	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per run")
+	runs := flag.Int("runs", 3, "runs to average (paper: 11)")
+	elide := flag.Int("elide", 0, "HTM elision attempts (0 = plain locks)")
+	ebrOn := flag.Bool("ebr", false, "attach epoch-based reclamation")
+	delayed := flag.Int("delayed", 0, "number of Figure 9 victim threads")
+	csv := flag.Bool("csv", false, "CSV output")
+	listAlgs := flag.Bool("list", false, "list registered algorithms and exit")
+	flag.Parse()
+
+	if *listAlgs {
+		for _, n := range core.Names() {
+			info, _ := core.Lookup(n)
+			star := " "
+			if info.Featured {
+				star = "*"
+			}
+			fmt.Printf("%s %-24s %-10s %s\n", star, n, info.Progress, info.Desc)
+		}
+		return
+	}
+
+	cfg := harness.Config{
+		Algorithm: *alg, Threads: *threads, Duration: *dur, Runs: *runs,
+		ElideAttempts: *elide, UseEBR: *ebrOn,
+		Workload: workload.Config{Size: *size, UpdateRatio: *updates, ZipfS: *zipf},
+	}
+	if *delayed > 0 {
+		cfg.DelayedThreads = *delayed
+		cfg.DelayPlan = interrupt.PaperDelayPlan()
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac")
+		fmt.Printf("%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f\n",
+			*alg, *threads, *size, *updates, *zipf,
+			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
+			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
+			res.MaxWaitNs, res.FallbackFrac)
+		return
+	}
+	fmt.Printf("algorithm          %s\n", *alg)
+	fmt.Printf("threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *threads, *size, *updates*100, *zipf)
+	fmt.Printf("window x runs      %v x %d\n", *dur, *runs)
+	fmt.Printf("throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)
+	fmt.Printf("per-thread         mean %.0f ops/s, stddev %.0f\n", res.PerThreadMean, res.PerThreadStddev)
+	fmt.Printf("lock wait frac     %.6f (stddev %.6f), worst single wait %v\n",
+		res.WaitFraction, res.WaitFractionStddev, time.Duration(res.MaxWaitNs))
+	fmt.Printf("waiting acq frac   %.6f\n", res.WaitingOpsFrac)
+	fmt.Printf("restarted >=1x     %.6f   >3x %.6f\n", res.RestartedFrac, res.RestartedFrac3)
+	fmt.Printf("restart histogram  %v\n", res.RestartHist)
+	if res.FallbackFrac > 0 || *elide > 0 {
+		fmt.Printf("HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",
+			res.FallbackFrac, res.TxAborts[0], res.TxAborts[1], res.TxAborts[2], res.TxAborts[3])
+	}
+	if *ebrOn {
+		fmt.Printf("EBR                retired %d, reclaimed %d\n", res.Retired, res.Reclaimed)
+	}
+}

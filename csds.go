@@ -1,0 +1,139 @@
+// Package csds is a Go library of concurrent search data structures and
+// the benchmarking/analysis toolkit reproducing "Concurrent Search Data
+// Structures Can Be Blocking and Practically Wait-Free" (Tudor David and
+// Rachid Guerraoui, SPAA 2016).
+//
+// The library provides linearizable set implementations — linked lists,
+// skip lists, hash tables and binary search trees — in blocking,
+// lock-free and wait-free flavours, instrumented with the paper's
+// fine-grained metrics (time spent waiting for locks, operation restarts,
+// HTM-elision fallbacks). The featured blocking algorithms (lazy list,
+// Herlihy optimistic skip list, per-bucket-lock lazy hash table, BST-TK)
+// are the ones the paper shows are *practically wait-free*: on realistic
+// workloads a negligible fraction of requests is ever delayed by
+// concurrency.
+//
+// Quick start:
+//
+//	s := csds.NewLazyList()            // or NewBSTTK(), NewLazyHashTable(n)...
+//	c := csds.NewCtx(0)                // one per goroutine
+//	s.Put(c, 42, 420)
+//	v, ok := s.Get(c, 42)
+//	s.Remove(c, 42)
+//
+// Every operation takes a *Ctx: Go has no thread-local storage, so the
+// per-thread pieces (PRNG, statistics, HTM abort flag) travel explicitly,
+// mirroring ASCYLIB's per-thread initialization.
+//
+// The subdirectories of this module hold the experiment harness
+// (internal/harness), the discrete-event multicore simulator
+// (internal/sim), and the Section 6 birthday-paradox model
+// (internal/birthday); cmd/figures regenerates every figure and table of
+// the paper from any of the three engines.
+package csds
+
+import (
+	"csds/internal/core"
+	"csds/internal/ebr"
+	"csds/internal/htm"
+	"csds/internal/queuestack"
+
+	// Register every algorithm with the core registry.
+	_ "csds/internal/bst"
+	_ "csds/internal/hashtable"
+	_ "csds/internal/list"
+	_ "csds/internal/skiplist"
+)
+
+// Core types, re-exported for downstream users (internal packages are not
+// importable outside this module).
+type (
+	// Set is the search data structure interface: Get / Put / Remove.
+	Set = core.Set
+	// Ctx is the per-goroutine execution context.
+	Ctx = core.Ctx
+	// Options configures constructors (sizing, HTM elision, EBR domain).
+	Options = core.Options
+	// Key is the 64-bit key type.
+	Key = core.Key
+	// Value is the 64-bit value type.
+	Value = core.Value
+	// Info describes a registered algorithm.
+	Info = core.Info
+	// Queue is the FIFO interface (Section 7 structures).
+	Queue = queuestack.Queue
+	// Stack is the LIFO interface (Section 7 structures).
+	Stack = queuestack.Stack
+)
+
+// NewCtx builds a self-contained per-goroutine context.
+func NewCtx(id int) *Ctx { return core.NewCtx(id) }
+
+// Algorithms lists every registered algorithm name.
+func Algorithms() []string { return core.Names() }
+
+// Lookup finds a registered algorithm by name (e.g. "list/lazy").
+func Lookup(name string) (Info, bool) { return core.Lookup(name) }
+
+// New constructs a registered algorithm by name.
+func New(name string, o Options) (Set, bool) {
+	info, ok := core.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return info.New(o), true
+}
+
+// NewEBRDomain creates an epoch-based reclamation domain to share across
+// structures (optional: Go's GC reclaims safely without one).
+func NewEBRDomain() *ebr.Domain { return ebr.NewDomain() }
+
+// NewDoom creates an HTM abort flag for interrupt injection.
+func NewDoom() *htm.Doom { return &htm.Doom{} }
+
+// mustNew constructs a registered algorithm and panics on a wiring bug —
+// the names below are registered by this package's own imports, so
+// failure is unreachable in a healthy build.
+func mustNew(name string, o Options) Set {
+	s, ok := New(name, o)
+	if !ok {
+		panic("csds: algorithm not registered: " + name)
+	}
+	return s
+}
+
+// NewLazyList returns the featured blocking linked list (lazy list).
+func NewLazyList() Set { return mustNew("list/lazy", Options{}) }
+
+// NewHarrisList returns the lock-free linked list.
+func NewHarrisList() Set { return mustNew("list/harris", Options{}) }
+
+// NewWaitFreeList returns the wait-free linked list.
+func NewWaitFreeList() Set { return mustNew("list/waitfree", Options{}) }
+
+// NewHerlihySkipList returns the featured blocking skip list, sized for
+// expectedSize elements.
+func NewHerlihySkipList(expectedSize int) Set {
+	return mustNew("skiplist/herlihy", Options{ExpectedSize: expectedSize})
+}
+
+// NewLazyHashTable returns the featured blocking hash table with load
+// factor 1 at expectedSize elements.
+func NewLazyHashTable(expectedSize int) Set {
+	return mustNew("hashtable/lazy", Options{ExpectedSize: expectedSize})
+}
+
+// NewBSTTK returns the featured blocking external binary search tree.
+func NewBSTTK() Set { return mustNew("bst/tk", Options{}) }
+
+// NewQueue returns the standard lock-based FIFO queue (Section 7).
+func NewQueue() Queue { return queuestack.NewTwoLockQueue() }
+
+// NewLockFreeQueue returns the Michael–Scott lock-free queue.
+func NewLockFreeQueue() Queue { return queuestack.NewMSQueue() }
+
+// NewStack returns the single-lock LIFO stack (Section 7).
+func NewStack() Stack { return queuestack.NewLockStack() }
+
+// NewTreiberStack returns the lock-free Treiber stack.
+func NewTreiberStack() Stack { return queuestack.NewTreiberStack() }

@@ -1,0 +1,126 @@
+package csds
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	for name, mk := range map[string]func() Set{
+		"lazy-list":     NewLazyList,
+		"harris-list":   NewHarrisList,
+		"waitfree-list": NewWaitFreeList,
+		"skiplist":      func() Set { return NewHerlihySkipList(128) },
+		"hashtable":     func() Set { return NewLazyHashTable(128) },
+		"bst":           NewBSTTK,
+	} {
+		s := mk()
+		c := NewCtx(0)
+		if !s.Put(c, 1, 10) {
+			t.Fatalf("%s: Put failed", name)
+		}
+		if v, ok := s.Get(c, 1); !ok || v != 10 {
+			t.Fatalf("%s: Get = (%d, %v)", name, v, ok)
+		}
+		if !s.Remove(c, 1) {
+			t.Fatalf("%s: Remove failed", name)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("%s: Len = %d", name, s.Len())
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"bst/internal", "bst/tk",
+		"hashtable/cow", "hashtable/harris", "hashtable/lazy",
+		"hashtable/lockcoupling", "hashtable/pugh", "hashtable/striped",
+		"hashtable/waitfree",
+		"list/cow", "list/harris", "list/lazy", "list/lockcoupling",
+		"list/pugh", "list/waitfree",
+		"skiplist/herlihy", "skiplist/pugh",
+	}
+	have := map[string]bool{}
+	for _, n := range Algorithms() {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("algorithm %s not registered", w)
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	s, ok := New("list/lazy", Options{})
+	if !ok || s == nil {
+		t.Fatal("New by name failed")
+	}
+	if _, ok := New("bogus", Options{}); ok {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+func TestQueueStackAPI(t *testing.T) {
+	c := NewCtx(0)
+	for name, q := range map[string]Queue{"lock": NewQueue(), "lockfree": NewLockFreeQueue()} {
+		q.Enqueue(c, 1)
+		q.Enqueue(c, 2)
+		if v, ok := q.Dequeue(c); !ok || v != 1 {
+			t.Fatalf("%s queue broken", name)
+		}
+	}
+	for name, s := range map[string]Stack{"lock": NewStack(), "lockfree": NewTreiberStack()} {
+		s.Push(c, 1)
+		s.Push(c, 2)
+		if v, ok := s.Pop(c); !ok || v != 2 {
+			t.Fatalf("%s stack broken", name)
+		}
+	}
+}
+
+func TestCrossAlgorithmAgreement(t *testing.T) {
+	// All registered set algorithms must agree on the outcome of the same
+	// concurrent workload's final state per disjoint key range.
+	for _, name := range Algorithms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _ := New(name, Options{ExpectedSize: 256})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c := NewCtx(w)
+					base := Key(w * 100)
+					for i := 0; i < 500; i++ {
+						k := base + Key(i%50) + 1
+						s.Put(c, k, k)
+						if i%3 == 0 {
+							s.Remove(c, k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Final state: for each worker range, keys where the last op
+			// was a Put are present. i runs 0..499 over k=i%50: for each
+			// residue r, last Put at i=499... deterministic per residue:
+			// last index with i%50==r is 450+r; Remove follows Put when
+			// i%3==0. So key present iff (450+r)%3 != 0.
+			c := NewCtx(99)
+			for w := 0; w < 4; w++ {
+				base := Key(w * 100)
+				for r := 0; r < 50; r++ {
+					k := base + Key(r) + 1
+					_, present := s.Get(c, k)
+					want := (450+r)%3 != 0
+					if present != want {
+						t.Fatalf("%s: key %d present=%v, want %v", name, k, present, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Traversal example: Figure 2 of the paper, made concrete. The blocking
+// lazy list stores its successor in the node itself (one pointer hop per
+// element); the wait-free list interposes an immutable (next, mark,
+// provenance) box between every pair of nodes, so each logical hop is two
+// dependent loads plus descriptor bookkeeping on updates. The paper's
+// point: traversal time dominates CSDS operations, so the extra
+// indirection alone halves wait-free throughput.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"csds"
+)
+
+const (
+	listSize = 1024
+	rounds   = 2000
+)
+
+func fill(s csds.Set) {
+	c := csds.NewCtx(0)
+	for k := csds.Key(1); k <= listSize; k++ {
+		s.Put(c, k*2, k) // even keys: lookups for odd keys traverse fully
+	}
+}
+
+// sweep times Get calls that traverse to every position of the list.
+func sweep(s csds.Set) time.Duration {
+	c := csds.NewCtx(0)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		k := csds.Key((r%listSize)*2 + 1) // absent odd key: full window walk
+		s.Get(c, k)
+	}
+	return time.Since(start)
+}
+
+func main() {
+	fmt.Println("== Figure 2: traversal layouts compared ==")
+	fmt.Printf("list size %d, %d lookups each\n\n", listSize, rounds)
+
+	direct := csds.NewLazyList()
+	fill(direct)
+	boxed := csds.NewWaitFreeList()
+	fill(boxed)
+	lockfree := csds.NewHarrisList()
+	fill(lockfree)
+
+	dd := sweep(direct)
+	db := sweep(boxed)
+	dl := sweep(lockfree)
+
+	perOp := func(d time.Duration) time.Duration { return d / rounds }
+	fmt.Printf("%-42s %12s\n", "layout", "ns/lookup")
+	fmt.Printf("%-42s %12v\n", "blocking lazy list (node -> node)", perOp(dd))
+	fmt.Printf("%-42s %12v\n", "lock-free Harris list (node -> box -> node)", perOp(dl))
+	fmt.Printf("%-42s %12v\n", "wait-free list (node -> box+src -> node)", perOp(db))
+
+	fmt.Printf("\nwait-free / blocking traversal cost ratio: %.2fx\n", float64(db)/float64(dd))
+	fmt.Println("\nThe interposed concurrency objects of Figure 2 are why the")
+	fmt.Println("wait-free list's throughput sits at roughly half of the blocking")
+	fmt.Println("list's in Figure 1 — traversals dominate, and every hop doubled.")
+}

@@ -1,0 +1,251 @@
+// Package birthday implements the conflict-probability model of the
+// paper's Section 6: the fraction of time threads spend in update write
+// phases (Equations 1–2), the birthday-paradox collision terms for each
+// structure (Equations 4–8, including the "almost birthday" variant for
+// the linked list and the Poisson approximation for non-uniform
+// workloads), the overall conflict probability (Equation 3), and the
+// TSX-fallback probability p_lock = p_conflict^retries (§6.4).
+package birthday
+
+import "math"
+
+// FUpdate is Equation (1): the fraction of time a continuously running
+// thread spends inside update operations, given the update ratio u and the
+// average durations of updates and reads (any common unit).
+func FUpdate(u, durUpdate, durRead float64) float64 {
+	den := u*durUpdate + (1-u)*durRead
+	if den == 0 {
+		return 0
+	}
+	return u * durUpdate / den
+}
+
+// FWrite is Equation (2): the fraction of time spent in the write phase,
+// where dw and dp are the average write- and parse-phase durations.
+func FWrite(fu, dw, dp float64) float64 {
+	den := dw + dp
+	if den == 0 {
+		return 0
+	}
+	return fu * dw / den
+}
+
+// BHashTable is Equation (4): the classical birthday paradox — the
+// probability that k concurrent writers on an n-bucket table with one lock
+// per bucket produce at least one collision.
+func BHashTable(k int, n int) float64 {
+	if k < 2 {
+		return 0
+	}
+	if k > n {
+		return 1
+	}
+	p := 1.0
+	for i := 1; i <= k-1; i++ {
+		p *= float64(n-i) / float64(n)
+	}
+	return 1 - p
+}
+
+// BLinkedList is Equation (5): the "almost birthday paradox" upper bound
+// for a linked list of n nodes where each remove locks two consecutive
+// nodes — a conflict needs two writers within distance two:
+//
+//	B = 1 - (n-k-1)! / ((n-2k)! * n^(k-1))
+//
+// computed as a stable product of (k-1) ratio terms.
+func BLinkedList(k int, n int) float64 {
+	if k < 2 {
+		return 0
+	}
+	if 2*k >= n {
+		return 1
+	}
+	// (n-k-1)!/(n-2k)! = product of integers from n-2k+1 up to n-k-1,
+	// which is (k-1) terms; divide each by n.
+	p := 1.0
+	for i := n - 2*k + 1; i <= n-k-1; i++ {
+		p *= float64(i) / float64(n)
+	}
+	return 1 - p
+}
+
+// BNonUniform is Equation (6): the Poisson approximation for non-uniform
+// access distributions, parameterised by the collision mass sum of p_i^2
+// (xrand.Zipf.SumPSquared provides it for Zipfian workloads).
+func BNonUniform(k int, sumP2 float64) float64 {
+	if k < 2 {
+		return 0
+	}
+	pairs := float64(k) * float64(k-1) / 2
+	return 1 - math.Exp(-pairs*sumP2)
+}
+
+// BHashTableTSX is Equation (7): under lock elision, readers can also
+// abort writers, so the t-k non-writing threads contribute a (n-k)/n term
+// each:
+//
+//	B = 1 - ((n-k)/n)^(t-k) * prod_{i=1}^{k-1} (n-i)/n
+func BHashTableTSX(k, n, t int) float64 {
+	if k < 1 || t < 1 {
+		return 0
+	}
+	if k > n {
+		return 1
+	}
+	p := math.Pow(float64(n-k)/float64(n), float64(t-k))
+	for i := 1; i <= k-1; i++ {
+		p *= float64(n-i) / float64(n)
+	}
+	return 1 - p
+}
+
+// BLinkedListTSX is Equation (8): the list analogue with the reader term
+//
+//	B = 1 - [(n-k-1)!/((n-2k)! n^(k-1))] * ((n-2k)(n-2k-1)/(n(n-k-1)))^(t-k)
+func BLinkedListTSX(k, n, t int) float64 {
+	if k < 1 || t < 1 {
+		return 0
+	}
+	if 2*k+1 >= n {
+		return 1
+	}
+	p := 1.0
+	for i := n - 2*k + 1; i <= n-k-1; i++ {
+		p *= float64(i) / float64(n)
+	}
+	reader := float64(n-2*k) * float64(n-2*k-1) / (float64(n) * float64(n-k-1))
+	p *= math.Pow(reader, float64(t-k))
+	return 1 - p
+}
+
+// PConflict is Equation (3): the probability that, at a random instant,
+// some thread in a t-thread system is involved in a write-phase conflict.
+// fw is Equation (2)'s write-phase time fraction and B(k) the structure's
+// collision term for k concurrent writers.
+func PConflict(t int, fw float64, B func(k int) float64) float64 {
+	if t < 1 {
+		return 0
+	}
+	sum := 0.0
+	for k := 1; k <= t; k++ {
+		sum += binomPMF(t, k, fw) * B(k)
+	}
+	return sum
+}
+
+// binomPMF computes C(t,k) p^k (1-p)^(t-k) in log space for stability.
+func binomPMF(t, k int, p float64) float64 {
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == t {
+			return 1
+		}
+		return 0
+	}
+	lg := lgammaInt(t+1) - lgammaInt(k+1) - lgammaInt(t-k+1)
+	lg += float64(k)*math.Log(p) + float64(t-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// PLock is the §6.4 fallback probability: a transactional region retried
+// `retries` times reverts to locking only if every attempt conflicts.
+func PLock(pConflict float64, retries int) float64 {
+	return math.Pow(pConflict, float64(retries))
+}
+
+// Scenario bundles the model inputs for one workload and exposes the
+// paper's derived quantities. It is the programmatic face of Section 6 and
+// of cmd/csdsmodel.
+type Scenario struct {
+	Threads     int
+	Size        int     // structure size (list) or bucket count (hash)
+	UpdateRatio float64 // u
+	DurUpdate   float64 // relative average update duration
+	DurRead     float64 // relative average read duration
+	WriteFrac   float64 // dw/(dw+dp), the write-phase share of an update
+	SumP2       float64 // collision mass; 0 = uniform over Size
+	TSXRetries  int     // speculation budget (5 in the paper)
+}
+
+// FW returns the write-phase time fraction for the scenario.
+func (s Scenario) FW() float64 {
+	fu := FUpdate(s.UpdateRatio, s.DurUpdate, s.DurRead)
+	// FWrite takes dw, dp; WriteFrac = dw/(dw+dp) so pass (WriteFrac,
+	// 1-WriteFrac).
+	return FWrite(fu, s.WriteFrac, 1-s.WriteFrac)
+}
+
+// HashConflict returns Equation (3) with the hash-table collision term.
+func (s Scenario) HashConflict() float64 {
+	return PConflict(s.Threads, s.FW(), func(k int) float64 { return BHashTable(k, s.Size) })
+}
+
+// ListConflict returns Equation (3) with the linked-list collision term.
+func (s Scenario) ListConflict() float64 {
+	return PConflict(s.Threads, s.FW(), func(k int) float64 { return BLinkedList(k, s.Size) })
+}
+
+// NonUniformConflict returns Equation (3) with the Poisson term for the
+// scenario's SumP2.
+func (s Scenario) NonUniformConflict() float64 {
+	sp := s.SumP2
+	if sp == 0 {
+		sp = 1 / float64(s.Size)
+	}
+	return PConflict(s.Threads, s.FW(), func(k int) float64 { return BNonUniform(k, sp) })
+}
+
+// HashTSXFallback returns p_lock for the elided hash table.
+func (s Scenario) HashTSXFallback() float64 {
+	p := PConflict(s.Threads, s.FW(), func(k int) float64 { return BHashTableTSX(k, s.Size, s.Threads) })
+	return PLock(p, s.retries())
+}
+
+// ListTSXConflict returns the per-attempt conflict probability for the
+// elided list (the paper quotes 16% for its contended example).
+func (s Scenario) ListTSXConflict() float64 {
+	return PConflict(s.Threads, s.FW(), func(k int) float64 { return BLinkedListTSX(k, s.Size, s.Threads) })
+}
+
+// ListTSXFallback returns p_lock for the elided list.
+func (s Scenario) ListTSXFallback() float64 {
+	return PLock(s.ListTSXConflict(), s.retries())
+}
+
+func (s Scenario) retries() int {
+	if s.TSXRetries <= 0 {
+		return 5
+	}
+	return s.TSXRetries
+}
+
+// PaperHashExample is the §6.1 numeric example: 1024 buckets, 20 threads,
+// 10% updates, updates twice the cost of reads, parse phase zero.
+func PaperHashExample() Scenario {
+	return Scenario{
+		Threads: 20, Size: 1024, UpdateRatio: 0.1,
+		DurUpdate: 2, DurRead: 1, WriteFrac: 1, // dp = 0
+		TSXRetries: 5,
+	}
+}
+
+// PaperListExample is the §6.2 numeric example: 512 elements, 40 threads,
+// 20% updates, write phase ~10% of an update, updates 1.1x reads.
+func PaperListExample() Scenario {
+	return Scenario{
+		Threads: 40, Size: 512, UpdateRatio: 0.2,
+		DurUpdate: 1.1, DurRead: 1, WriteFrac: 0.1,
+		TSXRetries: 5,
+	}
+}

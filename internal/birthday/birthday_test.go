@@ -1,0 +1,207 @@
+package birthday
+
+import (
+	"math"
+	"testing"
+
+	"csds/internal/xrand"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > 1e-12 {
+			t.Fatalf("%s = %v, want 0", name, got)
+		}
+		return
+	}
+	if r := math.Abs(got-want) / math.Abs(want); r > relTol {
+		t.Fatalf("%s = %v, want %v (rel err %.2f > %.2f)", name, got, want, r, relTol)
+	}
+}
+
+func TestFUpdatePaperHash(t *testing.T) {
+	// §6.1: u = 0.1, update = 2x read => f_u = 0.2/1.1 ≈ 0.18.
+	approx(t, "f_u", FUpdate(0.1, 2, 1), 0.1818, 0.01)
+}
+
+func TestFWriteHashEqualsFUpdate(t *testing.T) {
+	// dp = 0 => f_w = f_u.
+	fu := FUpdate(0.1, 2, 1)
+	approx(t, "f_w", FWrite(fu, 1, 0), fu, 1e-12)
+}
+
+func TestPaperHashConflict(t *testing.T) {
+	// §6.1 reports p_conflict = 0.0058 (0.58%).
+	s := PaperHashExample()
+	approx(t, "hash p_conflict", s.HashConflict(), 0.0058, 0.10)
+}
+
+func TestPaperListFW(t *testing.T) {
+	// §6.2 reports f_w ≈ 0.0215.
+	s := PaperListExample()
+	approx(t, "list f_w", s.FW(), 0.0215, 0.10)
+}
+
+func TestPaperListConflict(t *testing.T) {
+	// §6.2 reports p_conflict = 0.0021 (0.21%).
+	s := PaperListExample()
+	approx(t, "list p_conflict", s.ListConflict(), 0.0021, 0.15)
+}
+
+func TestPaperZipfConflict(t *testing.T) {
+	// §6.3: the same list example with Zipf s=0.8 gives 0.47%.
+	s := PaperListExample()
+	z := xrand.NewZipf(int64(s.Size), 0.8)
+	s.SumP2 = z.SumPSquared()
+	approx(t, "zipf p_conflict", s.NonUniformConflict(), 0.0047, 0.35)
+}
+
+func TestPaperHashTSXFallback(t *testing.T) {
+	// §6.4: p_lock = 0.0005% = 5e-6 for the hash example.
+	s := PaperHashExample()
+	got := s.HashTSXFallback()
+	if got <= 0 || got > 5e-5 {
+		t.Fatalf("hash p_lock = %v, want ~5e-6 (order of magnitude)", got)
+	}
+}
+
+func TestPaperListTSX(t *testing.T) {
+	// §6.4: per-attempt conflict ~16%, p_lock ~0.001% = 1e-5.
+	s := PaperListExample()
+	approx(t, "list TSX conflict", s.ListTSXConflict(), 0.16, 0.5)
+	got := s.ListTSXFallback()
+	if got <= 0 || got > 5e-4 {
+		t.Fatalf("list p_lock = %v, want ~1e-5 (order of magnitude)", got)
+	}
+}
+
+func TestBHashTableEdges(t *testing.T) {
+	if BHashTable(0, 100) != 0 || BHashTable(1, 100) != 0 {
+		t.Fatal("fewer than 2 writers cannot conflict")
+	}
+	if BHashTable(101, 100) != 1 {
+		t.Fatal("more writers than buckets must collide")
+	}
+	// Classical birthday: 23 people, 365 days => ~0.507.
+	approx(t, "birthday(23,365)", BHashTable(23, 365), 0.507, 0.01)
+}
+
+func TestBHashTableMonotone(t *testing.T) {
+	prev := 0.0
+	for k := 1; k <= 64; k++ {
+		b := BHashTable(k, 1024)
+		if b < prev {
+			t.Fatalf("B_ht not monotone at k=%d", k)
+		}
+		prev = b
+	}
+}
+
+func TestBLinkedListDominatesHash(t *testing.T) {
+	// Locking two consecutive nodes collides more easily than one bucket.
+	for k := 2; k <= 32; k++ {
+		if BLinkedList(k, 512) < BHashTable(k, 512) {
+			t.Fatalf("B_ll < B_ht at k=%d: almost-birthday must dominate", k)
+		}
+	}
+}
+
+func TestBLinkedListEdges(t *testing.T) {
+	if BLinkedList(1, 512) != 0 {
+		t.Fatal("one writer cannot conflict")
+	}
+	if BLinkedList(256, 512) != 1 {
+		t.Fatal("saturated list must conflict")
+	}
+}
+
+func TestBNonUniformReducesToUniform(t *testing.T) {
+	// For a uniform distribution sum p^2 = 1/n and the Poisson
+	// approximation should be close to the exact birthday term.
+	n := 1024
+	for k := 2; k <= 20; k += 6 {
+		exact := BHashTable(k, n)
+		pois := BNonUniform(k, 1/float64(n))
+		approx(t, "poisson-vs-exact", pois, exact, 0.05)
+	}
+}
+
+func TestTSXTermsDominatePlain(t *testing.T) {
+	// Readers also abort writers under TSX, so the TSX collision terms
+	// must be at least the plain ones.
+	for k := 2; k <= 16; k++ {
+		if BHashTableTSX(k, 1024, 20) < BHashTable(k, 1024) {
+			t.Fatalf("TSX hash term smaller than plain at k=%d", k)
+		}
+		if BLinkedListTSX(k, 512, 40) < BLinkedList(k, 512) {
+			t.Fatalf("TSX list term smaller than plain at k=%d", k)
+		}
+	}
+}
+
+func TestPConflictBounds(t *testing.T) {
+	for _, fw := range []float64{0, 0.01, 0.5, 1} {
+		p := PConflict(40, fw, func(k int) float64 { return BLinkedList(k, 512) })
+		if p < 0 || p > 1 {
+			t.Fatalf("PConflict out of [0,1]: %v (fw=%v)", p, fw)
+		}
+	}
+	if PConflict(0, 0.5, func(int) float64 { return 1 }) != 0 {
+		t.Fatal("no threads => no conflicts")
+	}
+}
+
+func TestPConflictMonotoneInThreads(t *testing.T) {
+	prev := 0.0
+	for threads := 1; threads <= 64; threads *= 2 {
+		p := PConflict(threads, 0.02, func(k int) float64 { return BLinkedList(k, 512) })
+		if p+1e-12 < prev {
+			t.Fatalf("PConflict decreased at t=%d: %v < %v", threads, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPLock(t *testing.T) {
+	approx(t, "p_lock", PLock(0.1, 5), 1e-5, 1e-9)
+	if PLock(0, 5) != 0 {
+		t.Fatal("zero conflict must give zero fallback")
+	}
+	if PLock(1, 5) != 1 {
+		t.Fatal("certain conflict must give certain fallback")
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0.01, 0.3, 0.9} {
+		sum := 0.0
+		for k := 0; k <= 40; k++ {
+			sum += binomPMF(40, k, p)
+		}
+		approx(t, "binom sum", sum, 1, 1e-9)
+	}
+}
+
+func TestBinomPMFDegenerate(t *testing.T) {
+	if binomPMF(10, 0, 0) != 1 || binomPMF(10, 3, 0) != 0 {
+		t.Fatal("p=0 PMF wrong")
+	}
+	if binomPMF(10, 10, 1) != 1 || binomPMF(10, 3, 1) != 0 {
+		t.Fatal("p=1 PMF wrong")
+	}
+}
+
+func TestConflictDecreasesWithSize(t *testing.T) {
+	// Figure 8's exponential decay: p_conflict falls steeply as the
+	// structure grows.
+	prev := 1.0
+	for _, n := range []int{16, 32, 64, 128, 256, 512} {
+		s := Scenario{Threads: 40, Size: n, UpdateRatio: 0.25, DurUpdate: 1.1, DurRead: 1, WriteFrac: 0.1}
+		p := s.ListConflict()
+		if p >= prev {
+			t.Fatalf("p_conflict not decreasing at n=%d: %v >= %v", n, p, prev)
+		}
+		prev = p
+	}
+}

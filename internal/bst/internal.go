@@ -1,0 +1,154 @@
+package bst
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/locks"
+)
+
+// inode is an internal-BST node: routing and data coincide, and deletion is
+// logical (present flips to false; the node stays as a router).
+type inode struct {
+	key     core.Key
+	val     atomic.Int64 // value re-written on re-insert, read lock-free
+	left    atomic.Pointer[inode]
+	right   atomic.Pointer[inode]
+	present atomic.Bool
+	lock    locks.TAS
+}
+
+// Internal is a per-node-lock internal BST with logical deletion, the
+// simplified stand-in for the logical-ordering trees of the paper's
+// Table 1 (Drachsler et al.): search is lock-free; an insert locks only the
+// attachment point; remove flips a tombstone under the node's lock and
+// never restructures, which is the "logical ordering is maintained
+// separately from the physical layout" idea reduced to its essence.
+// DESIGN.md documents the simplification (no physical unlink, no
+// rebalancing; routers accumulate up to the key-space size).
+type Internal struct {
+	root *inode // sentinel router: key = KeyMax, data in its left subtree
+}
+
+// NewInternal builds an empty internal BST.
+func NewInternal(o core.Options) *Internal {
+	return &Internal{root: &inode{key: core.KeyMax}}
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "bst/internal", Kind: "bst", Progress: "blocking",
+		New:  func(o core.Options) core.Set { return NewInternal(o) },
+		Desc: "internal BST, per-node locks, logical deletion (logical-ordering style, simplified)",
+	})
+}
+
+// find descends to the node holding k, or returns (parent, nil) where the
+// key would attach.
+func (t *Internal) find(k core.Key) (parent, n *inode) {
+	parent = t.root
+	if k < parent.key {
+		n = parent.left.Load()
+	} else {
+		n = parent.right.Load()
+	}
+	for n != nil && n.key != k {
+		parent = n
+		if k < n.key {
+			n = n.left.Load()
+		} else {
+			n = n.right.Load()
+		}
+	}
+	return parent, n
+}
+
+// Get implements core.Set.
+func (t *Internal) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	_, n := t.find(k)
+	if n == nil || !n.present.Load() {
+		return 0, false
+	}
+	return core.Value(n.val.Load()), true
+}
+
+// Put implements core.Set.
+func (t *Internal) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	restarts := 0
+	for {
+		parent, n := t.find(k)
+		if n != nil {
+			// Node exists: revive the tombstone if cleared.
+			n.lock.Acquire(c.Stat())
+			if n.present.Load() {
+				n.lock.Release()
+				c.RecordRestarts(restarts)
+				return false
+			}
+			c.InCS()
+			n.val.Store(int64(v))
+			n.present.Store(true)
+			n.lock.Release()
+			c.RecordRestarts(restarts)
+			return true
+		}
+		// Attach a new node under parent; validate the slot is still free.
+		parent.lock.Acquire(c.Stat())
+		var slot *atomic.Pointer[inode]
+		if k < parent.key {
+			slot = &parent.left
+		} else {
+			slot = &parent.right
+		}
+		if slot.Load() != nil {
+			// Someone attached here first; re-descend.
+			parent.lock.Release()
+			restarts++
+			continue
+		}
+		nn := &inode{key: k}
+		nn.val.Store(int64(v))
+		nn.present.Store(true)
+		c.InCS()
+		slot.Store(nn)
+		parent.lock.Release()
+		c.RecordRestarts(restarts)
+		return true
+	}
+}
+
+// Remove implements core.Set: tombstone only.
+func (t *Internal) Remove(c *core.Ctx, k core.Key) bool {
+	_, n := t.find(k)
+	if n == nil {
+		c.RecordRestarts(0)
+		return false
+	}
+	n.lock.Acquire(c.Stat())
+	if !n.present.Load() {
+		n.lock.Release()
+		c.RecordRestarts(0)
+		return false
+	}
+	c.InCS()
+	n.present.Store(false)
+	n.lock.Release()
+	c.RecordRestarts(0)
+	return true
+}
+
+// Len implements core.Set (quiesced use).
+func (t *Internal) Len() int {
+	return countPresent(t.root.left.Load()) + countPresent(t.root.right.Load())
+}
+
+func countPresent(n *inode) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.present.Load() {
+		c = 1
+	}
+	return c + countPresent(n.left.Load()) + countPresent(n.right.Load())
+}

@@ -1,0 +1,233 @@
+// Package core defines the concurrent-search-data-structure abstraction of
+// the paper (Section 2.2) — the set interface with get/put/remove — plus
+// the per-thread execution context every algorithm in this repository
+// operates under, and a registry mapping algorithm names to constructors.
+//
+// A Ctx plays the role of ASCYLIB's thread-local initialization: Go has no
+// thread-local storage and goroutines migrate between OS threads, so the
+// per-thread pieces (PRNG stream, statistics slot, HTM doom flag, EBR
+// record, critical-section hook) travel explicitly with each call.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"csds/internal/ebr"
+	"csds/internal/htm"
+	"csds/internal/stats"
+	"csds/internal/xrand"
+)
+
+// Key is the 64-bit key type of the paper's workloads. The extreme values
+// math.MinInt64 and math.MaxInt64 are reserved for the sentinel nodes of
+// list-based structures and must not be inserted.
+type Key = int64
+
+// Value is the 64-bit value type; the paper notes larger values are handled
+// by storing pointers, which is exactly what a Go interface value or
+// pointer-sized payload would do.
+type Value = int64
+
+// Sentinel keys (reserved).
+const (
+	KeyMin Key = math.MinInt64
+	KeyMax Key = math.MaxInt64
+)
+
+// Set is the search data structure interface: "a simple base interface,
+// consisting of three operations" (§2.2). All implementations in this
+// module are linearizable.
+type Set interface {
+	// Get returns the value associated with k, if present.
+	Get(c *Ctx, k Key) (Value, bool)
+	// Put inserts (k, v) if k is absent and reports whether it inserted;
+	// it does not overwrite an existing entry (the paper's semantics).
+	Put(c *Ctx, k Key, v Value) bool
+	// Remove deletes k's entry and reports whether it was present.
+	Remove(c *Ctx, k Key) bool
+	// Len counts the elements; linear and not linearizable with respect
+	// to concurrent updates — intended for quiesced verification.
+	Len() int
+}
+
+// Ctx is the per-worker context. Exactly one goroutine may use a Ctx at a
+// time.
+type Ctx struct {
+	// ID is the worker index (0-based).
+	ID int
+	// Rng is the worker's private generator.
+	Rng *xrand.Rng
+	// Stats is the worker's metric slot; may be nil (no recording).
+	Stats *stats.Thread
+	// Doom is the worker's HTM abort flag; may be nil.
+	Doom *htm.Doom
+	// Epoch is the worker's EBR record; may be nil (GC-only reclamation).
+	Epoch *ebr.Record
+	// CSHook, when non-nil, is invoked by blocking write phases while
+	// their locks are held (interrupt injection point, Figure 9).
+	CSHook func()
+}
+
+// NewCtx builds a self-contained context for worker id, with its own RNG
+// stream and stats slot. Harness code usually builds Ctxs by hand to point
+// Stats at a shared slice; this constructor serves examples and tests.
+func NewCtx(id int) *Ctx {
+	return &Ctx{
+		ID:    id,
+		Rng:   xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 1),
+		Stats: &stats.Thread{},
+		Doom:  &htm.Doom{},
+	}
+}
+
+// Stat returns the stats slot, tolerating a nil context.
+func (c *Ctx) Stat() *stats.Thread {
+	if c == nil {
+		return nil
+	}
+	return c.Stats
+}
+
+// InCS fires the critical-section hook, tolerating nil.
+func (c *Ctx) InCS() {
+	if c != nil && c.CSHook != nil {
+		c.CSHook()
+	}
+}
+
+// RecordRestarts forwards an operation's restart count, tolerating nil.
+func (c *Ctx) RecordRestarts(n int) {
+	if c != nil && c.Stats != nil {
+		c.Stats.RecordRestarts(n)
+	}
+}
+
+// EpochEnter begins an EBR critical region if a record is attached.
+func (c *Ctx) EpochEnter() {
+	if c != nil && c.Epoch != nil {
+		c.Epoch.Enter()
+	}
+}
+
+// EpochExit ends the EBR critical region.
+func (c *Ctx) EpochExit() {
+	if c != nil && c.Epoch != nil {
+		c.Epoch.Exit()
+	}
+}
+
+// Retire hands an unlinked node to EBR (no-op without a record: the GC
+// reclaims it).
+func (c *Ctx) Retire(ptr any) {
+	if c != nil && c.Epoch != nil {
+		c.Epoch.Retire(ptr, nil)
+	}
+}
+
+// Options configures a constructor. The zero value is a sensible default
+// (locking mode, no EBR, structure-specific defaults).
+type Options struct {
+	// ElideAttempts enables HTM lock elision with this speculation budget
+	// when > 0 (the paper's TSX experiments use 5).
+	ElideAttempts int
+	// Buckets sets a hash table's bucket count; 0 derives it from
+	// ExpectedSize at load factor 1 (the paper's configuration).
+	Buckets int
+	// ExpectedSize hints the steady-state element count (hash sizing,
+	// skip-list level bound).
+	ExpectedSize int
+	// MaxLevel caps skip-list height; 0 derives it from ExpectedSize.
+	MaxLevel int
+	// Domain, when non-nil, makes Remove retire unlinked nodes through
+	// contexts that carry an EBR record of this domain.
+	Domain *ebr.Domain
+}
+
+// Region builds the htm.Region for these options (Attempts 0 = plain
+// locking).
+func (o Options) Region() htm.Region { return htm.Region{Attempts: o.ElideAttempts} }
+
+// Info describes a registered algorithm.
+type Info struct {
+	// Name is the registry key, e.g. "list/lazy".
+	Name string
+	// Kind is the structure family: "list", "skiplist", "hashtable",
+	// "bst", "queue", "stack".
+	Kind string
+	// Progress is "blocking", "lock-free" or "wait-free".
+	Progress string
+	// Featured marks the best-performing blocking algorithm per structure
+	// (the ones the paper's figures show).
+	Featured bool
+	// New constructs an empty instance.
+	New func(Options) Set
+	// Desc is a one-line provenance note (original authors).
+	Desc string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds an algorithm; called from implementation packages' init.
+// Duplicate names panic: they indicate a wiring bug.
+func Register(info Info) {
+	if info.Name == "" || info.New == nil {
+		panic("core: Register with empty name or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate algorithm %q", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup finds an algorithm by name.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByKind returns the registered algorithms of one structure family,
+// sorted by name.
+func ByKind(kind string) []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Info
+	for _, info := range registry {
+		if info.Kind == kind {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Featured returns the featured (figure-bearing) algorithm of a family.
+func Featured(kind string) (Info, bool) {
+	for _, info := range ByKind(kind) {
+		if info.Featured {
+			return info, true
+		}
+	}
+	return Info{}, false
+}

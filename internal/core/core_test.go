@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"csds/internal/ebr"
+	"csds/internal/stats"
+)
+
+// fakeSet is a registry fixture.
+type fakeSet struct{ n int }
+
+func (f *fakeSet) Get(c *Ctx, k Key) (Value, bool) { return 0, false }
+func (f *fakeSet) Put(c *Ctx, k Key, v Value) bool { f.n++; return true }
+func (f *fakeSet) Remove(c *Ctx, k Key) bool       { return false }
+func (f *fakeSet) Len() int                        { return f.n }
+
+func TestRegisterLookup(t *testing.T) {
+	Register(Info{
+		Name: "test/fake", Kind: "testkind", Progress: "blocking",
+		New: func(o Options) Set { return &fakeSet{} },
+	})
+	info, ok := Lookup("test/fake")
+	if !ok || info.Kind != "testkind" {
+		t.Fatalf("lookup failed: %+v ok=%v", info, ok)
+	}
+	if _, ok := Lookup("test/absent"); ok {
+		t.Fatal("phantom lookup succeeded")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test/fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() missing registered algorithm")
+	}
+	if len(ByKind("testkind")) != 1 {
+		t.Fatal("ByKind failed")
+	}
+	if _, ok := Featured("testkind"); ok {
+		t.Fatal("non-featured kind reported a featured algorithm")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(Info{Name: "test/dup", New: func(o Options) Set { return &fakeSet{} }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Info{Name: "test/dup", New: func(o Options) Set { return &fakeSet{} }})
+}
+
+func TestRegisterInvalidPanics(t *testing.T) {
+	for _, info := range []Info{{Name: "", New: func(o Options) Set { return nil }}, {Name: "x/y"}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid Register(%+v) did not panic", info)
+				}
+			}()
+			Register(info)
+		}()
+	}
+}
+
+func TestFeaturedFindsFlag(t *testing.T) {
+	Register(Info{Name: "test/feat", Kind: "featkind", Featured: true,
+		New: func(o Options) Set { return &fakeSet{} }})
+	info, ok := Featured("featkind")
+	if !ok || info.Name != "test/feat" {
+		t.Fatalf("Featured = %+v, %v", info, ok)
+	}
+}
+
+func TestNilCtxSafety(t *testing.T) {
+	var c *Ctx
+	if c.Stat() != nil {
+		t.Fatal("nil ctx Stat() not nil")
+	}
+	c.InCS()             // must not panic
+	c.RecordRestarts(3)  // must not panic
+	c.EpochEnter()       // must not panic
+	c.EpochExit()        // must not panic
+	c.Retire("whatever") // must not panic
+}
+
+func TestCtxHelpers(t *testing.T) {
+	c := NewCtx(7)
+	if c.ID != 7 || c.Rng == nil || c.Stats == nil || c.Doom == nil {
+		t.Fatalf("NewCtx incomplete: %+v", c)
+	}
+	fired := 0
+	c.CSHook = func() { fired++ }
+	c.InCS()
+	if fired != 1 {
+		t.Fatal("InCS did not fire hook")
+	}
+	c.RecordRestarts(2)
+	if c.Stats.RestartedOps[2] != 1 {
+		t.Fatal("RecordRestarts did not forward")
+	}
+}
+
+func TestCtxEpochIntegration(t *testing.T) {
+	dom := ebr.NewDomain()
+	c := NewCtx(0)
+	c.Epoch = dom.Register()
+	c.EpochEnter()
+	if !c.Epoch.Active() {
+		t.Fatal("EpochEnter did not activate record")
+	}
+	c.Retire("x")
+	c.EpochExit()
+	if c.Epoch.Active() {
+		t.Fatal("EpochExit left record active")
+	}
+	retired, _ := dom.Stats()
+	if retired != 1 {
+		t.Fatalf("retired = %d", retired)
+	}
+}
+
+func TestOptionsRegion(t *testing.T) {
+	if r := (Options{}).Region(); r.Attempts != 0 {
+		t.Fatalf("default region attempts = %d", r.Attempts)
+	}
+	if r := (Options{ElideAttempts: 5}).Region(); r.Attempts != 5 {
+		t.Fatalf("elide region attempts = %d", r.Attempts)
+	}
+}
+
+func TestCtxStatsFlow(t *testing.T) {
+	c := NewCtx(1)
+	var th stats.Thread
+	c.Stats = &th
+	c.RecordRestarts(0)
+	c.RecordRestarts(1)
+	if th.RestartedOps[0] != 1 || th.RestartedOps[1] != 1 {
+		t.Fatalf("stats flow broken: %+v", th.RestartedOps)
+	}
+}
+
+func TestSentinelConstants(t *testing.T) {
+	if KeyMin >= KeyMax {
+		t.Fatal("sentinel ordering broken")
+	}
+	if KeyMin != -9223372036854775808 || KeyMax != 9223372036854775807 {
+		t.Fatal("sentinels are not the int64 extremes")
+	}
+}

@@ -1,0 +1,282 @@
+// Package harness is the measurement engine behind every runtime
+// experiment in this repository: it spawns T worker goroutines against one
+// data structure instance, runs a timed window, and aggregates the
+// coarse-grained (throughput, fairness) and fine-grained (lock waiting,
+// restarts, HTM fallbacks) metrics of the paper.
+//
+// Methodology notes mirroring §3.3:
+//   - every worker continuously issues requests drawn from the workload;
+//   - the structure is pre-filled to its steady-state size;
+//   - results can be averaged over multiple runs (the paper uses 11 runs
+//     of 5 s; the defaults here are CI-sized and configurable).
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/ebr"
+	"csds/internal/htm"
+	"csds/internal/interrupt"
+	"csds/internal/stats"
+	"csds/internal/workload"
+	"csds/internal/xrand"
+)
+
+// Config describes one experiment cell.
+type Config struct {
+	// Algorithm is the registry name, e.g. "list/lazy".
+	Algorithm string
+	// Threads is the worker count.
+	Threads int
+	// Duration is the measured window per run.
+	Duration time.Duration
+	// Runs averages this many runs (>=1).
+	Runs int
+	// Workload parameters.
+	Workload workload.Config
+	// ElideAttempts > 0 enables HTM lock elision.
+	ElideAttempts int
+	// UseEBR attaches an epoch-based reclamation domain.
+	UseEBR bool
+	// Seed makes runs reproducible.
+	Seed uint64
+
+	// DelayedThreads is how many workers run the Figure 9 victim plan
+	// (delays while holding locks).
+	DelayedThreads int
+	DelayPlan      interrupt.DelayPlan
+
+	// SwitchPlan, when non-nil on a run, subjects every worker to
+	// multiprogramming-style context switches (Tables 2–3).
+	SwitchPlan *interrupt.SwitchPlan
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 100 * time.Millisecond
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xD1CE
+	}
+	c.Workload = c.Workload.WithDefaults()
+	return c
+}
+
+// Result aggregates one experiment cell (averaged over runs).
+type Result struct {
+	Config Config
+
+	// Coarse-grained.
+	Throughput      float64 // operations per second, system-wide
+	PerThreadMean   float64 // ops/s per thread
+	PerThreadStddev float64 // stddev of per-thread ops/s (fairness, Fig 4)
+	TotalOps        uint64
+
+	// Fine-grained (practical wait-freedom).
+	WaitFraction       float64 // fraction of time waiting for locks (Fig 5)
+	WaitFractionStddev float64
+	RestartedFrac      float64 // ops restarted >= 1 times (Fig 6, 8)
+	RestartedFrac3     float64 // ops restarted > 3 times (Fig 8)
+	MaxWaitNs          uint64  // worst single lock wait (outliers, §5.1)
+	WaitingOpsFrac     float64 // fraction of lock acquisitions that waited
+
+	// Restart histogram, summed over threads (RestartedOps buckets).
+	RestartHist [stats.RestartBuckets]uint64
+
+	// HTM elision (Tables 2–3).
+	FallbackFrac float64 // critical sections that took the real lock
+	TxAborts     [4]uint64
+
+	// EBR bookkeeping.
+	Retired, Reclaimed uint64
+}
+
+// Run executes the experiment and averages the runs.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	info, ok := core.Lookup(cfg.Algorithm)
+	if !ok {
+		return Result{}, fmt.Errorf("harness: unknown algorithm %q (have %v)", cfg.Algorithm, core.Names())
+	}
+	agg := Result{Config: cfg}
+	for r := 0; r < cfg.Runs; r++ {
+		res := runOnce(cfg, info, uint64(r))
+		agg.accumulate(&res, cfg.Runs)
+	}
+	return agg, nil
+}
+
+// accumulate folds one run into the average.
+func (a *Result) accumulate(r *Result, runs int) {
+	f := 1 / float64(runs)
+	a.Throughput += r.Throughput * f
+	a.PerThreadMean += r.PerThreadMean * f
+	a.PerThreadStddev += r.PerThreadStddev * f
+	a.TotalOps += r.TotalOps
+	a.WaitFraction += r.WaitFraction * f
+	a.WaitFractionStddev += r.WaitFractionStddev * f
+	a.RestartedFrac += r.RestartedFrac * f
+	a.RestartedFrac3 += r.RestartedFrac3 * f
+	if r.MaxWaitNs > a.MaxWaitNs {
+		a.MaxWaitNs = r.MaxWaitNs
+	}
+	a.WaitingOpsFrac += r.WaitingOpsFrac * f
+	for i := range a.RestartHist {
+		a.RestartHist[i] += r.RestartHist[i]
+	}
+	a.FallbackFrac += r.FallbackFrac * f
+	for i := range a.TxAborts {
+		a.TxAborts[i] += r.TxAborts[i]
+	}
+	a.Retired += r.Retired
+	a.Reclaimed += r.Reclaimed
+}
+
+func runOnce(cfg Config, info core.Info, round uint64) Result {
+	opts := core.Options{
+		ElideAttempts: cfg.ElideAttempts,
+		ExpectedSize:  cfg.Workload.Size,
+	}
+	var dom *ebr.Domain
+	if cfg.UseEBR {
+		dom = ebr.NewDomain()
+		opts.Domain = dom
+	}
+	s := info.New(opts)
+	gen := workload.NewGenerator(cfg.Workload)
+
+	// Pre-fill from a setup context.
+	setup := &core.Ctx{ID: 0, Rng: xrand.New(cfg.Seed)}
+	gen.Fill(setup, s)
+
+	ths := make([]stats.Thread, cfg.Threads)
+	var stop atomic.Bool
+	var start sync.WaitGroup
+	var done sync.WaitGroup
+	startGate := make(chan struct{})
+
+	for w := 0; w < cfg.Threads; w++ {
+		start.Add(1)
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			rng := xrand.New(cfg.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15 ^ round<<32)
+			c := &core.Ctx{ID: w, Rng: rng, Stats: &ths[w], Doom: &htm.Doom{}}
+			if dom != nil {
+				c.Epoch = dom.Register()
+			}
+			inj := interrupt.NewInjector(cfg.Seed + uint64(w) + round)
+			if w < cfg.DelayedThreads {
+				dp := cfg.DelayPlan
+				inj.Delay = &dp
+			}
+			if cfg.SwitchPlan != nil {
+				sp := *cfg.SwitchPlan
+				inj.Switch = &sp
+			}
+			inj.Doom = c.Doom
+			inj.Elided = cfg.ElideAttempts > 0
+			if inj.Delay != nil || inj.Switch != nil {
+				c.CSHook = inj.CSHook
+			}
+
+			start.Done()
+			<-startGate
+			t0 := time.Now()
+			for !stop.Load() {
+				op := gen.NextOp(rng)
+				k := gen.Key(rng)
+				switch op {
+				case workload.OpGet:
+					_, hit := s.Get(c, k)
+					c.Stats.RecordRead(hit)
+				case workload.OpPut:
+					inj.OnUpdate()
+					ok := s.Put(c, k, core.Value(k))
+					c.Stats.RecordInsert(ok)
+				case workload.OpRemove:
+					inj.OnUpdate()
+					ok := s.Remove(c, k)
+					c.Stats.RecordRemove(ok)
+				}
+				inj.BetweenOps()
+			}
+			ths[w].ActiveNs = uint64(time.Since(t0))
+		}(w)
+	}
+
+	start.Wait()
+	close(startGate)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+
+	return summarize(cfg, ths, dom)
+}
+
+func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
+	res := Result{Config: cfg}
+	perThread := make([]float64, len(ths))
+	waitFracs := make([]float64, len(ths))
+	var totalOps, totalWaits, totalAcqs uint64
+	var txCommits, txFallbacks uint64
+	for i := range ths {
+		t := &ths[i]
+		secs := float64(t.ActiveNs) / 1e9
+		if secs > 0 {
+			perThread[i] = float64(t.Ops) / secs
+		}
+		waitFracs[i] = t.WaitFraction()
+		totalOps += t.Ops
+		totalWaits += t.LockWaits
+		totalAcqs += t.LockAcqs
+		if t.MaxWaitNs > res.MaxWaitNs {
+			res.MaxWaitNs = t.MaxWaitNs
+		}
+		for b := range t.RestartedOps {
+			res.RestartHist[b] += t.RestartedOps[b]
+		}
+		txCommits += t.TxCommits
+		txFallbacks += t.TxFallbacks
+		for a := range t.TxAborts {
+			res.TxAborts[a] += t.TxAborts[a]
+		}
+	}
+	res.TotalOps = totalOps
+	res.PerThreadMean = stats.Mean(perThread)
+	res.PerThreadStddev = stats.Stddev(perThread)
+	res.Throughput = res.PerThreadMean * float64(len(ths))
+	res.WaitFraction = stats.Mean(waitFracs)
+	res.WaitFractionStddev = stats.Stddev(waitFracs)
+	if totalOps > 0 {
+		var atLeast1, moreThan3 uint64
+		for b := 1; b < stats.RestartBuckets; b++ {
+			atLeast1 += res.RestartHist[b]
+			if b > 3 {
+				moreThan3 += res.RestartHist[b]
+			}
+		}
+		res.RestartedFrac = float64(atLeast1) / float64(totalOps)
+		res.RestartedFrac3 = float64(moreThan3) / float64(totalOps)
+	}
+	if totalAcqs > 0 {
+		res.WaitingOpsFrac = float64(totalWaits) / float64(totalAcqs)
+	}
+	if cs := txCommits + txFallbacks; cs > 0 {
+		res.FallbackFrac = float64(txFallbacks) / float64(cs)
+	}
+	if dom != nil {
+		res.Retired, res.Reclaimed = dom.Stats()
+	}
+	return res
+}

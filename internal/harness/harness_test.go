@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"csds/internal/interrupt"
+	"csds/internal/workload"
+
+	_ "csds/internal/bst"
+	_ "csds/internal/hashtable"
+	_ "csds/internal/list"
+	_ "csds/internal/skiplist"
+)
+
+func quick(alg string) Config {
+	return Config{
+		Algorithm: alg,
+		Threads:   4,
+		Duration:  40 * time.Millisecond,
+		Workload:  workload.Config{Size: 128, UpdateRatio: 0.1},
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(quick("list/lazy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 || res.Throughput <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.PerThreadMean <= 0 {
+		t.Fatal("per-thread throughput missing")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	_, err := Run(Config{Algorithm: "nope/nope"})
+	if err == nil {
+		t.Fatal("unknown algorithm did not error")
+	}
+}
+
+func TestAllFeaturedRun(t *testing.T) {
+	for _, alg := range []string{"list/lazy", "skiplist/herlihy", "hashtable/lazy", "bst/tk"} {
+		res, err := Run(quick(alg))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.TotalOps == 0 {
+			t.Fatalf("%s: no ops", alg)
+		}
+	}
+}
+
+func TestNonBlockingRun(t *testing.T) {
+	for _, alg := range []string{"list/harris", "list/waitfree"} {
+		res, err := Run(quick(alg))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.TotalOps == 0 {
+			t.Fatalf("%s: no ops", alg)
+		}
+		if res.WaitFraction != 0 {
+			t.Fatalf("%s: non-blocking algorithm reported lock waits", alg)
+		}
+	}
+}
+
+func TestElidedRun(t *testing.T) {
+	cfg := quick("hashtable/lazy")
+	cfg.ElideAttempts = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops under elision")
+	}
+	// With elision, critical sections are transactional: commits+fallbacks
+	// must roughly cover the updates that wrote.
+	if res.FallbackFrac < 0 || res.FallbackFrac > 1 {
+		t.Fatalf("FallbackFrac out of range: %v", res.FallbackFrac)
+	}
+}
+
+func TestEBRRun(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.UseEBR = true
+	cfg.Workload.UpdateRatio = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired == 0 {
+		t.Fatal("EBR run retired nothing despite 50% updates")
+	}
+	if res.Reclaimed > res.Retired {
+		t.Fatalf("reclaimed %d > retired %d", res.Reclaimed, res.Retired)
+	}
+}
+
+func TestDelayedThreadRun(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.DelayedThreads = 1
+	cfg.DelayPlan = interrupt.PaperDelayPlan()
+	cfg.Workload.UpdateRatio = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops with delayed thread")
+	}
+}
+
+func TestSwitchPlanRun(t *testing.T) {
+	cfg := quick("hashtable/lazy")
+	cfg.SwitchPlan = &interrupt.SwitchPlan{Rate: 0.01, MinOff: 10 * time.Microsecond, MaxOff: 50 * time.Microsecond}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops under switch plan")
+	}
+}
+
+func TestMultipleRunsAverage(t *testing.T) {
+	cfg := quick("hashtable/lazy")
+	cfg.Runs = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops across runs")
+	}
+}
+
+func TestRestartHistogramSane(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.Workload.Size = 16
+	cfg.Workload.UpdateRatio = 0.5
+	cfg.Threads = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var histTotal uint64
+	for _, b := range res.RestartHist {
+		histTotal += b
+	}
+	// Every update contributes exactly one histogram entry; reads
+	// contribute none (lazy list records restarts only on updates).
+	if histTotal == 0 {
+		t.Fatal("restart histogram empty")
+	}
+	if histTotal > res.TotalOps {
+		t.Fatalf("histogram total %d exceeds ops %d", histTotal, res.TotalOps)
+	}
+	if res.RestartedFrac < 0 || res.RestartedFrac > 1 {
+		t.Fatalf("RestartedFrac out of range: %v", res.RestartedFrac)
+	}
+	if res.RestartedFrac3 > res.RestartedFrac {
+		t.Fatal("RestartedFrac3 exceeds RestartedFrac")
+	}
+}

@@ -1,0 +1,107 @@
+package hashtable
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+func TestLazy(t *testing.T) {
+	settest.Run(t, func(o core.Options) core.Set { return NewLazy(o) })
+}
+
+func TestLazyElided(t *testing.T) {
+	settest.RunElided(t, func(o core.Options) core.Set { return NewLazy(o) })
+}
+
+func TestLazyEBR(t *testing.T) {
+	settest.RunEBR(t, func(o core.Options) core.Set { return NewLazy(o) })
+}
+
+func TestLazySmallTable(t *testing.T) {
+	// A 2-bucket table forces heavy chain sharing: exercises sorted-splice
+	// paths thoroughly.
+	settest.Run(t, func(o core.Options) core.Set {
+		o.Buckets = 2
+		return NewLazy(o)
+	})
+}
+
+func TestCOW(t *testing.T) {
+	settest.Run(t, func(o core.Options) core.Set { return NewCOW(o) })
+}
+
+func TestStriped(t *testing.T) {
+	settest.Run(t, func(o core.Options) core.Set { return NewStriped(o) })
+}
+
+func TestBucketedLockCoupling(t *testing.T) {
+	info, _ := core.Lookup("hashtable/lockcoupling")
+	settest.Run(t, info.New)
+}
+
+func TestBucketedPugh(t *testing.T) {
+	info, _ := core.Lookup("hashtable/pugh")
+	settest.Run(t, info.New)
+}
+
+func TestBucketedHarris(t *testing.T) {
+	info, _ := core.Lookup("hashtable/harris")
+	settest.Run(t, info.New)
+}
+
+func TestBucketedWaitFree(t *testing.T) {
+	info, _ := core.Lookup("hashtable/waitfree")
+	settest.Run(t, info.New)
+}
+
+func TestBucketCount(t *testing.T) {
+	cases := []struct {
+		o    core.Options
+		want int
+	}{
+		{core.Options{}, defaultBuckets},
+		{core.Options{Buckets: 8}, 8},
+		{core.Options{Buckets: 9}, 16},
+		{core.Options{ExpectedSize: 1000}, 1024},
+		{core.Options{Buckets: 1}, 2},
+	}
+	for _, tc := range cases {
+		if got := bucketCount(tc.o); got != tc.want {
+			t.Errorf("bucketCount(%+v) = %d, want %d", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// Sequential keys must not collapse into few buckets.
+	const mask = 1023
+	counts := make(map[uint64]int)
+	for k := core.Key(0); k < 4096; k++ {
+		counts[hash(k, mask)]++
+	}
+	if len(counts) < 900 {
+		t.Fatalf("hash used only %d of 1024 buckets for sequential keys", len(counts))
+	}
+}
+
+func TestFeaturedIsLazy(t *testing.T) {
+	info, ok := core.Featured("hashtable")
+	if !ok || info.Name != "hashtable/lazy" {
+		t.Fatalf("featured hashtable = %+v", info)
+	}
+}
+
+func TestLazyNoRestartsEver(t *testing.T) {
+	// §5.1: the per-bucket-lock hash table never restarts.
+	s := NewLazy(core.Options{Buckets: 4})
+	c := core.NewCtx(0)
+	for i := 0; i < 1000; i++ {
+		s.Put(c, core.Key(i), core.Value(i))
+		s.Remove(c, core.Key(i/2))
+	}
+	if c.Stats.Restarts != 0 {
+		t.Fatalf("lazy hash recorded %d restarts; per-bucket locking must never restart", c.Stats.Restarts)
+	}
+}

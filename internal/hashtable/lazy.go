@@ -1,0 +1,226 @@
+// Package hashtable implements the hash-table set algorithms of the
+// paper's Table 1: the featured lazy hash table (one lazy linked list per
+// bucket with a per-bucket lock, average load factor 1), lock-coupling and
+// Pugh-list bucket variants, a copy-on-write table, and a striped
+// (ConcurrentHashMap-flavoured) table whose lock granularity is coarser
+// than its buckets.
+package hashtable
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/htm"
+	"csds/internal/locks"
+)
+
+// defaultBuckets is used when neither Buckets nor ExpectedSize is given.
+const defaultBuckets = 1024
+
+// bucketCount resolves the table size: the paper sets the average load
+// factor per bucket to 1, so the bucket count tracks the expected size,
+// rounded up to a power of two for mask indexing.
+func bucketCount(o core.Options) int {
+	n := o.Buckets
+	if n <= 0 {
+		n = o.ExpectedSize
+	}
+	if n <= 0 {
+		n = defaultBuckets
+	}
+	if n < 2 {
+		n = 2
+	}
+	return 1 << bits.Len(uint(n-1)) // next power of two
+}
+
+// hash spreads keys over buckets (Fibonacci multiplicative hashing).
+func hash(k core.Key, mask uint64) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15 >> 17) & mask
+}
+
+// lnode is a bucket-chain node. next/marked are atomic so Get can traverse
+// without the bucket lock (the read path stays synchronization-free, as in
+// every state-of-the-art algorithm in the paper).
+type lnode struct {
+	key    core.Key
+	val    core.Value
+	marked atomic.Bool
+	next   atomic.Pointer[lnode]
+}
+
+// lbucket pads each lock+head pair to its own cache line region.
+type lbucket struct {
+	lock locks.TAS
+	head atomic.Pointer[lnode]
+	_    [40]byte
+}
+
+// Lazy is the featured hash table: a lazy linked list per bucket, one lock
+// per bucket. The parse phase is effectively empty (d_p = 0 in the birthday
+// model of §6.1: the lock is acquired immediately after the update starts),
+// and operations never restart — once a writer holds its bucket lock
+// nothing can invalidate its window (§5.1: "this value is 0 in the case of
+// the hash table").
+type Lazy struct {
+	buckets []lbucket
+	mask    uint64
+	region  htm.Region
+}
+
+// NewLazy builds a lazy hash table sized per o (load factor 1).
+func NewLazy(o core.Options) *Lazy {
+	n := bucketCount(o)
+	return &Lazy{buckets: make([]lbucket, n), mask: uint64(n - 1), region: o.Region()}
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "hashtable/lazy", Kind: "hashtable", Progress: "blocking", Featured: true,
+		New:  func(o core.Options) core.Set { return NewLazy(o) },
+		Desc: "per-bucket-lock lazy hash table (featured, load factor 1)",
+	})
+}
+
+// Get implements core.Set: lock-free bucket scan.
+func (h *Lazy) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	c.EpochEnter()
+	defer c.EpochExit()
+	b := &h.buckets[hash(k, h.mask)]
+	for n := b.head.Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			if n.marked.Load() {
+				return 0, false
+			}
+			return n.val, true
+		}
+		if n.key > k {
+			break
+		}
+	}
+	return 0, false
+}
+
+// Put implements core.Set.
+func (h *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	b := &h.buckets[hash(k, h.mask)]
+	if h.region.Attempts > 0 {
+		var inserted bool
+		h.region.Run(c.Stat(), doomOf(c), func(a *htm.Acq) htm.Status {
+			if !a.Lock(&b.lock) {
+				return a.AbortStatus()
+			}
+			if !a.Commit() {
+				return a.AbortStatus()
+			}
+			inserted = b.insertLocked(c, k, v)
+			return htm.Committed
+		})
+		c.RecordRestarts(0)
+		return inserted
+	}
+	b.lock.Acquire(c.Stat())
+	c.InCS()
+	ok := b.insertLocked(c, k, v)
+	b.lock.Release()
+	c.RecordRestarts(0)
+	return ok
+}
+
+// insertLocked does the sorted-splice under the bucket lock.
+func (b *lbucket) insertLocked(c *core.Ctx, k core.Key, v core.Value) bool {
+	var pred *lnode
+	curr := b.head.Load()
+	for curr != nil && curr.key < k {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	if curr != nil && curr.key == k {
+		return false
+	}
+	n := &lnode{key: k, val: v}
+	n.next.Store(curr)
+	if pred == nil {
+		b.head.Store(n)
+	} else {
+		pred.next.Store(n)
+	}
+	return true
+}
+
+// Remove implements core.Set.
+func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	b := &h.buckets[hash(k, h.mask)]
+	if h.region.Attempts > 0 {
+		var removed bool
+		var victim *lnode
+		h.region.Run(c.Stat(), doomOf(c), func(a *htm.Acq) htm.Status {
+			if !a.Lock(&b.lock) {
+				return a.AbortStatus()
+			}
+			if !a.Commit() {
+				return a.AbortStatus()
+			}
+			removed, victim = b.removeLocked(c, k)
+			return htm.Committed
+		})
+		if removed {
+			c.Retire(victim)
+		}
+		c.RecordRestarts(0)
+		return removed
+	}
+	b.lock.Acquire(c.Stat())
+	c.InCS()
+	ok, victim := b.removeLocked(c, k)
+	b.lock.Release()
+	if ok {
+		c.Retire(victim)
+	}
+	c.RecordRestarts(0)
+	return ok
+}
+
+func (b *lbucket) removeLocked(c *core.Ctx, k core.Key) (bool, *lnode) {
+	var pred *lnode
+	curr := b.head.Load()
+	for curr != nil && curr.key < k {
+		pred = curr
+		curr = curr.next.Load()
+	}
+	if curr == nil || curr.key != k {
+		return false, nil
+	}
+	curr.marked.Store(true) // logical delete first: concurrent readers stay correct
+	if pred == nil {
+		b.head.Store(curr.next.Load())
+	} else {
+		pred.next.Store(curr.next.Load())
+	}
+	return true, curr
+}
+
+// Len implements core.Set (quiesced use).
+func (h *Lazy) Len() int {
+	total := 0
+	for i := range h.buckets {
+		for n := h.buckets[i].head.Load(); n != nil; n = n.next.Load() {
+			if !n.marked.Load() {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func doomOf(c *core.Ctx) *htm.Doom {
+	if c == nil {
+		return nil
+	}
+	return c.Doom
+}

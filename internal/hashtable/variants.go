@@ -1,0 +1,249 @@
+package hashtable
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/list"
+	"csds/internal/locks"
+)
+
+// Bucketed composes any list-based core.Set into a hash table: one
+// independent sub-set per bucket. This is exactly how ASCYLIB builds its
+// lock-coupling and Pugh hash tables, and it reuses the heavily tested list
+// implementations.
+type Bucketed struct {
+	buckets []core.Set
+	mask    uint64
+}
+
+// NewBucketed builds a table of n buckets (rounded to a power of two) where
+// each bucket is produced by mk.
+func NewBucketed(o core.Options, mk func(core.Options) core.Set) *Bucketed {
+	n := bucketCount(o)
+	sub := o
+	sub.ExpectedSize = 2 // load factor 1: tiny chains
+	b := &Bucketed{buckets: make([]core.Set, n), mask: uint64(n - 1)}
+	for i := range b.buckets {
+		b.buckets[i] = mk(sub)
+	}
+	return b
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "hashtable/lockcoupling", Kind: "hashtable", Progress: "blocking",
+		New: func(o core.Options) core.Set {
+			return NewBucketed(o, func(so core.Options) core.Set { return list.NewLockCoupling(so) })
+		},
+		Desc: "hash table with a lock-coupling list per bucket",
+	})
+	core.Register(core.Info{
+		Name: "hashtable/pugh", Kind: "hashtable", Progress: "blocking",
+		New: func(o core.Options) core.Set {
+			return NewBucketed(o, func(so core.Options) core.Set { return list.NewPugh(so) })
+		},
+		Desc: "hash table with a Pugh list per bucket",
+	})
+	core.Register(core.Info{
+		Name: "hashtable/harris", Kind: "hashtable", Progress: "lock-free",
+		New: func(o core.Options) core.Set {
+			return NewBucketed(o, func(so core.Options) core.Set { return list.NewHarris(so) })
+		},
+		Desc: "lock-free hash table (Michael 2002 style: Harris list per bucket)",
+	})
+	core.Register(core.Info{
+		Name: "hashtable/waitfree", Kind: "hashtable", Progress: "wait-free",
+		New: func(o core.Options) core.Set {
+			return NewBucketed(o, func(so core.Options) core.Set { return list.NewWaitFree(so) })
+		},
+		Desc: "wait-free hash table (descriptor/helping list per bucket; footnote 2 of the paper)",
+	})
+	core.Register(core.Info{
+		Name: "hashtable/cow", Kind: "hashtable", Progress: "blocking",
+		New:  func(o core.Options) core.Set { return NewCOW(o) },
+		Desc: "copy-on-write hash table (whole-map copy per update)",
+	})
+	core.Register(core.Info{
+		Name: "hashtable/striped", Kind: "hashtable", Progress: "blocking",
+		New:  func(o core.Options) core.Set { return NewStriped(o) },
+		Desc: "striped ConcurrentHashMap-style table (16 lock stripes)",
+	})
+}
+
+// Get implements core.Set.
+func (b *Bucketed) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	return b.buckets[hash(k, b.mask)].Get(c, k)
+}
+
+// Put implements core.Set.
+func (b *Bucketed) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	return b.buckets[hash(k, b.mask)].Put(c, k, v)
+}
+
+// Remove implements core.Set.
+func (b *Bucketed) Remove(c *core.Ctx, k core.Key) bool {
+	return b.buckets[hash(k, b.mask)].Remove(c, k)
+}
+
+// Len implements core.Set.
+func (b *Bucketed) Len() int {
+	total := 0
+	for _, s := range b.buckets {
+		total += s.Len()
+	}
+	return total
+}
+
+// COW is the copy-on-write hash table: readers load an immutable map
+// snapshot; each writer copies the entire map under a global lock. Wait-free
+// O(1) reads, fully serialized O(n) writes.
+type COW struct {
+	snap atomic.Pointer[map[core.Key]core.Value]
+	mu   locks.Ticket
+}
+
+// NewCOW builds an empty copy-on-write table.
+func NewCOW(o core.Options) *COW {
+	h := &COW{}
+	m := make(map[core.Key]core.Value)
+	h.snap.Store(&m)
+	return h
+}
+
+// Get implements core.Set.
+func (h *COW) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	v, ok := (*h.snap.Load())[k]
+	return v, ok
+}
+
+// Put implements core.Set.
+func (h *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	h.mu.Acquire(c.Stat())
+	old := *h.snap.Load()
+	if _, ok := old[k]; ok {
+		h.mu.Release()
+		c.RecordRestarts(0)
+		return false
+	}
+	next := make(map[core.Key]core.Value, len(old)+1)
+	for ok, ov := range old {
+		next[ok] = ov
+	}
+	next[k] = v
+	c.InCS()
+	h.snap.Store(&next)
+	h.mu.Release()
+	c.RecordRestarts(0)
+	return true
+}
+
+// Remove implements core.Set.
+func (h *COW) Remove(c *core.Ctx, k core.Key) bool {
+	h.mu.Acquire(c.Stat())
+	old := *h.snap.Load()
+	if _, ok := old[k]; !ok {
+		h.mu.Release()
+		c.RecordRestarts(0)
+		return false
+	}
+	next := make(map[core.Key]core.Value, len(old))
+	for ok, ov := range old {
+		if ok != k {
+			next[ok] = ov
+		}
+	}
+	c.InCS()
+	h.snap.Store(&next)
+	h.mu.Release()
+	c.RecordRestarts(0)
+	return true
+}
+
+// Len implements core.Set.
+func (h *COW) Len() int { return len(*h.snap.Load()) }
+
+// stripeCount is the fixed stripe count of the striped table (Java
+// ConcurrentHashMap's historical default concurrency level).
+const stripeCount = 16
+
+// Striped is a ConcurrentHashMap-flavoured table: the bucket array is
+// guarded by a fixed pool of lock stripes, so unrelated buckets can share a
+// lock. Reads stay lock-free; the coarser write granularity shows up as
+// extra waiting under contention (ablation: per-bucket vs striped locks,
+// §5.3's granularity remark).
+type Striped struct {
+	buckets []lbucket // locks inside lbucket unused; stripes rule
+	stripes [stripeCount]struct {
+		lock locks.TAS
+		_    [60]byte
+	}
+	mask uint64
+}
+
+// NewStriped builds a striped table sized per o.
+func NewStriped(o core.Options) *Striped {
+	n := bucketCount(o)
+	return &Striped{buckets: make([]lbucket, n), mask: uint64(n - 1)}
+}
+
+func (h *Striped) stripe(b uint64) *locks.TAS {
+	return &h.stripes[b%stripeCount].lock
+}
+
+// Get implements core.Set.
+func (h *Striped) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	b := &h.buckets[hash(k, h.mask)]
+	for n := b.head.Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			if n.marked.Load() {
+				return 0, false
+			}
+			return n.val, true
+		}
+		if n.key > k {
+			break
+		}
+	}
+	return 0, false
+}
+
+// Put implements core.Set.
+func (h *Striped) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	bi := hash(k, h.mask)
+	l := h.stripe(bi)
+	l.Acquire(c.Stat())
+	c.InCS()
+	ok := h.buckets[bi].insertLocked(c, k, v)
+	l.Release()
+	c.RecordRestarts(0)
+	return ok
+}
+
+// Remove implements core.Set.
+func (h *Striped) Remove(c *core.Ctx, k core.Key) bool {
+	bi := hash(k, h.mask)
+	l := h.stripe(bi)
+	l.Acquire(c.Stat())
+	c.InCS()
+	ok, victim := h.buckets[bi].removeLocked(c, k)
+	l.Release()
+	if ok {
+		c.Retire(victim)
+	}
+	c.RecordRestarts(0)
+	return ok
+}
+
+// Len implements core.Set.
+func (h *Striped) Len() int {
+	total := 0
+	for i := range h.buckets {
+		for n := h.buckets[i].head.Load(); n != nil; n = n.next.Load() {
+			if !n.marked.Load() {
+				total++
+			}
+		}
+	}
+	return total
+}

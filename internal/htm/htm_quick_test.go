@@ -1,0 +1,95 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"csds/internal/locks"
+	"csds/internal/stats"
+)
+
+// TestElisionExactnessProperty: for arbitrary worker/iteration/attempt
+// mixes with randomly armed dooms, mutual exclusion and lock hygiene must
+// hold: the protected counter is exact and no lock is left held.
+func TestElisionExactnessProperty(t *testing.T) {
+	prop := func(workersRaw, itersRaw, attemptsRaw uint8, armEvery uint8) bool {
+		workers := 1 + int(workersRaw)%6
+		iters := 50 + int(itersRaw)%400
+		attempts := int(attemptsRaw) % 7
+		var l1, l2 locks.TAS
+		var counter int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var th stats.Thread
+				var d Doom
+				r := Region{Attempts: attempts}
+				for i := 0; i < iters; i++ {
+					if armEvery > 0 && i%int(armEvery) == 0 {
+						d.Arm() // interrupt lands before/inside the txn
+					}
+					r.Run(&th, &d, func(a *Acq) Status {
+						if !a.Lock(&l1) || !a.Lock(&l2) {
+							return a.AbortStatus()
+						}
+						if !a.Commit() {
+							return a.AbortStatus()
+						}
+						counter++
+						return Committed
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		return counter == int64(workers*iters) && !l1.Held() && !l2.Held()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccountingIdentityProperty: commits + fallbacks equals the number
+// of critical sections executed, and attempts >= commits.
+func TestAccountingIdentityProperty(t *testing.T) {
+	prop := func(itersRaw, attemptsRaw, armEvery uint8) bool {
+		iters := 1 + int(itersRaw)%500
+		attempts := 1 + int(attemptsRaw)%6
+		var l locks.TAS
+		var th stats.Thread
+		var d Doom
+		r := Region{Attempts: attempts}
+		for i := 0; i < iters; i++ {
+			if armEvery > 0 && i%int(armEvery) == 0 {
+				d.Arm()
+			}
+			r.Run(&th, &d, func(a *Acq) Status {
+				if !a.Lock(&l) {
+					return a.AbortStatus()
+				}
+				if !a.Commit() {
+					return a.AbortStatus()
+				}
+				return Committed
+			})
+		}
+		if th.TxCommits+th.TxFallbacks != uint64(iters) {
+			return false
+		}
+		if th.TxAttempts < th.TxCommits {
+			return false
+		}
+		var aborts uint64
+		for _, a := range th.TxAborts {
+			aborts += a
+		}
+		// Every attempt either commits or aborts.
+		return th.TxAttempts == th.TxCommits+aborts
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package interrupt injects the adversarial scheduling events of the
+// paper's Section 5.4: threads that suffer delays *while holding locks*
+// (Figure 9) and the frequent context switches of multiprogrammed systems
+// (Tables 2–3, 8 threads per hardware context).
+//
+// Injection points are cooperative: workers poll between operations
+// (BetweenOps) and data structures invoke the per-thread critical-section
+// hook from inside their write phase (see core.Ctx.CSHook). Under lock mode
+// the hook simply burns wall-clock time while the locks are held — the
+// disaster the paper describes. Under elided mode the interrupt instead
+// arms the worker's htm.Doom, so the speculation aborts and the locks are
+// *not* held across the deschedule — the TSX behaviour the paper exploits.
+package interrupt
+
+import (
+	"runtime"
+	"time"
+
+	"csds/internal/htm"
+	"csds/internal/xrand"
+)
+
+// Spin busy-waits approximately d, yielding to the scheduler so other
+// goroutines keep running (time.Sleep has too coarse a floor for the
+// microsecond delays of Figure 9).
+func Spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// DelayPlan reproduces Figure 9's victim thread: "delayed for a random
+// interval between 1000 and 100000 ns every 10 updates, while holding
+// locks".
+type DelayPlan struct {
+	EveryNUpdates int           // fire on every Nth update (10 in the paper)
+	MinDelay      time.Duration // 1000ns in the paper
+	MaxDelay      time.Duration // 100000ns in the paper
+}
+
+// PaperDelayPlan returns the exact Figure 9 configuration.
+func PaperDelayPlan() DelayPlan {
+	return DelayPlan{EveryNUpdates: 10, MinDelay: 1000 * time.Nanosecond, MaxDelay: 100000 * time.Nanosecond}
+}
+
+// SwitchPlan models multiprogramming-induced context switches (Table 2
+// setting). Each operation's critical section is interrupted with
+// probability Rate; the victim is descheduled for a duration in
+// [MinOff, MaxOff]. The paper's measurement: with 4 threads per hardware
+// context, a thread runs ~12ms then is swapped out for ~37ms, i.e. a given
+// short critical section is hit rarely — but across millions of operations
+// a few of those hits land inside the write phase, which is what Table 2
+// quantifies.
+type SwitchPlan struct {
+	Rate   float64 // probability an op's critical section is interrupted
+	MinOff time.Duration
+	MaxOff time.Duration
+}
+
+// Injector is the per-worker interrupt state machine. One injector per
+// worker goroutine; not safe for sharing.
+type Injector struct {
+	Delay  *DelayPlan  // nil = no Figure 9 victim behaviour
+	Switch *SwitchPlan // nil = no multiprogramming interrupts
+
+	Doom *htm.Doom // armed instead of sleeping when elision is active
+
+	// Elided selects the HTM behaviour: when true, an interrupt that would
+	// land in a critical section arms Doom (aborting the speculation) and
+	// the deschedule happens outside the critical section.
+	Elided bool
+
+	rng     *xrand.Rng
+	updates int
+
+	// Fired counts injected events, for test assertions and reports.
+	FiredDelays   uint64
+	FiredSwitches uint64
+
+	// pendingOff is a deschedule to serve at the next BetweenOps poll
+	// (elided mode defers the sleep to outside the critical section).
+	pendingOff time.Duration
+	// pendingCS is an in-critical-section delay to serve at the next
+	// CSHook call (lock mode: the thread stalls while holding locks).
+	pendingCS time.Duration
+}
+
+// NewInjector builds an injector with its own RNG stream.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: xrand.New(seed)}
+}
+
+// OnUpdate must be called by the worker once per update operation (before
+// executing it); it decides whether this operation's critical section will
+// be victimised and pre-arms the machinery.
+func (in *Injector) OnUpdate() {
+	if in.Delay != nil {
+		in.updates++
+		if in.updates >= in.Delay.EveryNUpdates {
+			in.updates = 0
+			in.armCS(in.delayDuration())
+			in.FiredDelays++
+		}
+	}
+	if in.Switch != nil && in.rng.Bool(in.Switch.Rate) {
+		in.armCS(in.offDuration())
+		in.FiredSwitches++
+	}
+}
+
+func (in *Injector) delayDuration() time.Duration {
+	span := in.Delay.MaxDelay - in.Delay.MinDelay
+	if span <= 0 {
+		return in.Delay.MinDelay
+	}
+	return in.Delay.MinDelay + time.Duration(in.rng.Int63n(int64(span)))
+}
+
+func (in *Injector) offDuration() time.Duration {
+	span := in.Switch.MaxOff - in.Switch.MinOff
+	if span <= 0 {
+		return in.Switch.MinOff
+	}
+	return in.Switch.MinOff + time.Duration(in.rng.Int63n(int64(span)))
+}
+
+// armCS schedules an interrupt for the next critical section.
+func (in *Injector) armCS(d time.Duration) {
+	if in.Elided && in.Doom != nil {
+		// The interrupt will abort the speculation; the thread is then off
+		// CPU for d, but holds no locks during that time.
+		in.Doom.Arm()
+		in.pendingOff += d
+		return
+	}
+	in.pendingCS += d
+}
+
+// CSHook is invoked by data structures from inside their write phase while
+// locks are held. In lock mode it serves any pending in-CS delay —
+// emulating a deschedule at the worst possible moment.
+func (in *Injector) CSHook() {
+	if in.pendingCS > 0 {
+		d := in.pendingCS
+		in.pendingCS = 0
+		Spin(d)
+	}
+}
+
+// BetweenOps is invoked by the worker between operations; it serves
+// deferred deschedules (elided mode).
+func (in *Injector) BetweenOps() {
+	if in.pendingOff > 0 {
+		d := in.pendingOff
+		in.pendingOff = 0
+		Spin(d)
+	}
+}

@@ -1,0 +1,131 @@
+package interrupt
+
+import (
+	"testing"
+	"time"
+
+	"csds/internal/htm"
+)
+
+func TestSpinWaitsApproximately(t *testing.T) {
+	start := time.Now()
+	Spin(200 * time.Microsecond)
+	if el := time.Since(start); el < 200*time.Microsecond {
+		t.Fatalf("Spin returned early: %v", el)
+	}
+}
+
+func TestDelayPlanFiresEveryN(t *testing.T) {
+	in := NewInjector(1)
+	dp := DelayPlan{EveryNUpdates: 10, MinDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	in.Delay = &dp
+	for i := 0; i < 100; i++ {
+		in.OnUpdate()
+	}
+	if in.FiredDelays != 10 {
+		t.Fatalf("fired %d delays for 100 updates, want 10", in.FiredDelays)
+	}
+}
+
+func TestPaperDelayPlanValues(t *testing.T) {
+	dp := PaperDelayPlan()
+	if dp.EveryNUpdates != 10 || dp.MinDelay != 1000 || dp.MaxDelay != 100000 {
+		t.Fatalf("paper plan wrong: %+v", dp)
+	}
+}
+
+func TestLockModeDelayServedInCS(t *testing.T) {
+	in := NewInjector(2)
+	dp := DelayPlan{EveryNUpdates: 1, MinDelay: 100 * time.Microsecond, MaxDelay: 100 * time.Microsecond}
+	in.Delay = &dp
+	in.OnUpdate()
+	if in.pendingCS == 0 {
+		t.Fatal("delay not armed for the critical section")
+	}
+	start := time.Now()
+	in.CSHook()
+	if time.Since(start) < 100*time.Microsecond {
+		t.Fatal("CSHook did not serve the delay")
+	}
+	if in.pendingCS != 0 {
+		t.Fatal("pending delay not consumed")
+	}
+	// Second hook with nothing pending is instant-ish.
+	in.CSHook()
+}
+
+func TestElidedModeArmsDoomInsteadOfCSStall(t *testing.T) {
+	in := NewInjector(3)
+	var d htm.Doom
+	in.Doom = &d
+	in.Elided = true
+	dp := DelayPlan{EveryNUpdates: 1, MinDelay: 50 * time.Microsecond, MaxDelay: 50 * time.Microsecond}
+	in.Delay = &dp
+	in.OnUpdate()
+	if !d.Armed() {
+		t.Fatal("doom not armed in elided mode")
+	}
+	if in.pendingCS != 0 {
+		t.Fatal("elided mode must not stall inside the critical section")
+	}
+	if in.pendingOff == 0 {
+		t.Fatal("deschedule not deferred to between-ops")
+	}
+	start := time.Now()
+	in.BetweenOps()
+	if time.Since(start) < 50*time.Microsecond {
+		t.Fatal("BetweenOps did not serve the deferred deschedule")
+	}
+	if in.pendingOff != 0 {
+		t.Fatal("pending deschedule not consumed")
+	}
+}
+
+func TestSwitchPlanProbability(t *testing.T) {
+	in := NewInjector(4)
+	sp := SwitchPlan{Rate: 0.25, MinOff: 0, MaxOff: 0}
+	in.Switch = &sp
+	const n = 40000
+	for i := 0; i < n; i++ {
+		in.OnUpdate()
+		in.pendingCS = 0 // don't accumulate
+	}
+	got := float64(in.FiredSwitches) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("switch rate %f, want ~0.25", got)
+	}
+}
+
+func TestSwitchRateZeroNeverFires(t *testing.T) {
+	in := NewInjector(5)
+	sp := SwitchPlan{Rate: 0}
+	in.Switch = &sp
+	for i := 0; i < 1000; i++ {
+		in.OnUpdate()
+	}
+	if in.FiredSwitches != 0 {
+		t.Fatalf("zero-rate plan fired %d switches", in.FiredSwitches)
+	}
+}
+
+func TestNoPlansNoEffects(t *testing.T) {
+	in := NewInjector(6)
+	for i := 0; i < 100; i++ {
+		in.OnUpdate()
+		in.CSHook()
+		in.BetweenOps()
+	}
+	if in.FiredDelays != 0 || in.FiredSwitches != 0 {
+		t.Fatal("injector fired with no plans configured")
+	}
+}
+
+func TestDegenerateSpanUsesMin(t *testing.T) {
+	in := NewInjector(7)
+	dp := DelayPlan{EveryNUpdates: 1, MinDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	in.Delay = &dp
+	in.OnUpdate()
+	if in.pendingCS != time.Microsecond {
+		t.Fatalf("pendingCS = %v, want 1µs", in.pendingCS)
+	}
+}

@@ -1,0 +1,120 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/locks"
+)
+
+// cowSnapshot is an immutable sorted key/value sequence.
+type cowSnapshot struct {
+	keys []core.Key
+	vals []core.Value
+}
+
+// COW is the copy-on-write list of the paper's Table 1 (the idiom of Java's
+// CopyOnWriteArrayList): readers load an immutable snapshot with a single
+// atomic read and scan it; each writer copies the whole snapshot under a
+// global lock. Reads are trivially wait-free; updates are O(n) and fully
+// serialized — fine for tiny, read-mostly sets, pathological otherwise,
+// which is why it exists in the comparison.
+type COW struct {
+	snap atomic.Pointer[cowSnapshot]
+	mu   locks.Ticket
+}
+
+// NewCOW builds an empty copy-on-write list.
+func NewCOW(o core.Options) *COW {
+	l := &COW{}
+	l.snap.Store(&cowSnapshot{})
+	return l
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "list/cow", Kind: "list", Progress: "blocking",
+		New:  func(o core.Options) core.Set { return NewCOW(o) },
+		Desc: "copy-on-write list (CopyOnWriteArrayList idiom)",
+	})
+}
+
+// find returns the insertion index of k in s and whether it is present.
+func (s *cowSnapshot) find(k core.Key) (int, bool) {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.keys) && s.keys[lo] == k
+}
+
+// Get implements core.Set; a single atomic load plus a scan of immutable
+// memory.
+func (l *COW) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	s := l.snap.Load()
+	if i, ok := s.find(k); ok {
+		return s.vals[i], true
+	}
+	return 0, false
+}
+
+// Put implements core.Set.
+func (l *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	l.mu.Acquire(c.Stat())
+	s := l.snap.Load()
+	i, ok := s.find(k)
+	if ok {
+		l.mu.Release()
+		c.RecordRestarts(0)
+		return false
+	}
+	ns := &cowSnapshot{
+		keys: make([]core.Key, len(s.keys)+1),
+		vals: make([]core.Value, len(s.vals)+1),
+	}
+	copy(ns.keys, s.keys[:i])
+	copy(ns.vals, s.vals[:i])
+	ns.keys[i] = k
+	ns.vals[i] = v
+	copy(ns.keys[i+1:], s.keys[i:])
+	copy(ns.vals[i+1:], s.vals[i:])
+	c.InCS()
+	l.snap.Store(ns)
+	l.mu.Release()
+	c.RecordRestarts(0)
+	return true
+}
+
+// Remove implements core.Set.
+func (l *COW) Remove(c *core.Ctx, k core.Key) bool {
+	l.mu.Acquire(c.Stat())
+	s := l.snap.Load()
+	i, ok := s.find(k)
+	if !ok {
+		l.mu.Release()
+		c.RecordRestarts(0)
+		return false
+	}
+	ns := &cowSnapshot{
+		keys: make([]core.Key, len(s.keys)-1),
+		vals: make([]core.Value, len(s.vals)-1),
+	}
+	copy(ns.keys, s.keys[:i])
+	copy(ns.vals, s.vals[:i])
+	copy(ns.keys[i:], s.keys[i+1:])
+	copy(ns.vals[i:], s.vals[i+1:])
+	c.InCS()
+	l.snap.Store(ns)
+	l.mu.Release()
+	c.Retire(s)
+	c.RecordRestarts(0)
+	return true
+}
+
+// Len implements core.Set; exact even during concurrency (snapshot count).
+func (l *COW) Len() int { return len(l.snap.Load().keys) }

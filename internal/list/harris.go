@@ -1,0 +1,163 @@
+package list
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+)
+
+// hLink is an immutable (successor, mark) pair. Go cannot steal pointer
+// tag bits the way the C implementation does, so the pair is boxed and the
+// node's next field CASes whole boxes — the AtomicMarkableReference idiom.
+// This matches the paper's observation (§2.2) that lock-free lists keep
+// their concurrency bit *inside* the one pointer CAS.
+type hLink struct {
+	next   *hNode
+	marked bool
+}
+
+// hNode is a Harris-list node.
+type hNode struct {
+	key  core.Key
+	val  core.Value
+	link atomic.Pointer[hLink]
+}
+
+// Harris is Harris's pragmatic non-blocking linked list (DISC 2001), the
+// lock-free comparator of Figure 1: deletion marks the node's next
+// reference, traversals physically unlink marked nodes they pass.
+type Harris struct {
+	head *hNode
+}
+
+// NewHarris builds an empty Harris list.
+func NewHarris(o core.Options) *Harris {
+	tail := &hNode{key: core.KeyMax}
+	tail.link.Store(&hLink{})
+	head := &hNode{key: core.KeyMin}
+	head.link.Store(&hLink{next: tail})
+	return &Harris{head: head}
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "list/harris", Kind: "list", Progress: "lock-free",
+		New:  func(o core.Options) core.Set { return NewHarris(o) },
+		Desc: "Harris lock-free linked list (DISC 2001)",
+	})
+}
+
+// search finds the window (pred, predLink, curr) with pred.key < k <=
+// curr.key, snipping out any marked nodes it encounters (helping).
+// Restarts (recorded by callers through the returned count) happen when a
+// snip CAS loses a race.
+func (l *Harris) search(c *core.Ctx, k core.Key) (pred *hNode, predLink *hLink, curr *hNode, restarts int) {
+retry:
+	for {
+		pred = l.head
+		predLink = pred.link.Load()
+		curr = predLink.next
+		for {
+			currLink := curr.link.Load()
+			for currLink.marked {
+				// curr is logically deleted: unlink it.
+				snip := &hLink{next: currLink.next}
+				if !pred.link.CompareAndSwap(predLink, snip) {
+					restarts++
+					continue retry
+				}
+				c.Retire(curr)
+				predLink = snip
+				curr = currLink.next
+				currLink = curr.link.Load()
+			}
+			if curr.key >= k {
+				return pred, predLink, curr, restarts
+			}
+			pred = curr
+			predLink = currLink
+			curr = currLink.next
+		}
+	}
+}
+
+// Get implements core.Set: wait-free traversal that does not help (pure
+// reading, like the lazy list's contains).
+func (l *Harris) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	c.EpochEnter()
+	curr := l.head.link.Load().next
+	for curr.key < k {
+		curr = curr.link.Load().next
+	}
+	link := curr.link.Load()
+	v, ok := curr.val, curr.key == k && !link.marked
+	c.EpochExit()
+	return v, ok
+}
+
+// Put implements core.Set.
+func (l *Harris) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	restarts := 0
+	for {
+		pred, predLink, curr, r := l.search(c, k)
+		restarts += r
+		if curr.key == k {
+			c.RecordRestarts(restarts)
+			return false
+		}
+		n := &hNode{key: k, val: v}
+		n.link.Store(&hLink{next: curr})
+		if pred.link.CompareAndSwap(predLink, &hLink{next: n}) {
+			c.RecordRestarts(restarts)
+			return true
+		}
+		restarts++
+	}
+}
+
+// Remove implements core.Set.
+func (l *Harris) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	restarts := 0
+	for {
+		pred, predLink, curr, r := l.search(c, k)
+		restarts += r
+		if curr.key != k {
+			c.RecordRestarts(restarts)
+			return false
+		}
+		currLink := curr.link.Load()
+		if currLink.marked {
+			// Someone else is deleting it; retry to converge.
+			restarts++
+			continue
+		}
+		// Logical delete: mark curr's link.
+		if !curr.link.CompareAndSwap(currLink, &hLink{next: currLink.next, marked: true}) {
+			restarts++
+			continue
+		}
+		// Best-effort physical unlink; traversals clean up on failure.
+		if pred.link.CompareAndSwap(predLink, &hLink{next: currLink.next}) {
+			c.Retire(curr)
+		}
+		c.RecordRestarts(restarts)
+		return true
+	}
+}
+
+// Len implements core.Set (quiesced use).
+func (l *Harris) Len() int {
+	n := 0
+	for curr := l.head.link.Load().next; curr.key != core.KeyMax; {
+		link := curr.link.Load()
+		if !link.marked {
+			n++
+		}
+		curr = link.next
+	}
+	return n
+}

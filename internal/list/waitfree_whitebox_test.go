@@ -1,0 +1,221 @@
+package list
+
+import (
+	"sync"
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/xrand"
+)
+
+// TestWaitFreeHelpingCompletesStalledInsert is the wait-freedom property
+// in miniature: a thread publishes an insert descriptor and then stalls
+// forever (we install the descriptor by hand and never run its owner).
+// Any other thread executing any operation with a later phase must help
+// the stalled insert to completion.
+func TestWaitFreeHelpingCompletesStalledInsert(t *testing.T) {
+	l := NewWaitFree(core.Options{})
+	n := &wfNode{key: 42, val: 4242}
+	n.link.Store(&wfLink{})
+	d := &wfDesc{phase: l.maxPhase.Add(1), kind: wfInsert, key: 42, node: n, status: wfPending}
+	l.state[7].Store(d) // owner "stalls" immediately after publishing
+
+	c := core.NewCtx(0)
+	l.Put(c, 100, 1) // later phase: must help slot 7 first
+
+	got := l.state[7].Load()
+	if got.pendingOp() {
+		t.Fatalf("stalled insert not helped to completion: status=%d", got.status)
+	}
+	if got.status != wfSuccess {
+		t.Fatalf("stalled insert status = %d, want success", got.status)
+	}
+	if v, ok := l.Get(c, 42); !ok || v != 4242 {
+		t.Fatalf("helped insert not visible: (%d, %v)", v, ok)
+	}
+}
+
+// TestWaitFreeHelpingCompletesStalledRemove: same for a remove.
+func TestWaitFreeHelpingCompletesStalledRemove(t *testing.T) {
+	l := NewWaitFree(core.Options{})
+	c := core.NewCtx(0)
+	l.Put(c, 42, 1)
+
+	d := &wfDesc{phase: l.maxPhase.Add(1), kind: wfRemove, key: 42, status: wfPending}
+	l.state[9].Store(d)
+
+	l.Put(c, 100, 1) // helper
+
+	got := l.state[9].Load()
+	if got.pendingOp() {
+		t.Fatal("stalled remove not helped")
+	}
+	if got.status != wfSuccess {
+		t.Fatalf("stalled remove status = %d, want success", got.status)
+	}
+	if _, ok := l.Get(c, 42); ok {
+		t.Fatal("removed key still visible")
+	}
+}
+
+// TestWaitFreeStalledInsertOnOccupiedKey: helping must record failure when
+// the key exists, and must poison the orphan node so it can never be
+// linked later.
+func TestWaitFreeStalledInsertOnOccupiedKey(t *testing.T) {
+	l := NewWaitFree(core.Options{})
+	c := core.NewCtx(0)
+	l.Put(c, 42, 1)
+
+	n := &wfNode{key: 42, val: 9999}
+	n.link.Store(&wfLink{})
+	d := &wfDesc{phase: l.maxPhase.Add(1), kind: wfInsert, key: 42, node: n, status: wfPending}
+	l.state[3].Store(d)
+
+	l.Get(c, 1)      // gets do not help...
+	l.Put(c, 100, 1) // ...updates do
+
+	got := l.state[3].Load()
+	if got.status != wfFailure {
+		t.Fatalf("duplicate insert helped to status %d, want failure", got.status)
+	}
+	link := n.link.Load()
+	if !link.marked || link.src != poisonDesc {
+		t.Fatal("orphan node not poisoned")
+	}
+	if v, _ := l.Get(c, 42); v != 1 {
+		t.Fatalf("original value clobbered: %d", v)
+	}
+}
+
+// TestWaitFreePhaseOrdering: operations with lower phases are helped even
+// when many are queued.
+func TestWaitFreePhaseOrdering(t *testing.T) {
+	l := NewWaitFree(core.Options{})
+	// Stall five inserts across five slots.
+	for i := 0; i < 5; i++ {
+		n := &wfNode{key: core.Key(10 + i), val: core.Value(i)}
+		n.link.Store(&wfLink{})
+		d := &wfDesc{phase: l.maxPhase.Add(1), kind: wfInsert, key: n.key, node: n, status: wfPending}
+		l.state[20+i].Store(d)
+	}
+	c := core.NewCtx(0)
+	l.Put(c, 100, 1)
+	for i := 0; i < 5; i++ {
+		if l.state[20+i].Load().pendingOp() {
+			t.Fatalf("queued insert %d not helped", i)
+		}
+		if _, ok := l.Get(c, core.Key(10+i)); !ok {
+			t.Fatalf("helped key %d missing", 10+i)
+		}
+	}
+}
+
+// TestWaitFreeConcurrentSameKeyInserts: exactly one of many concurrent
+// inserts of one key succeeds.
+func TestWaitFreeConcurrentSameKeyInserts(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		l := NewWaitFree(core.Options{})
+		const workers = 8
+		var wg sync.WaitGroup
+		wins := make([]bool, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := core.NewCtx(w)
+				wins[w] = l.Put(c, 7, core.Value(w))
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		for _, won := range wins {
+			if won {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("round %d: %d inserts of the same key succeeded", round, n)
+		}
+		if l.Len() != 1 {
+			t.Fatalf("round %d: Len = %d", round, l.Len())
+		}
+	}
+}
+
+// TestWaitFreeConcurrentSameKeyRemoves: exactly one of many concurrent
+// removes of one key succeeds.
+func TestWaitFreeConcurrentSameKeyRemoves(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		l := NewWaitFree(core.Options{})
+		seed := core.NewCtx(0)
+		l.Put(seed, 7, 1)
+		const workers = 8
+		var wg sync.WaitGroup
+		wins := make([]bool, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := core.NewCtx(w)
+				wins[w] = l.Remove(c, 7)
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		for _, won := range wins {
+			if won {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("round %d: %d removes of the same key succeeded", round, n)
+		}
+		if l.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, l.Len())
+		}
+	}
+}
+
+// TestWaitFreeInsertRemoveDuel: insert/remove pairs on one key from many
+// threads keep the per-key algebra intact under phases and helping.
+func TestWaitFreeInsertRemoveDuel(t *testing.T) {
+	l := NewWaitFree(core.Options{})
+	const workers = 6
+	const iters = 3000
+	var wg sync.WaitGroup
+	var ins, rem [workers]int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := core.NewCtx(w)
+			rng := xrand.New(uint64(w) + 1)
+			for i := 0; i < iters; i++ {
+				if rng.Bool(0.5) {
+					if l.Put(c, 5, 1) {
+						ins[w]++
+					}
+				} else {
+					if l.Remove(c, 5) {
+						rem[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var totalIns, totalRem int64
+	for w := 0; w < workers; w++ {
+		totalIns += ins[w]
+		totalRem += rem[w]
+	}
+	c := core.NewCtx(0)
+	_, present := l.Get(c, 5)
+	delta := totalIns - totalRem
+	if delta != 0 && delta != 1 {
+		t.Fatalf("algebra violated: %d inserts - %d removes = %d", totalIns, totalRem, delta)
+	}
+	if (delta == 1) != present {
+		t.Fatalf("delta %d but present=%v", delta, present)
+	}
+}

@@ -1,0 +1,262 @@
+// Package locks provides the mutual-exclusion primitives used by the
+// blocking CSDS algorithms: test-and-set and ticket locks (the paper's §3.2
+// choice — "we observe no benefits from using more complex locks, such as
+// MCS locks, due to the low degree of contention for any particular lock"),
+// a ticket trylock (BST-TK), and an MCS queue lock kept for the lock
+// ablation benchmark.
+//
+// Wait-time instrumentation follows the paper's methodology exactly
+// (Section 5.1): the uncontended fast path never reads the clock; only when
+// an acquisition cannot be served immediately do we time the wait and
+// record it into the caller's stats.Thread. Passing a nil *stats.Thread is
+// allowed and disables recording.
+//
+// All spin loops yield to the Go scheduler after a short burst
+// (runtime.Gosched): goroutines are multiplexed over OS threads, and a
+// spinner that never yields can starve the very goroutine that holds the
+// lock — the software analogue of the lock-holder-preemption problem the
+// paper addresses with HTM.
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"csds/internal/stats"
+)
+
+// Lock is the blocking mutual-exclusion interface shared by all data
+// structures in this repository.
+type Lock interface {
+	// Acquire blocks until the lock is held, recording contended wait time
+	// into t (which may be nil).
+	Acquire(t *stats.Thread)
+	// Release unlocks. Must be called by the holder.
+	Release()
+}
+
+// TryLock is the non-blocking acquisition interface (BST-TK, §5.1: trylock
+// failures surface as operation restarts instead of wait time).
+type TryLock interface {
+	// TryAcquire attempts to take the lock without blocking; it records
+	// the failure (not time) into t and reports success.
+	TryAcquire(t *stats.Thread) bool
+	Release()
+}
+
+// spinBudget is how many tight-loop iterations a waiter burns before
+// yielding to the scheduler. Small: on few-core machines yielding early is
+// strictly better.
+const spinBudget = 64
+
+// pause is one spin-wait iteration. Separate function so the loop body
+// stays readable; the compiler inlines it.
+func pause(i int) {
+	if i%spinBudget == spinBudget-1 {
+		runtime.Gosched()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Test-and-set lock
+// ---------------------------------------------------------------------------
+
+// TAS is a test-and-set spinlock, the simplest lock in ASCYLIB. The
+// TSX-enabled experiments of §5.4 use test-and-set locks for all structures
+// except BST-TK.
+type TAS struct {
+	v atomic.Uint32
+}
+
+// Acquire implements Lock.
+func (l *TAS) Acquire(t *stats.Thread) {
+	if l.v.CompareAndSwap(0, 1) {
+		if t != nil {
+			t.RecordAcquire()
+		}
+		return
+	}
+	start := time.Now()
+	for i := 0; ; i++ {
+		// Test-and-test-and-set: spin on the read to avoid hammering the
+		// cache line with failed RMWs.
+		if l.v.Load() == 0 && l.v.CompareAndSwap(0, 1) {
+			break
+		}
+		pause(i)
+	}
+	if t != nil {
+		t.RecordWait(uint64(time.Since(start)))
+	}
+}
+
+// TryAcquire implements TryLock.
+func (l *TAS) TryAcquire(t *stats.Thread) bool {
+	if l.v.CompareAndSwap(0, 1) {
+		if t != nil {
+			t.RecordAcquire()
+		}
+		return true
+	}
+	if t != nil {
+		t.RecordTrylockFail()
+	}
+	return false
+}
+
+// Release implements Lock.
+func (l *TAS) Release() { l.v.Store(0) }
+
+// Held reports whether the lock is currently held (advisory, for tests and
+// the HTM fallback-subscription check).
+func (l *TAS) Held() bool { return l.v.Load() != 0 }
+
+// ---------------------------------------------------------------------------
+// Ticket lock
+// ---------------------------------------------------------------------------
+
+// Ticket is a ticket lock: FIFO, starvation-free among waiters, and the
+// instrument the paper uses to measure waiting ("once a thread has acquired
+// its ticket, if it is not immediately its turn to be served, we measure
+// the time until this event occurs").
+//
+// Both halves live in one 64-bit word: next in the high 32 bits, owner in
+// the low 32 bits. A single atomic add takes a ticket.
+type Ticket struct {
+	v atomic.Uint64 // next<<32 | owner
+}
+
+const ticketInc = uint64(1) << 32
+
+func ticketParts(v uint64) (next, owner uint32) {
+	return uint32(v >> 32), uint32(v)
+}
+
+// Acquire implements Lock.
+func (l *Ticket) Acquire(t *stats.Thread) {
+	v := l.v.Add(ticketInc) - ticketInc // value before our increment
+	next, owner := ticketParts(v)
+	my := next
+	if my == owner {
+		if t != nil {
+			t.RecordAcquire()
+		}
+		return
+	}
+	start := time.Now()
+	for i := 0; ; i++ {
+		if _, owner := ticketParts(l.v.Load()); owner == my {
+			break
+		}
+		pause(i)
+	}
+	if t != nil {
+		t.RecordWait(uint64(time.Since(start)))
+	}
+}
+
+// TryAcquire implements TryLock: succeeds only if no one holds the lock and
+// no one is queued (next == owner).
+func (l *Ticket) TryAcquire(t *stats.Thread) bool {
+	v := l.v.Load()
+	next, owner := ticketParts(v)
+	if next != owner {
+		if t != nil {
+			t.RecordTrylockFail()
+		}
+		return false
+	}
+	if l.v.CompareAndSwap(v, v+ticketInc) {
+		if t != nil {
+			t.RecordAcquire()
+		}
+		return true
+	}
+	if t != nil {
+		t.RecordTrylockFail()
+	}
+	return false
+}
+
+// Release implements Lock: advance owner.
+func (l *Ticket) Release() { l.v.Add(1) }
+
+// Held reports whether the lock is held (next != owner).
+func (l *Ticket) Held() bool {
+	next, owner := ticketParts(l.v.Load())
+	return next != owner
+}
+
+// ---------------------------------------------------------------------------
+// MCS queue lock
+// ---------------------------------------------------------------------------
+
+// MCSNode is the per-waiter queue node for MCS. Each worker should own one
+// node per lock it may hold simultaneously; the harness allocates them in
+// the per-thread context.
+type MCSNode struct {
+	next   atomic.Pointer[MCSNode]
+	locked atomic.Bool
+}
+
+// MCS is the Mellor-Crummey–Scott queue lock. The paper argues (§3.2) it is
+// unnecessary for CSDSs; the BenchmarkAblationLocks target verifies that
+// claim in this reproduction.
+type MCS struct {
+	tail atomic.Pointer[MCSNode]
+}
+
+// AcquireNode enqueues qn and blocks until the lock is granted.
+func (l *MCS) AcquireNode(qn *MCSNode, t *stats.Thread) {
+	qn.next.Store(nil)
+	qn.locked.Store(true)
+	pred := l.tail.Swap(qn)
+	if pred == nil {
+		if t != nil {
+			t.RecordAcquire()
+		}
+		return
+	}
+	pred.next.Store(qn)
+	start := time.Now()
+	for i := 0; qn.locked.Load(); i++ {
+		pause(i)
+	}
+	if t != nil {
+		t.RecordWait(uint64(time.Since(start)))
+	}
+}
+
+// ReleaseNode releases a lock acquired with qn.
+func (l *MCS) ReleaseNode(qn *MCSNode) {
+	next := qn.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(qn, nil) {
+			return
+		}
+		// A successor is enqueueing; wait for it to link itself.
+		for i := 0; ; i++ {
+			if next = qn.next.Load(); next != nil {
+				break
+			}
+			pause(i)
+		}
+	}
+	next.locked.Store(false)
+}
+
+// mcsHandle adapts MCS to the Lock interface with an internal node per
+// acquisition chain. Because Lock/Unlock pairs cannot nest on the same
+// handle, the zero-alloc single node is safe.
+type mcsHandle struct {
+	l  *MCS
+	qn MCSNode
+}
+
+// NewMCSHandle returns a Lock view over l for one worker. Each worker must
+// use its own handle; handles must not be shared.
+func NewMCSHandle(l *MCS) Lock { return &mcsHandle{l: l} }
+
+func (h *mcsHandle) Acquire(t *stats.Thread) { h.l.AcquireNode(&h.qn, t) }
+func (h *mcsHandle) Release()                { h.l.ReleaseNode(&h.qn) }

@@ -1,0 +1,67 @@
+package queuestack
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/stats"
+	"csds/internal/xrand"
+)
+
+// RunHotspot drives the Figure 10 workload: `threads` workers perform 50%
+// inserts (enqueue/push) and 50% removes (dequeue/pop) against a structure
+// pre-filled with `fill` elements, for `dur`. It returns the mean fraction
+// of time workers spent waiting for locks. kind is "queue" or "stack".
+func RunHotspot(kind string, threads int, dur time.Duration, fill int) float64 {
+	var enq func(c *core.Ctx, v core.Value)
+	var deq func(c *core.Ctx) (core.Value, bool)
+	switch kind {
+	case "queue":
+		q := NewTwoLockQueue()
+		enq, deq = q.Enqueue, q.Dequeue
+	case "stack":
+		s := NewLockStack()
+		enq, deq = s.Push, s.Pop
+	default:
+		panic("queuestack: unknown hotspot kind " + kind)
+	}
+	seed := core.NewCtx(0)
+	for i := 0; i < fill; i++ {
+		enq(seed, core.Value(i))
+	}
+
+	ths := make([]stats.Thread, threads)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := &core.Ctx{ID: w, Rng: xrand.New(uint64(w) + 1), Stats: &ths[w]}
+			<-gate
+			t0 := time.Now()
+			for !stop.Load() {
+				if c.Rng.Bool(0.5) {
+					enq(c, core.Value(w))
+				} else {
+					deq(c)
+				}
+				c.Stats.Ops++
+			}
+			ths[w].ActiveNs = uint64(time.Since(t0))
+		}(w)
+	}
+	close(gate)
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+
+	fracs := make([]float64, threads)
+	for i := range ths {
+		fracs[i] = ths[i].WaitFraction()
+	}
+	return stats.Mean(fracs)
+}

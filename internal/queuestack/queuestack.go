@@ -1,0 +1,239 @@
+// Package queuestack implements the beyond-CSDS structures of the paper's
+// Section 7: lock-based queue and stack (whose accesses concentrate on one
+// or two hotspots, so waiting time approaches 100% — Figure 10), plus the
+// classic lock-free comparators (Michael–Scott queue, Treiber stack) the
+// section recommends instead.
+package queuestack
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/locks"
+)
+
+// Queue is the FIFO interface used by the Section 7 experiments.
+type Queue interface {
+	Enqueue(c *core.Ctx, v core.Value)
+	Dequeue(c *core.Ctx) (core.Value, bool)
+	Len() int
+}
+
+// Stack is the LIFO interface used by the Section 7 experiments.
+type Stack interface {
+	Push(c *core.Ctx, v core.Value)
+	Pop(c *core.Ctx) (core.Value, bool)
+	Len() int
+}
+
+// ---------------------------------------------------------------------------
+// Lock-based queue (two-lock Michael–Scott: the standard blocking queue)
+// ---------------------------------------------------------------------------
+
+type qnode struct {
+	val  core.Value
+	next atomic.Pointer[qnode]
+}
+
+// TwoLockQueue is the standard lock-based FIFO queue (Michael & Scott,
+// PODC 1996, blocking variant): one lock serializes enqueuers, another
+// serializes dequeuers. Every enqueue contends on the tail hotspot and
+// every dequeue on the head hotspot — there is nothing to distribute, which
+// is exactly why Figure 10 shows waiting fractions approaching 1.
+type TwoLockQueue struct {
+	head  *qnode // sentinel; protected by hLock
+	tail  *qnode // protected by tLock
+	hLock locks.Ticket
+	tLock locks.Ticket
+	size  atomic.Int64
+}
+
+// NewTwoLockQueue builds an empty queue.
+func NewTwoLockQueue() *TwoLockQueue {
+	s := &qnode{}
+	return &TwoLockQueue{head: s, tail: s}
+}
+
+// Enqueue appends v.
+func (q *TwoLockQueue) Enqueue(c *core.Ctx, v core.Value) {
+	n := &qnode{val: v}
+	q.tLock.Acquire(c.Stat())
+	c.InCS()
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tLock.Release()
+	q.size.Add(1)
+}
+
+// Dequeue removes the oldest element.
+func (q *TwoLockQueue) Dequeue(c *core.Ctx) (core.Value, bool) {
+	q.hLock.Acquire(c.Stat())
+	first := q.head.next.Load()
+	if first == nil {
+		q.hLock.Release()
+		return 0, false
+	}
+	c.InCS()
+	v := first.val
+	q.head = first
+	q.hLock.Release()
+	q.size.Add(-1)
+	return v, true
+}
+
+// Len returns the current element count.
+func (q *TwoLockQueue) Len() int { return int(q.size.Load()) }
+
+// ---------------------------------------------------------------------------
+// Lock-based stack
+// ---------------------------------------------------------------------------
+
+type snode struct {
+	val  core.Value
+	next *snode
+}
+
+// LockStack is the single-lock LIFO stack: one hotspot (the top pointer),
+// one lock.
+type LockStack struct {
+	top  *snode
+	lock locks.Ticket
+	size atomic.Int64
+}
+
+// NewLockStack builds an empty stack.
+func NewLockStack() *LockStack { return &LockStack{} }
+
+// Push adds v on top.
+func (s *LockStack) Push(c *core.Ctx, v core.Value) {
+	s.lock.Acquire(c.Stat())
+	c.InCS()
+	s.top = &snode{val: v, next: s.top}
+	s.lock.Release()
+	s.size.Add(1)
+}
+
+// Pop removes the top element.
+func (s *LockStack) Pop(c *core.Ctx) (core.Value, bool) {
+	s.lock.Acquire(c.Stat())
+	t := s.top
+	if t == nil {
+		s.lock.Release()
+		return 0, false
+	}
+	c.InCS()
+	s.top = t.next
+	s.lock.Release()
+	s.size.Add(-1)
+	return t.val, true
+}
+
+// Len returns the current element count.
+func (s *LockStack) Len() int { return int(s.size.Load()) }
+
+// ---------------------------------------------------------------------------
+// Lock-free comparators
+// ---------------------------------------------------------------------------
+
+// MSQueue is the lock-free Michael–Scott queue (PODC 1996).
+type MSQueue struct {
+	head atomic.Pointer[qnode]
+	tail atomic.Pointer[qnode]
+	size atomic.Int64
+}
+
+// NewMSQueue builds an empty lock-free queue.
+func NewMSQueue() *MSQueue {
+	s := &qnode{}
+	q := &MSQueue{}
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue appends v.
+func (q *MSQueue) Enqueue(c *core.Ctx, v core.Value) {
+	n := &qnode{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next) // help lagging tail
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest element.
+func (q *MSQueue) Dequeue(c *core.Ctx) (core.Value, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return 0, false
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns the current element count.
+func (q *MSQueue) Len() int { return int(q.size.Load()) }
+
+// TreiberStack is the classic lock-free LIFO stack (Treiber 1986).
+type TreiberStack struct {
+	top  atomic.Pointer[snode]
+	size atomic.Int64
+}
+
+// NewTreiberStack builds an empty lock-free stack.
+func NewTreiberStack() *TreiberStack { return &TreiberStack{} }
+
+// Push adds v on top.
+func (s *TreiberStack) Push(c *core.Ctx, v core.Value) {
+	n := &snode{val: v}
+	for {
+		t := s.top.Load()
+		n.next = t
+		if s.top.CompareAndSwap(t, n) {
+			s.size.Add(1)
+			return
+		}
+	}
+}
+
+// Pop removes the top element.
+func (s *TreiberStack) Pop(c *core.Ctx) (core.Value, bool) {
+	for {
+		t := s.top.Load()
+		if t == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(t, t.next) {
+			s.size.Add(-1)
+			return t.val, true
+		}
+	}
+}
+
+// Len returns the current element count.
+func (s *TreiberStack) Len() int { return int(s.size.Load()) }

@@ -1,0 +1,211 @@
+package queuestack
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"csds/internal/core"
+)
+
+func testQueueFIFO(t *testing.T, q Queue) {
+	t.Helper()
+	c := core.NewCtx(0)
+	if _, ok := q.Dequeue(c); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := core.Value(0); i < 100; i++ {
+		q.Enqueue(c, i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := core.Value(0); i < 100; i++ {
+		v, ok := q.Dequeue(c)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(c); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func testStackLIFO(t *testing.T, s Stack) {
+	t.Helper()
+	c := core.NewCtx(0)
+	if _, ok := s.Pop(c); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	for i := core.Value(0); i < 100; i++ {
+		s.Push(c, i)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := core.Value(99); i >= 0; i-- {
+		v, ok := s.Pop(c)
+		if !ok || v != i {
+			t.Fatalf("pop = (%d, %v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(c); ok {
+		t.Fatal("stack not empty after draining")
+	}
+}
+
+func TestTwoLockQueueFIFO(t *testing.T) { testQueueFIFO(t, NewTwoLockQueue()) }
+func TestMSQueueFIFO(t *testing.T)      { testQueueFIFO(t, NewMSQueue()) }
+func TestLockStackLIFO(t *testing.T)    { testStackLIFO(t, NewLockStack()) }
+func TestTreiberLIFO(t *testing.T)      { testStackLIFO(t, NewTreiberStack()) }
+
+// testQueueConcurrent checks no element is lost or duplicated across
+// concurrent producers and consumers.
+func testQueueConcurrent(t *testing.T, q Queue) {
+	t.Helper()
+	const producers = 4
+	const consumers = 4
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	var consumed [consumers][]core.Value
+	var done sync.WaitGroup
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c := core.NewCtx(p)
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(c, core.Value(p*perProducer+i))
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	for cs := 0; cs < consumers; cs++ {
+		done.Add(1)
+		go func(cs int) {
+			defer done.Done()
+			c := core.NewCtx(producers + cs)
+			for {
+				v, ok := q.Dequeue(c)
+				if ok {
+					consumed[cs] = append(consumed[cs], v)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain whatever is left.
+					for {
+						v, ok := q.Dequeue(c)
+						if !ok {
+							return
+						}
+						consumed[cs] = append(consumed[cs], v)
+					}
+				default:
+				}
+			}
+		}(cs)
+	}
+	wg.Wait()
+	close(stop)
+	done.Wait()
+
+	var all []core.Value
+	for cs := range consumed {
+		all = append(all, consumed[cs]...)
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("consumed %d elements, want %d", len(all), producers*perProducer)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != core.Value(i) {
+			t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+		}
+	}
+}
+
+func TestTwoLockQueueConcurrent(t *testing.T) { testQueueConcurrent(t, NewTwoLockQueue()) }
+func TestMSQueueConcurrent(t *testing.T)      { testQueueConcurrent(t, NewMSQueue()) }
+
+func testStackConcurrent(t *testing.T, s Stack) {
+	t.Helper()
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	var popped [workers][]core.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := core.NewCtx(w)
+			for i := 0; i < per; i++ {
+				s.Push(c, core.Value(w*per+i))
+				if v, ok := s.Pop(c); ok {
+					popped[w] = append(popped[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain remainder.
+	c := core.NewCtx(99)
+	var rest []core.Value
+	for {
+		v, ok := s.Pop(c)
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	var all []core.Value
+	for w := range popped {
+		all = append(all, popped[w]...)
+	}
+	all = append(all, rest...)
+	if len(all) != workers*per {
+		t.Fatalf("popped %d elements, want %d", len(all), workers*per)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != core.Value(i) {
+			t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+		}
+	}
+}
+
+func TestLockStackConcurrent(t *testing.T) { testStackConcurrent(t, NewLockStack()) }
+func TestTreiberConcurrent(t *testing.T)   { testStackConcurrent(t, NewTreiberStack()) }
+
+// TestQueueHotspotWaits demonstrates the Section 7 pathology: under
+// sustained contention the lock-based queue records lock waits.
+func TestQueueHotspotWaits(t *testing.T) {
+	q := NewTwoLockQueue()
+	const workers = 8
+	ctxs := make([]*core.Ctx, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ctxs[w] = core.NewCtx(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := ctxs[w]
+			for i := 0; i < 30000; i++ {
+				if i%2 == 0 {
+					q.Enqueue(c, core.Value(i))
+				} else {
+					q.Dequeue(c)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var waits uint64
+	for _, c := range ctxs {
+		waits += c.Stats.LockWaits
+	}
+	if waits == 0 {
+		t.Skip("no preemption overlap observed on this host; hotspot waits not measurable")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSimInvariantsProperty: for arbitrary (bounded) configurations the
+// simulator must produce finite, bounded metrics.
+func TestSimInvariantsProperty(t *testing.T) {
+	models := []Structure{ListModel(), SkipListModel(), HashModel(), BSTModel(), QueueModel()}
+	prop := func(thrRaw, sizeRaw uint8, uRaw uint16, modelIdx uint8, elideRaw uint8, multi bool) bool {
+		cfg := Config{
+			Machine:       PaperXeon(),
+			Structure:     models[int(modelIdx)%len(models)],
+			Threads:       1 + int(thrRaw)%64,
+			Size:          8 + int(sizeRaw)*32,
+			UpdateRatio:   float64(uRaw%1001) / 1000,
+			Ops:           300,
+			ElideAttempts: int(elideRaw) % 8,
+			Multiprogram:  multi,
+			Seed:          uint64(thrRaw)<<8 | uint64(sizeRaw),
+		}
+		r := Run(cfg)
+		if math.IsNaN(r.ThroughputOpsPerSec) || math.IsInf(r.ThroughputOpsPerSec, 0) || r.ThroughputOpsPerSec <= 0 {
+			return false
+		}
+		for _, f := range []float64{r.WaitFraction, r.RestartedFrac, r.RestartedFrac3, r.FallbackFrac, r.AbortFrac} {
+			if math.IsNaN(f) || f < 0 || f > 1 {
+				return false
+			}
+		}
+		if r.RestartedFrac3 > r.RestartedFrac {
+			return false
+		}
+		if len(r.PerThread) != cfg.Threads {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimThroughputDecreasesWithSize: larger structures mean longer
+// traversals for every pointer-chasing model.
+func TestSimThroughputDecreasesWithSize(t *testing.T) {
+	for _, st := range []Structure{ListModel(), SkipListModel(), BSTModel()} {
+		prev := math.Inf(1)
+		for _, size := range []int{128, 512, 2048, 8192} {
+			r := Run(Config{Machine: PaperXeon(), Structure: st, Threads: 8, Size: size, UpdateRatio: 0.1, Ops: 2000, Seed: 2})
+			if r.ThroughputOpsPerSec >= prev {
+				t.Fatalf("%s: throughput grew with size at %d", st.Name, size)
+			}
+			prev = r.ThroughputOpsPerSec
+		}
+	}
+}
+
+// TestSimUpdatesReduceThroughput: higher update ratios cost throughput.
+func TestSimUpdatesReduceThroughput(t *testing.T) {
+	for _, st := range []Structure{ListModel(), HashModel()} {
+		lo := Run(Config{Machine: PaperXeon(), Structure: st, Threads: 20, Size: 2048, UpdateRatio: 0.01, Ops: 3000, Seed: 3})
+		hi := Run(Config{Machine: PaperXeon(), Structure: st, Threads: 20, Size: 2048, UpdateRatio: 0.5, Ops: 3000, Seed: 3})
+		if hi.ThroughputOpsPerSec >= lo.ThroughputOpsPerSec {
+			t.Fatalf("%s: 50%% updates not slower than 1%%", st.Name)
+		}
+	}
+}
+
+// TestSimElisionNeverWaits: with elision enabled no waiting is recorded
+// (aborted speculation retries instead).
+func TestSimElisionNeverWaits(t *testing.T) {
+	r := Run(Config{Machine: PaperHaswell(), Structure: HashModel(), Threads: 32, Size: 64,
+		UpdateRatio: 1, Ops: 3000, ElideAttempts: 5, Multiprogram: true, Seed: 4})
+	if r.WaitFraction != 0 {
+		t.Fatalf("elided run recorded waiting: %v", r.WaitFraction)
+	}
+	if r.AbortFrac == 0 {
+		t.Fatal("contended elided run recorded zero aborts")
+	}
+}
+
+// TestSimFallbackMonotoneInAttempts: more speculation budget, fewer
+// fallbacks.
+func TestSimFallbackMonotoneInAttempts(t *testing.T) {
+	prev := 1.1
+	for _, attempts := range []int{1, 2, 5, 10} {
+		r := Run(Config{Machine: PaperHaswell(), Structure: SkipListModel(), Threads: 32, Size: 256,
+			UpdateRatio: 1, Ops: 5000, ElideAttempts: attempts, Multiprogram: true, Seed: 5})
+		if r.FallbackFrac > prev+0.02 {
+			t.Fatalf("fallback grew with attempts=%d: %v > %v", attempts, r.FallbackFrac, prev)
+		}
+		prev = r.FallbackFrac
+	}
+}
+
+// TestSimMultiprogrammingHurtsLockMode: with quanta enabled, lock-mode
+// throughput drops relative to the same workload without multiprogramming
+// (per-wall-clock).
+func TestSimMultiprogrammingHurtsLockMode(t *testing.T) {
+	base := Run(Config{Machine: PaperHaswell(), Structure: HashModel(), Threads: 8, Size: 1024,
+		UpdateRatio: 0.5, Ops: 4000, Seed: 6})
+	multi := Run(Config{Machine: PaperHaswell(), Structure: HashModel(), Threads: 32, Size: 1024,
+		UpdateRatio: 0.5, Ops: 4000, Multiprogram: true, Seed: 6})
+	perThreadBase := base.ThroughputOpsPerSec / 8
+	perThreadMulti := multi.ThroughputOpsPerSec / 32
+	if perThreadMulti >= perThreadBase {
+		t.Fatalf("multiprogramming did not reduce per-thread throughput: %v >= %v", perThreadMulti, perThreadBase)
+	}
+}

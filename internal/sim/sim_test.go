@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+)
+
+func cell(st Structure, threads, size int, u float64) Config {
+	return Config{
+		Machine: PaperXeon(), Structure: st, Threads: threads,
+		Size: size, UpdateRatio: u, Ops: 4000, Seed: 7,
+	}
+}
+
+func TestThroughputScalesWithThreads(t *testing.T) {
+	// Figure 3's shape: more threads => more aggregate throughput for
+	// every featured structure (no collapse).
+	for _, st := range []Structure{ListModel(), SkipListModel(), HashModel(), BSTModel()} {
+		t1 := Run(cell(st, 1, 2048, 0.1)).ThroughputOpsPerSec
+		t20 := Run(cell(st, 20, 2048, 0.1)).ThroughputOpsPerSec
+		t40 := Run(cell(st, 40, 2048, 0.1)).ThroughputOpsPerSec
+		if t20 < 5*t1 {
+			t.Fatalf("%s: 20 threads only %.1fx of 1 thread", st.Name, t20/t1)
+		}
+		if t40 < t20 {
+			t.Fatalf("%s: throughput dropped from 20 to 40 threads (%.0f -> %.0f)", st.Name, t20, t40)
+		}
+	}
+}
+
+func TestSocketKneeReducesSlope(t *testing.T) {
+	// Scalability slope within one socket exceeds the cross-socket slope.
+	st := HashModel()
+	t1 := Run(cell(st, 1, 2048, 0.1)).ThroughputOpsPerSec
+	t10 := Run(cell(st, 10, 2048, 0.1)).ThroughputOpsPerSec
+	t20 := Run(cell(st, 20, 2048, 0.1)).ThroughputOpsPerSec
+	slopeIn := (t10 - t1) / 9
+	slopeOut := (t20 - t10) / 10
+	if slopeOut >= slopeIn {
+		t.Fatalf("no knee at the socket boundary: slope %.0f -> %.0f", slopeIn, slopeOut)
+	}
+}
+
+func TestWaitFreeHalfOfBlocking(t *testing.T) {
+	// Figure 1: wait-free list throughput ~50% of blocking; lock-free is
+	// comparable to blocking.
+	blocking := Run(cell(ListModel(), 20, 1024, 0.1)).ThroughputOpsPerSec
+	lockfree := Run(cell(HarrisListModel(), 20, 1024, 0.1)).ThroughputOpsPerSec
+	waitfree := Run(cell(WaitFreeListModel(), 20, 1024, 0.1)).ThroughputOpsPerSec
+	ratio := waitfree / blocking
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("wait-free/blocking = %.2f, want ~0.5", ratio)
+	}
+	if lf := lockfree / blocking; lf < 0.8 || lf > 1.2 {
+		t.Fatalf("lock-free/blocking = %.2f, want ~1.0", lf)
+	}
+}
+
+func TestStructureThroughputOrdering(t *testing.T) {
+	// Figure 3 rows: hash >> bst/skiplist >> list for equal size.
+	h := Run(cell(HashModel(), 20, 2048, 0.1)).ThroughputOpsPerSec
+	b := Run(cell(BSTModel(), 20, 2048, 0.1)).ThroughputOpsPerSec
+	s := Run(cell(SkipListModel(), 20, 2048, 0.1)).ThroughputOpsPerSec
+	l := Run(cell(ListModel(), 20, 2048, 0.1)).ThroughputOpsPerSec
+	if !(h > b && b >= s/2 && s > l && h > 20*l) {
+		t.Fatalf("ordering violated: hash %.0f bst %.0f skip %.0f list %.0f", h, b, s, l)
+	}
+}
+
+func TestWaitFractionTinyOnPaperWorkloads(t *testing.T) {
+	// Figure 5: waiting under 2% everywhere on the standard grid.
+	for _, st := range []Structure{ListModel(), SkipListModel(), HashModel()} {
+		for _, size := range []int{512, 2048, 8192} {
+			for _, u := range []float64{0.01, 0.1, 0.5} {
+				r := Run(cell(st, 20, size, u))
+				if r.WaitFraction > 0.02 {
+					t.Fatalf("%s size=%d u=%.2f: wait fraction %.4f > 2%%", st.Name, size, u, r.WaitFraction)
+				}
+			}
+		}
+	}
+}
+
+func TestRestartFracBelowOnePercent(t *testing.T) {
+	// Figure 6: restarts well below 1% on the standard grid.
+	for _, st := range []Structure{ListModel(), SkipListModel(), BSTModel()} {
+		r := Run(cell(st, 20, 2048, 0.1))
+		if r.RestartedFrac > 0.01 {
+			t.Fatalf("%s: restart fraction %.4f > 1%%", st.Name, r.RestartedFrac)
+		}
+	}
+}
+
+func TestHighContentionGrowsMetrics(t *testing.T) {
+	// Figure 8: metrics decrease steeply with size at 40 threads / 25%
+	// updates; tiny structures show non-negligible delays.
+	prevWait := 2.0
+	for _, size := range []int{16, 64, 256, 512} {
+		r := Run(Config{Machine: PaperXeon(), Structure: ListModel(), Threads: 40, Size: size, UpdateRatio: 0.25, Ops: 4000, Seed: 3})
+		if r.WaitFraction > prevWait+0.02 {
+			t.Fatalf("wait fraction grew with size at %d: %.4f > %.4f", size, r.WaitFraction, prevWait)
+		}
+		prevWait = r.WaitFraction
+	}
+	small := Run(Config{Machine: PaperXeon(), Structure: ListModel(), Threads: 40, Size: 16, UpdateRatio: 0.25, Ops: 4000, Seed: 3})
+	big := Run(Config{Machine: PaperXeon(), Structure: ListModel(), Threads: 40, Size: 512, UpdateRatio: 0.25, Ops: 4000, Seed: 3})
+	if small.WaitFraction < 5*big.WaitFraction {
+		t.Fatalf("contention not concentrated on small structures: %v vs %v", small.WaitFraction, big.WaitFraction)
+	}
+}
+
+func TestQueueStackWaitsDominate(t *testing.T) {
+	// Figure 10: hotspot structures spend most of their time waiting as
+	// threads grow.
+	q := Run(Config{Machine: PaperXeon(), Structure: QueueModel(), Threads: 20, Size: 1024, UpdateRatio: 1, Ops: 2000, Seed: 1})
+	if q.WaitFraction < 0.5 {
+		t.Fatalf("queue wait fraction %.3f, want > 0.5 (Section 7)", q.WaitFraction)
+	}
+	few := Run(Config{Machine: PaperXeon(), Structure: StackModel(), Threads: 2, Size: 1024, UpdateRatio: 1, Ops: 2000, Seed: 1})
+	many := Run(Config{Machine: PaperXeon(), Structure: StackModel(), Threads: 20, Size: 1024, UpdateRatio: 1, Ops: 2000, Seed: 1})
+	if many.WaitFraction <= few.WaitFraction {
+		t.Fatal("stack waiting does not grow with threads")
+	}
+}
+
+func TestTSXFallbackShape(t *testing.T) {
+	// Table 2: fallback fractions are small (<< 10%), and the skip list's
+	// multi-lock updates fall back more than the hash table's single-lock
+	// updates at the same workload.
+	mk := func(st Structure, u float64) Result {
+		return Run(Config{
+			Machine: PaperHaswell(), Structure: st, Threads: 32, Size: 1024,
+			UpdateRatio: u, Ops: 6000, ElideAttempts: 5, Multiprogram: true, Seed: 11,
+		})
+	}
+	sl := mk(SkipListModel(), 0.2)
+	ht := mk(HashModel(), 0.2)
+	if sl.FallbackFrac <= ht.FallbackFrac {
+		t.Fatalf("skiplist fallback %.5f not above hash %.5f", sl.FallbackFrac, ht.FallbackFrac)
+	}
+	if sl.FallbackFrac > 0.1 {
+		t.Fatalf("skiplist fallback %.5f unreasonably high", sl.FallbackFrac)
+	}
+}
+
+func TestTSXImprovesMultiprogrammedThroughput(t *testing.T) {
+	// Table 3: under multiprogramming, elided versions beat lock versions,
+	// increasingly so with update ratio.
+	mk := func(u float64, elide int) float64 {
+		return Run(Config{
+			Machine: PaperHaswell(), Structure: ListModel(), Threads: 32, Size: 1024,
+			UpdateRatio: u, Ops: 6000, ElideAttempts: elide, Multiprogram: true, Seed: 13,
+		}).ThroughputOpsPerSec
+	}
+	r20 := mk(0.2, 5) / mk(0.2, 0)
+	r100 := mk(1.0, 5) / mk(1.0, 0)
+	if r20 < 1.0 {
+		t.Fatalf("TSX ratio at 20%% updates = %.2f, want > 1", r20)
+	}
+	if r100 < r20 {
+		t.Fatalf("TSX benefit did not grow with update ratio: %.2f -> %.2f", r20, r100)
+	}
+}
+
+func TestZipfRaisesConflicts(t *testing.T) {
+	uni := Run(cell(ListModel(), 20, 2048, 0.1))
+	cfg := cell(ListModel(), 20, 2048, 0.1)
+	cfg.SumP2 = 0.004 // Zipf s=0.8 over ~4096 keys has much higher mass than 1/4096
+	zipf := Run(cfg)
+	if zipf.WaitFraction+zipf.RestartedFrac < uni.WaitFraction+uni.RestartedFrac {
+		t.Fatal("Zipf workload did not raise conflict metrics")
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	for _, k := range []string{"list", "list/lazy", "list/harris", "list/waitfree", "skiplist", "hashtable", "bst", "queue", "stack"} {
+		if _, ok := ModelFor(k); !ok {
+			t.Fatalf("ModelFor(%q) missing", k)
+		}
+	}
+	if _, ok := ModelFor("nope"); ok {
+		t.Fatal("ModelFor accepted junk")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	r := Run(Config{Machine: PaperXeon(), Structure: HashModel()})
+	if r.ThroughputOpsPerSec <= 0 {
+		t.Fatal("defaulted run produced no throughput")
+	}
+}

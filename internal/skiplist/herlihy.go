@@ -1,0 +1,408 @@
+// Package skiplist implements the skip-list set algorithms of the paper's
+// Table 1: the featured Herlihy–Lev–Luchangco–Shavit optimistic skip list
+// and a Pugh-style per-level-lock skip list.
+package skiplist
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/htm"
+	"csds/internal/locks"
+	"csds/internal/xrand"
+)
+
+// maxMaxLevel caps tower height; 2^32 expected elements is far beyond any
+// workload here.
+const maxMaxLevel = 32
+
+// levelForSize picks a sensible tower bound for an expected size.
+func levelForSize(n int) int {
+	if n < 4 {
+		n = 4
+	}
+	l := bits.Len(uint(n)) // ~log2(n)+1
+	if l < 4 {
+		l = 4
+	}
+	if l > maxMaxLevel {
+		l = maxMaxLevel
+	}
+	return l
+}
+
+// randomLevel draws a geometric(1/2) tower height in [1, max].
+func randomLevel(rng *xrand.Rng, max int) int {
+	// Count trailing ones of a random word: P(level = l) = 2^-l.
+	lvl := bits.TrailingZeros64(rng.Next()) + 1
+	if lvl > max {
+		lvl = max
+	}
+	return lvl
+}
+
+// hNode is an optimistic skip-list node. fullyLinked flips once the tower
+// is completely spliced in; marked is the logical-deletion flag.
+type hNode struct {
+	key         core.Key
+	val         core.Value
+	next        []atomic.Pointer[hNode]
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	lock        locks.TAS
+	topLevel    int // index of highest valid level in next
+}
+
+func newHNode(k core.Key, v core.Value, height int) *hNode {
+	return &hNode{key: k, val: v, next: make([]atomic.Pointer[hNode], height), topLevel: height - 1}
+}
+
+// Herlihy is the optimistic lazy skip list (Herlihy, Lev, Luchangco,
+// Shavit, SIROCCO 2007): wait-free contains; updates lock only the
+// predecessor towers of the modified node and validate optimistically.
+// This is the paper's featured skip list.
+type Herlihy struct {
+	head     *hNode
+	tail     *hNode
+	maxLevel int
+	region   htm.Region
+}
+
+// NewHerlihy builds an empty skip list sized for o.ExpectedSize.
+func NewHerlihy(o core.Options) *Herlihy {
+	ml := o.MaxLevel
+	if ml <= 0 {
+		ml = levelForSize(o.ExpectedSize)
+	}
+	if ml > maxMaxLevel {
+		ml = maxMaxLevel
+	}
+	tail := newHNode(core.KeyMax, 0, ml)
+	head := newHNode(core.KeyMin, 0, ml)
+	for i := 0; i < ml; i++ {
+		head.next[i].Store(tail)
+	}
+	tail.fullyLinked.Store(true)
+	head.fullyLinked.Store(true)
+	return &Herlihy{head: head, tail: tail, maxLevel: ml, region: o.Region()}
+}
+
+func init() {
+	core.Register(core.Info{
+		Name: "skiplist/herlihy", Kind: "skiplist", Progress: "blocking", Featured: true,
+		New:  func(o core.Options) core.Set { return NewHerlihy(o) },
+		Desc: "optimistic lazy skip list (Herlihy et al. 2007)",
+	})
+}
+
+// find fills preds/succs for key k and returns the highest level at which
+// k was found, or -1. Pure reading: the parse phase.
+func (s *Herlihy) find(k core.Key, preds, succs []*hNode) int {
+	found := -1
+	pred := s.head
+	for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+		curr := pred.next[lvl].Load()
+		for curr.key < k {
+			pred = curr
+			curr = pred.next[lvl].Load()
+		}
+		if found == -1 && curr.key == k {
+			found = lvl
+		}
+		preds[lvl] = pred
+		succs[lvl] = curr
+	}
+	return found
+}
+
+// Get implements core.Set: no stores, no restarts.
+func (s *Herlihy) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	c.EpochEnter()
+	defer c.EpochExit()
+	pred := s.head
+	var curr *hNode
+	for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+		curr = pred.next[lvl].Load()
+		for curr.key < k {
+			pred = curr
+			curr = pred.next[lvl].Load()
+		}
+		if curr.key == k {
+			if curr.fullyLinked.Load() && !curr.marked.Load() {
+				return curr.val, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// lockSet tracks the distinct predecessor locks an update holds.
+type lockSet struct {
+	nodes [maxMaxLevel + 1]*hNode
+	n     int
+}
+
+func (ls *lockSet) acquire(c *core.Ctx, nd *hNode) {
+	if ls.n > 0 && ls.nodes[ls.n-1] == nd {
+		return // same pred as previous level: already held
+	}
+	nd.lock.Acquire(c.Stat())
+	ls.nodes[ls.n] = nd
+	ls.n++
+}
+
+func (ls *lockSet) releaseAll() {
+	for i := ls.n - 1; i >= 0; i-- {
+		ls.nodes[i].lock.Release()
+		ls.nodes[i] = nil
+	}
+	ls.n = 0
+}
+
+// Put implements core.Set.
+func (s *Herlihy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	if s.region.Attempts > 0 {
+		return s.putElided(c, k, v)
+	}
+	var preds, succs [maxMaxLevel]*hNode
+	topLevel := randomLevel(c.Rng, s.maxLevel) - 1
+	restarts := 0
+	for {
+		if found := s.find(k, preds[:s.maxLevel], succs[:s.maxLevel]); found != -1 {
+			n := succs[found]
+			if !n.marked.Load() {
+				// Wait for a concurrent inserter to finish splicing; the
+				// key is (about to be) present.
+				for !n.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				c.RecordRestarts(restarts)
+				return false
+			}
+			// Marked: a removal is in progress; retry until it unlinks.
+			restarts++
+			continue
+		}
+		var ls lockSet
+		valid := true
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			ls.acquire(c, preds[lvl])
+			if preds[lvl].marked.Load() || succs[lvl].marked.Load() || preds[lvl].next[lvl].Load() != succs[lvl] {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			ls.releaseAll()
+			restarts++
+			continue
+		}
+		n := newHNode(k, v, topLevel+1)
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			n.next[lvl].Store(succs[lvl])
+		}
+		c.InCS()
+		for lvl := 0; lvl <= topLevel; lvl++ {
+			preds[lvl].next[lvl].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		ls.releaseAll()
+		c.RecordRestarts(restarts)
+		return true
+	}
+}
+
+func (s *Herlihy) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
+	var preds, succs [maxMaxLevel]*hNode
+	topLevel := randomLevel(c.Rng, s.maxLevel) - 1
+	restarts := 0
+	for {
+		if found := s.find(k, preds[:s.maxLevel], succs[:s.maxLevel]); found != -1 {
+			n := succs[found]
+			if !n.marked.Load() {
+				for !n.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				c.RecordRestarts(restarts)
+				return false
+			}
+			restarts++
+			continue
+		}
+		n := newHNode(k, v, topLevel+1)
+		st := s.region.Run(c.Stat(), ctxDoom(c), func(a *htm.Acq) htm.Status {
+			var last *hNode
+			for lvl := 0; lvl <= topLevel; lvl++ {
+				if preds[lvl] != last {
+					if !a.Lock(&preds[lvl].lock) {
+						return a.AbortStatus()
+					}
+					last = preds[lvl]
+				}
+				if preds[lvl].marked.Load() || succs[lvl].marked.Load() || preds[lvl].next[lvl].Load() != succs[lvl] {
+					return htm.ValidateFail
+				}
+			}
+			if !a.Commit() {
+				return a.AbortStatus()
+			}
+			for lvl := 0; lvl <= topLevel; lvl++ {
+				n.next[lvl].Store(succs[lvl])
+			}
+			for lvl := 0; lvl <= topLevel; lvl++ {
+				preds[lvl].next[lvl].Store(n)
+			}
+			n.fullyLinked.Store(true)
+			return htm.Committed
+		})
+		if st == htm.Committed {
+			c.RecordRestarts(restarts)
+			return true
+		}
+		restarts++
+	}
+}
+
+// okToDelete: fully linked, found at its own top level, unmarked.
+func okToDelete(n *hNode, foundLvl int) bool {
+	return n.fullyLinked.Load() && n.topLevel == foundLvl && !n.marked.Load()
+}
+
+// Remove implements core.Set.
+func (s *Herlihy) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	if s.region.Attempts > 0 {
+		return s.removeElided(c, k)
+	}
+	var preds, succs [maxMaxLevel]*hNode
+	var victim *hNode
+	isMarked := false
+	topLevel := -1
+	restarts := 0
+	for {
+		found := s.find(k, preds[:s.maxLevel], succs[:s.maxLevel])
+		if found != -1 {
+			victim = succs[found]
+		}
+		if isMarked || (found != -1 && okToDelete(victim, found)) {
+			if !isMarked {
+				topLevel = victim.topLevel
+				victim.lock.Acquire(c.Stat())
+				if victim.marked.Load() {
+					victim.lock.Release()
+					c.RecordRestarts(restarts)
+					return false
+				}
+				victim.marked.Store(true)
+				isMarked = true
+			}
+			var ls lockSet
+			valid := true
+			for lvl := 0; lvl <= topLevel; lvl++ {
+				ls.acquire(c, preds[lvl])
+				if preds[lvl].marked.Load() || preds[lvl].next[lvl].Load() != victim {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				ls.releaseAll()
+				restarts++
+				continue
+			}
+			c.InCS()
+			for lvl := topLevel; lvl >= 0; lvl-- {
+				preds[lvl].next[lvl].Store(victim.next[lvl].Load())
+			}
+			victim.lock.Release()
+			ls.releaseAll()
+			c.Retire(victim)
+			c.RecordRestarts(restarts)
+			return true
+		}
+		c.RecordRestarts(restarts)
+		return false
+	}
+}
+
+func (s *Herlihy) removeElided(c *core.Ctx, k core.Key) bool {
+	var preds, succs [maxMaxLevel]*hNode
+	restarts := 0
+	for {
+		found := s.find(k, preds[:s.maxLevel], succs[:s.maxLevel])
+		if found == -1 {
+			c.RecordRestarts(restarts)
+			return false
+		}
+		victim := succs[found]
+		if !okToDelete(victim, found) {
+			c.RecordRestarts(restarts)
+			return false
+		}
+		topLevel := victim.topLevel
+		var removed bool
+		st := s.region.Run(c.Stat(), ctxDoom(c), func(a *htm.Acq) htm.Status {
+			if !a.Lock(&victim.lock) {
+				return a.AbortStatus()
+			}
+			if victim.marked.Load() {
+				removed = false
+				return htm.Committed
+			}
+			var last *hNode
+			for lvl := 0; lvl <= topLevel; lvl++ {
+				if preds[lvl] != last {
+					if !a.Lock(&preds[lvl].lock) {
+						return a.AbortStatus()
+					}
+					last = preds[lvl]
+				}
+				if preds[lvl].marked.Load() || preds[lvl].next[lvl].Load() != victim {
+					return htm.ValidateFail
+				}
+			}
+			if !a.Commit() {
+				return a.AbortStatus()
+			}
+			victim.marked.Store(true)
+			for lvl := topLevel; lvl >= 0; lvl-- {
+				preds[lvl].next[lvl].Store(victim.next[lvl].Load())
+			}
+			removed = true
+			return htm.Committed
+		})
+		if st == htm.Committed {
+			if removed {
+				c.Retire(victim)
+			}
+			c.RecordRestarts(restarts)
+			return removed
+		}
+		restarts++
+	}
+}
+
+// Len implements core.Set (quiesced use): walks level 0.
+func (s *Herlihy) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load(); curr.key != core.KeyMax; curr = curr.next[0].Load() {
+		if !curr.marked.Load() && curr.fullyLinked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ctxDoom extracts the HTM doom flag from a context (nil-tolerant).
+func ctxDoom(c *core.Ctx) *htm.Doom {
+	if c == nil {
+		return nil
+	}
+	return c.Doom
+}

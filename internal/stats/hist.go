@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Hist is a power-of-two bucketed histogram for nanosecond-scale durations.
+// Bucket i covers [2^i, 2^(i+1)) ns, bucket 0 covers [0, 2). It supports the
+// outlier analysis of Section 5.1 ("no requests waiting for more than 6µs")
+// without storing per-request samples.
+//
+// Like Thread, a Hist is single-writer; merge after quiescence.
+type Hist struct {
+	Buckets [64]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one sample of v nanoseconds.
+func (h *Hist) Add(v uint64) {
+	h.Buckets[bucketOf(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v) - 1
+}
+
+// Merge adds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Mean returns the average sample value.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// bucket upper edges; exact enough for order-of-magnitude outlier reports.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > target {
+			if i == 63 {
+				return h.Max
+			}
+			edge := uint64(1) << uint(i+1)
+			if edge > h.Max && h.Max > 0 {
+				return h.Max
+			}
+			return edge
+		}
+	}
+	return h.Max
+}
+
+// CountAbove returns how many samples exceeded threshold ns (conservative:
+// counts whole buckets whose lower edge is >= threshold, plus uses Max for
+// the top).
+func (h *Hist) CountAbove(threshold uint64) uint64 {
+	var n uint64
+	for i, c := range h.Buckets {
+		lower := uint64(0)
+		if i > 0 {
+			lower = uint64(1) << uint(i)
+		}
+		if lower >= threshold {
+			n += c
+		}
+	}
+	return n
+}
+
+// String renders the non-empty buckets, for debugging and reports.
+func (h *Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d mean=%.0fns max=%dns", h.Count, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = uint64(1) << uint(i)
+		}
+		fmt.Fprintf(&b, " [%d,%d):%d", lo, uint64(1)<<uint(i+1), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+// Package stats implements the fine-grained performance metrics of the
+// paper (Section 2.3): per-thread throughput, the time operations spend
+// waiting to acquire locks, the number of times operations restart, and the
+// HTM-elision fallback counters of Section 5.4.
+//
+// Recording is strictly per-thread: a Thread is owned by exactly one worker
+// goroutine and written without atomics, so instrumentation does not
+// introduce the very contention it measures. Threads are padded so that two
+// workers' counters never share a cache line. Aggregation happens after the
+// measurement window, when workers have quiesced.
+package stats
+
+import "math"
+
+// RestartBuckets is the number of exact restart counts tracked per
+// operation; operations restarted >= RestartBuckets-1 times land in the
+// last bucket. The paper reports "restarted at least once" and "restarted
+// more than 3 times", both derivable from these buckets.
+const RestartBuckets = 8
+
+// AbortCause enumerates why an emulated hardware transaction aborted.
+type AbortCause int
+
+const (
+	// AbortConflict: another thread wrote a cell in our read/write set,
+	// or owned a cell we wanted (data conflict, Equation 7/8 territory).
+	AbortConflict AbortCause = iota
+	// AbortInterrupt: an injected context switch / interrupt fired during
+	// the transaction (the abort-on-interrupt behaviour of Intel TSX that
+	// Section 5.4 turns to its advantage).
+	AbortInterrupt
+	// AbortFallback: some thread holds the fallback lock, so speculation
+	// is forbidden (standard lock-elision subscription).
+	AbortFallback
+	// AbortCapacity: transaction touched more cells than the emulated
+	// read/write set capacity (rare in CSDS write phases; modeled for
+	// completeness).
+	AbortCapacity
+	numAbortCauses
+)
+
+// String returns the short name used in reports.
+func (c AbortCause) String() string {
+	switch c {
+	case AbortConflict:
+		return "conflict"
+	case AbortInterrupt:
+		return "interrupt"
+	case AbortFallback:
+		return "fallback-held"
+	case AbortCapacity:
+		return "capacity"
+	}
+	return "unknown"
+}
+
+// Thread accumulates the metrics of a single worker. All fields are plain
+// (non-atomic); only the owning goroutine may write them while running.
+type Thread struct {
+	// Coarse-grained.
+	Ops     uint64 // completed operations (reads + updates)
+	Reads   uint64 // get operations
+	Inserts uint64 // put operations (attempted)
+	Removes uint64 // remove operations (attempted)
+	Hits    uint64 // operations that found / modified their key
+
+	// Lock waiting (Section 5.1 methodology: only the contended path is
+	// timed, the uncontended acquisition records zero wait without reading
+	// the clock).
+	LockAcqs   uint64 // total lock acquisitions
+	LockWaits  uint64 // acquisitions that had to wait
+	LockWaitNs uint64 // total nanoseconds spent waiting
+	MaxWaitNs  uint64 // worst single wait (outlier detection, §5.1)
+
+	// Restarts. RestartedOps[k] counts operations that restarted exactly k
+	// times (k = RestartBuckets-1 is ">= RestartBuckets-1").
+	Restarts     uint64 // total restart events
+	RestartedOps [RestartBuckets]uint64
+
+	// Emulated HTM (Section 5.4 / Table 2).
+	TxAttempts  uint64 // speculative attempts (including retries)
+	TxCommits   uint64
+	TxAborts    [numAbortCauses]uint64
+	TxFallbacks uint64 // critical sections that reverted to the real lock
+
+	// Wall-clock of the thread's measurement window, set by the harness.
+	ActiveNs uint64
+
+	// Trylock failures that forced a retry loop (BST-TK style, §5.1:
+	// "the time spent waiting for locks is zero, but this is compensated
+	// by the slightly higher percentage of operations that are restarted").
+	TrylockFails uint64
+
+	_ [64]byte // pad to keep adjacent Threads off the same cache line
+}
+
+// RecordRead notes a completed get; hit says whether the key was present.
+func (t *Thread) RecordRead(hit bool) {
+	t.Ops++
+	t.Reads++
+	if hit {
+		t.Hits++
+	}
+}
+
+// RecordInsert notes a completed put; ok says whether it inserted.
+func (t *Thread) RecordInsert(ok bool) {
+	t.Ops++
+	t.Inserts++
+	if ok {
+		t.Hits++
+	}
+}
+
+// RecordRemove notes a completed remove; ok says whether it removed.
+func (t *Thread) RecordRemove(ok bool) {
+	t.Ops++
+	t.Removes++
+	if ok {
+		t.Hits++
+	}
+}
+
+// RecordAcquire notes an uncontended lock acquisition.
+func (t *Thread) RecordAcquire() { t.LockAcqs++ }
+
+// RecordWait notes a contended acquisition that waited ns nanoseconds.
+func (t *Thread) RecordWait(ns uint64) {
+	t.LockAcqs++
+	t.LockWaits++
+	t.LockWaitNs += ns
+	if ns > t.MaxWaitNs {
+		t.MaxWaitNs = ns
+	}
+}
+
+// RecordRestarts notes that an operation completed after n restarts.
+func (t *Thread) RecordRestarts(n int) {
+	t.Restarts += uint64(n)
+	if n >= RestartBuckets {
+		n = RestartBuckets - 1
+	}
+	t.RestartedOps[n]++
+}
+
+// RecordTrylockFail notes a failed trylock that will trigger a restart.
+func (t *Thread) RecordTrylockFail() { t.TrylockFails++ }
+
+// RecordTxAttempt notes one speculative execution attempt.
+func (t *Thread) RecordTxAttempt() { t.TxAttempts++ }
+
+// RecordTxCommit notes a successful speculative commit.
+func (t *Thread) RecordTxCommit() { t.TxCommits++ }
+
+// RecordTxAbort notes an abort with its cause.
+func (t *Thread) RecordTxAbort(c AbortCause) {
+	if c < 0 || c >= numAbortCauses {
+		return
+	}
+	t.TxAborts[c]++
+}
+
+// RecordTxFallback notes a critical section that gave up on speculation and
+// took the real lock (the Table 2 numerator).
+func (t *Thread) RecordTxFallback() { t.TxFallbacks++ }
+
+// Merge adds o's counters into t (used when a logical thread is measured in
+// slices, e.g. across simulator quanta).
+func (t *Thread) Merge(o *Thread) {
+	t.Ops += o.Ops
+	t.Reads += o.Reads
+	t.Inserts += o.Inserts
+	t.Removes += o.Removes
+	t.Hits += o.Hits
+	t.LockAcqs += o.LockAcqs
+	t.LockWaits += o.LockWaits
+	t.LockWaitNs += o.LockWaitNs
+	if o.MaxWaitNs > t.MaxWaitNs {
+		t.MaxWaitNs = o.MaxWaitNs
+	}
+	t.Restarts += o.Restarts
+	for i := range t.RestartedOps {
+		t.RestartedOps[i] += o.RestartedOps[i]
+	}
+	t.TxAttempts += o.TxAttempts
+	t.TxCommits += o.TxCommits
+	for i := range t.TxAborts {
+		t.TxAborts[i] += o.TxAborts[i]
+	}
+	t.TxFallbacks += o.TxFallbacks
+	t.ActiveNs += o.ActiveNs
+	t.TrylockFails += o.TrylockFails
+}
+
+// WaitFraction returns the fraction of the thread's active time spent
+// waiting for locks (Figure 5's y axis).
+func (t *Thread) WaitFraction() float64 {
+	if t.ActiveNs == 0 {
+		return 0
+	}
+	return float64(t.LockWaitNs) / float64(t.ActiveNs)
+}
+
+// RestartedAtLeast returns the fraction of operations restarted >= k times.
+func (t *Thread) RestartedAtLeast(k int) float64 {
+	if t.Ops == 0 {
+		return 0
+	}
+	var n uint64
+	for i := k; i < RestartBuckets; i++ {
+		n += t.RestartedOps[i]
+	}
+	return float64(n) / float64(t.Ops)
+}
+
+// FallbackFraction returns TxFallbacks / (speculative critical sections),
+// i.e. the fraction of lock-acquisition calls that ended up actually taking
+// the lock — the Table 2 metric.
+func (t *Thread) FallbackFraction() float64 {
+	cs := t.TxFallbacks + t.TxCommits
+	if cs == 0 {
+		return 0
+	}
+	return float64(t.TxFallbacks) / float64(cs)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

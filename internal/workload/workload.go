@@ -1,0 +1,113 @@
+// Package workload generates the paper's benchmark workloads (§3.3): a
+// given structure size, a key space twice that size (so equal insert and
+// remove rates keep the size stationary), an update ratio split evenly
+// between inserts and removes, and uniform or Zipfian key popularity
+// (§5.2 uses s = 0.8).
+package workload
+
+import (
+	"csds/internal/core"
+	"csds/internal/xrand"
+)
+
+// Op is an operation kind drawn from the mix.
+type Op int
+
+// Operation kinds.
+const (
+	OpGet Op = iota
+	OpPut
+	OpRemove
+)
+
+// Config describes a workload.
+type Config struct {
+	// Size is the steady-state structure size (elements).
+	Size int
+	// KeySpace is the number of distinct keys; 0 = 2*Size (the paper's
+	// setting).
+	KeySpace int64
+	// UpdateRatio is the fraction of operations that are updates (half
+	// inserts, half removes).
+	UpdateRatio float64
+	// ZipfS > 0 selects a Zipfian popularity with that exponent; 0 keeps
+	// the uniform distribution.
+	ZipfS float64
+}
+
+// WithDefaults fills derived fields.
+func (c Config) WithDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 1024
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 2 * int64(c.Size)
+	}
+	return c
+}
+
+// Generator draws operations for one workload. The Zipf table and rank
+// permutation are immutable and shared; each worker samples with its own
+// RNG.
+type Generator struct {
+	cfg  Config
+	zipf *xrand.Zipf
+	perm []int64 // rank -> key (decorrelates popularity from key order)
+}
+
+// NewGenerator prepares the (possibly shared) sampling tables.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.WithDefaults()
+	g := &Generator{cfg: cfg}
+	if cfg.ZipfS > 0 {
+		g.zipf = xrand.NewZipf(cfg.KeySpace, cfg.ZipfS)
+		g.perm = xrand.Perm(cfg.KeySpace, xrand.New(0xC0FFEE))
+	}
+	return g
+}
+
+// Config returns the normalized configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Key draws a key according to the popularity distribution. Keys start at
+// 1 so the sentinel KeyMin is never produced.
+func (g *Generator) Key(rng *xrand.Rng) core.Key {
+	if g.zipf == nil {
+		return core.Key(1 + rng.Int63n(g.cfg.KeySpace))
+	}
+	return core.Key(1 + g.perm[g.zipf.Rank(rng)])
+}
+
+// NextOp draws the operation kind: updates with probability UpdateRatio,
+// split evenly between puts and removes.
+func (g *Generator) NextOp(rng *xrand.Rng) Op {
+	if !rng.Bool(g.cfg.UpdateRatio) {
+		return OpGet
+	}
+	if rng.Bool(0.5) {
+		return OpPut
+	}
+	return OpRemove
+}
+
+// Fill populates s to the expected steady-state size: every other key of
+// the key space, mirroring the 50% occupancy the paper's key-space sizing
+// produces. Returns the number inserted.
+func (g *Generator) Fill(c *core.Ctx, s core.Set) int {
+	n := 0
+	for k := int64(1); k <= g.cfg.KeySpace && n < g.cfg.Size; k += 2 {
+		if s.Put(c, core.Key(k), core.Value(k)) {
+			n++
+		}
+	}
+	return n
+}
+
+// SumPSquared exposes the collision mass of the key distribution for the
+// birthday model (1/KeySpace for uniform).
+func (g *Generator) SumPSquared() float64 {
+	if g.zipf == nil {
+		return 1 / float64(g.cfg.KeySpace)
+	}
+	return g.zipf.SumPSquared()
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/list"
+	"csds/internal/xrand"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Size != 1024 || c.KeySpace != 2048 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c2 := Config{Size: 512}.WithDefaults()
+	if c2.KeySpace != 1024 {
+		t.Fatalf("key space not 2x size: %+v", c2)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, s := range []float64{0, 0.8} {
+		g := NewGenerator(Config{Size: 128, ZipfS: s})
+		rng := xrand.New(1)
+		for i := 0; i < 10000; i++ {
+			k := g.Key(rng)
+			if k < 1 || k > 256 {
+				t.Fatalf("key %d out of [1, 256] (s=%v)", k, s)
+			}
+		}
+	}
+}
+
+func TestOpMixRatio(t *testing.T) {
+	g := NewGenerator(Config{Size: 128, UpdateRatio: 0.2})
+	rng := xrand.New(2)
+	var gets, puts, rems int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		switch g.NextOp(rng) {
+		case OpGet:
+			gets++
+		case OpPut:
+			puts++
+		case OpRemove:
+			rems++
+		}
+	}
+	if got := float64(gets) / draws; math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("get fraction %f, want 0.8", got)
+	}
+	// Inserts and removes split evenly.
+	if d := math.Abs(float64(puts-rems)) / draws; d > 0.01 {
+		t.Fatalf("puts %d vs removes %d not balanced", puts, rems)
+	}
+}
+
+func TestFillReachesSize(t *testing.T) {
+	g := NewGenerator(Config{Size: 200})
+	s := list.NewLazy(core.Options{})
+	c := core.NewCtx(0)
+	n := g.Fill(c, s)
+	if n != 200 || s.Len() != 200 {
+		t.Fatalf("fill inserted %d, Len %d, want 200", n, s.Len())
+	}
+}
+
+func TestZipfSkewsKeys(t *testing.T) {
+	g := NewGenerator(Config{Size: 512, ZipfS: 0.8})
+	rng := xrand.New(3)
+	counts := map[core.Key]int{}
+	for i := 0; i < 200000; i++ {
+		counts[g.Key(rng)]++
+	}
+	// Hottest key must be far above the uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := 200000 / 1024
+	if max < 3*uniform {
+		t.Fatalf("hottest key %d not skewed vs uniform %d", max, uniform)
+	}
+}
+
+func TestSumPSquared(t *testing.T) {
+	gu := NewGenerator(Config{Size: 512})
+	if got := gu.SumPSquared(); math.Abs(got-1.0/1024) > 1e-12 {
+		t.Fatalf("uniform SumPSquared = %v", got)
+	}
+	gz := NewGenerator(Config{Size: 512, ZipfS: 0.8})
+	if gz.SumPSquared() <= gu.SumPSquared() {
+		t.Fatal("zipf collision mass not larger than uniform")
+	}
+}
+
+func TestZipfPermDecorrelates(t *testing.T) {
+	// The two hottest keys must not be adjacent (rank 0 and 1 mapped apart).
+	g := NewGenerator(Config{Size: 4096, ZipfS: 0.99})
+	rng := xrand.New(4)
+	counts := map[core.Key]int{}
+	for i := 0; i < 300000; i++ {
+		counts[g.Key(rng)]++
+	}
+	var k1, k2 core.Key
+	var c1, c2 int
+	for k, c := range counts {
+		if c > c1 {
+			k2, c2 = k1, c1
+			k1, c1 = k, c
+		} else if c > c2 {
+			k2, c2 = k, c
+		}
+	}
+	if d := k1 - k2; d == 1 || d == -1 {
+		t.Fatalf("two hottest keys adjacent (%d, %d): permutation missing", k1, k2)
+	}
+}

@@ -1,0 +1,107 @@
+// Package xrand provides the fast per-thread pseudo-random machinery used by
+// every workload generator and simulator in this repository.
+//
+// The benchmark harness follows the ASCYLIB methodology of the paper: each
+// worker thread owns an independent generator so that key sampling never
+// introduces synchronization of its own (a shared math/rand.Rand would
+// serialize the very threads whose independence we are measuring). The
+// generator is xorshift128+, the same family used by ASCYLIB's benchmarks;
+// it is small, allocation-free, and passes the statistical smoke tests in
+// this package.
+package xrand
+
+// Rng is an xorshift128+ pseudo-random generator. It is NOT safe for
+// concurrent use; give each worker goroutine its own instance (see
+// core.Ctx).
+type Rng struct {
+	s0, s1 uint64
+}
+
+// splitmix64 is the recommended seeding function for xorshift generators:
+// it diffuses consecutive integer seeds into well-distributed state words.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators built from
+// different seeds produce independent-looking streams; seed 0 is valid.
+func New(seed uint64) *Rng {
+	r := &Rng{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Rng) Seed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	// xorshift128+ requires a non-zero state; splitmix64 of any seed makes
+	// an all-zero state astronomically unlikely, but guard anyway.
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Next returns the next 64 uniformly distributed bits.
+func (r *Rng) Next() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+// Uses Lemire's multiply-shift reduction (no modulo bias worth worrying
+// about at benchmark scale, and far cheaper than rejection sampling).
+func (r *Rng) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// 128-bit multiply high via two 64x64->64 halves.
+	x := r.Next()
+	hi, _ := mul64(x, n)
+	return hi
+}
+
+// Int63n returns a uniform value in [0, n) as int64. n must be > 0.
+func (r *Rng) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rng) Float64() float64 {
+	// 53 high bits -> [0,1) with full double precision.
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rng) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// mul64 computes the 128-bit product of a and b, returning (hi, lo).
+// Hand-rolled so the package stays dependency-free (math/bits would also
+// work; this mirrors its implementation and inlines well).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}

@@ -1,0 +1,312 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestReseedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Next()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Next(); got != first[i] {
+			t.Fatalf("reseed did not reset stream at %d: %d != %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.s0 == 0 && r.s1 == 0 {
+		t.Fatal("zero seed left generator in all-zero state")
+	}
+	// Must produce varied output.
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Next()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded rng produced only %d distinct values of 100", len(seen))
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared smoke test over 16 buckets.
+	r := New(11)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile ~ 37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-squared %f too large, distribution skewed: %v", chi2, counts)
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	New(1).Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %f", got)
+	}
+}
+
+func TestMul64MatchesBigMul(t *testing.T) {
+	// Property: our hand-rolled mul64 must agree with the shift-and-add
+	// reference on random inputs.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Reference via 32-bit limbs.
+		rhi, rlo := refMul64(a, b)
+		return hi == rhi && lo == rlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refMul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	ll := al * bl
+	lh := al * bh
+	hl := ah * bl
+	hh := ah * bh
+	mid := lh + (ll >> 32) + (hl & mask)
+	lo = (mid << 32) | (ll & mask)
+	hi = hh + (mid >> 32) + (hl >> 32)
+	return
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := NewZipf(1000, 0.8)
+	prev := 0.0
+	for i, c := range z.cdf {
+		if c < prev {
+			t.Fatalf("cdf not monotone at %d: %f < %f", i, c, prev)
+		}
+		prev = c
+	}
+	if z.cdf[len(z.cdf)-1] != 1 {
+		t.Fatalf("cdf does not end at 1: %f", z.cdf[len(z.cdf)-1])
+	}
+}
+
+func TestZipfRankInRange(t *testing.T) {
+	z := NewZipf(64, 0.8)
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		rk := z.Rank(r)
+		if rk < 0 || rk >= 64 {
+			t.Fatalf("rank out of range: %d", rk)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must be sampled ~P(0) of the time, and more often than rank 50.
+	z := NewZipf(100, 0.8)
+	r := New(17)
+	const draws = 200000
+	counts := make([]int, 100)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(r)]++
+	}
+	p0 := float64(counts[0]) / draws
+	if math.Abs(p0-z.P(0)) > 0.01 {
+		t.Fatalf("empirical P(0)=%f want %f", p0, z.P(0))
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: count[0]=%d count[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfZeroSIsUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := int64(0); i < 10; i++ {
+		if math.Abs(z.P(i)-0.1) > 1e-12 {
+			t.Fatalf("s=0 rank %d has P=%f, want 0.1", i, z.P(i))
+		}
+	}
+}
+
+func TestZipfPSumsToOne(t *testing.T) {
+	z := NewZipf(517, 0.8)
+	sum := 0.0
+	for i := int64(0); i < z.N(); i++ {
+		sum += z.P(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %f", sum)
+	}
+}
+
+func TestZipfSumPSquared(t *testing.T) {
+	// For the uniform case sum p^2 = 1/n exactly.
+	z := NewZipf(128, 0)
+	if got := z.SumPSquared(); math.Abs(got-1.0/128) > 1e-12 {
+		t.Fatalf("uniform SumPSquared = %v, want 1/128", got)
+	}
+	// Skewed distributions concentrate mass: sum p^2 must exceed 1/n.
+	zs := NewZipf(128, 0.8)
+	if zs.SumPSquared() <= 1.0/128 {
+		t.Fatal("zipf SumPSquared not larger than uniform")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		s float64
+	}{{0, 0.8}, {-1, 0.8}, {10, -1}, {10, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %f) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := Perm(1000, r)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(31)
+	const draws = 50000
+	sum := 0
+	for i := 0; i < draws; i++ {
+		sum += r.Poisson(3.5)
+	}
+	mean := float64(sum) / draws
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Fatalf("Poisson mean %f, want 3.5", mean)
+	}
+}
+
+func TestPoissonNonPositive(t *testing.T) {
+	r := New(31)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(37)
+	const draws = 100000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %f", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Fatalf("Exp mean %f, want 2.0", mean)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(4096, 0.8)
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += z.Rank(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,138 @@
+package xrand
+
+import "math"
+
+// Zipf samples keys from a Zipfian distribution over {0, ..., n-1} with
+// exponent s, the non-uniform workload of Section 5.2 of the paper
+// (which uses s = 0.8, "known to model a large percentage of real
+// workloads" per the YCSB study the paper cites).
+//
+// Rank i (0-based) is drawn with probability proportional to 1/(i+1)^s.
+// Sampling uses binary search over the precomputed CDF: O(log n) per draw,
+// fully deterministic given the Rng, no allocation per draw.
+//
+// The precomputed table is immutable after construction, so a single Zipf
+// may be shared by many goroutines, each passing its own Rng.
+type Zipf struct {
+	n   int64
+	s   float64
+	cdf []float64 // cdf[i] = P(rank <= i), cdf[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. n must be >= 1 and
+// s must be >= 0 (s == 0 degenerates to the uniform distribution).
+func NewZipf(n int64, s float64) *Zipf {
+	if n < 1 {
+		panic("xrand: NewZipf with n < 1")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("xrand: NewZipf with negative or NaN s")
+	}
+	z := &Zipf{n: n, s: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against FP drift so search never falls off the end
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int64 { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Rank draws a rank in [0, n): rank 0 is the most popular.
+func (z *Zipf) Rank(r *Rng) int64 {
+	u := r.Float64()
+	// Binary search for the first index with cdf[i] >= u.
+	lo, hi := int64(0), z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// P returns the probability of rank i, used by the birthday-paradox model's
+// non-uniform term (Equation 6 needs sum of p_i^2).
+func (z *Zipf) P(i int64) float64 {
+	if i < 0 || i >= z.n {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// SumPSquared returns sum over i of P(i)^2, the collision mass that drives
+// Equation (6) of the paper.
+func (z *Zipf) SumPSquared() float64 {
+	sum := 0.0
+	prev := 0.0
+	for _, c := range z.cdf {
+		p := c - prev
+		sum += p * p
+		prev = c
+	}
+	return sum
+}
+
+// Perm shuffles ranks to keys: popular ranks should not map to adjacent
+// keys, otherwise Zipf hot spots would also be physically adjacent nodes
+// and conflicts would be overstated for list structures. The permutation
+// is the standard Fisher–Yates shuffle of 0..n-1 driven by r.
+func Perm(n int64, r *Rng) []int64 {
+	p := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Int63n(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Poisson draws from a Poisson distribution with mean lambda, used by the
+// interrupt substrate to model context-switch arrivals (the multiprogramming
+// scenario of Section 5.4 observed ~3300 context switches/second; we model
+// arrivals in a window as Poisson). Knuth's multiplication method is O(λ)
+// but our λ per window is small.
+func (r *Rng) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exp draws an exponentially distributed value with the given mean,
+// used for inter-arrival times of injected delays.
+func (r *Rng) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard u == 0: log(0) is -Inf.
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

@@ -1,0 +1,58 @@
+package csds
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"csds/internal/locks"
+)
+
+// benchLocks drives TAS, ticket and MCS locks through CSDS-shaped critical
+// sections (a handful of plain writes) at several contention levels.
+func benchLocks(b *testing.B) {
+	type lockMaker struct {
+		name string
+		mk   func() func(f func())
+	}
+	makers := []lockMaker{
+		{"tas", func() func(func()) {
+			var l locks.TAS
+			return func(f func()) { l.Acquire(nil); f(); l.Release() }
+		}},
+		{"ticket", func() func(func()) {
+			var l locks.Ticket
+			return func(f func()) { l.Acquire(nil); f(); l.Release() }
+		}},
+		{"mcs", func() func(func()) {
+			l := &locks.MCS{}
+			var pool = sync.Pool{New: func() any { return new(locks.MCSNode) }}
+			return func(f func()) {
+				qn := pool.Get().(*locks.MCSNode)
+				l.AcquireNode(qn, nil)
+				f()
+				l.ReleaseNode(qn)
+				pool.Put(qn)
+			}
+		}},
+	}
+	for _, m := range makers {
+		for _, par := range []int{1, 8} {
+			b.Run(fmt.Sprintf("lock=%s/par=%d", m.name, par), func(b *testing.B) {
+				cs := m.mk()
+				var shared [4]int64
+				b.SetParallelism(par)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						cs(func() {
+							// CSDS-like write phase: touch a couple of
+							// fields.
+							shared[0]++
+							shared[3] = shared[0]
+						})
+					}
+				})
+			})
+		}
+	}
+}
