@@ -2,9 +2,14 @@
 // harness against any registered algorithm and prints every metric the
 // paper reports, in plain text or CSV.
 //
+// The -alg flag accepts composite specifications built from structure
+// combinators as well as plain registry names.
+//
 // Examples:
 //
 //	csdsbench -alg list/lazy -threads 20 -size 2048 -updates 0.1 -dur 5s -runs 11
+//	csdsbench -alg 'sharded(16,list/lazy)' -threads 20 -zipf 0.8
+//	csdsbench -alg 'readcache(1024,bst/tk)' -updates 0.01
 //	csdsbench -alg hashtable/lazy -elide 5 -threads 32
 //	csdsbench -list
 package main
@@ -21,13 +26,14 @@ import (
 	"csds/internal/workload"
 
 	_ "csds/internal/bst"
+	_ "csds/internal/combinator"
 	_ "csds/internal/hashtable"
 	_ "csds/internal/list"
 	_ "csds/internal/skiplist"
 )
 
 func main() {
-	alg := flag.String("alg", "list/lazy", "algorithm name (see -list)")
+	alg := flag.String("alg", "list/lazy", "algorithm spec: a name or composite like 'sharded(16,list/lazy)' (see -list)")
 	threads := flag.Int("threads", 20, "worker goroutines")
 	size := flag.Int("size", 2048, "structure size")
 	updates := flag.Float64("updates", 0.1, "update ratio")
@@ -50,6 +56,10 @@ func main() {
 			}
 			fmt.Printf("%s %-24s %-10s %s\n", star, n, info.Progress, info.Desc)
 		}
+		fmt.Println("\ncombinators (compose as comb(N,spec), nesting allowed):")
+		for _, c := range core.Combinators() {
+			fmt.Printf("  %-26s %s\n", fmt.Sprintf("%s(%s,spec)", c.Name, c.ArgDesc), c.Desc)
+		}
 		return
 	}
 
@@ -64,7 +74,9 @@ func main() {
 	}
 	res, err := harness.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "csdsbench: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hint: run 'csdsbench -list' for registered algorithms and combinators;\n")
+		fmt.Fprintf(os.Stderr, "      composite specs look like 'sharded(16,list/lazy)' or 'readcache(1024,bst/tk)'\n")
 		os.Exit(1)
 	}
 	if *csv {

@@ -25,6 +25,20 @@
 // per-thread pieces (PRNG, statistics, HTM abort flag) travel explicitly,
 // mirroring ASCYLIB's per-thread initialization.
 //
+// Beyond single instances, the library composes structures horizontally
+// through combinators — wrappers that are themselves linearizable Sets.
+// A composite specification string names them:
+//
+//	s, err := csds.Build("sharded(16,list/lazy)", csds.Options{})     // 16-way hash sharding
+//	s, err := csds.Build("striped(8,skiplist/herlihy)", csds.Options{}) // ordered key-space stripes
+//	s, err := csds.Build("readcache(1024,bst/tk)", csds.Options{})    // bounded read-through cache
+//	s, err := csds.Build("readcache(512,sharded(4,hashtable/lazy))", csds.Options{}) // nested
+//
+// Composites accept the same *Ctx and feed the same fine-grained metrics
+// (lock waiting, restarts) through every layer, so the harness measures
+// them exactly like plain algorithms. NewSharded, NewStriped and
+// NewReadCached are typed shortcuts over the same grammar.
+//
 // The subdirectories of this module hold the experiment harness
 // (internal/harness), the discrete-event multicore simulator
 // (internal/sim), and the Section 6 birthday-paradox model
@@ -33,13 +47,17 @@
 package csds
 
 import (
+	"fmt"
+
 	"csds/internal/core"
 	"csds/internal/ebr"
 	"csds/internal/htm"
 	"csds/internal/queuestack"
 
-	// Register every algorithm with the core registry.
+	// Register every algorithm with the core registry, and the structure
+	// combinators with the combinator registry.
 	_ "csds/internal/bst"
+	_ "csds/internal/combinator"
 	_ "csds/internal/hashtable"
 	_ "csds/internal/list"
 	_ "csds/internal/skiplist"
@@ -72,17 +90,24 @@ func NewCtx(id int) *Ctx { return core.NewCtx(id) }
 // Algorithms lists every registered algorithm name.
 func Algorithms() []string { return core.Names() }
 
+// Combinators lists every registered structure combinator name; each can
+// wrap any algorithm (or composite) via the comb(N,spec) grammar.
+func Combinators() []string { return core.CombinatorNames() }
+
 // Lookup finds a registered algorithm by name (e.g. "list/lazy").
 func Lookup(name string) (Info, bool) { return core.Lookup(name) }
 
-// New constructs a registered algorithm by name.
+// New constructs an algorithm from a specification — a plain registered
+// name or a composite such as "sharded(16,list/lazy)". Use Build to learn
+// why a spec was rejected.
 func New(name string, o Options) (Set, bool) {
-	info, ok := core.Lookup(name)
-	if !ok {
-		return nil, false
-	}
-	return info.New(o), true
+	s, err := core.Build(name, o)
+	return s, err == nil
 }
+
+// Build constructs an algorithm from a specification, reporting grammar
+// and resolution errors.
+func Build(spec string, o Options) (Set, error) { return core.Build(spec, o) }
 
 // NewEBRDomain creates an epoch-based reclamation domain to share across
 // structures (optional: Go's GC reclaims safely without one).
@@ -125,6 +150,28 @@ func NewLazyHashTable(expectedSize int) Set {
 
 // NewBSTTK returns the featured blocking external binary search tree.
 func NewBSTTK() Set { return mustNew("bst/tk", Options{}) }
+
+// NewSharded hash-partitions the key space over shards independent
+// instances of the inner specification (a registered name or a nested
+// composite). Errors report grammar or resolution problems in inner.
+func NewSharded(shards int, inner string, o Options) (Set, error) {
+	return core.Build(fmt.Sprintf("sharded(%d,%s)", shards, inner), o)
+}
+
+// NewStriped range-partitions the key space, in order, over stripes
+// instances of the inner specification. Set o.KeySpan (or o.ExpectedSize,
+// from which a 2*ExpectedSize span is derived — the paper's key-space
+// convention) so stripes divide the domain your keys actually populate;
+// keys outside the domain clamp to the end stripes.
+func NewStriped(stripes int, inner string, o Options) (Set, error) {
+	return core.Build(fmt.Sprintf("striped(%d,%s)", stripes, inner), o)
+}
+
+// NewReadCached wraps the inner specification with a bounded read-through
+// cache of about capacity entries, invalidated on updates.
+func NewReadCached(capacity int, inner string, o Options) (Set, error) {
+	return core.Build(fmt.Sprintf("readcache(%d,%s)", capacity, inner), o)
+}
 
 // NewQueue returns the standard lock-based FIFO queue (Section 7).
 func NewQueue() Queue { return queuestack.NewTwoLockQueue() }

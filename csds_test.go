@@ -60,6 +60,67 @@ func TestNewByName(t *testing.T) {
 	if _, ok := New("bogus", Options{}); ok {
 		t.Fatal("bogus name accepted")
 	}
+	// New accepts composite specs too.
+	if _, ok := New("sharded(4,list/lazy)", Options{}); !ok {
+		t.Fatal("New rejected a composite spec")
+	}
+}
+
+func TestCombinatorsRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Combinators() {
+		have[n] = true
+	}
+	for _, w := range []string{"sharded", "striped", "readcache"} {
+		if !have[w] {
+			t.Errorf("combinator %s not registered", w)
+		}
+	}
+}
+
+func TestBuildAndTopLevelConstructors(t *testing.T) {
+	mks := map[string]func() (Set, error){
+		"build-sharded":  func() (Set, error) { return Build("sharded(16,list/lazy)", Options{}) },
+		"build-nested":   func() (Set, error) { return Build("readcache(256,striped(4,list/lazy))", Options{}) },
+		"NewSharded":     func() (Set, error) { return NewSharded(16, "list/lazy", Options{}) },
+		"NewStriped":     func() (Set, error) { return NewStriped(8, "skiplist/herlihy", Options{ExpectedSize: 256}) },
+		"NewReadCached":  func() (Set, error) { return NewReadCached(1024, "bst/tk", Options{}) },
+		"NewShardedDeep": func() (Set, error) { return NewSharded(4, "readcache(64,list/lazy)", Options{}) },
+	}
+	for name, mk := range mks {
+		s, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c := NewCtx(0)
+		for k := Key(1); k <= 100; k++ {
+			if !s.Put(c, k, k*3) {
+				t.Fatalf("%s: Put(%d) failed", name, k)
+			}
+		}
+		for k := Key(1); k <= 100; k++ {
+			if v, ok := s.Get(c, k); !ok || v != k*3 {
+				t.Fatalf("%s: Get(%d) = (%d, %v)", name, k, v, ok)
+			}
+		}
+		if s.Len() != 100 {
+			t.Fatalf("%s: Len = %d", name, s.Len())
+		}
+		for k := Key(1); k <= 100; k++ {
+			if !s.Remove(c, k) {
+				t.Fatalf("%s: Remove(%d) failed", name, k)
+			}
+		}
+		if s.Len() != 0 {
+			t.Fatalf("%s: Len after drain = %d", name, s.Len())
+		}
+	}
+	if _, err := Build("sharded(16,", Options{}); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if _, err := NewSharded(4, "no/such", Options{}); err == nil {
+		t.Fatal("NewSharded with unknown inner accepted")
+	}
 }
 
 func TestQueueStackAPI(t *testing.T) {

@@ -1,0 +1,3 @@
+module csds
+
+go 1.24

@@ -1,0 +1,96 @@
+// Package combinator implements composable structure combinators: wrappers
+// that build a higher-throughput linearizable core.Set out of instances of
+// any registered algorithm. The paper (conf_spaa_DavidG16) evaluates its
+// structures one instance at a time; these combinators are the horizontal
+// step — hash sharding, key-space striping, and bounded read-through
+// caching — and they keep the paper's fine-grained metrics flowing: every
+// inner operation runs under the caller's *core.Ctx, so lock-wait times
+// and restart counts from all shards aggregate into the same per-thread
+// stats slots the harness already reads.
+//
+// The wrappers register themselves with the core combinator registry
+// under the names "sharded", "striped" and "readcache", so composite
+// specifications like
+//
+//	sharded(16,list/lazy)
+//	striped(8,skiplist/herlihy)
+//	readcache(1024,bst/tk)
+//	readcache(512,sharded(4,hashtable/lazy))
+//
+// resolve through core.Build / core.NewFactory.
+package combinator
+
+import (
+	"math/bits"
+
+	"csds/internal/core"
+)
+
+func init() {
+	core.RegisterCombinator(core.Combinator{
+		Name:    "sharded",
+		New:     func(arg int, inner func(core.Options) core.Set, o core.Options) core.Set { return NewSharded(arg, inner, o) },
+		ArgDesc: "shards",
+		Desc:    "hash-partitions keys over N independent inner instances",
+	})
+	core.RegisterCombinator(core.Combinator{
+		Name:    "striped",
+		New:     func(arg int, inner func(core.Options) core.Set, o core.Options) core.Set { return NewStriped(arg, inner, o) },
+		ArgDesc: "stripes",
+		Desc:    "range-partitions the key span (0..2*ExpectedSize) over N inner instances, in order",
+	})
+	core.RegisterCombinator(core.Combinator{
+		Name:    "readcache",
+		New:     func(arg int, inner func(core.Options) core.Set, o core.Options) core.Set { return NewReadCache(arg, inner(o)) },
+		ArgDesc: "capacity",
+		Desc:    "bounded read-through cache with invalidate-on-update over one inner instance",
+	})
+}
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection that turns
+// the dense integer keys of the paper's workloads into uniform hash bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// indexOf maps a 64-bit hash onto [0, n) without modulo bias via the
+// fixed-point trick: hi(h * n / 2^64).
+func indexOf(h uint64, n int) int {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return int(hi)
+}
+
+// splitOptions derives the per-instance options for an n-way partition:
+// the size hints describe the whole composite, so each part expects an
+// n-th (rounded up) of the elements and buckets. The key-domain hint is
+// NOT divided — partitions subdivide elements, never the key space — and
+// the 2*ExpectedSize convention is materialized into KeySpan first, so a
+// nested range partition (striped under sharded) still sees the whole
+// domain rather than deriving a 1/n-scale one from the divided size.
+func splitOptions(o core.Options, n int) core.Options {
+	if o.KeySpan == 0 && o.ExpectedSize > 0 {
+		o.KeySpan = core.Key(2 * o.ExpectedSize)
+	}
+	if n > 1 {
+		if o.ExpectedSize > 0 {
+			o.ExpectedSize = (o.ExpectedSize + n - 1) / n
+		}
+		if o.Buckets > 0 {
+			o.Buckets = (o.Buckets + n - 1) / n
+		}
+	}
+	return o
+}
+
+// clampParts normalizes a shard/stripe count to at least 1.
+func clampParts(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,439 @@
+package combinator
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+	"csds/internal/xrand"
+
+	// Populate the algorithm registry with the leaves the specs name.
+	_ "csds/internal/bst"
+	_ "csds/internal/hashtable"
+	_ "csds/internal/list"
+	_ "csds/internal/skiplist"
+)
+
+// TestCompositeSuites runs the full linearizable-set conformance battery
+// against the acceptance composites and a nested one.
+func TestCompositeSuites(t *testing.T) {
+	for _, spec := range []string{
+		"sharded(16,list/lazy)",
+		"striped(8,skiplist/herlihy)",
+		"readcache(1024,bst/tk)",
+		"readcache(64,sharded(4,hashtable/lazy))",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunSpec(t, spec) })
+	}
+}
+
+// TestCompositeSuitesMoreLeaves cross-checks each combinator over a
+// different progress class (lock-free and wait-free leaves must compose
+// just as well as blocking ones).
+func TestCompositeSuitesMoreLeaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product suites are the long battery")
+	}
+	for _, spec := range []string{
+		"sharded(4,list/harris)",
+		"striped(4,list/waitfree)",
+		"readcache(128,list/harris)",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunSpec(t, spec) })
+	}
+}
+
+// TestCompositeEBR checks epoch-based reclamation threads through the
+// wrappers: the shared domain in Options reaches every inner instance.
+func TestCompositeEBR(t *testing.T) {
+	for _, spec := range []string{"sharded(4,list/lazy)", "readcache(64,list/lazy)"} {
+		f, err := core.NewFactory(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec, func(t *testing.T) { settest.RunEBR(t, settest.Factory(f)) })
+	}
+}
+
+func ctx() *core.Ctx { return core.NewCtx(0) }
+
+func TestShardedRoutingAndLen(t *testing.T) {
+	s, err := core.Build("sharded(16,list/lazy)", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.(*Sharded)
+	if sh.Shards() != 16 {
+		t.Fatalf("Shards = %d", sh.Shards())
+	}
+	c := ctx()
+	const n = 1000
+	for k := core.Key(1); k <= n; k++ {
+		if !s.Put(c, k, k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	// Hash partitioning must actually spread: with 1000 keys over 16
+	// shards no shard should be empty or hold more than a third.
+	for i, inner := range sh.shards {
+		l := inner.Len()
+		if l == 0 || l > n/3 {
+			t.Fatalf("shard %d holds %d of %d keys — degenerate hash spread", i, l, n)
+		}
+	}
+	// Routing is deterministic: the shard that answers Get is the one
+	// that absorbed Put.
+	for k := core.Key(1); k <= n; k++ {
+		if v, ok := sh.shard(k).Get(c, k); !ok || v != k {
+			t.Fatalf("key %d not in its own shard", k)
+		}
+	}
+}
+
+// stripeIndex resolves which stripe instance a key routes to.
+func stripeIndex(st *Striped, k core.Key) int {
+	for i := range st.stripes {
+		if st.stripe(k) == st.stripes[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestStripedOrderPreserving(t *testing.T) {
+	// With a size hint, the partition domain is the workload's dense key
+	// span [0, 2*ExpectedSize) — the configuration the harness produces.
+	s, err := core.Build("striped(8,list/lazy)", core.Options{ExpectedSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.(*Striped)
+	if st.Stripes() != 8 {
+		t.Fatalf("Stripes = %d", st.Stripes())
+	}
+	// Stripe index must be monotone in the key across the whole signed
+	// range, including the extremes next to the sentinels.
+	keys := []core.Key{core.KeyMin + 1, -3, 0, 3, 256, 512, 1024, 2047, 1 << 40, core.KeyMax - 1}
+	last := -1
+	for _, k := range keys {
+		idx := stripeIndex(st, k)
+		if idx < last {
+			t.Fatalf("stripe index not monotone at key %d: %d < %d", k, idx, last)
+		}
+		last = idx
+	}
+	// Out-of-domain keys clamp to the end stripes.
+	if stripeIndex(st, core.KeyMin+1) != 0 || stripeIndex(st, -1) != 0 {
+		t.Fatal("keys below the domain not clamped to the first stripe")
+	}
+	if stripeIndex(st, 1<<40) != 7 || stripeIndex(st, core.KeyMax-1) != 7 {
+		t.Fatal("keys above the domain not clamped to the last stripe")
+	}
+}
+
+// TestStripedSpreadsWorkloadKeys pins the regression where partitioning
+// the whole int64 line funnelled every dense workload key (1..2*Size)
+// into the middle stripe, making striping a no-op for real runs.
+func TestStripedSpreadsWorkloadKeys(t *testing.T) {
+	const size = 1024
+	s, err := core.Build("striped(8,list/lazy)", core.Options{ExpectedSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.(*Striped)
+	c := ctx()
+	for k := core.Key(1); k <= 2*size; k++ {
+		if !s.Put(c, k, k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	if s.Len() != 2*size {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, inner := range st.stripes {
+		l := inner.Len()
+		if l == 0 || l > 2*size/4 {
+			t.Fatalf("stripe %d holds %d of %d workload keys — degenerate partition", i, l, 2*size)
+		}
+	}
+	// Order preservation: each stripe's keys form one contiguous run.
+	lastStripe := 0
+	for k := core.Key(1); k <= 2*size; k++ {
+		idx := stripeIndex(st, k)
+		if idx < lastStripe {
+			t.Fatalf("key %d routed backwards: stripe %d after %d", k, idx, lastStripe)
+		}
+		lastStripe = idx
+	}
+}
+
+// countingSet wraps an inner set and counts the Gets that reach it, so
+// tests can observe cache hits (which must NOT reach the inner set)
+// without a hot-path hit counter in the cache itself.
+type countingSet struct {
+	core.Set
+	gets atomic.Uint64
+}
+
+func (cs *countingSet) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	cs.gets.Add(1)
+	return cs.Set.Get(c, k)
+}
+
+func TestReadCacheHitsAndInvalidation(t *testing.T) {
+	inner, err := core.Build("list/lazy", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingSet{Set: inner}
+	rc := NewReadCache(1024, counting)
+	var s core.Set = rc
+	if rc.Capacity() != 1024 {
+		t.Fatalf("Capacity = %d", rc.Capacity())
+	}
+	c := ctx()
+	s.Put(c, 7, 70)
+	if _, ok := s.Get(c, 7); !ok {
+		t.Fatal("miss fill failed")
+	}
+	innerGets := counting.gets.Load()
+	if rc.Fills() == 0 {
+		t.Fatal("miss did not fill the cache")
+	}
+	if v, ok := s.Get(c, 7); !ok || v != 70 {
+		t.Fatalf("cached Get = (%d, %v)", v, ok)
+	}
+	if counting.gets.Load() != innerGets {
+		t.Fatal("second Get reached the inner set — cache did not serve the hit")
+	}
+	// Invalidation: remove must not leave the stale mapping readable.
+	if !s.Remove(c, 7) {
+		t.Fatal("Remove failed")
+	}
+	if _, ok := s.Get(c, 7); ok {
+		t.Fatal("stale cache hit after Remove")
+	}
+	// Reinsert with a different value: the cache must never serve 70.
+	s.Put(c, 7, 71)
+	for i := 0; i < 3; i++ {
+		if v, ok := s.Get(c, 7); !ok || v != 71 {
+			t.Fatalf("after reinsert Get = (%d, %v), want (71, true)", v, ok)
+		}
+	}
+}
+
+func TestReadCacheCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {1024, 1024}, {0, 1}, {-5, 1},
+	} {
+		inner, err := core.Build("list/lazy", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := NewReadCache(tc.in, inner)
+		if rc.Capacity() != tc.want {
+			t.Fatalf("capacity %d rounded to %d, want %d", tc.in, rc.Capacity(), tc.want)
+		}
+	}
+}
+
+// TestReadCacheNoStaleHitsUnderChurn hammers a single hot key with
+// concurrent removes/reinserts while readers check they only ever observe
+// values that were legitimately inserted and, after a quiesce, the final
+// state. This targets the fill-vs-invalidate race directly.
+func TestReadCacheNoStaleHitsUnderChurn(t *testing.T) {
+	s, err := core.Build("readcache(64,list/lazy)", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = core.Key(42)
+	const iters = 20000
+	var stop, readers sync.WaitGroup
+	done := make(chan struct{})
+	var bad sync.Once
+	var mu sync.Mutex
+	var failure string
+
+	// One writer alternates the hot key between two values via
+	// remove+insert; colliding churn runs on neighbouring keys.
+	stop.Add(1)
+	go func() {
+		defer stop.Done()
+		c := core.NewCtx(1)
+		val := core.Value(100)
+		for i := 0; i < iters; i++ {
+			s.Remove(c, hot)
+			if val == 100 {
+				val = 200
+			} else {
+				val = 100
+			}
+			s.Put(c, hot, val)
+		}
+	}()
+	stop.Add(1)
+	go func() {
+		defer stop.Done()
+		c := core.NewCtx(2)
+		rng := xrand.New(7)
+		for i := 0; i < iters; i++ {
+			k := core.Key(1 + rng.Int63n(500))
+			if k == hot {
+				continue
+			}
+			if rng.Bool(0.5) {
+				s.Put(c, k, k)
+			} else {
+				s.Remove(c, k)
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			c := core.NewCtx(10 + r)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := s.Get(c, hot); ok && v != 100 && v != 200 {
+					bad.Do(func() {
+						mu.Lock()
+						failure = "reader observed a value never inserted"
+						mu.Unlock()
+					})
+					return
+				}
+			}
+		}(r)
+	}
+	stop.Wait()
+	close(done)
+	readers.Wait()
+	mu.Lock()
+	f := failure
+	mu.Unlock()
+	if f != "" {
+		t.Fatal(f)
+	}
+	// Quiesced: the final value must be the last inserted one, not a
+	// resurrected cache line.
+	c := ctx()
+	v, ok := s.Get(c, hot)
+	if !ok || (v != 100 && v != 200) {
+		t.Fatalf("final state corrupt: (%d, %v)", v, ok)
+	}
+	if !s.Remove(c, hot) {
+		t.Fatal("final Remove failed")
+	}
+	if _, ok := s.Get(c, hot); ok {
+		t.Fatal("hot key readable after final Remove — stale cache line")
+	}
+}
+
+// TestStripedKeySpanDomain pins the follow-up regression: when the
+// workload's key space is configured independently of the structure size
+// (workload.Config.KeySpace), the harness threads it through
+// Options.KeySpan and striping must divide THAT domain — not
+// 2*ExpectedSize, which would clamp nearly every key into the last
+// stripe.
+func TestStripedKeySpanDomain(t *testing.T) {
+	const span = 1 << 20
+	s, err := core.Build("striped(8,list/lazy)",
+		core.Options{ExpectedSize: 1024, KeySpan: span + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.(*Striped)
+	c := ctx()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		k := core.Key(1 + i*(span/n))
+		if !s.Put(c, k, k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	for i, inner := range st.stripes {
+		l := inner.Len()
+		if l == 0 || l > n/4 {
+			t.Fatalf("stripe %d holds %d of %d span-wide keys — KeySpan domain ignored", i, l, n)
+		}
+	}
+}
+
+// TestSplitOptions checks the size hints divide across partitions while
+// the key-domain hint is materialized and passed through undivided.
+func TestSplitOptions(t *testing.T) {
+	o := splitOptions(core.Options{ExpectedSize: 1000, Buckets: 64}, 16)
+	if o.ExpectedSize != 63 || o.Buckets != 4 {
+		t.Fatalf("splitOptions = %+v", o)
+	}
+	if o.KeySpan != 2000 {
+		t.Fatalf("KeySpan not materialized from ExpectedSize: %+v", o)
+	}
+	o = splitOptions(core.Options{ExpectedSize: 1000, KeySpan: 4096}, 8)
+	if o.KeySpan != 4096 {
+		t.Fatalf("explicit KeySpan not preserved: %+v", o)
+	}
+	o = splitOptions(core.Options{ExpectedSize: 1000}, 1)
+	if o.ExpectedSize != 1000 {
+		t.Fatalf("1-way split changed size: %+v", o)
+	}
+	if n := clampParts(0); n != 1 {
+		t.Fatalf("clampParts(0) = %d", n)
+	}
+}
+
+// TestNestedStripedKeepsDomain pins the nested-composite regression:
+// striped under sharded must partition the composite's whole key domain,
+// not a domain derived from the outer layer's divided size hint (which
+// would clamp ~1-1/N of each shard's keys into its last stripe).
+func TestNestedStripedKeepsDomain(t *testing.T) {
+	s, err := core.Build("sharded(4,striped(8,list/lazy))", core.Options{ExpectedSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx()
+	const span = 2048 // the paper's convention for ExpectedSize 1024
+	for k := core.Key(1); k <= span; k++ {
+		if !s.Put(c, k, k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	for si, shard := range s.(*Sharded).shards {
+		st := shard.(*Striped)
+		total := st.Len()
+		for i, inner := range st.stripes {
+			l := inner.Len()
+			if l > total/2 {
+				t.Fatalf("shard %d stripe %d holds %d of %d keys — inner domain derived from divided size", si, i, l, total)
+			}
+		}
+	}
+}
+
+// TestCombinatorStatsFlow verifies the fine-grained metrics of inner
+// structures surface through a composite: contended updates on a sharded
+// lazy list must record lock acquisitions into the caller's stats slot.
+func TestCombinatorStatsFlow(t *testing.T) {
+	s, err := core.Build("sharded(4,list/lazy)", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctx()
+	for k := core.Key(1); k <= 200; k++ {
+		s.Put(c, k, k)
+		s.Remove(c, k)
+	}
+	if c.Stats.LockAcqs == 0 {
+		t.Fatal("no lock acquisitions recorded through the sharded layer")
+	}
+}

@@ -1,0 +1,138 @@
+package combinator
+
+import (
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/locks"
+)
+
+// ReadCache is a bounded read-through cache over one inner instance: a
+// direct-mapped table of capacity slots, filled by Get misses and
+// invalidated by updates. Read-mostly skewed workloads (the Zipfian
+// popularity of §5.2) concentrate Gets on few hot keys; serving those
+// hits from a single atomic load turns the inner traversal cost into O(1)
+// without giving up linearizability — and without adding a lock to the
+// read path, which would betray the paper's whole subject.
+//
+// Correctness protocol. Each slot carries a version that is odd while an
+// update's inner operation is in flight (a seqlock in spirit), an atomic
+// pointer to an immutable cached entry, and a mutex serializing writers
+// only (updates and fills — never hits):
+//
+//   - Update (Put/Remove): lock the slot, bump the version to odd, drop a
+//     matching entry, run the inner operation, bump back to even, unlock.
+//     The entry is dropped before the inner linearization point, so a
+//     stale mapping is never visible after an update takes effect.
+//   - Get: one atomic entry load; on a matching key that value is
+//     current (see below). Otherwise snapshot the version, read through
+//     the inner structure, and fill under the lock only if the snapshot
+//     was even and the version is unchanged — so no update's
+//     linearization point falls between the inner read and the fill, and
+//     a fill can never publish a pre-update value after the update.
+//
+// Invariant: a loaded entry always reflects the inner structure's current
+// mapping, so a hit linearizes at its load instruction. The price is that
+// updates to keys sharing a slot serialize on the slot lock; the cache
+// targets read-dominated workloads where that path is cold.
+type ReadCache struct {
+	inner core.Set
+	slots []rcSlot
+	mask  uint64
+	fills atomic.Uint64
+}
+
+// rcEntry is an immutable cached mapping, swapped atomically.
+type rcEntry struct {
+	key core.Key
+	val core.Value
+}
+
+// rcSlot is one direct-mapped cache line. The writer lock is the
+// repository's instrumented test-and-set lock, not a sync.Mutex: waiting
+// on it is real lock waiting and must surface in the paper's fine-grained
+// metrics like every other lock in this module.
+type rcSlot struct {
+	mu    locks.TAS // serializes updates and fills; hits never take it
+	ver   atomic.Uint64
+	entry atomic.Pointer[rcEntry]
+}
+
+// maxSpecCapacity bounds the slot table (16M slots) against typo'd
+// capacities in specs.
+const maxSpecCapacity = 1 << 24
+
+// NewReadCache wraps inner with a cache of about capacity entries
+// (rounded up to a power of two, minimum 1).
+func NewReadCache(capacity int, inner core.Set) *ReadCache {
+	n := 1
+	for n < capacity && n < maxSpecCapacity {
+		n <<= 1
+	}
+	return &ReadCache{inner: inner, slots: make([]rcSlot, n), mask: uint64(n - 1)}
+}
+
+func (r *ReadCache) slot(k core.Key) *rcSlot {
+	return &r.slots[mix64(uint64(k))&r.mask]
+}
+
+// Get implements core.Set: the hit path is one atomic load; the miss path
+// is a version-guarded read-through fill.
+func (r *ReadCache) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	sl := r.slot(k)
+	if e := sl.entry.Load(); e != nil && e.key == k {
+		return e.val, true
+	}
+	v0 := sl.ver.Load()
+	v, ok := r.inner.Get(c, k)
+	if ok && v0&1 == 0 {
+		sl.mu.Acquire(c.Stat())
+		if sl.ver.Load() == v0 {
+			sl.entry.Store(&rcEntry{key: k, val: v})
+			r.fills.Add(1)
+		}
+		sl.mu.Release()
+	}
+	return v, ok
+}
+
+// update runs an inner mutation inside the slot's writer critical
+// section, invalidating first so no reader or racing fill can observe a
+// pre-update mapping after the update takes effect.
+func (r *ReadCache) update(c *core.Ctx, k core.Key, op func() bool) bool {
+	sl := r.slot(k)
+	sl.mu.Acquire(c.Stat())
+	sl.ver.Add(1) // odd: update in flight, fills stand down
+	if e := sl.entry.Load(); e != nil && e.key == k {
+		sl.entry.Store(nil)
+	}
+	res := op()
+	sl.ver.Add(1) // even again
+	sl.mu.Release()
+	return res
+}
+
+// Put implements core.Set. A successful Put only adds a mapping, but it
+// still runs the invalidation protocol: a racing fill for a colliding key
+// must see the version move.
+func (r *ReadCache) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	return r.update(c, k, func() bool { return r.inner.Put(c, k, v) })
+}
+
+// Remove implements core.Set.
+func (r *ReadCache) Remove(c *core.Ctx, k core.Key) bool {
+	return r.update(c, k, func() bool { return r.inner.Remove(c, k) })
+}
+
+// Len reports the inner size (the cache holds no elements of its own).
+func (r *ReadCache) Len() int { return r.inner.Len() }
+
+// Capacity returns the rounded slot count.
+func (r *ReadCache) Capacity() int { return len(r.slots) }
+
+// Fills returns how many Get misses filled a slot. It is maintained on
+// the miss path only: the hit path stays a bare atomic load — a hit
+// counter would put shared RMW traffic on the one path the cache exists
+// to keep contention-free. Count hits by differencing against the inner
+// structure's observed reads if needed.
+func (r *ReadCache) Fills() uint64 { return r.fills.Load() }

@@ -1,7 +1,10 @@
 // Package core defines the concurrent-search-data-structure abstraction of
 // the paper (Section 2.2) — the set interface with get/put/remove — plus
 // the per-thread execution context every algorithm in this repository
-// operates under, and a registry mapping algorithm names to constructors.
+// operates under, and a layered algorithm factory: a registry mapping
+// algorithm names to constructors (registry.go) and, on top of it, a
+// composite-specification grammar with structure combinators such as
+// sharded(16,list/lazy) (spec.go).
 //
 // A Ctx plays the role of ASCYLIB's thread-local initialization: Go has no
 // thread-local storage and goroutines migrate between OS threads, so the
@@ -10,10 +13,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"sort"
-	"sync"
 
 	"csds/internal/ebr"
 	"csds/internal/htm"
@@ -139,6 +139,11 @@ type Options struct {
 	// ExpectedSize hints the steady-state element count (hash sizing,
 	// skip-list level bound).
 	ExpectedSize int
+	// KeySpan hints the exclusive upper bound of the dense key domain
+	// workloads draw from ([0, KeySpan)); 0 derives 2*ExpectedSize (the
+	// paper's key-space convention). Range-partitioning combinators use
+	// it as their partition domain.
+	KeySpan Key
 	// MaxLevel caps skip-list height; 0 derives it from ExpectedSize.
 	MaxLevel int
 	// Domain, when non-nil, makes Remove retire unlinked nodes through
@@ -149,85 +154,3 @@ type Options struct {
 // Region builds the htm.Region for these options (Attempts 0 = plain
 // locking).
 func (o Options) Region() htm.Region { return htm.Region{Attempts: o.ElideAttempts} }
-
-// Info describes a registered algorithm.
-type Info struct {
-	// Name is the registry key, e.g. "list/lazy".
-	Name string
-	// Kind is the structure family: "list", "skiplist", "hashtable",
-	// "bst", "queue", "stack".
-	Kind string
-	// Progress is "blocking", "lock-free" or "wait-free".
-	Progress string
-	// Featured marks the best-performing blocking algorithm per structure
-	// (the ones the paper's figures show).
-	Featured bool
-	// New constructs an empty instance.
-	New func(Options) Set
-	// Desc is a one-line provenance note (original authors).
-	Desc string
-}
-
-var (
-	regMu    sync.RWMutex
-	registry = map[string]Info{}
-)
-
-// Register adds an algorithm; called from implementation packages' init.
-// Duplicate names panic: they indicate a wiring bug.
-func Register(info Info) {
-	if info.Name == "" || info.New == nil {
-		panic("core: Register with empty name or nil constructor")
-	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := registry[info.Name]; dup {
-		panic(fmt.Sprintf("core: duplicate algorithm %q", info.Name))
-	}
-	registry[info.Name] = info
-}
-
-// Lookup finds an algorithm by name.
-func Lookup(name string) (Info, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	info, ok := registry[name]
-	return info, ok
-}
-
-// Names returns all registered algorithm names, sorted.
-func Names() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// ByKind returns the registered algorithms of one structure family,
-// sorted by name.
-func ByKind(kind string) []Info {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	var out []Info
-	for _, info := range registry {
-		if info.Kind == kind {
-			out = append(out, info)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// Featured returns the featured (figure-bearing) algorithm of a family.
-func Featured(kind string) (Info, bool) {
-	for _, info := range ByKind(kind) {
-		if info.Featured {
-			return info, true
-		}
-	}
-	return Info{}, false
-}

@@ -67,6 +67,40 @@ func TestRegisterInvalidPanics(t *testing.T) {
 	}
 }
 
+func TestByKindSortedAndFiltered(t *testing.T) {
+	mk := func(o Options) Set { return &fakeSet{} }
+	Register(Info{Name: "test/bk-b", Kind: "bykind", New: mk})
+	Register(Info{Name: "test/bk-a", Kind: "bykind", New: mk})
+	Register(Info{Name: "test/bk-c", Kind: "otherkind", New: mk})
+	got := ByKind("bykind")
+	if len(got) != 2 || got[0].Name != "test/bk-a" || got[1].Name != "test/bk-b" {
+		t.Fatalf("ByKind not filtered+sorted: %+v", got)
+	}
+	if len(ByKind("kindless")) != 0 {
+		t.Fatal("ByKind of unknown kind not empty")
+	}
+}
+
+func TestFeaturedAmongSeveral(t *testing.T) {
+	mk := func(o Options) Set { return &fakeSet{} }
+	Register(Info{Name: "test/fs-plain", Kind: "fskind", New: mk})
+	Register(Info{Name: "test/fs-star", Kind: "fskind", Featured: true, New: mk})
+	Register(Info{Name: "test/fs-other", Kind: "fskind", New: mk})
+	info, ok := Featured("fskind")
+	if !ok || info.Name != "test/fs-star" {
+		t.Fatalf("Featured among several = %+v, %v", info, ok)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() unsorted at %d: %v", i, names)
+		}
+	}
+}
+
 func TestFeaturedFindsFlag(t *testing.T) {
 	Register(Info{Name: "test/feat", Kind: "featkind", Featured: true,
 		New: func(o Options) Set { return &fakeSet{} }})

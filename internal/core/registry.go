@@ -1,0 +1,93 @@
+// Base layer of the algorithm factory: a registry mapping plain algorithm
+// names ("list/lazy") to constructors. Implementation packages populate it
+// from their init functions; the composite-spec layer (spec.go) resolves
+// leaf names through it.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Info describes a registered algorithm.
+type Info struct {
+	// Name is the registry key, e.g. "list/lazy".
+	Name string
+	// Kind is the structure family: "list", "skiplist", "hashtable",
+	// "bst", "queue", "stack".
+	Kind string
+	// Progress is "blocking", "lock-free" or "wait-free".
+	Progress string
+	// Featured marks the best-performing blocking algorithm per structure
+	// (the ones the paper's figures show).
+	Featured bool
+	// New constructs an empty instance.
+	New func(Options) Set
+	// Desc is a one-line provenance note (original authors).
+	Desc string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+)
+
+// Register adds an algorithm; called from implementation packages' init.
+// Duplicate names panic: they indicate a wiring bug.
+func Register(info Info) {
+	if info.Name == "" || info.New == nil {
+		panic("core: Register with empty name or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate algorithm %q", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup finds an algorithm by name.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByKind returns the registered algorithms of one structure family,
+// sorted by name.
+func ByKind(kind string) []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []Info
+	for _, info := range registry {
+		if info.Kind == kind {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Featured returns the featured (figure-bearing) algorithm of a family.
+func Featured(kind string) (Info, bool) {
+	for _, info := range ByKind(kind) {
+		if info.Featured {
+			return info, true
+		}
+	}
+	return Info{}, false
+}

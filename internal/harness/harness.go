@@ -28,7 +28,12 @@ import (
 
 // Config describes one experiment cell.
 type Config struct {
-	// Algorithm is the registry name, e.g. "list/lazy".
+	// Algorithm is an algorithm specification: a plain registry name
+	// ("list/lazy") or a composite built from structure combinators
+	// ("sharded(16,list/lazy)", "readcache(1024,bst/tk)"). Composite
+	// instances pass every inner operation through the worker's context,
+	// so per-shard lock-wait and restart metrics aggregate into the same
+	// per-thread slots a plain run fills.
 	Algorithm string
 	// Threads is the worker count.
 	Threads int
@@ -104,13 +109,13 @@ type Result struct {
 // Run executes the experiment and averages the runs.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	info, ok := core.Lookup(cfg.Algorithm)
-	if !ok {
-		return Result{}, fmt.Errorf("harness: unknown algorithm %q (have %v)", cfg.Algorithm, core.Names())
+	newSet, err := core.NewFactory(cfg.Algorithm)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %w", err)
 	}
 	agg := Result{Config: cfg}
 	for r := 0; r < cfg.Runs; r++ {
-		res := runOnce(cfg, info, uint64(r))
+		res := runOnce(cfg, newSet, uint64(r))
 		agg.accumulate(&res, cfg.Runs)
 	}
 	return agg, nil
@@ -142,17 +147,20 @@ func (a *Result) accumulate(r *Result, runs int) {
 	a.Reclaimed += r.Reclaimed
 }
 
-func runOnce(cfg Config, info core.Info, round uint64) Result {
+func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) Result {
 	opts := core.Options{
 		ElideAttempts: cfg.ElideAttempts,
 		ExpectedSize:  cfg.Workload.Size,
+		// Workload keys are drawn from [1, KeySpace]; range-partitioning
+		// combinators split exactly that domain.
+		KeySpan: core.Key(cfg.Workload.KeySpace) + 1,
 	}
 	var dom *ebr.Domain
 	if cfg.UseEBR {
 		dom = ebr.NewDomain()
 		opts.Domain = dom
 	}
-	s := info.New(opts)
+	s := newSet(opts)
 	gen := workload.NewGenerator(cfg.Workload)
 
 	// Pre-fill from a setup context.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"csds/internal/workload"
 
 	_ "csds/internal/bst"
+	_ "csds/internal/combinator"
 	_ "csds/internal/hashtable"
 	_ "csds/internal/list"
 	_ "csds/internal/skiplist"
@@ -39,6 +41,71 @@ func TestUnknownAlgorithm(t *testing.T) {
 	_, err := Run(Config{Algorithm: "nope/nope"})
 	if err == nil {
 		t.Fatal("unknown algorithm did not error")
+	}
+	if !strings.Contains(err.Error(), "unknown algorithm") ||
+		!strings.Contains(err.Error(), "list/lazy") {
+		t.Fatalf("error not actionable (should name the problem and list registered algorithms): %v", err)
+	}
+	if _, err := Run(Config{Algorithm: "sharded(16"}); err == nil {
+		t.Fatal("malformed composite spec did not error")
+	}
+	if _, err := Run(Config{Algorithm: "nocomb(4,list/lazy)"}); err == nil {
+		t.Fatal("unknown combinator did not error")
+	}
+}
+
+// TestCompositeRun drives composite specifications through the full
+// harness path and checks the metric set matches a plain algorithm's:
+// per-shard lock stats must aggregate into the same per-thread slots.
+func TestCompositeRun(t *testing.T) {
+	for _, alg := range []string{
+		"sharded(16,list/lazy)",
+		"striped(8,skiplist/herlihy)",
+		"readcache(1024,bst/tk)",
+	} {
+		cfg := quick(alg)
+		cfg.Workload.UpdateRatio = 0.5 // drive the locking write paths
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.TotalOps == 0 || res.Throughput <= 0 {
+			t.Fatalf("%s: no throughput measured: %+v", alg, res)
+		}
+		if res.PerThreadMean <= 0 {
+			t.Fatalf("%s: per-thread throughput missing", alg)
+		}
+		// The blocking leaves take locks on updates; those acquisitions
+		// happen inside shard instances and must still reach the
+		// harness through the shared Ctx stats (WaitingOpsFrac's
+		// denominator). A histogram entry per update op must also flow.
+		var histTotal uint64
+		for _, b := range res.RestartHist {
+			histTotal += b
+		}
+		if histTotal == 0 {
+			t.Fatalf("%s: restart histogram empty — inner metrics not flowing through the composite", alg)
+		}
+		if res.WaitFraction < 0 || res.WaitFraction > 1 {
+			t.Fatalf("%s: WaitFraction out of range: %v", alg, res.WaitFraction)
+		}
+	}
+}
+
+// TestCompositeMatchesPlainSemantics runs the same seeded workload cell
+// against a plain and a sharded lazy list; both must complete and produce
+// comparable op totals (sharding must not distort the harness plumbing).
+func TestCompositeMatchesPlainSemantics(t *testing.T) {
+	plain, err := Run(quick("list/lazy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(quick("sharded(4,list/lazy)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalOps == 0 || sharded.TotalOps == 0 {
+		t.Fatalf("ops missing: plain %d sharded %d", plain.TotalOps, sharded.TotalOps)
 	}
 }
 

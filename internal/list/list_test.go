@@ -202,10 +202,12 @@ func TestLockCouplingWaits(t *testing.T) {
 			c := core.NewCtx(w)
 			c.Stats = &ths[w]
 			rng := xrand.New(uint64(w) + 5)
-			// Enough work that each worker outlives a scheduler timeslice:
-			// a preempted worker holding a coupling lock forces waits in
-			// the others even on a single-CPU host.
-			for i := 0; i < 3000; i++ {
+			// Enough work that each worker outlives several scheduler
+			// timeslices (~10ms each): a preempted worker holding a
+			// coupling lock forces waits in the others even on a
+			// single-CPU host, where 3000 iterations fit inside one
+			// slice and would record nothing.
+			for i := 0; i < 30000; i++ {
 				l.Get(c, core.Key(rng.Int63n(1024)))
 			}
 		}(w)

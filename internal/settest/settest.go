@@ -27,6 +27,20 @@ import (
 // Factory builds a fresh empty set with the given options.
 type Factory func(core.Options) core.Set
 
+// RunSpec executes the full battery against an algorithm specification —
+// plain ("list/lazy") or composite ("sharded(16,list/lazy)") — resolved
+// through the layered core factory. The caller's test package must import
+// the implementation (and, for composites, csds/internal/combinator)
+// packages so the registries are populated.
+func RunSpec(t *testing.T, spec string) {
+	t.Helper()
+	f, err := core.NewFactory(spec)
+	if err != nil {
+		t.Fatalf("settest: resolving spec: %v", err)
+	}
+	Run(t, Factory(f))
+}
+
 // Run executes the full battery against the factory.
 func Run(t *testing.T, f Factory) {
 	t.Helper()
@@ -60,7 +74,7 @@ func RunEBR(t *testing.T, f Factory) {
 	dom := ebr.NewDomain()
 	s := f(core.Options{Domain: dom, ExpectedSize: 256})
 	const workers = 4
-	const iters = 3000
+	iters := scale(3000)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -92,6 +106,17 @@ func RunEBR(t *testing.T, f Factory) {
 }
 
 func ctx() *core.Ctx { return core.NewCtx(0) }
+
+// scale shrinks stress iteration counts under -short (the CI-sized
+// battery): the interleaving coverage stays, the spin-heavy volume —
+// which inflates badly on few-core hosts, where ticket-lock waiters and
+// whole-map-copy updaters timeshare cores — drops fourfold.
+func scale(n int) int {
+	if testing.Short() {
+		return n / 4
+	}
+	return n
+}
 
 func testEmpty(t *testing.T, f Factory) {
 	s := f(core.Options{})
@@ -191,7 +216,7 @@ func testSequentialModel(t *testing.T, f Factory) {
 	c := ctx()
 	rng := xrand.New(20240611)
 	model := map[core.Key]core.Value{}
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < scale(20000); i++ {
 		k := core.Key(rng.Int63n(200))
 		switch rng.Uint64n(3) {
 		case 0:
@@ -272,7 +297,7 @@ func testQuickProperty(t *testing.T, f Factory) {
 func testConcurrentShared(t *testing.T, f Factory) {
 	s := f(core.Options{ExpectedSize: 64})
 	const workers = 8
-	const iters = 4000
+	iters := scale(4000)
 	const keySpace = 32
 	type tally struct{ ins, rem int64 }
 	tallies := make([][keySpace]tally, workers)
@@ -329,7 +354,7 @@ func testConcurrentDisjoint(t *testing.T, f Factory) {
 	s := f(core.Options{ExpectedSize: 1024})
 	const workers = 8
 	const rangeSize = 64
-	const iters = 4000
+	iters := scale(4000)
 	models := make([]map[core.Key]core.Value, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -423,7 +448,7 @@ func testReadersDuringUpdates(t *testing.T, f Factory) {
 			defer updaters.Done()
 			c := core.NewCtx(w)
 			rng := xrand.New(uint64(w) + 321)
-			for i := 0; i < 5000; i++ {
+			for i := 0; i < scale(5000); i++ {
 				// Churn keys around (but never equal to) the anchor.
 				k := core.Key(400 + rng.Int63n(200))
 				if k == anchor {
