@@ -3,13 +3,17 @@
 // paper reports, in plain text or CSV.
 //
 // The -alg flag accepts composite specifications built from structure
-// combinators as well as plain registry names.
+// combinators as well as plain registry names. Elastic composites
+// (elastic(N,spec)) additionally accept a resize schedule (-resize-at)
+// and an adaptive grow/shrink policy (-elastic-grow / -elastic-shrink /
+// -elastic-growwait); the report then includes the width-over-time trace.
 //
 // Examples:
 //
 //	csdsbench -alg list/lazy -threads 20 -size 2048 -updates 0.1 -dur 5s -runs 11
 //	csdsbench -alg 'sharded(16,list/lazy)' -threads 20 -zipf 0.8
-//	csdsbench -alg 'readcache(1024,bst/tk)' -updates 0.01
+//	csdsbench -alg 'elastic(1,list/lazy)' -resize-at '100ms:8,300ms:2'
+//	csdsbench -alg 'elastic(1,list/lazy)' -elastic-growwait 0.05 -elastic-max 32
 //	csdsbench -alg hashtable/lazy -elide 5 -threads 32
 //	csdsbench -list
 package main
@@ -17,7 +21,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"csds/internal/core"
@@ -33,19 +40,63 @@ import (
 )
 
 func main() {
-	alg := flag.String("alg", "list/lazy", "algorithm spec: a name or composite like 'sharded(16,list/lazy)' (see -list)")
-	threads := flag.Int("threads", 20, "worker goroutines")
-	size := flag.Int("size", 2048, "structure size")
-	updates := flag.Float64("updates", 0.1, "update ratio")
-	zipf := flag.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
-	dur := flag.Duration("dur", 500*time.Millisecond, "measurement window per run")
-	runs := flag.Int("runs", 3, "runs to average (paper: 11)")
-	elide := flag.Int("elide", 0, "HTM elision attempts (0 = plain locks)")
-	ebrOn := flag.Bool("ebr", false, "attach epoch-based reclamation")
-	delayed := flag.Int("delayed", 0, "number of Figure 9 victim threads")
-	csv := flag.Bool("csv", false, "CSV output")
-	listAlgs := flag.Bool("list", false, "list registered algorithms and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseResizeSteps parses the -resize-at syntax: a comma-separated list of
+// duration:width pairs, e.g. "100ms:8,300ms:2".
+func parseResizeSteps(s string) ([]harness.ResizeStep, error) {
+	var steps []harness.ResizeStep
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at, width, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("resize step %q: want duration:width (e.g. 100ms:8)", part)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(at))
+		if err != nil {
+			return nil, fmt.Errorf("resize step %q: %v", part, err)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(width))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("resize step %q: width must be a positive integer", part)
+		}
+		steps = append(steps, harness.ResizeStep{At: d, Width: w})
+	}
+	return steps, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("csdsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	alg := fs.String("alg", "list/lazy", "algorithm spec: a name or composite like 'sharded(16,list/lazy)' (see -list)")
+	threads := fs.Int("threads", 20, "worker goroutines")
+	size := fs.Int("size", 2048, "structure size")
+	updates := fs.Float64("updates", 0.1, "update ratio")
+	zipf := fs.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
+	dur := fs.Duration("dur", 500*time.Millisecond, "measurement window per run")
+	runs := fs.Int("runs", 3, "runs to average (paper: 11)")
+	elide := fs.Int("elide", 0, "HTM elision attempts (0 = plain locks)")
+	ebrOn := fs.Bool("ebr", false, "attach epoch-based reclamation")
+	delayed := fs.Int("delayed", 0, "number of Figure 9 victim threads")
+	resizeAt := fs.String("resize-at", "", "resize schedule for elastic specs: 'dur:width[,dur:width...]', e.g. '100ms:8,300ms:2'")
+	egrow := fs.Float64("elastic-grow", 0, "adaptive policy: double the width when per-shard ops/s exceeds this (0 = off)")
+	eshrink := fs.Float64("elastic-shrink", 0, "adaptive policy: halve the width when per-shard ops/s falls below this (0 = off)")
+	egrowWait := fs.Float64("elastic-growwait", 0, "adaptive policy: double the width when the lock-wait fraction exceeds this (0 = off)")
+	emin := fs.Int("elastic-min", 1, "adaptive policy width floor")
+	emax := fs.Int("elastic-max", 64, "adaptive policy width ceiling")
+	einterval := fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence")
+	csv := fs.Bool("csv", false, "CSV output")
+	listAlgs := fs.Bool("list", false, "list registered algorithms and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *listAlgs {
 		for _, n := range core.Names() {
@@ -54,13 +105,13 @@ func main() {
 			if info.Featured {
 				star = "*"
 			}
-			fmt.Printf("%s %-24s %-10s %s\n", star, n, info.Progress, info.Desc)
+			fmt.Fprintf(stdout, "%s %-24s %-10s %s\n", star, n, info.Progress, info.Desc)
 		}
-		fmt.Println("\ncombinators (compose as comb(N,spec), nesting allowed):")
+		fmt.Fprintln(stdout, "\ncombinators (compose as comb(N,spec), nesting allowed):")
 		for _, c := range core.Combinators() {
-			fmt.Printf("  %-26s %s\n", fmt.Sprintf("%s(%s,spec)", c.Name, c.ArgDesc), c.Desc)
+			fmt.Fprintf(stdout, "  %-26s %s\n", fmt.Sprintf("%s(%s,spec)", c.Name, c.ArgDesc), c.Desc)
 		}
-		return
+		return 0
 	}
 
 	cfg := harness.Config{
@@ -72,37 +123,74 @@ func main() {
 		cfg.DelayedThreads = *delayed
 		cfg.DelayPlan = interrupt.PaperDelayPlan()
 	}
+	if *resizeAt != "" {
+		steps, err := parseResizeSteps(*resizeAt)
+		if err != nil {
+			fmt.Fprintf(stderr, "csdsbench: -resize-at: %v\n", err)
+			return 1
+		}
+		cfg.ResizeSteps = steps
+	}
+	if *egrow > 0 || *eshrink > 0 || *egrowWait > 0 {
+		cfg.Elastic = &harness.ElasticPolicy{
+			Interval: *einterval, GrowOps: *egrow, ShrinkOps: *eshrink,
+			GrowWait: *egrowWait, MinWidth: *emin, MaxWidth: *emax,
+		}
+	} else {
+		// Bound/cadence flags without a trigger would silently run a
+		// static benchmark; refuse instead of ignoring the user's intent.
+		orphaned := false
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "elastic-min", "elastic-max", "elastic-interval":
+				orphaned = true
+			}
+		})
+		if orphaned {
+			fmt.Fprintf(stderr, "csdsbench: -elastic-min/-elastic-max/-elastic-interval have no effect without a trigger; set -elastic-grow, -elastic-shrink or -elastic-growwait\n")
+			return 1
+		}
+	}
 	res, err := harness.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "csdsbench: %v\n", err)
-		fmt.Fprintf(os.Stderr, "hint: run 'csdsbench -list' for registered algorithms and combinators;\n")
-		fmt.Fprintf(os.Stderr, "      composite specs look like 'sharded(16,list/lazy)' or 'readcache(1024,bst/tk)'\n")
-		os.Exit(1)
+		fmt.Fprintf(stderr, "csdsbench: %v\n", err)
+		fmt.Fprintf(stderr, "hint: run 'csdsbench -list' for registered algorithms and combinators;\n")
+		fmt.Fprintf(stderr, "      composite specs look like 'sharded(16,list/lazy)' or 'elastic(4,bst/tk)'\n")
+		return 1
 	}
 	if *csv {
-		fmt.Println("alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac")
-		fmt.Printf("%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f\n",
+		fmt.Fprintln(stdout, "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width")
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d\n",
 			*alg, *threads, *size, *updates, *zipf,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
-			res.MaxWaitNs, res.FallbackFrac)
-		return
+			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth)
+		return 0
 	}
-	fmt.Printf("algorithm          %s\n", *alg)
-	fmt.Printf("threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *threads, *size, *updates*100, *zipf)
-	fmt.Printf("window x runs      %v x %d\n", *dur, *runs)
-	fmt.Printf("throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)
-	fmt.Printf("per-thread         mean %.0f ops/s, stddev %.0f\n", res.PerThreadMean, res.PerThreadStddev)
-	fmt.Printf("lock wait frac     %.6f (stddev %.6f), worst single wait %v\n",
+	fmt.Fprintf(stdout, "algorithm          %s\n", *alg)
+	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *threads, *size, *updates*100, *zipf)
+	fmt.Fprintf(stdout, "window x runs      %v x %d\n", *dur, *runs)
+	fmt.Fprintf(stdout, "throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)
+	fmt.Fprintf(stdout, "per-thread         mean %.0f ops/s, stddev %.0f\n", res.PerThreadMean, res.PerThreadStddev)
+	fmt.Fprintf(stdout, "lock wait frac     %.6f (stddev %.6f), worst single wait %v\n",
 		res.WaitFraction, res.WaitFractionStddev, time.Duration(res.MaxWaitNs))
-	fmt.Printf("waiting acq frac   %.6f\n", res.WaitingOpsFrac)
-	fmt.Printf("restarted >=1x     %.6f   >3x %.6f\n", res.RestartedFrac, res.RestartedFrac3)
-	fmt.Printf("restart histogram  %v\n", res.RestartHist)
+	fmt.Fprintf(stdout, "waiting acq frac   %.6f\n", res.WaitingOpsFrac)
+	fmt.Fprintf(stdout, "restarted >=1x     %.6f   >3x %.6f\n", res.RestartedFrac, res.RestartedFrac3)
+	fmt.Fprintf(stdout, "restart histogram  %v\n", res.RestartHist)
 	if res.FallbackFrac > 0 || *elide > 0 {
-		fmt.Printf("HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",
+		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",
 			res.FallbackFrac, res.TxAborts[0], res.TxAborts[1], res.TxAborts[2], res.TxAborts[3])
 	}
 	if *ebrOn {
-		fmt.Printf("EBR                retired %d, reclaimed %d\n", res.Retired, res.Reclaimed)
+		fmt.Fprintf(stdout, "EBR                retired %d, reclaimed %d\n", res.Retired, res.Reclaimed)
 	}
+	if res.WidthTrace != nil {
+		var tr []string
+		for _, ws := range res.WidthTrace {
+			tr = append(tr, fmt.Sprintf("%v:%d", time.Duration(ws.AtNs).Round(time.Millisecond), ws.Width))
+		}
+		fmt.Fprintf(stdout, "elastic width      final %d after %d resizes (last run trace: %s)\n",
+			res.FinalWidth, res.Resizes, strings.Join(tr, " "))
+	}
+	return 0
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"csds/internal/harness"
+)
+
+// TestListOutput smoke-tests -list: every registered combinator —
+// including elastic — and at least one featured algorithm must appear.
+func TestListOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{
+		"list/lazy",
+		"sharded(shards,spec)",
+		"striped(stripes,spec)",
+		"readcache(capacity,spec)",
+		"elastic(initial shards,spec)",
+		"Options.KeySpan", // the corrected striped routing description
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestUnknownSpecError smoke-tests the error path: an unknown algorithm
+// must exit nonzero with the actionable registry hint on stderr.
+func TestUnknownSpecError(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-alg", "list/nonexistent", "-dur", "10ms", "-runs", "1", "-threads", "1"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("unknown algorithm exited 0")
+	}
+	for _, want := range []string{"unknown algorithm", "csdsbench -list"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+// TestResizeAtRequiresResizable: scheduling resizes against a
+// non-resizable spec must fail with the elastic hint.
+func TestResizeAtRequiresResizable(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-alg", "list/lazy", "-resize-at", "10ms:4", "-dur", "10ms", "-runs", "1", "-threads", "1"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("resize schedule on a non-resizable spec exited 0")
+	}
+	if !strings.Contains(errOut.String(), "elastic(") {
+		t.Fatalf("stderr missing the elastic(N,...) hint:\n%s", errOut.String())
+	}
+}
+
+// TestBadResizeSyntax: malformed -resize-at values are rejected up front.
+func TestBadResizeSyntax(t *testing.T) {
+	for _, bad := range []string{"10ms", "x:4", "10ms:0", "10ms:-2"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-alg", "elastic(1,list/lazy)", "-resize-at", bad}, &out, &errOut); code == 0 {
+			t.Fatalf("-resize-at %q accepted", bad)
+		}
+	}
+}
+
+// TestOrphanedPolicyFlags: policy bound/cadence flags without a trigger
+// flag must be refused, not silently ignored.
+func TestOrphanedPolicyFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-alg", "elastic(1,list/lazy)", "-elastic-max", "32"}, &out, &errOut)
+	if code == 0 {
+		t.Fatal("-elastic-max without a trigger exited 0")
+	}
+	if !strings.Contains(errOut.String(), "-elastic-grow") {
+		t.Fatalf("stderr missing the trigger-flag hint:\n%s", errOut.String())
+	}
+	// With a trigger present the same flag is honoured.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{
+		"-alg", "elastic(1,list/lazy)", "-threads", "2", "-dur", "30ms", "-runs", "1",
+		"-elastic-max", "4", "-elastic-grow", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("triggered policy run exited %d (stderr: %s)", code, errOut.String())
+	}
+}
+
+// TestParseResizeSteps covers the schedule grammar directly.
+func TestParseResizeSteps(t *testing.T) {
+	steps, err := parseResizeSteps(" 100ms:8 , 300ms:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []harness.ResizeStep{{At: 100 * time.Millisecond, Width: 8}, {At: 300 * time.Millisecond, Width: 2}}
+	if len(steps) != len(want) || steps[0] != want[0] || steps[1] != want[1] {
+		t.Fatalf("parsed %v, want %v", steps, want)
+	}
+}
+
+// TestBenchRunSmoke runs one tiny real cell end to end, including a
+// resize, and checks the human-readable report shape.
+func TestBenchRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-alg", "elastic(1,list/lazy)", "-threads", "2", "-size", "64",
+		"-dur", "40ms", "-runs", "1", "-resize-at", "15ms:4",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("smoke run exited %d (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{"throughput", "lock wait frac", "elastic width"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -59,3 +59,34 @@ func BenchmarkCombinatorStripedSkiplist(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCombinatorElastic: the cost and payoff of elastic resharding.
+// The static rows compare sharded(8) with elastic(8) at rest — the
+// steady-state elasticity tax is one atomic map load plus one flag load
+// per operation, so elastic should track the static composite within a
+// few percent (the acceptance bar is 15%). The ramp row starts at width 1
+// and grows to 8 mid-run — the scenario a load-tracking deployment runs:
+// throughput starts at single-instance level and converges toward the
+// static sharded(8) rows as the resize settles.
+func BenchmarkCombinatorElastic(b *testing.B) {
+	wl := workload.Config{Size: 1024, UpdateRatio: 0.1}
+	for _, alg := range []string{"sharded(8,list/lazy)", "elastic(8,list/lazy)"} {
+		b.Run(fmt.Sprintf("alg=%s/static", alg), func(b *testing.B) {
+			benchCell(b, harness.Config{Algorithm: alg, Threads: 20, Workload: wl})
+		})
+	}
+	b.Run("alg=elastic(1,list/lazy)/ramp-to-8", func(b *testing.B) {
+		benchCell(b, harness.Config{
+			Algorithm: "elastic(1,list/lazy)", Threads: 20, Workload: wl,
+			ResizeSteps: []harness.ResizeStep{{At: benchDur / 4, Width: 8}},
+		})
+	})
+	b.Run("alg=elastic(1,list/lazy)/policy-growwait", func(b *testing.B) {
+		benchCell(b, harness.Config{
+			Algorithm: "elastic(1,list/lazy)", Threads: 20, Workload: wl,
+			Elastic: &harness.ElasticPolicy{
+				Interval: benchDur / 8, GrowWait: 0.02, MaxWidth: 8,
+			},
+		})
+	})
+}

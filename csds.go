@@ -33,11 +33,14 @@
 //	s, err := csds.Build("striped(8,skiplist/herlihy)", csds.Options{}) // ordered key-space stripes
 //	s, err := csds.Build("readcache(1024,bst/tk)", csds.Options{})    // bounded read-through cache
 //	s, err := csds.Build("readcache(512,sharded(4,hashtable/lazy))", csds.Options{}) // nested
+//	s, err := csds.Build("elastic(4,list/lazy)", csds.Options{})      // resizable online
 //
 // Composites accept the same *Ctx and feed the same fine-grained metrics
 // (lock waiting, restarts) through every layer, so the harness measures
-// them exactly like plain algorithms. NewSharded, NewStriped and
-// NewReadCached are typed shortcuts over the same grammar.
+// them exactly like plain algorithms. NewSharded, NewStriped, NewReadCached
+// and NewElastic are typed shortcuts over the same grammar. An elastic
+// composite implements Resizable — Resize(c, n) repartitions online —
+// and every structure implements Ranger (quiesced iteration).
 //
 // The subdirectories of this module hold the experiment harness
 // (internal/harness), the discrete-event multicore simulator
@@ -78,6 +81,11 @@ type (
 	Value = core.Value
 	// Info describes a registered algorithm.
 	Info = core.Info
+	// Ranger is the optional iteration extension of Set (quiesced use).
+	Ranger = core.Ranger
+	// Resizable is the optional online-repartitioning extension of Set,
+	// implemented by elastic composites.
+	Resizable = core.Resizable
 	// Queue is the FIFO interface (Section 7 structures).
 	Queue = queuestack.Queue
 	// Stack is the LIFO interface (Section 7 structures).
@@ -171,6 +179,15 @@ func NewStriped(stripes int, inner string, o Options) (Set, error) {
 // cache of about capacity entries, invalidated on updates.
 func NewReadCached(capacity int, inner string, o Options) (Set, error) {
 	return core.Build(fmt.Sprintf("readcache(%d,%s)", capacity, inner), o)
+}
+
+// NewElastic hash-partitions the key space over width instances of the
+// inner specification, like NewSharded — but the returned set also
+// implements Resizable: its width can be grown or shrunk online
+// (s.(csds.Resizable).Resize(c, n)) while readers and writers keep
+// running, so a deployment can track load instead of overprovisioning.
+func NewElastic(width int, inner string, o Options) (Set, error) {
+	return core.Build(fmt.Sprintf("elastic(%d,%s)", width, inner), o)
 }
 
 // NewQueue returns the standard lock-based FIFO queue (Section 7).

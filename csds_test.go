@@ -185,3 +185,44 @@ func TestCrossAlgorithmAgreement(t *testing.T) {
 		})
 	}
 }
+
+// TestElasticRootAPI exercises the exported elastic surface: NewElastic,
+// the Resizable assertion, online resize, and Ranger iteration.
+func TestElasticRootAPI(t *testing.T) {
+	s, err := NewElastic(2, "list/lazy", Options{ExpectedSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz, ok := s.(Resizable)
+	if !ok {
+		t.Fatalf("NewElastic built %T, which is not Resizable", s)
+	}
+	if rz.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", rz.Width())
+	}
+	c := NewCtx(0)
+	for k := Key(1); k <= 100; k++ {
+		if !s.Put(c, k, k+1000) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	if err := rz.Resize(c, 6); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Width() != 6 {
+		t.Fatalf("Width after resize = %d, want 6", rz.Width())
+	}
+	for k := Key(1); k <= 100; k++ {
+		if v, ok := s.Get(c, k); !ok || v != k+1000 {
+			t.Fatalf("after resize Get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	n := 0
+	s.(Ranger).Range(func(Key, Value) bool { n++; return true })
+	if n != 100 {
+		t.Fatalf("Range visited %d mappings, want 100", n)
+	}
+	if _, err := NewElastic(2, "no/such/alg", Options{}); err == nil {
+		t.Fatal("NewElastic accepted an unknown inner spec")
+	}
+}

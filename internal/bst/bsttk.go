@@ -309,6 +309,27 @@ func countLeaves(n *tkNode) int {
 	return countLeaves(n.left.Load()) + countLeaves(n.right.Load())
 }
 
+// Range implements core.Ranger: an in-order walk over non-sentinel
+// leaves, quiesced-use like Len.
+func (t *TK) Range(f func(k core.Key, v core.Value) bool) {
+	rangeLeaves(t.sroot.left.Load(), f)
+}
+
+// rangeLeaves walks n's leaves in order; it reports whether iteration
+// should continue.
+func rangeLeaves(n *tkNode, f func(k core.Key, v core.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.leaf {
+		if n.key == core.KeyMin || n.key == core.KeyMax {
+			return true
+		}
+		return f(n.key, n.val)
+	}
+	return rangeLeaves(n.left.Load(), f) && rangeLeaves(n.right.Load(), f)
+}
+
 func tkDoom(c *core.Ctx) *htm.Doom {
 	if c == nil {
 		return nil

@@ -152,3 +152,26 @@ func countPresent(n *inode) int {
 	}
 	return c + countPresent(n.left.Load()) + countPresent(n.right.Load())
 }
+
+// Range implements core.Ranger: an in-order walk over present nodes,
+// quiesced-use like Len.
+func (t *Internal) Range(f func(k core.Key, v core.Value) bool) {
+	if rangePresent(t.root.left.Load(), f) {
+		rangePresent(t.root.right.Load(), f)
+	}
+}
+
+// rangePresent walks n in order; it reports whether iteration should
+// continue.
+func rangePresent(n *inode, f func(k core.Key, v core.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !rangePresent(n.left.Load(), f) {
+		return false
+	}
+	if n.present.Load() && !f(n.key, n.val.Load()) {
+		return false
+	}
+	return rangePresent(n.right.Load(), f)
+}

@@ -1,6 +1,7 @@
 package combinator
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -169,6 +170,69 @@ func TestStripedSpreadsWorkloadKeys(t *testing.T) {
 			t.Fatalf("key %d routed backwards: stripe %d after %d", k, idx, lastStripe)
 		}
 		lastStripe = idx
+	}
+}
+
+// TestStripedWidthClampsToSpan pins the degenerate-partition fix: with a
+// key span smaller than the stripe count, per-stripe width used to round
+// to 1 and the trailing stripes could never receive a key. The effective
+// width now clamps to the span and Stripes reports it.
+func TestStripedWidthClampsToSpan(t *testing.T) {
+	s, err := core.Build("striped(8,list/lazy)", core.Options{KeySpan: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.(*Striped)
+	if st.Stripes() != 3 {
+		t.Fatalf("Stripes = %d, want 3 (clamped to the span)", st.Stripes())
+	}
+	c := ctx()
+	for k := core.Key(0); k < 3; k++ {
+		if !s.Put(c, k, k) {
+			t.Fatalf("Put(%d) failed", k)
+		}
+	}
+	// Every stripe must be reachable: the three domain keys land on three
+	// distinct stripes.
+	for i, inner := range st.stripes {
+		if inner.Len() != 1 {
+			t.Fatalf("stripe %d holds %d keys, want exactly 1", i, inner.Len())
+		}
+	}
+	// Out-of-domain keys still clamp to the end stripes.
+	if stripeIndex(st, 100) != 2 || stripeIndex(st, -5) != 0 {
+		t.Fatal("clamping to end stripes broken by the width clamp")
+	}
+	// A span of zero (no hints) must keep the full-domain behaviour.
+	wide, err := core.Build("striped(8,list/lazy)", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := wide.(*Striped).Stripes(); w != 8 {
+		t.Fatalf("hint-less striped clamped to %d, want 8", w)
+	}
+}
+
+// TestSpecValidation exercises the per-combinator argument checks wired
+// into spec resolution: out-of-range widths and capacities fail with an
+// actionable error before anything is constructed.
+func TestSpecValidation(t *testing.T) {
+	for _, tc := range []struct{ spec, wantSub string }{
+		{"sharded(100000,list/lazy)", "width 100000 exceeds"},
+		{"striped(70000,list/lazy)", "width 70000 exceeds"},
+		{"elastic(9999999,list/lazy)", "width 9999999 exceeds"},
+	} {
+		_, err := core.Build(tc.spec, core.Options{})
+		if err == nil {
+			t.Fatalf("%s: validation accepted an absurd width", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.spec, err, tc.wantSub)
+		}
+	}
+	// In-range widths still resolve.
+	if _, err := core.Build("sharded(64,list/lazy)", core.Options{}); err != nil {
+		t.Fatalf("sharded(64,...) rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,236 @@
+package combinator
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"csds/internal/core"
+	"csds/internal/locks"
+)
+
+// Elastic is a hash-partitioned composite (like Sharded) whose width can
+// be changed online: Resize repartitions the keys over a new shard count
+// while readers and writers keep running. It is the combinator layer's
+// answer to shifting load — a deployment can start at sharded(1) cost and
+// grow to sharded(64) throughput without a rebuild, the ROADMAP's elastic
+// resharding item.
+//
+// The design is an epoch-swapped copy-on-write shard map, in the same
+// spirit as the paper's COW list but at partition granularity: the shard
+// map is immutable, operations route through one atomic pointer load, and
+// a resize builds a whole new map and publishes it with a single atomic
+// swap. The paper's thesis (blocking structures are practically wait-free
+// because waiting is rare) sets the bar for the steady state: the read
+// path adds one atomic pointer load and one flag load over Sharded and
+// never waits, resizing or not.
+//
+// Resize protocol. Each shard carries a frozen flag and an in-flight
+// writer gate (a counter). The migrator walks the old map shard by shard:
+//
+//  1. freeze: set the shard's frozen flag;
+//  2. drain: wait until the writer gate reads zero — writers publish
+//     themselves on the gate before checking frozen, so a zero gate after
+//     freeze means no write is (or ever will be) in flight on the shard;
+//  3. copy: iterate the now-immutable shard (core.Ranger) into the new
+//     map, re-routing every key.
+//
+// After all shards are copied, one atomic store publishes the new map;
+// old maps stay frozen forever, so operations that raced the swap detect
+// staleness and retry on the current map.
+//
+// Per-operation protocol:
+//
+//   - Writers (Put/Remove) enter the shard's gate, then check frozen. Not
+//     frozen: the inner operation proceeds and the migrator cannot pass
+//     the drain until it completes. Frozen: the writer leaves the gate
+//     and waits for the epoch to advance (locks.WaitWhile, so the wait
+//     surfaces in the paper's fine-grained lock-wait metrics — this is
+//     the only wait elasticity ever imposes, and only during a resize),
+//     then retries on the published map.
+//   - Readers never wait. A reader checks the shard's frozen flag after
+//     its inner Get: not frozen means the read ran entirely before any
+//     migration of the shard, and frozen with the map still current means
+//     no post-migration update can exist yet (writers are parked), so in
+//     both cases the result is current. Only a reader that raced a
+//     completed swap retries, against the new map.
+//
+// Linearizability: away from resizes, operations linearize at their inner
+// operation, exactly like Sharded. Around a resize, writes linearize at
+// their inner operation (always on a shard the migrator has not yet
+// copied, or on the new map after the swap), and reads linearize at the
+// inner Get or at their map re-check, as argued above.
+type Elastic struct {
+	inner func(core.Options) core.Set
+	opts  core.Options // composite-level hints; re-split on every resize
+
+	cur      atomic.Pointer[epartition]
+	resizeMu sync.Mutex // serializes resizes; never touched by Get/Put/Remove
+	resizes  atomic.Uint64
+}
+
+// epartition is one immutable shard-map epoch.
+type epartition struct {
+	shards []eshard
+}
+
+// eshard is one shard of an epoch: the inner instance plus the freeze
+// flag and writer gate of the resize protocol. Padded so that adjacent
+// shards' gates do not share a cache line.
+type eshard struct {
+	set     core.Set
+	frozen  atomic.Bool
+	writers atomic.Int64
+	_       [32]byte
+}
+
+// route picks the shard for a key (same SplitMix64 routing as Sharded).
+func (p *epartition) route(k core.Key) *eshard {
+	return &p.shards[indexOf(mix64(uint64(k)), len(p.shards))]
+}
+
+// NewElastic builds an elastic composite with the given initial width.
+// The inner constructor must produce sets implementing core.Ranger
+// (every algorithm registered in this module does): migration iterates
+// frozen shards to re-route their keys.
+func NewElastic(n int, inner func(core.Options) core.Set, o core.Options) (*Elastic, error) {
+	e := &Elastic{inner: inner, opts: o}
+	p := e.buildPartition(clampParts(n))
+	if _, ok := p.shards[0].set.(core.Ranger); !ok {
+		return nil, fmt.Errorf("combinator: elastic needs an inner structure that implements core.Ranger (shard migration iterates frozen shards); %T does not", p.shards[0].set)
+	}
+	e.cur.Store(p)
+	return e, nil
+}
+
+// buildPartition constructs a fresh n-way shard map from the composite's
+// original (undivided) option hints.
+func (e *Elastic) buildPartition(n int) *epartition {
+	so := splitOptions(e.opts, n)
+	p := &epartition{shards: make([]eshard, n)}
+	for i := range p.shards {
+		p.shards[i].set = e.inner(so)
+	}
+	return p
+}
+
+// Get implements core.Set. The hot path is one map load, the inner Get,
+// and one flag load; it never waits, even during a resize.
+func (e *Elastic) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	for {
+		p := e.cur.Load()
+		sh := p.route(k)
+		v, ok := sh.set.Get(c, k)
+		if !sh.frozen.Load() || e.cur.Load() == p {
+			// Unfrozen: the read finished before any migration of this
+			// shard. Frozen but unswapped: the shard is immutable and no
+			// newer write exists anywhere yet. Either way, current.
+			return v, ok
+		}
+		// Frozen and superseded: the value may predate a post-swap
+		// update. Retry on the published map.
+	}
+}
+
+// write runs one mutation under the shard gate protocol.
+func (e *Elastic) write(c *core.Ctx, k core.Key, op func(core.Set) bool) bool {
+	for {
+		p := e.cur.Load()
+		sh := p.route(k)
+		sh.writers.Add(1)
+		if !sh.frozen.Load() {
+			res := op(sh.set)
+			sh.writers.Add(-1)
+			return res
+		}
+		sh.writers.Add(-1)
+		// The migrator owns this shard until the next map is published.
+		// Park (instrumented: the paper's metrics must see this wait),
+		// then retry on the published map.
+		locks.WaitWhile(c.Stat(), func() bool { return e.cur.Load() == p })
+	}
+}
+
+// Put implements core.Set.
+func (e *Elastic) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	return e.write(c, k, func(s core.Set) bool { return s.Put(c, k, v) })
+}
+
+// Remove implements core.Set.
+func (e *Elastic) Remove(c *core.Ctx, k core.Key) bool {
+	return e.write(c, k, func(s core.Set) bool { return s.Remove(c, k) })
+}
+
+// Len sums the shard sizes of the current map (quiesced-only, like the
+// inner Lens).
+func (e *Elastic) Len() int {
+	p := e.cur.Load()
+	n := 0
+	for i := range p.shards {
+		n += p.shards[i].set.Len()
+	}
+	return n
+}
+
+// Range implements core.Ranger over the current map's shards, in index
+// order — arbitrary key order overall (the partition is hashed).
+func (e *Elastic) Range(f func(k core.Key, v core.Value) bool) {
+	p := e.cur.Load()
+	sets := make([]core.Set, len(p.shards))
+	for i := range p.shards {
+		sets[i] = p.shards[i].set
+	}
+	rangeParts(sets, f)
+}
+
+// Width implements core.Resizable: the current shard count.
+func (e *Elastic) Width() int { return len(e.cur.Load().shards) }
+
+// Resizes reports how many resizes have been published (for tests and
+// width-over-time reporting).
+func (e *Elastic) Resizes() uint64 { return e.resizes.Load() }
+
+// Resize implements core.Resizable: repartition over n shards. Resizes
+// serialize with each other; reads proceed untouched and writes to a
+// shard mid-migration briefly wait (surfacing in c's lock-wait metrics).
+// Keys written to not-yet-migrated shards during the resize are picked up
+// when their shard is copied; keys written after the swap land in the new
+// map directly — no update is ever lost.
+func (e *Elastic) Resize(c *core.Ctx, n int) error {
+	// Enforce the same ceiling the spec grammar validates at build time:
+	// a runtime resize must not be the loophole that allocates millions
+	// of inner instances.
+	if n > maxPartitions {
+		return fmt.Errorf("combinator: elastic resize width %d exceeds %d inner instances — likely a typo (each shard is a whole structure instance)", n, maxPartitions)
+	}
+	n = clampParts(n)
+	e.resizeMu.Lock()
+	defer e.resizeMu.Unlock()
+	old := e.cur.Load()
+	if len(old.shards) == n {
+		return nil
+	}
+	next := e.buildPartition(n)
+	for i := range old.shards {
+		sh := &old.shards[i]
+		sh.frozen.Store(true)
+		// Drain: writers enter the gate before checking frozen, so once
+		// the gate reads zero, every writer that could still touch this
+		// shard has either completed or will observe frozen and park.
+		// (The migrator's own drain wait is an admin cost, not a
+		// workload metric, so it records no stats.)
+		locks.WaitWhile(nil, func() bool { return sh.writers.Load() != 0 })
+		// Copy the now-immutable shard into the new map. Concurrent
+		// readers keep scanning the old shard meanwhile; it still holds
+		// everything they can legitimately observe.
+		sh.set.(core.Ranger).Range(func(k core.Key, v core.Value) bool {
+			next.route(k).set.Put(c, k, v)
+			return true
+		})
+	}
+	// Publish: one atomic swap makes the new map current. Old maps stay
+	// frozen forever, so stragglers holding them detect and retry.
+	e.cur.Store(next)
+	e.resizes.Add(1)
+	return nil
+}

@@ -62,8 +62,13 @@ type rcSlot struct {
 // capacities in specs.
 const maxSpecCapacity = 1 << 24
 
-// NewReadCache wraps inner with a cache of about capacity entries
-// (rounded up to a power of two, minimum 1).
+// NewReadCache wraps inner with a cache of about capacity entries. The
+// slot table is always a power of two: capacity is rounded up to the next
+// power of two, a capacity <= 0 is clamped to a single slot, and anything
+// above maxSpecCapacity (2^24) is clamped down to maxSpecCapacity slots.
+// Callers that want clamping to be an error instead should build through
+// core.Build, whose per-combinator validation rejects out-of-range
+// capacities with an explanation before anything is constructed.
 func NewReadCache(capacity int, inner core.Set) *ReadCache {
 	n := 1
 	for n < capacity && n < maxSpecCapacity {
@@ -129,6 +134,13 @@ func (r *ReadCache) Len() int { return r.inner.Len() }
 
 // Capacity returns the rounded slot count.
 func (r *ReadCache) Capacity() int { return len(r.slots) }
+
+// Range implements core.Ranger by delegating to the inner structure (the
+// cache holds no mappings of its own). It panics if the inner structure
+// does not implement core.Ranger (every algorithm in this module does).
+func (r *ReadCache) Range(f func(k core.Key, v core.Value) bool) {
+	r.inner.(core.Ranger).Range(f)
+}
 
 // Fills returns how many Get misses filled a slot. It is maintained on
 // the miss path only: the hit path stays a bare atomic load — a hit

@@ -59,3 +59,9 @@ func (s *Sharded) Len() int {
 
 // Shards exposes the partition width (for tests and stats labeling).
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Range implements core.Ranger by visiting shards in index order —
+// arbitrary key order overall (the partition is hashed).
+func (s *Sharded) Range(f func(k core.Key, v core.Value) bool) {
+	rangeParts(s.shards, f)
+}

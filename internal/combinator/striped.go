@@ -30,14 +30,13 @@ type Striped struct {
 // NewStriped builds an n-way range-partitioned composite over inner
 // instances. Size hints in o describe the composite and set the
 // partition domain; under the paper's workloads each stripe then
-// receives about an n-th of the keys.
+// receives about an n-th of the keys. A width wider than the domain
+// itself would leave trailing stripes permanently unreachable (with
+// span < n each of the span keys maps to its own stripe and the rest
+// never route), so the effective width is clamped to the span;
+// Stripes reports the clamped width.
 func NewStriped(n int, inner func(core.Options) core.Set, o core.Options) *Striped {
 	n = clampParts(n)
-	so := splitOptions(o, n)
-	stripes := make([]core.Set, n)
-	for i := range stripes {
-		stripes[i] = inner(so)
-	}
 	lo, hi := core.Key(core.KeyMin), core.Key(core.KeyMax)
 	switch {
 	case o.KeySpan > 0:
@@ -46,7 +45,15 @@ func NewStriped(n int, inner func(core.Options) core.Set, o core.Options) *Strip
 		lo, hi = 0, core.Key(2*o.ExpectedSize)
 	}
 	span := uint64(hi) - uint64(lo) // exact even without overflow
-	per := (span-1)/uint64(n) + 1   // ceil(span/n), overflow-safe
+	if span < uint64(n) {
+		n = int(span)
+	}
+	per := (span-1)/uint64(n) + 1 // ceil(span/n), overflow-safe
+	so := splitOptions(o, n)
+	stripes := make([]core.Set, n)
+	for i := range stripes {
+		stripes[i] = inner(so)
+	}
 	return &Striped{stripes: stripes, lo: lo, per: per}
 }
 
@@ -87,5 +94,13 @@ func (s *Striped) Len() int {
 	return n
 }
 
-// Stripes exposes the partition width.
+// Stripes exposes the effective partition width (the requested width,
+// clamped to the partition domain's span).
 func (s *Striped) Stripes() int { return len(s.stripes) }
+
+// Range implements core.Ranger by visiting stripes in partition order, so
+// when the inner structures are ordered the whole iteration is in
+// ascending key order.
+func (s *Striped) Range(f func(k core.Key, v core.Value) bool) {
+	rangeParts(s.stripes, f)
+}

@@ -53,6 +53,31 @@ type Set interface {
 	Len() int
 }
 
+// Ranger is an optional Set extension: iteration over the current
+// mappings. Ordered structures (lists, skip lists, BSTs, range
+// partitions) visit keys in ascending order; hash-partitioned structures
+// visit them in arbitrary order. Iteration stops early when f returns
+// false. Like Len, Range is linear and not linearizable with respect to
+// concurrent updates — it is intended for quiesced verification and for
+// migration of frozen partitions (elastic resharding), where the caller
+// guarantees no concurrent writers.
+type Ranger interface {
+	Range(f func(k Key, v Value) bool)
+}
+
+// Resizable is an optional Set extension implemented by elastic
+// composites: the partition width can be changed online, concurrently
+// with readers and writers, without losing linearizability.
+type Resizable interface {
+	// Resize repartitions the structure over width inner instances. It
+	// serializes with other resizes; reads and writes proceed
+	// concurrently (writes to a shard being migrated briefly wait, and
+	// that wait surfaces in c's lock-wait metrics).
+	Resize(c *Ctx, width int) error
+	// Width reports the current partition width.
+	Width() int
+}
+
 // Ctx is the per-worker context. Exactly one goroutine may use a Ctx at a
 // time.
 type Ctx struct {

@@ -36,6 +36,12 @@ type Combinator struct {
 	ArgDesc string
 	// Desc is a one-line description for listings.
 	Desc string
+	// Validate, when non-nil, checks the integer parameter at spec
+	// resolution time, before anything is constructed. It returns an
+	// actionable error for arguments the combinator would otherwise have
+	// to clamp or reject silently (the parser only guarantees
+	// 1 <= arg <= 1<<24).
+	Validate func(arg int) error
 }
 
 var (
@@ -258,6 +264,11 @@ func (s *Spec) Factory() (func(Options) Set, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown combinator %q (registered: %s; grammar: comb(N,spec))",
 			s.Name, strings.Join(CombinatorNames(), ", "))
+	}
+	if comb.Validate != nil {
+		if err := comb.Validate(s.Arg); err != nil {
+			return nil, fmt.Errorf("core: spec %q: %w", s, err)
+		}
 	}
 	inner, err := s.Inner.Factory()
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -136,6 +137,44 @@ func TestSpecFactoryUnknownNames(t *testing.T) {
 	if _, err := Build("specwrap(1,no/such/alg)", Options{}); err == nil ||
 		!strings.Contains(err.Error(), "unknown algorithm") {
 		t.Fatalf("unknown inner leaf error = %v", err)
+	}
+}
+
+// TestSpecValidateHook checks per-combinator argument validation runs at
+// resolution time, names the offending spec, and fires before the inner
+// specification is even looked up.
+func TestSpecValidateHook(t *testing.T) {
+	Register(Info{
+		Name: "spec/validleaf", Kind: "spectest", Progress: "blocking",
+		New: func(o Options) Set { return &fakeSet{} },
+	})
+	RegisterCombinator(Combinator{
+		Name:    "specvalidated",
+		New:     func(arg int, inner func(Options) Set, o Options) Set { return inner(o) },
+		ArgDesc: "n", Desc: "test fixture",
+		Validate: func(arg int) error {
+			if arg > 7 {
+				return fmt.Errorf("specvalidated: arg %d exceeds 7", arg)
+			}
+			return nil
+		},
+	})
+	_, err := Build("specvalidated(8,spec/validleaf)", Options{})
+	if err == nil {
+		t.Fatal("out-of-range combinator arg accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds 7") ||
+		!strings.Contains(err.Error(), "specvalidated(8,spec/validleaf)") {
+		t.Fatalf("validation error not actionable: %v", err)
+	}
+	if _, err := Build("specvalidated(7,spec/validleaf)", Options{}); err != nil {
+		t.Fatalf("in-range arg rejected: %v", err)
+	}
+	// Validation precedes inner resolution: the arg error wins even when
+	// the inner name is bogus.
+	if _, err := Build("specvalidated(9,no/such/alg)", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds 7") {
+		t.Fatalf("validation did not run before inner resolution: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,66 @@ type Config struct {
 	// SwitchPlan, when non-nil on a run, subjects every worker to
 	// multiprogramming-style context switches (Tables 2–3).
 	SwitchPlan *interrupt.SwitchPlan
+
+	// ResizeSteps schedules explicit width changes at fixed offsets into
+	// each run. The algorithm must resolve to a core.Resizable composite
+	// (wrap any spec in elastic(N,...)).
+	ResizeSteps []ResizeStep
+	// Elastic, when non-nil, runs the adaptive grow/shrink controller
+	// during each run (also requires a core.Resizable algorithm).
+	Elastic *ElasticPolicy
+}
+
+// ResizeStep is one scheduled width change: at offset At into the run,
+// resize the structure to Width shards (the csdsbench -resize-at axis).
+type ResizeStep struct {
+	At    time.Duration
+	Width int
+}
+
+// ElasticPolicy is the adaptive resize trigger: a controller samples the
+// workers' published counters every Interval and doubles the partition
+// width when a shard is running too hot (per-shard throughput above
+// GrowOps, or lock-wait fraction above GrowWait), halving it when shards
+// run cold (per-shard throughput below ShrinkOps). This gives experiments
+// a load-tracking scenario axis: ramp the offered load and watch the
+// width follow.
+type ElasticPolicy struct {
+	// Interval is the sampling cadence (default 25ms).
+	Interval time.Duration
+	// GrowOps doubles the width when per-shard throughput (ops/s)
+	// exceeds it; 0 disables the trigger.
+	GrowOps float64
+	// ShrinkOps halves the width when per-shard throughput falls below
+	// it; 0 disables the trigger.
+	ShrinkOps float64
+	// GrowWait doubles the width when the fraction of worker time spent
+	// waiting for locks exceeds it; 0 disables the trigger.
+	GrowWait float64
+	// MinWidth / MaxWidth bound the controller (defaults 1 and 64).
+	MinWidth, MaxWidth int
+}
+
+func (p ElasticPolicy) withDefaults() ElasticPolicy {
+	if p.Interval <= 0 {
+		p.Interval = 25 * time.Millisecond
+	}
+	if p.MinWidth < 1 {
+		p.MinWidth = 1
+	}
+	if p.MaxWidth < p.MinWidth {
+		p.MaxWidth = 64
+		if p.MaxWidth < p.MinWidth {
+			p.MaxWidth = p.MinWidth
+		}
+	}
+	return p
+}
+
+// WidthSample is one point of the width-over-time trace.
+type WidthSample struct {
+	AtNs  uint64 // offset into the run
+	Width int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +165,11 @@ type Result struct {
 
 	// EBR bookkeeping.
 	Retired, Reclaimed uint64
+
+	// Elastic resharding (set when ResizeSteps or an Elastic policy ran).
+	Resizes    int           // resizes published, summed over runs
+	FinalWidth int           // partition width at the end of the last run
+	WidthTrace []WidthSample // width-over-time trace of the last run
 }
 
 // Run executes the experiment and averages the runs.
@@ -113,9 +179,18 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %w", err)
 	}
+	if len(cfg.ResizeSteps) > 0 || cfg.Elastic != nil {
+		steps := make([]ResizeStep, len(cfg.ResizeSteps))
+		copy(steps, cfg.ResizeSteps)
+		sort.Slice(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+		cfg.ResizeSteps = steps
+	}
 	agg := Result{Config: cfg}
 	for r := 0; r < cfg.Runs; r++ {
-		res := runOnce(cfg, newSet, uint64(r))
+		res, err := runOnce(cfg, newSet, uint64(r))
+		if err != nil {
+			return Result{}, err
+		}
 		agg.accumulate(&res, cfg.Runs)
 	}
 	return agg, nil
@@ -145,9 +220,14 @@ func (a *Result) accumulate(r *Result, runs int) {
 	}
 	a.Retired += r.Retired
 	a.Reclaimed += r.Reclaimed
+	a.Resizes += r.Resizes
+	a.FinalWidth = r.FinalWidth
+	if r.WidthTrace != nil {
+		a.WidthTrace = r.WidthTrace
+	}
 }
 
-func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) Result {
+func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Result, error) {
 	opts := core.Options{
 		ElideAttempts: cfg.ElideAttempts,
 		ExpectedSize:  cfg.Workload.Size,
@@ -166,6 +246,16 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) Resul
 	// Pre-fill from a setup context.
 	setup := &core.Ctx{ID: 0, Rng: xrand.New(cfg.Seed)}
 	gen.Fill(setup, s)
+
+	rz, _ := s.(core.Resizable)
+	runCtrl := len(cfg.ResizeSteps) > 0 || cfg.Elastic != nil
+	if runCtrl && rz == nil {
+		return Result{}, fmt.Errorf("harness: algorithm %q is not resizable; wrap the spec in elastic(N,...) to use resize schedules or elastic policies", cfg.Algorithm)
+	}
+	var live []liveCell
+	if runCtrl && cfg.Elastic != nil {
+		live = make([]liveCell, cfg.Threads)
+	}
 
 	ths := make([]stats.Thread, cfg.Threads)
 	var stop atomic.Bool
@@ -217,10 +307,91 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) Resul
 					ok := s.Remove(c, k)
 					c.Stats.RecordRemove(ok)
 				}
+				if live != nil && c.Stats.Ops&(liveEvery-1) == 0 {
+					// Publish a snapshot of the thread's plain counters so
+					// the elastic controller can sample mid-run without a
+					// data race. Occasional atomic stores to a private
+					// cache line: no shared RMW traffic on the hot path.
+					live[w].ops.Store(c.Stats.Ops)
+					live[w].waitNs.Store(c.Stats.LockWaitNs)
+				}
 				inj.BetweenOps()
 			}
 			ths[w].ActiveNs = uint64(time.Since(t0))
 		}(w)
+	}
+
+	var ctrlWg sync.WaitGroup
+	var trace []WidthSample
+	resizes := 0
+	if runCtrl {
+		ctrlWg.Add(1)
+		go func() {
+			defer ctrlWg.Done()
+			// The controller gets its own context and stats slot: shard
+			// migration is an administrative cost, not workload ops, so it
+			// stays out of the per-thread metrics.
+			cc := &core.Ctx{ID: cfg.Threads, Rng: xrand.New(cfg.Seed ^ 0xE1A57C), Stats: &stats.Thread{}}
+			<-startGate
+			t0 := time.Now()
+			width := rz.Width()
+			trace = append(trace, WidthSample{AtNs: 0, Width: width})
+			publish := func() {
+				resizes++
+				width = rz.Width()
+				trace = append(trace, WidthSample{AtNs: uint64(time.Since(t0)), Width: width})
+			}
+			var pol ElasticPolicy
+			if cfg.Elastic != nil {
+				pol = cfg.Elastic.withDefaults()
+			}
+			nextSample := pol.Interval
+			var lastOps, lastWaitNs uint64
+			var lastAt time.Duration
+			idx := 0
+			for !stop.Load() {
+				now := time.Since(t0)
+				for idx < len(cfg.ResizeSteps) && now >= cfg.ResizeSteps[idx].At {
+					// A same-width step is a no-op (no epoch swap); count
+					// only resizes that actually changed the partition.
+					if rz.Resize(cc, cfg.ResizeSteps[idx].Width) == nil && rz.Width() != width {
+						publish()
+					}
+					idx++
+				}
+				if cfg.Elastic != nil && now >= nextSample {
+					var ops, waitNs uint64
+					for i := range live {
+						ops += live[i].ops.Load()
+						waitNs += live[i].waitNs.Load()
+					}
+					if dt := now - lastAt; dt > 0 {
+						perShard := float64(ops-lastOps) / dt.Seconds() / float64(width)
+						waitFrac := float64(waitNs-lastWaitNs) / (float64(dt) * float64(cfg.Threads))
+						target := width
+						switch {
+						case (pol.GrowOps > 0 && perShard > pol.GrowOps) ||
+							(pol.GrowWait > 0 && waitFrac > pol.GrowWait):
+							target = width * 2
+						case pol.ShrinkOps > 0 && perShard < pol.ShrinkOps:
+							target = width / 2
+						}
+						if target < pol.MinWidth {
+							target = pol.MinWidth
+						}
+						if target > pol.MaxWidth {
+							target = pol.MaxWidth
+						}
+						if target != width && rz.Resize(cc, target) == nil && rz.Width() != width {
+							publish()
+						}
+					}
+					lastOps, lastWaitNs, lastAt = ops, waitNs, now
+					nextSample = now + pol.Interval
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
 	}
 
 	start.Wait()
@@ -228,8 +399,27 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) Resul
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	done.Wait()
+	ctrlWg.Wait()
 
-	return summarize(cfg, ths, dom)
+	res := summarize(cfg, ths, dom)
+	if runCtrl {
+		res.Resizes = resizes
+		res.FinalWidth = rz.Width()
+		res.WidthTrace = trace
+	}
+	return res, nil
+}
+
+// liveEvery is the op cadence at which workers publish counter snapshots
+// for the elastic controller (power of two so the check is one AND).
+const liveEvery = 256
+
+// liveCell is one worker's published snapshot, padded to its own cache
+// line so neighbours' stores do not interfere.
+type liveCell struct {
+	ops    atomic.Uint64
+	waitNs atomic.Uint64
+	_      [48]byte
 }
 
 func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {

@@ -235,3 +235,94 @@ func TestRestartHistogramSane(t *testing.T) {
 		t.Fatal("RestartedFrac3 exceeds RestartedFrac")
 	}
 }
+
+// TestResizeScheduleRun drives an explicit resize schedule through a full
+// harness run: the width trace must record every step in order and the
+// workload must keep flowing throughout.
+func TestResizeScheduleRun(t *testing.T) {
+	cfg := quick("elastic(1,list/lazy)")
+	cfg.Threads = 2
+	// Generous margins: under -race on a loaded single-CPU host the
+	// controller goroutine can be scheduled tens of milliseconds late.
+	cfg.Duration = 400 * time.Millisecond
+	cfg.ResizeSteps = []ResizeStep{
+		{At: 120 * time.Millisecond, Width: 2}, // deliberately out of order
+		{At: 30 * time.Millisecond, Width: 4},
+		{At: 220 * time.Millisecond, Width: 2}, // same-width no-op: must not count
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no ops measured during resizing")
+	}
+	if res.Resizes != 2 {
+		t.Fatalf("Resizes = %d, want 2 (the same-width step is a no-op)", res.Resizes)
+	}
+	if res.FinalWidth != 2 {
+		t.Fatalf("FinalWidth = %d, want 2", res.FinalWidth)
+	}
+	widths := make([]int, 0, len(res.WidthTrace))
+	for _, ws := range res.WidthTrace {
+		widths = append(widths, ws.Width)
+	}
+	if len(widths) != 3 || widths[0] != 1 || widths[1] != 4 || widths[2] != 2 {
+		t.Fatalf("width trace = %v, want [1 4 2]", widths)
+	}
+	for i := 1; i < len(res.WidthTrace); i++ {
+		if res.WidthTrace[i].AtNs < res.WidthTrace[i-1].AtNs {
+			t.Fatalf("width trace timestamps not monotone: %+v", res.WidthTrace)
+		}
+	}
+}
+
+// TestResizeRequiresResizable: a schedule against a non-resizable spec is
+// an upfront, actionable error.
+func TestResizeRequiresResizable(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.ResizeSteps = []ResizeStep{{At: time.Millisecond, Width: 4}}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "elastic(") {
+		t.Fatalf("want an error naming elastic(N,...), got %v", err)
+	}
+	cfg = quick("sharded(4,list/lazy)")
+	cfg.Elastic = &ElasticPolicy{GrowOps: 1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("elastic policy accepted for a static sharded spec")
+	}
+}
+
+// TestElasticPolicyGrow: with a trigger any throughput exceeds, the
+// adaptive controller must ramp the width up to the ceiling.
+func TestElasticPolicyGrow(t *testing.T) {
+	cfg := quick("elastic(1,list/lazy)")
+	cfg.Threads = 2
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Elastic = &ElasticPolicy{Interval: 10 * time.Millisecond, GrowOps: 1, MaxWidth: 8}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalWidth != 8 {
+		t.Fatalf("FinalWidth = %d, want the MaxWidth ceiling 8 (trace %v)", res.FinalWidth, res.WidthTrace)
+	}
+	if res.Resizes < 3 {
+		t.Fatalf("Resizes = %d, want >= 3 (1→2→4→8)", res.Resizes)
+	}
+}
+
+// TestElasticPolicyShrink: with a shrink floor above any achievable
+// throughput, the width must collapse to MinWidth.
+func TestElasticPolicyShrink(t *testing.T) {
+	cfg := quick("elastic(8,list/lazy)")
+	cfg.Threads = 2
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Elastic = &ElasticPolicy{Interval: 10 * time.Millisecond, ShrinkOps: 1e15}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalWidth != 1 {
+		t.Fatalf("FinalWidth = %d, want the MinWidth floor 1 (trace %v)", res.FinalWidth, res.WidthTrace)
+	}
+}

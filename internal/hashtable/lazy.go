@@ -218,6 +218,18 @@ func (h *Lazy) Len() int {
 	return total
 }
 
+// Range implements core.Ranger: a bucket-by-bucket walk over unmarked
+// nodes, in arbitrary key order, quiesced-use like Len.
+func (h *Lazy) Range(f func(k core.Key, v core.Value) bool) {
+	for i := range h.buckets {
+		for n := h.buckets[i].head.Load(); n != nil; n = n.next.Load() {
+			if !n.marked.Load() && !f(n.key, n.val) {
+				return
+			}
+		}
+	}
+}
+
 func doomOf(c *core.Ctx) *htm.Doom {
 	if c == nil {
 		return nil

@@ -95,6 +95,24 @@ func (b *Bucketed) Len() int {
 	return total
 }
 
+// Range implements core.Ranger when every bucket list does (all the lists
+// in this module do), visiting buckets in index order — arbitrary key
+// order overall.
+func (b *Bucketed) Range(f func(k core.Key, v core.Value) bool) {
+	done := false
+	for _, s := range b.buckets {
+		if done {
+			return
+		}
+		s.(core.Ranger).Range(func(k core.Key, v core.Value) bool {
+			if !f(k, v) {
+				done = true
+			}
+			return !done
+		})
+	}
+}
+
 // COW is the copy-on-write hash table: readers load an immutable map
 // snapshot; each writer copies the entire map under a global lock. Wait-free
 // O(1) reads, fully serialized O(n) writes.
@@ -162,6 +180,16 @@ func (h *COW) Remove(c *core.Ctx, k core.Key) bool {
 
 // Len implements core.Set.
 func (h *COW) Len() int { return len(*h.snap.Load()) }
+
+// Range implements core.Ranger over one immutable snapshot (exact even
+// during concurrency), in Go map iteration order.
+func (h *COW) Range(f func(k core.Key, v core.Value) bool) {
+	for k, v := range *h.snap.Load() {
+		if !f(k, v) {
+			return
+		}
+	}
+}
 
 // stripeCount is the fixed stripe count of the striped table (Java
 // ConcurrentHashMap's historical default concurrency level).
@@ -246,4 +274,16 @@ func (h *Striped) Len() int {
 		}
 	}
 	return total
+}
+
+// Range implements core.Ranger: a bucket-by-bucket walk over unmarked
+// nodes, in arbitrary key order, quiesced-use like Len.
+func (h *Striped) Range(f func(k core.Key, v core.Value) bool) {
+	for i := range h.buckets {
+		for n := h.buckets[i].head.Load(); n != nil; n = n.next.Load() {
+			if !n.marked.Load() && !f(n.key, n.val) {
+				return
+			}
+		}
+	}
 }

@@ -118,3 +118,14 @@ func (l *COW) Remove(c *core.Ctx, k core.Key) bool {
 
 // Len implements core.Set; exact even during concurrency (snapshot count).
 func (l *COW) Len() int { return len(l.snap.Load().keys) }
+
+// Range implements core.Ranger: an in-order walk over one immutable
+// snapshot (exact even during concurrency, like Len).
+func (l *COW) Range(f func(k core.Key, v core.Value) bool) {
+	s := l.snap.Load()
+	for i, k := range s.keys {
+		if !f(k, s.vals[i]) {
+			return
+		}
+	}
+}

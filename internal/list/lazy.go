@@ -226,6 +226,16 @@ func (l *Lazy) Len() int {
 	return n
 }
 
+// Range implements core.Ranger: an in-order level walk over unmarked
+// nodes, quiesced-use like Len.
+func (l *Lazy) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := l.head.next.Load(); curr.key != core.KeyMax; curr = curr.next.Load() {
+		if !curr.marked.Load() && !f(curr.key, curr.val) {
+			return
+		}
+	}
+}
+
 // doom extracts the worker's HTM abort flag, tolerating nil contexts.
 func doom(c *core.Ctx) *htm.Doom {
 	if c == nil {

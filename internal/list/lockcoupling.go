@@ -108,3 +108,12 @@ func (l *LockCoupling) Len() int {
 	}
 	return n
 }
+
+// Range implements core.Ranger (quiesced use; takes no locks, like Len).
+func (l *LockCoupling) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := l.head.next; curr.key != core.KeyMax; curr = curr.next {
+		if !f(curr.key, curr.val) {
+			return
+		}
+	}
+}

@@ -157,3 +157,13 @@ func (l *Pugh) Len() int {
 	}
 	return n
 }
+
+// Range implements core.Ranger: an in-order walk over unmarked nodes,
+// quiesced-use like Len.
+func (l *Pugh) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := l.head.next.Load(); curr.key != core.KeyMax; curr = curr.next.Load() {
+		if !curr.marked.Load() && !f(curr.key, curr.val) {
+			return
+		}
+	}
+}

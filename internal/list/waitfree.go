@@ -362,3 +362,15 @@ func (l *WaitFree) Len() int {
 	}
 	return n
 }
+
+// Range implements core.Ranger: an in-order walk over unmarked nodes,
+// quiesced-use like Len.
+func (l *WaitFree) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := l.head.link.Load().next; curr.key != core.KeyMax; {
+		link := curr.link.Load()
+		if !link.marked && !f(curr.key, curr.val) {
+			return
+		}
+		curr = link.next
+	}
+}

@@ -58,6 +58,25 @@ func pause(i int) {
 	}
 }
 
+// WaitWhile spins until cond reports false, yielding to the scheduler like
+// every lock in this package, and records the contended wait (if any) into
+// t. It is the freeze-wait primitive for epoch-swapped combinators
+// (elastic resharding): not a lock, but the same §5.1 methodology applies —
+// the clock is read only once waiting is certain, so the un-contended path
+// (cond already false) records nothing and never reads the clock.
+func WaitWhile(t *stats.Thread, cond func() bool) {
+	if !cond() {
+		return
+	}
+	start := time.Now()
+	for i := 0; cond(); i++ {
+		pause(i)
+	}
+	if t != nil {
+		t.RecordWait(uint64(time.Since(start)))
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Test-and-set lock
 // ---------------------------------------------------------------------------

@@ -1,9 +1,11 @@
 package locks
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"csds/internal/stats"
 )
@@ -151,10 +153,14 @@ func TestTicketFIFO(t *testing.T) {
 
 func waitUntil(t *testing.T, cond func() bool) {
 	t.Helper()
-	for i := 0; i < 1e7; i++ {
+	// Yield every iteration: on a single-CPU host a non-yielding spin can
+	// starve the very goroutine whose progress the condition observes.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
 		if cond() {
 			return
 		}
+		runtime.Gosched()
 	}
 	t.Fatal("condition never became true")
 }
@@ -300,4 +306,32 @@ func BenchmarkTicketContended(b *testing.B) {
 			l.Release()
 		}
 	})
+}
+
+// TestWaitWhile checks the freeze-wait primitive follows the §5.1
+// methodology: nothing recorded (and no clock read) when the condition is
+// already false, one wait with elapsed time recorded when it spins.
+func TestWaitWhile(t *testing.T) {
+	var th stats.Thread
+	WaitWhile(&th, func() bool { return false })
+	if th.LockAcqs != 0 || th.LockWaits != 0 || th.LockWaitNs != 0 {
+		t.Fatalf("uncontended WaitWhile recorded stats: %+v", th)
+	}
+	var frozen atomic.Bool
+	frozen.Store(true)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		frozen.Store(false)
+	}()
+	WaitWhile(&th, frozen.Load)
+	if th.LockWaits != 1 || th.LockWaitNs == 0 {
+		t.Fatalf("contended WaitWhile did not record the wait: %+v", th)
+	}
+	// A nil stats slot disables recording, like the locks.
+	frozen.Store(true)
+	go func() {
+		time.Sleep(time.Millisecond)
+		frozen.Store(false)
+	}()
+	WaitWhile(nil, frozen.Load)
 }

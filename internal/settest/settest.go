@@ -11,7 +11,10 @@
 //   - disjoint-key concurrency (each worker owns a key range; its slice of
 //     the structure must match its private model exactly);
 //   - EBR integration (when a domain is supplied, retired never exceeds
-//     removed and readers never observe reclaimed state).
+//     removed and readers never observe reclaimed state);
+//   - concurrent-resize conformance for core.Resizable composites: the
+//     same invariants hold while the partition width is grown and shrunk
+//     underneath the workload (RunResizable).
 package settest
 
 import (
@@ -66,6 +69,60 @@ func RunElided(t *testing.T, f Factory) {
 	t.Run("ElidedSequentialModel", func(t *testing.T) { testSequentialModel(t, wrap) })
 	t.Run("ElidedConcurrentShared", func(t *testing.T) { testConcurrentShared(t, wrap) })
 	t.Run("ElidedConcurrentDisjoint", func(t *testing.T) { testConcurrentDisjoint(t, wrap) })
+}
+
+// RunResizable executes the concurrent battery against a core.Resizable
+// factory while a dedicated goroutine resizes the structure the whole
+// time, cycling the width up and down so both grow and shrink migrations
+// race the workload. The linearizability checks are the same set-algebra
+// and anchor-visibility arguments as the static battery: they must hold
+// regardless of how often the partition is reshaped underneath.
+func RunResizable(t *testing.T, f Factory) {
+	t.Helper()
+	resizing := func(name string, body func(t *testing.T, s core.Set)) {
+		t.Run(name, func(t *testing.T) {
+			s := f(core.Options{ExpectedSize: 256})
+			rz, ok := s.(core.Resizable)
+			if !ok {
+				t.Fatalf("settest: factory built %T, which is not core.Resizable", s)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var resizeErr error // written by the resizer, read after wg.Wait
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := core.NewCtx(999)
+				widths := []int{2, 8, 1, 4, 16, 3}
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := rz.Resize(c, widths[i%len(widths)]); err != nil {
+						resizeErr = err
+						return
+					}
+				}
+			}()
+			body(t, s)
+			close(stop)
+			wg.Wait()
+			if resizeErr != nil {
+				t.Fatalf("settest: Resize failed during the battery: %v", resizeErr)
+			}
+			if w := rz.Width(); w < 1 {
+				t.Fatalf("final Width = %d", w)
+			}
+		})
+	}
+	resizing("SharedKeysUnderResize", func(t *testing.T, s core.Set) {
+		runConcurrentShared(t, s)
+	})
+	resizing("ReadersDuringResize", func(t *testing.T, s core.Set) {
+		runReadersDuringUpdates(t, s)
+	})
 }
 
 // RunEBR exercises the set with an EBR domain attached.
@@ -295,7 +352,10 @@ func testQuickProperty(t *testing.T, f Factory) {
 // testConcurrentShared hammers a small shared key space and checks the
 // insert/remove algebra per key.
 func testConcurrentShared(t *testing.T, f Factory) {
-	s := f(core.Options{ExpectedSize: 64})
+	runConcurrentShared(t, f(core.Options{ExpectedSize: 64}))
+}
+
+func runConcurrentShared(t *testing.T, s core.Set) {
 	const workers = 8
 	iters := scale(4000)
 	const keySpace = 32
@@ -412,7 +472,10 @@ func testConcurrentDisjoint(t *testing.T, f Factory) {
 // testReadersDuringUpdates checks that concurrent readers always see a key
 // that is never removed, while churn happens around it.
 func testReadersDuringUpdates(t *testing.T, f Factory) {
-	s := f(core.Options{ExpectedSize: 128})
+	runReadersDuringUpdates(t, f(core.Options{ExpectedSize: 128}))
+}
+
+func runReadersDuringUpdates(t *testing.T, s core.Set) {
 	c0 := ctx()
 	const anchor = core.Key(500)
 	if !s.Put(c0, anchor, 12345) {

@@ -1,0 +1,118 @@
+// Tests for the conformance suite itself: the battery must pass on a
+// trivially correct reference implementation (a mutex-guarded map), drive
+// composite specs through the layered factory, and exercise the
+// concurrent-resize harness against a well-behaved Resizable.
+package settest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csds/internal/core"
+
+	// Populate the registries for the RunSpec test.
+	_ "csds/internal/combinator"
+	_ "csds/internal/list"
+)
+
+// refSet is the obviously linearizable reference: one mutex, one map.
+type refSet struct {
+	mu sync.Mutex
+	m  map[core.Key]core.Value
+}
+
+func newRefSet(core.Options) core.Set {
+	return &refSet{m: map[core.Key]core.Value{}}
+}
+
+func (r *refSet) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.m[k]
+	return v, ok
+}
+
+func (r *refSet) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[k]; ok {
+		return false
+	}
+	r.m[k] = v
+	return true
+}
+
+func (r *refSet) Remove(c *core.Ctx, k core.Key) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[k]; !ok {
+		return false
+	}
+	delete(r.m, k)
+	return true
+}
+
+func (r *refSet) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// refResizable adds a no-op repartition (the map is its own single
+// shard); it verifies the RunResizable harness machinery itself — width
+// cycling, final checks — against an implementation that cannot fail.
+type refResizable struct {
+	*refSet
+	width atomic.Int64
+}
+
+func newRefResizable(o core.Options) core.Set {
+	rr := &refResizable{refSet: newRefSet(o).(*refSet)}
+	rr.width.Store(1)
+	return rr
+}
+
+func (r *refResizable) Resize(c *core.Ctx, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	r.width.Store(int64(n))
+	return nil
+}
+
+func (r *refResizable) Width() int { return int(r.width.Load()) }
+
+// TestBatteryOnReferenceSet: the full battery accepts a correct set.
+func TestBatteryOnReferenceSet(t *testing.T) {
+	Run(t, newRefSet)
+}
+
+// TestEBROnReferenceSet: the EBR battery tolerates structures that never
+// retire (retired stays 0, reclaimed never exceeds it).
+func TestEBROnReferenceSet(t *testing.T) {
+	RunEBR(t, newRefSet)
+}
+
+// TestRunResizableOnReference: the resize battery drives widths and
+// passes on a correct Resizable.
+func TestRunResizableOnReference(t *testing.T) {
+	RunResizable(t, newRefResizable)
+}
+
+// TestRunSpecComposite: RunSpec resolves composite specifications through
+// the layered core factory and runs them.
+func TestRunSpecComposite(t *testing.T) {
+	RunSpec(t, "sharded(2,list/lazy)")
+}
+
+// TestScale pins the -short iteration scaling contract.
+func TestScale(t *testing.T) {
+	want := 4000
+	if testing.Short() {
+		want = 1000
+	}
+	if got := scale(4000); got != want {
+		t.Fatalf("scale(4000) = %d, want %d (short=%v)", got, want, testing.Short())
+	}
+}

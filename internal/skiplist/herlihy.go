@@ -399,6 +399,16 @@ func (s *Herlihy) Len() int {
 	return n
 }
 
+// Range implements core.Ranger: an in-order level-0 walk, quiesced-use
+// like Len.
+func (s *Herlihy) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := s.head.next[0].Load(); curr.key != core.KeyMax; curr = curr.next[0].Load() {
+		if !curr.marked.Load() && curr.fullyLinked.Load() && !f(curr.key, curr.val) {
+			return
+		}
+	}
+}
+
 // ctxDoom extracts the HTM doom flag from a context (nil-tolerant).
 func ctxDoom(c *core.Ctx) *htm.Doom {
 	if c == nil {

@@ -247,6 +247,18 @@ func (s *LockFree) Len() int {
 	return n
 }
 
+// Range implements core.Ranger: an in-order level-0 walk over unmarked
+// nodes, quiesced-use like Len.
+func (s *LockFree) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := s.head.next[0].Load().next; curr.key != core.KeyMax; {
+		link := curr.next[0].Load()
+		if !link.marked && !f(curr.key, curr.val) {
+			return
+		}
+		curr = link.next
+	}
+}
+
 // randomLevelLF mirrors randomLevel; separate name keeps the call sites
 // greppable per algorithm.
 func randomLevelLF(rng *xrand.Rng, max int) int { return randomLevel(rng, max) }

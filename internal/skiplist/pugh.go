@@ -228,3 +228,13 @@ func (s *Pugh) Len() int {
 	}
 	return n
 }
+
+// Range implements core.Ranger: an in-order level-0 walk over unmarked
+// nodes, quiesced-use like Len.
+func (s *Pugh) Range(f func(k core.Key, v core.Value) bool) {
+	for curr := s.head.next[0].Load(); curr.key != core.KeyMax; curr = curr.next[0].Load() {
+		if !curr.marked.Load() && !f(curr.key, curr.val) {
+			return
+		}
+	}
+}
