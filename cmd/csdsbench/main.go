@@ -12,10 +12,16 @@
 //
 //	csdsbench -alg list/lazy -threads 20 -size 2048 -updates 0.1 -dur 5s -runs 11
 //	csdsbench -alg 'sharded(16,list/lazy)' -threads 20 -zipf 0.8
+//	csdsbench -alg 'striped(8,skiplist/herlihy)' -scan-frac 0.2 -scan-len 128
 //	csdsbench -alg 'elastic(1,list/lazy)' -resize-at '100ms:8,300ms:2'
 //	csdsbench -alg 'elastic(1,list/lazy)' -elastic-growwait 0.05 -elastic-max 32
 //	csdsbench -alg hashtable/lazy -elide 5 -threads 32
 //	csdsbench -list
+//
+// A -scan-frac above 0 dedicates that fraction of operations to
+// linearizable range scans (every structure and combinator implements
+// them); scans are measured apart from point operations and reported on
+// their own rows.
 package main
 
 import (
@@ -76,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 20, "worker goroutines")
 	size := fs.Int("size", 2048, "structure size")
 	updates := fs.Float64("updates", 0.1, "update ratio")
+	scanFrac := fs.Float64("scan-frac", 0, "fraction of operations that are range scans (0 = none)")
+	scanLen := fs.Int64("scan-len", 64, "mean scan length in keys of the key space")
+	scanDist := fs.String("scan-dist", "uniform", "scan-length distribution: uniform, fixed or geometric")
 	zipf := fs.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
 	dur := fs.Duration("dur", 500*time.Millisecond, "measurement window per run")
 	runs := fs.Int("runs", 3, "runs to average (paper: 11)")
@@ -114,10 +123,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	switch *scanDist {
+	case workload.ScanLenUniform, workload.ScanLenFixed, workload.ScanLenGeometric:
+	default:
+		fmt.Fprintf(stderr, "csdsbench: -scan-dist %q: want uniform, fixed or geometric\n", *scanDist)
+		return 1
+	}
+	if *scanFrac < 0 || *scanFrac > 1 {
+		fmt.Fprintf(stderr, "csdsbench: -scan-frac %v outside [0, 1]\n", *scanFrac)
+		return 1
+	}
+	if *scanLen < 1 {
+		fmt.Fprintf(stderr, "csdsbench: -scan-len %d: the mean scan length must be at least 1\n", *scanLen)
+		return 1
+	}
 	cfg := harness.Config{
 		Algorithm: *alg, Threads: *threads, Duration: *dur, Runs: *runs,
 		ElideAttempts: *elide, UseEBR: *ebrOn,
-		Workload: workload.Config{Size: *size, UpdateRatio: *updates, ZipfS: *zipf},
+		Workload: workload.Config{
+			Size: *size, UpdateRatio: *updates, ZipfS: *zipf,
+			ScanRatio: *scanFrac, ScanLen: *scanLen, ScanLenDist: *scanDist,
+		},
 	}
 	if *delayed > 0 {
 		cfg.DelayedThreads = *delayed
@@ -159,12 +185,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *csv {
-		fmt.Fprintln(stdout, "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width")
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d\n",
+		fmt.Fprintln(stdout, "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns")
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d\n",
 			*alg, *threads, *size, *updates, *zipf,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
-			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth)
+			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
+			*scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs)
 		return 0
 	}
 	fmt.Fprintf(stdout, "algorithm          %s\n", *alg)
@@ -177,6 +204,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "waiting acq frac   %.6f\n", res.WaitingOpsFrac)
 	fmt.Fprintf(stdout, "restarted >=1x     %.6f   >3x %.6f\n", res.RestartedFrac, res.RestartedFrac3)
 	fmt.Fprintf(stdout, "restart histogram  %v\n", res.RestartHist)
+	if res.TotalScans > 0 {
+		fmt.Fprintf(stdout, "scan throughput    %.0f scans/s (%d scans total, %.1f keys/scan)\n",
+			res.ScanThroughput, res.TotalScans, res.ScanKeysMean)
+		fmt.Fprintf(stdout, "scan latency       mean %v, worst %v, %.3f retries/scan\n",
+			time.Duration(res.ScanMeanNs).Round(time.Microsecond),
+			time.Duration(res.ScanMaxNs).Round(time.Microsecond), res.ScanRetryFrac)
+	}
 	if res.FallbackFrac > 0 || *elide > 0 {
 		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",
 			res.FallbackFrac, res.TxAborts[0], res.TxAborts[1], res.TxAborts[2], res.TxAborts[3])

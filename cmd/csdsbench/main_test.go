@@ -102,6 +102,80 @@ func TestParseResizeSteps(t *testing.T) {
 	}
 }
 
+// TestScanFlagsSmoke runs a tiny scan-mix cell on each acceptance
+// composite and checks the scan rows appear with nonzero throughput,
+// distinct from the point-op row.
+func TestScanFlagsSmoke(t *testing.T) {
+	for _, alg := range []string{
+		"sharded(4,list/lazy)",
+		"striped(4,list/lazy)",
+		"elastic(4,list/lazy)",
+	} {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-alg", alg, "-threads", "2", "-size", "128",
+			"-dur", "40ms", "-runs", "1", "-scan-frac", "0.2", "-scan-len", "32",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: scan run exited %d (stderr: %s)", alg, code, errOut.String())
+		}
+		for _, want := range []string{"scan throughput", "scan latency", "keys/scan"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("%s: report missing %q:\n%s", alg, want, out.String())
+			}
+		}
+	}
+	// Without -scan-frac the scan rows stay out of the report.
+	var out, errOut strings.Builder
+	if code := run([]string{"-alg", "list/lazy", "-threads", "1", "-dur", "20ms", "-runs", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	if strings.Contains(out.String(), "scan throughput") {
+		t.Fatalf("scanless report shows scan rows:\n%s", out.String())
+	}
+}
+
+// TestScanFlagValidation rejects malformed scan flags up front.
+func TestScanFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "list/lazy", "-scan-frac", "1.5"},
+		{"-alg", "list/lazy", "-scan-frac", "-0.1"},
+		{"-alg", "list/lazy", "-scan-frac", "0.1", "-scan-dist", "pareto"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestScanCSVColumns pins the CSV header and the scan columns. The
+// column-count check uses a comma-free spec: composite specs carry
+// commas of their own inside the alg column (a long-standing quirk of
+// the unquoted CSV), which a naive comma count would miscount.
+func TestScanCSVColumns(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-alg", "list/lazy", "-threads", "2", "-size", "128",
+		"-dur", "30ms", "-runs", "1", "-scan-frac", "0.2", "-csv",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("csv scan run exited %d (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv output not header+row:\n%s", out.String())
+	}
+	for _, col := range []string{"scanfrac", "scans_per_s", "scan_mean_keys", "scan_mean_ns", "scan_max_ns"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("csv header missing %q: %s", col, lines[0])
+		}
+	}
+	if nh, nr := strings.Count(lines[0], ","), strings.Count(lines[1], ","); nh != nr {
+		t.Fatalf("csv header has %d columns, row has %d", nh+1, nr+1)
+	}
+}
+
 // TestBenchRunSmoke runs one tiny real cell end to end, including a
 // resize, and checks the human-readable report shape.
 func TestBenchRunSmoke(t *testing.T) {

@@ -40,7 +40,13 @@
 // them exactly like plain algorithms. NewSharded, NewStriped, NewReadCached
 // and NewElastic are typed shortcuts over the same grammar. An elastic
 // composite implements Resizable — Resize(c, n) repartitions online —
-// and every structure implements Ranger (quiesced iteration).
+// and every structure implements Ranger (quiesced iteration) and Scanner
+// (linearizable range scans):
+//
+//	s.(csds.Scanner).Scan(c, 100, 200, func(k csds.Key, v csds.Value) bool {
+//		... // keys in [100, 200), ascending on ordered structures
+//		return true
+//	})
 //
 // The subdirectories of this module hold the experiment harness
 // (internal/harness), the discrete-event multicore simulator
@@ -83,6 +89,9 @@ type (
 	Info = core.Info
 	// Ranger is the optional iteration extension of Set (quiesced use).
 	Ranger = core.Ranger
+	// Scanner is the optional linearizable range-scan extension of Set,
+	// implemented by every structure and combinator in this module.
+	Scanner = core.Scanner
 	// Resizable is the optional online-repartitioning extension of Set,
 	// implemented by elastic composites.
 	Resizable = core.Resizable

@@ -186,6 +186,51 @@ func TestCrossAlgorithmAgreement(t *testing.T) {
 	}
 }
 
+// TestScannerRootAPI exercises the exported range-scan surface: every
+// constructor's set satisfies Scanner, windows are half-open, ordered
+// structures ascend, and early stop works through the type alias.
+func TestScannerRootAPI(t *testing.T) {
+	c := NewCtx(0)
+	for name, s := range map[string]Set{
+		"lazy-list":  NewLazyList(),
+		"bst-tk":     NewBSTTK(),
+		"hash-table": NewLazyHashTable(256),
+	} {
+		sc, ok := s.(Scanner)
+		if !ok {
+			t.Fatalf("%s: %T does not satisfy Scanner", name, s)
+		}
+		for k := Key(0); k < 50; k++ {
+			s.Put(c, k, k*3)
+		}
+		var got []Key
+		if !sc.Scan(c, 10, 20, func(k Key, v Value) bool {
+			if v != k*3 {
+				t.Fatalf("%s: Scan returned (%d, %d), want value %d", name, k, v, k*3)
+			}
+			got = append(got, k)
+			return true
+		}) {
+			t.Fatalf("%s: complete scan reported early stop", name)
+		}
+		if len(got) != 10 {
+			t.Fatalf("%s: Scan [10, 20) visited %d keys, want 10", name, len(got))
+		}
+		n := 0
+		if sc.Scan(c, 0, 50, func(Key, Value) bool { n++; return n < 3 }) {
+			t.Fatalf("%s: early-stopped scan reported completion", name)
+		}
+	}
+	// Composites through Build satisfy Scanner too.
+	s, err := Build("striped(4,list/lazy)", Options{ExpectedSize: 128, KeySpan: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(Scanner); !ok {
+		t.Fatalf("striped composite %T does not satisfy Scanner", s)
+	}
+}
+
 // TestElasticRootAPI exercises the exported elastic surface: NewElastic,
 // the Resizable assertion, online resize, and Ranger iteration.
 func TestElasticRootAPI(t *testing.T) {

@@ -25,6 +25,17 @@ func TestInternal(t *testing.T) {
 	settest.Run(t, func(o core.Options) core.Set { return NewInternal(o) })
 }
 
+// TestScanners runs the linearizable range-scan battery on both trees;
+// BSTs scan in key order.
+func TestScanners(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"tk":       func(o core.Options) core.Set { return NewTK(o) },
+		"internal": func(o core.Options) core.Set { return NewInternal(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, true) })
+	}
+}
+
 func TestFeaturedIsTK(t *testing.T) {
 	info, ok := core.Featured("bst")
 	if !ok || info.Name != "bst/tk" {

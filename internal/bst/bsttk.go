@@ -43,6 +43,7 @@ type TK struct {
 	// gives every removable parent a lockable grandparent.
 	sroot  *tkNode
 	region htm.Region
+	guard  core.ScanGuard // validates optimistic range scans
 }
 
 // NewTK builds an empty BST-TK tree.
@@ -131,7 +132,9 @@ func (t *TK) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			continue
 		}
 		c.InCS()
+		t.guard.BeginWrite(c.Stat())
 		p.setChild(right, newSubtree(k, v, l))
+		t.guard.EndWrite()
 		p.lock.Release()
 		c.RecordRestarts(restarts)
 		return true
@@ -175,7 +178,9 @@ func (t *TK) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
+			t.guard.BeginWrite(c.Stat())
 			p.setChild(right, newSubtree(k, v, l))
+			t.guard.EndWrite()
 			inserted = true
 			return htm.Committed
 		})
@@ -218,7 +223,9 @@ func (t *TK) Remove(c *core.Ctx, k core.Key) bool {
 			continue
 		}
 		c.InCS()
+		t.guard.BeginWrite(c.Stat())
 		t.spliceLocked(gp, p, l, k)
+		t.guard.EndWrite()
 		p.lock.Release()
 		gp.lock.Release()
 		c.Retire(p)
@@ -275,7 +282,9 @@ func (t *TK) removeElided(c *core.Ctx, k core.Key) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
+			t.guard.BeginWrite(c.Stat())
 			t.spliceLocked(gp, p, l, k)
+			t.guard.EndWrite()
 			removed = true
 			return htm.Committed
 		})
@@ -328,6 +337,41 @@ func rangeLeaves(n *tkNode, f func(k core.Key, v core.Value) bool) bool {
 		return f(n.key, n.val)
 	}
 	return rangeLeaves(n.left.Load(), f) && rangeLeaves(n.right.Load(), f)
+}
+
+// Scan implements core.Scanner: a bounded in-order descent over the
+// external tree — only subtrees whose routing interval intersects
+// [lo, hi) are visited — under the optimistic scan guard; atomic per
+// call.
+func (t *TK) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &t.guard, func(emit func(k core.Key, v core.Value)) {
+		scanLeaves(t.sroot.left.Load(), lo, hi, emit)
+	}, f)
+}
+
+// scanLeaves emits the in-range, non-sentinel leaves of n in key order.
+// Routing invariant: keys < n.key live left, keys >= n.key live right.
+func scanLeaves(n *tkNode, lo, hi core.Key, emit func(k core.Key, v core.Value)) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		if n.key >= lo && n.key < hi && n.key != core.KeyMin && n.key != core.KeyMax {
+			emit(n.key, n.val)
+		}
+		return
+	}
+	if lo < n.key {
+		scanLeaves(n.left.Load(), lo, hi, emit)
+	}
+	if hi > n.key {
+		scanLeaves(n.right.Load(), lo, hi, emit)
+	}
 }
 
 func tkDoom(c *core.Ctx) *htm.Doom {

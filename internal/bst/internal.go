@@ -27,7 +27,8 @@ type inode struct {
 // DESIGN.md documents the simplification (no physical unlink, no
 // rebalancing; routers accumulate up to the key-space size).
 type Internal struct {
-	root *inode // sentinel router: key = KeyMax, data in its left subtree
+	root  *inode         // sentinel router: key = KeyMax, data in its left subtree
+	guard core.ScanGuard // validates optimistic range scans
 }
 
 // NewInternal builds an empty internal BST.
@@ -86,8 +87,10 @@ func (t *Internal) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 				return false
 			}
 			c.InCS()
+			t.guard.BeginWrite(c.Stat())
 			n.val.Store(int64(v))
 			n.present.Store(true)
+			t.guard.EndWrite()
 			n.lock.Release()
 			c.RecordRestarts(restarts)
 			return true
@@ -110,7 +113,9 @@ func (t *Internal) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		nn.val.Store(int64(v))
 		nn.present.Store(true)
 		c.InCS()
+		t.guard.BeginWrite(c.Stat())
 		slot.Store(nn)
+		t.guard.EndWrite()
 		parent.lock.Release()
 		c.RecordRestarts(restarts)
 		return true
@@ -131,7 +136,9 @@ func (t *Internal) Remove(c *core.Ctx, k core.Key) bool {
 		return false
 	}
 	c.InCS()
+	t.guard.BeginWrite(c.Stat())
 	n.present.Store(false)
+	t.guard.EndWrite()
 	n.lock.Release()
 	c.RecordRestarts(0)
 	return true
@@ -174,4 +181,34 @@ func rangePresent(n *inode, f func(k core.Key, v core.Value) bool) bool {
 		return false
 	}
 	return rangePresent(n.right.Load(), f)
+}
+
+// Scan implements core.Scanner: a bounded in-order walk over present
+// nodes (tombstoned routers are skipped) under the optimistic scan
+// guard; atomic per call. Deletion here is logical-only, so the physical
+// shape the walk descends can only grow underneath a scan.
+func (t *Internal) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	return core.GuardedScan(c, &t.guard, func(emit func(k core.Key, v core.Value)) {
+		scanPresent(t.root.left.Load(), lo, hi, emit)
+		scanPresent(t.root.right.Load(), lo, hi, emit)
+	}, f)
+}
+
+// scanPresent emits n's present, in-range nodes in key order.
+func scanPresent(n *inode, lo, hi core.Key, emit func(k core.Key, v core.Value)) {
+	if n == nil {
+		return
+	}
+	if lo < n.key {
+		scanPresent(n.left.Load(), lo, hi, emit)
+	}
+	if n.key >= lo && n.key < hi && n.present.Load() {
+		emit(n.key, n.val.Load())
+	}
+	if hi > n.key {
+		scanPresent(n.right.Load(), lo, hi, emit)
+	}
 }

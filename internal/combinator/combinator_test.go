@@ -46,6 +46,63 @@ func TestCompositeSuitesMoreLeaves(t *testing.T) {
 	}
 }
 
+// TestCompositeScanners runs the linearizable range-scan battery over
+// every combinator. Ordered follows the scan contract: striped preserves
+// inner order, sharded and elastic sort their merge (ascending even over
+// unordered leaves), readcache inherits the inner order; only striping
+// over a hash table stays unordered.
+func TestCompositeScanners(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		ordered bool
+	}{
+		{"sharded(16,list/lazy)", true},
+		{"sharded(4,hashtable/lazy)", true}, // merge sort orders the hash leaves
+		{"striped(8,skiplist/herlihy)", true},
+		{"striped(4,hashtable/lazy)", false}, // ordered stripes of unordered tables
+		{"readcache(1024,bst/tk)", true},
+		{"readcache(64,sharded(4,hashtable/lazy))", true},
+		{"elastic(4,list/lazy)", true},
+		{"striped(4,sharded(2,list/lazy))", true},
+	} {
+		t.Run(tc.spec, func(t *testing.T) { settest.RunScannerSpec(t, tc.spec, tc.ordered) })
+	}
+}
+
+// TestCompositeScannersMoreLeaves cross-checks scans over lock-free and
+// wait-free leaves (the long battery).
+func TestCompositeScannersMoreLeaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product suites are the long battery")
+	}
+	for _, spec := range []string{
+		"sharded(4,list/harris)",
+		"striped(4,list/waitfree)",
+		"striped(4,skiplist/lockfree)",
+		"elastic(4,bst/tk)",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunScannerSpec(t, spec, true) })
+	}
+}
+
+// TestElasticScanUnderResize is the acceptance point of the scan
+// battery: elastic composites must return consistent snapshots while a
+// dedicated goroutine grows and shrinks the shard map mid-scan.
+func TestElasticScanUnderResize(t *testing.T) {
+	for _, spec := range []string{
+		"elastic(2,list/lazy)",
+		"elastic(2,skiplist/herlihy)",
+	} {
+		f, err := core.NewFactory(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec, func(t *testing.T) {
+			settest.RunScannerResizable(t, settest.Factory(f), true)
+		})
+	}
+}
+
 // TestCompositeEBR checks epoch-based reclamation threads through the
 // wrappers: the shared domain in Options reaches every inner instance.
 func TestCompositeEBR(t *testing.T) {

@@ -90,14 +90,18 @@ func (p *epartition) route(k core.Key) *eshard {
 }
 
 // NewElastic builds an elastic composite with the given initial width.
-// The inner constructor must produce sets implementing core.Ranger
-// (every algorithm registered in this module does): migration iterates
-// frozen shards to re-route their keys.
+// The inner constructor must produce sets implementing core.Ranger and
+// core.Scanner (every algorithm registered in this module does both):
+// migration iterates frozen shards to re-route their keys, and the
+// composite's Scan collects per-shard sub-snapshots.
 func NewElastic(n int, inner func(core.Options) core.Set, o core.Options) (*Elastic, error) {
 	e := &Elastic{inner: inner, opts: o}
 	p := e.buildPartition(clampParts(n))
 	if _, ok := p.shards[0].set.(core.Ranger); !ok {
 		return nil, fmt.Errorf("combinator: elastic needs an inner structure that implements core.Ranger (shard migration iterates frozen shards); %T does not", p.shards[0].set)
+	}
+	if _, ok := p.shards[0].set.(core.Scanner); !ok {
+		return nil, fmt.Errorf("combinator: elastic needs an inner structure that implements core.Scanner (composite scans collect per-shard snapshots); %T does not", p.shards[0].set)
 	}
 	e.cur.Store(p)
 	return e, nil
@@ -181,6 +185,63 @@ func (e *Elastic) Range(f func(k core.Key, v core.Value) bool) {
 		sets[i] = p.shards[i].set
 	}
 	rangeParts(sets, f)
+}
+
+// scanEpochRetries bounds how many superseded shard maps a scan abandons
+// before it pins the map by briefly excluding resizes.
+const scanEpochRetries = 4
+
+// Scan implements core.Scanner with the same old-then-new epoch
+// discipline as Get, at scan granularity: collect every shard of the
+// loaded map through its own linearizable scan, and after each shard
+// re-check the staleness witness — a frozen shard under a superseded map
+// means the mappings just collected may predate post-swap updates, so
+// the whole collection is discarded and the scan restarts on the
+// published map (a frozen shard under the *current* map is merely
+// mid-migration: it is immutable and still authoritative, because its
+// writers are parked). A consistent pass sorts the disjoint union and
+// replays in ascending key order, exactly like Sharded.
+//
+// Under pathological resize churn the optimistic pass could retry
+// forever, so after scanEpochRetries discarded epochs the scan takes
+// resizeMu — pausing resizes, never operations — and collects the then
+// immovable current map. Correctness across a concurrent Resize needs no
+// such pause: every reported state was read, within the call window,
+// from the shard that owned the key at that instant.
+func (e *Elastic) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	var buf []core.ScanPair
+	for attempt := 0; attempt < scanEpochRetries; attempt++ {
+		p := e.cur.Load()
+		buf = buf[:0]
+		stale := false
+		for i := range p.shards {
+			sh := &p.shards[i]
+			collectScan(c, sh.set, lo, hi, &buf)
+			if sh.frozen.Load() && e.cur.Load() != p {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			core.SortScanPairs(buf)
+			return core.ReplayScan(buf, f)
+		}
+	}
+	// Pin the shard map: resizes wait (briefly, and only for the scan's
+	// collect — an administrative pause, like the migrator's own drain),
+	// readers and writers do not.
+	e.resizeMu.Lock()
+	p := e.cur.Load()
+	buf = buf[:0]
+	for i := range p.shards {
+		collectScan(c, p.shards[i].set, lo, hi, &buf)
+	}
+	e.resizeMu.Unlock()
+	core.SortScanPairs(buf)
+	return core.ReplayScan(buf, f)
 }
 
 // Width implements core.Resizable: the current shard count.

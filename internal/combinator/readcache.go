@@ -142,6 +142,14 @@ func (r *ReadCache) Range(f func(k core.Key, v core.Value) bool) {
 	r.inner.(core.Ranger).Range(f)
 }
 
+// Scan implements core.Scanner by delegating to the inner structure's
+// linearizable scan. The cache never holds a mapping the inner structure
+// lacks (updates invalidate before their inner linearization point), so
+// the inner scan's snapshot is a snapshot of the composite.
+func (r *ReadCache) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	return r.inner.(core.Scanner).Scan(c, lo, hi, f)
+}
+
 // Fills returns how many Get misses filled a slot. It is maintained on
 // the miss path only: the hit path stays a bare atomic load — a hit
 // counter would put shared RMW traffic on the one path the cache exists

@@ -65,3 +65,16 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 func (s *Sharded) Range(f func(k core.Key, v core.Value) bool) {
 	rangeParts(s.shards, f)
 }
+
+// Scan implements core.Scanner by collect-and-merge: every shard
+// contributes one atomic sub-snapshot through its own linearizable scan,
+// and the union — disjoint by construction, so duplicate-free — replays
+// in ascending key order after a sort. Each key's reported state is its
+// true state at the instant its shard was scanned, inside the call
+// window (segment = shard).
+func (s *Sharded) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	return mergeScan(c, s.shards, lo, hi, f)
+}

@@ -57,17 +57,23 @@ func NewStriped(n int, inner func(core.Options) core.Set, o core.Options) *Strip
 	return &Striped{stripes: stripes, lo: lo, per: per}
 }
 
-// stripe routes a key: a clamped linear map from the partition domain
-// onto stripe indices, monotone over the whole signed key range.
-func (s *Striped) stripe(k core.Key) core.Set {
+// stripeIndex maps a key to its stripe: a clamped linear map from the
+// partition domain onto stripe indices, monotone over the whole signed
+// key range.
+func (s *Striped) stripeIndex(k core.Key) int {
 	if k < s.lo {
-		return s.stripes[0]
+		return 0
 	}
 	idx := int((uint64(k) - uint64(s.lo)) / s.per)
 	if idx >= len(s.stripes) {
 		idx = len(s.stripes) - 1
 	}
-	return s.stripes[idx]
+	return idx
+}
+
+// stripe routes a key to its instance.
+func (s *Striped) stripe(k core.Key) core.Set {
+	return s.stripes[s.stripeIndex(k)]
 }
 
 // Get implements core.Set.
@@ -103,4 +109,24 @@ func (s *Striped) Stripes() int { return len(s.stripes) }
 // ascending key order.
 func (s *Striped) Range(f func(k core.Key, v core.Value) bool) {
 	rangeParts(s.stripes, f)
+}
+
+// Scan implements core.Scanner — the payoff of the order-preserving
+// partition: only the stripes whose key slice intersects [lo, hi) are
+// visited, in partition order, each through its own linearizable scan.
+// The monotone routing makes the concatenation ascending whenever the
+// inner structures are ordered, no merge needed; each stripe is one
+// atomic sub-snapshot, so every reported state is true at some instant
+// inside the call (segment = stripe). Early stop propagates across
+// stripe boundaries.
+func (s *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	for i, last := s.stripeIndex(lo), s.stripeIndex(hi-1); i <= last; i++ {
+		if !s.stripes[i].(core.Scanner).Scan(c, lo, hi, f) {
+			return false
+		}
+	}
+	return true
 }

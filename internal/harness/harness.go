@@ -142,11 +142,21 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	Config Config
 
-	// Coarse-grained.
-	Throughput      float64 // operations per second, system-wide
+	// Coarse-grained. Throughput counts point operations only; range
+	// scans are measured apart (below) so a scan-heavy mix never
+	// masquerades as point-op speed.
+	Throughput      float64 // point operations per second, system-wide
 	PerThreadMean   float64 // ops/s per thread
 	PerThreadStddev float64 // stddev of per-thread ops/s (fairness, Fig 4)
 	TotalOps        uint64
+
+	// Range scans (set when the workload's ScanRatio > 0).
+	ScanThroughput float64 // scans per second, system-wide
+	TotalScans     uint64
+	ScanKeysMean   float64 // mappings returned per scan, averaged
+	ScanMeanNs     float64 // mean scan latency
+	ScanMaxNs      uint64  // worst single scan
+	ScanRetryFrac  float64 // optimistic validation retries per scan
 
 	// Fine-grained (practical wait-freedom).
 	WaitFraction       float64 // fraction of time waiting for locks (Fig 5)
@@ -203,6 +213,14 @@ func (a *Result) accumulate(r *Result, runs int) {
 	a.PerThreadMean += r.PerThreadMean * f
 	a.PerThreadStddev += r.PerThreadStddev * f
 	a.TotalOps += r.TotalOps
+	a.ScanThroughput += r.ScanThroughput * f
+	a.TotalScans += r.TotalScans
+	a.ScanKeysMean += r.ScanKeysMean * f
+	a.ScanMeanNs += r.ScanMeanNs * f
+	if r.ScanMaxNs > a.ScanMaxNs {
+		a.ScanMaxNs = r.ScanMaxNs
+	}
+	a.ScanRetryFrac += r.ScanRetryFrac * f
 	a.WaitFraction += r.WaitFraction * f
 	a.WaitFractionStddev += r.WaitFractionStddev * f
 	a.RestartedFrac += r.RestartedFrac * f
@@ -251,6 +269,14 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 	runCtrl := len(cfg.ResizeSteps) > 0 || cfg.Elastic != nil
 	if runCtrl && rz == nil {
 		return Result{}, fmt.Errorf("harness: algorithm %q is not resizable; wrap the spec in elastic(N,...) to use resize schedules or elastic policies", cfg.Algorithm)
+	}
+	var scanner core.Scanner
+	if cfg.Workload.ScanRatio > 0 {
+		sc, ok := s.(core.Scanner)
+		if !ok {
+			return Result{}, fmt.Errorf("harness: algorithm %q does not implement core.Scanner; a workload with ScanRatio > 0 needs range-scan support", cfg.Algorithm)
+		}
+		scanner = sc
 	}
 	var live []liveCell
 	if runCtrl && cfg.Elastic != nil {
@@ -306,6 +332,20 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					inj.OnUpdate()
 					ok := s.Remove(c, k)
 					c.Stats.RecordRemove(ok)
+				case workload.OpScan:
+					// Scans time themselves (the only per-op clock reads in
+					// the loop — scans are orders of magnitude rarer and
+					// longer than point ops, so the paper's no-clock-on-the-
+					// fast-path methodology is preserved) and record into
+					// their own counters, never into Ops.
+					lo, hi := gen.ScanRange(rng)
+					keys := 0
+					scanStart := time.Now()
+					scanner.Scan(c, lo, hi, func(core.Key, core.Value) bool {
+						keys++
+						return true
+					})
+					c.Stats.RecordScan(keys, uint64(time.Since(scanStart)))
 				}
 				if live != nil && c.Stats.Ops&(liveEvery-1) == 0 {
 					// Publish a snapshot of the thread's plain counters so
@@ -454,6 +494,28 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 	res.PerThreadMean = stats.Mean(perThread)
 	res.PerThreadStddev = stats.Stddev(perThread)
 	res.Throughput = res.PerThreadMean * float64(len(ths))
+	var totalScans, scanKeys, scanNs, scanRetries uint64
+	scanRates := make([]float64, 0, len(ths))
+	for i := range ths {
+		t := &ths[i]
+		totalScans += t.Scans
+		scanKeys += t.ScanKeys
+		scanNs += t.ScanNs
+		scanRetries += t.ScanRetries
+		if t.MaxScanNs > res.ScanMaxNs {
+			res.ScanMaxNs = t.MaxScanNs
+		}
+		if secs := float64(t.ActiveNs) / 1e9; secs > 0 {
+			scanRates = append(scanRates, float64(t.Scans)/secs)
+		}
+	}
+	res.TotalScans = totalScans
+	if totalScans > 0 {
+		res.ScanThroughput = stats.Mean(scanRates) * float64(len(ths))
+		res.ScanKeysMean = float64(scanKeys) / float64(totalScans)
+		res.ScanMeanNs = float64(scanNs) / float64(totalScans)
+		res.ScanRetryFrac = float64(scanRetries) / float64(totalScans)
+	}
 	res.WaitFraction = stats.Mean(waitFracs)
 	res.WaitFractionStddev = stats.Stddev(waitFracs)
 	if totalOps > 0 {

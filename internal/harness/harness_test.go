@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"csds/internal/interrupt"
+	"csds/internal/stats"
 	"csds/internal/workload"
 
 	_ "csds/internal/bst"
@@ -34,6 +35,86 @@ func TestRunBasic(t *testing.T) {
 	}
 	if res.PerThreadMean <= 0 {
 		t.Fatal("per-thread throughput missing")
+	}
+}
+
+// TestScanMetricsBuckets pins the scan metric plumbing deterministically:
+// hand-crafted per-thread counters through summarize must land in the
+// scan-specific Result fields and leave the point-op fields exactly what
+// they were — scans never masquerade as point operations.
+func TestScanMetricsBuckets(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.Threads = 1
+	ths := []stats.Thread{{
+		Ops:      1000,
+		Reads:    1000,
+		ActiveNs: 1e9, // 1 s window
+		// 10 scans, 50 keys each, 2ms each, worst 5ms, 3 retries total.
+		Scans:       10,
+		ScanKeys:    500,
+		ScanNs:      20e6,
+		MaxScanNs:   5e6,
+		ScanRetries: 3,
+	}}
+	res := summarize(cfg, ths, nil)
+	if res.TotalOps != 1000 || res.Throughput != 1000 {
+		t.Fatalf("point-op throughput polluted by scans: ops=%d thr=%v", res.TotalOps, res.Throughput)
+	}
+	if res.TotalScans != 10 || res.ScanThroughput != 10 {
+		t.Fatalf("scan throughput wrong: %+v", res)
+	}
+	if res.ScanKeysMean != 50 {
+		t.Fatalf("ScanKeysMean = %v, want 50", res.ScanKeysMean)
+	}
+	if res.ScanMeanNs != 2e6 || res.ScanMaxNs != 5e6 {
+		t.Fatalf("scan latency buckets wrong: mean %v max %v", res.ScanMeanNs, res.ScanMaxNs)
+	}
+	if res.ScanRetryFrac != 0.3 {
+		t.Fatalf("ScanRetryFrac = %v, want 0.3", res.ScanRetryFrac)
+	}
+	// A scanless thread reports zero scan metrics, not NaNs.
+	res = summarize(cfg, []stats.Thread{{Ops: 10, ActiveNs: 1e9}}, nil)
+	if res.TotalScans != 0 || res.ScanThroughput != 0 || res.ScanKeysMean != 0 || res.ScanMeanNs != 0 {
+		t.Fatalf("scanless run leaked scan metrics: %+v", res)
+	}
+}
+
+// TestRunScanWorkload drives a real single-worker scan mix end to end.
+// The worker run is the only timing-dependent part, so it gets a window
+// comfortably above the 1-CPU host's scheduling noise.
+func TestRunScanWorkload(t *testing.T) {
+	cfg := Config{
+		Algorithm: "striped(4,list/lazy)",
+		Threads:   1,
+		Duration:  60 * time.Millisecond,
+		Workload:  workload.Config{Size: 256, UpdateRatio: 0.2, ScanRatio: 0.2, ScanLen: 32},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalScans == 0 || res.ScanThroughput <= 0 {
+		t.Fatalf("scan mix produced no scans: %+v", res)
+	}
+	if res.TotalOps == 0 || res.Throughput <= 0 {
+		t.Fatalf("scan mix starved point ops: %+v", res)
+	}
+	if res.ScanKeysMean <= 0 {
+		t.Fatalf("scans returned no keys on a half-full structure: %+v", res)
+	}
+	if res.ScanMeanNs <= 0 || res.ScanMaxNs < uint64(res.ScanMeanNs) {
+		t.Fatalf("scan latencies inconsistent: mean %v max %v", res.ScanMeanNs, res.ScanMaxNs)
+	}
+}
+
+// TestScanWorkloadNeedsScanner: every registered structure implements
+// Scanner, so fabricate the miss with a config error path instead — a
+// ScanRatio on a spec is validated before workers start.
+func TestScanWorkloadNeedsScanner(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.Workload.ScanRatio = 0.1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("list/lazy implements Scanner but Run rejected the scan mix: %v", err)
 	}
 }
 

@@ -56,6 +56,39 @@ func TestBucketedWaitFree(t *testing.T) {
 	settest.Run(t, info.New)
 }
 
+// TestScanners runs the linearizable range-scan battery on every table.
+// Hash tables scan in bucket order — unordered, by documented design —
+// so the battery's order assertion is off.
+func TestScanners(t *testing.T) {
+	lookup := func(name string) func(core.Options) core.Set {
+		info, ok := core.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		return info.New
+	}
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"striped":      func(o core.Options) core.Set { return NewStriped(o) },
+		"lockcoupling": lookup("hashtable/lockcoupling"),
+		"pugh":         lookup("hashtable/pugh"),
+		"harris":       lookup("hashtable/harris"),
+		"waitfree":     lookup("hashtable/waitfree"),
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, false) })
+	}
+}
+
+// TestLazyScannerSmallTable forces heavy chain sharing so scans see long
+// shared buckets under churn.
+func TestLazyScannerSmallTable(t *testing.T) {
+	settest.RunScanner(t, func(o core.Options) core.Set {
+		o.Buckets = 2
+		return NewLazy(o)
+	}, false)
+}
+
 func TestBucketCount(t *testing.T) {
 	cases := []struct {
 		o    core.Options

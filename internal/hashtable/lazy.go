@@ -67,6 +67,7 @@ type Lazy struct {
 	buckets []lbucket
 	mask    uint64
 	region  htm.Region
+	guard   core.ScanGuard // validates optimistic range scans (table-wide)
 }
 
 // NewLazy builds a lazy hash table sized per o (load factor 1).
@@ -116,7 +117,7 @@ func (h *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
-			inserted = b.insertLocked(c, k, v)
+			inserted = b.insertLocked(c, &h.guard, k, v)
 			return htm.Committed
 		})
 		c.RecordRestarts(0)
@@ -124,14 +125,15 @@ func (h *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	}
 	b.lock.Acquire(c.Stat())
 	c.InCS()
-	ok := b.insertLocked(c, k, v)
+	ok := b.insertLocked(c, &h.guard, k, v)
 	b.lock.Release()
 	c.RecordRestarts(0)
 	return ok
 }
 
-// insertLocked does the sorted-splice under the bucket lock.
-func (b *lbucket) insertLocked(c *core.Ctx, k core.Key, v core.Value) bool {
+// insertLocked does the sorted-splice under the bucket lock; a
+// membership change opens g's scan window (g may be nil).
+func (b *lbucket) insertLocked(c *core.Ctx, g *core.ScanGuard, k core.Key, v core.Value) bool {
 	var pred *lnode
 	curr := b.head.Load()
 	for curr != nil && curr.key < k {
@@ -143,11 +145,13 @@ func (b *lbucket) insertLocked(c *core.Ctx, k core.Key, v core.Value) bool {
 	}
 	n := &lnode{key: k, val: v}
 	n.next.Store(curr)
+	g.BeginWrite(c.Stat())
 	if pred == nil {
 		b.head.Store(n)
 	} else {
 		pred.next.Store(n)
 	}
+	g.EndWrite()
 	return true
 }
 
@@ -166,7 +170,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
-			removed, victim = b.removeLocked(c, k)
+			removed, victim = b.removeLocked(c, &h.guard, k)
 			return htm.Committed
 		})
 		if removed {
@@ -177,7 +181,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 	}
 	b.lock.Acquire(c.Stat())
 	c.InCS()
-	ok, victim := b.removeLocked(c, k)
+	ok, victim := b.removeLocked(c, &h.guard, k)
 	b.lock.Release()
 	if ok {
 		c.Retire(victim)
@@ -186,7 +190,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 	return ok
 }
 
-func (b *lbucket) removeLocked(c *core.Ctx, k core.Key) (bool, *lnode) {
+func (b *lbucket) removeLocked(c *core.Ctx, g *core.ScanGuard, k core.Key) (bool, *lnode) {
 	var pred *lnode
 	curr := b.head.Load()
 	for curr != nil && curr.key < k {
@@ -196,12 +200,14 @@ func (b *lbucket) removeLocked(c *core.Ctx, k core.Key) (bool, *lnode) {
 	if curr == nil || curr.key != k {
 		return false, nil
 	}
+	g.BeginWrite(c.Stat())
 	curr.marked.Store(true) // logical delete first: concurrent readers stay correct
 	if pred == nil {
 		b.head.Store(curr.next.Load())
 	} else {
 		pred.next.Store(curr.next.Load())
 	}
+	g.EndWrite()
 	return true, curr
 }
 
@@ -225,6 +231,38 @@ func (h *Lazy) Range(f func(k core.Key, v core.Value) bool) {
 		for n := h.buckets[i].head.Load(); n != nil; n = n.next.Load() {
 			if !n.marked.Load() && !f(n.key, n.val) {
 				return
+			}
+		}
+	}
+}
+
+// Scan implements core.Scanner: bucket-snapshot iteration — the whole
+// table is collected bucket by bucket under the table-wide optimistic
+// scan guard, filtered to [lo, hi), and accepted only if no update ran
+// concurrently; atomic per call. Two hash-table caveats, by design: the
+// key order is bucket order (unordered), and the cost is O(table), not
+// O(range) — the hash destroys locality, so a range filter must look
+// everywhere. Prefer ordered structures (or striped composites over
+// them) for scan-heavy workloads.
+func (h *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
+		collectBuckets(h.buckets, lo, hi, emit)
+	}, f)
+}
+
+// collectBuckets emits a bucket array's in-range unmarked nodes in
+// bucket order — the shared collect phase of the monolithic tables'
+// scans (Lazy and Striped).
+func collectBuckets(buckets []lbucket, lo, hi core.Key, emit func(k core.Key, v core.Value)) {
+	for i := range buckets {
+		for n := buckets[i].head.Load(); n != nil; n = n.next.Load() {
+			if n.key >= lo && n.key < hi && !n.marked.Load() {
+				emit(n.key, n.val)
 			}
 		}
 	}

@@ -113,6 +113,23 @@ func (b *Bucketed) Range(f func(k core.Key, v core.Value) bool) {
 	}
 }
 
+// Scan implements core.Scanner by delegating to each bucket's own
+// linearizable scan, in bucket index order. Buckets partition the keys,
+// so no key is visited twice and each bucket's sub-snapshot is atomic;
+// like every hash-table scan the result is unordered, O(table), and
+// consistent per key within the call window (segment = bucket).
+func (b *Bucketed) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	for _, s := range b.buckets {
+		if !s.(core.Scanner).Scan(c, lo, hi, f) {
+			return false
+		}
+	}
+	return true
+}
+
 // COW is the copy-on-write hash table: readers load an immutable map
 // snapshot; each writer copies the entire map under a global lock. Wait-free
 // O(1) reads, fully serialized O(n) writes.
@@ -191,6 +208,21 @@ func (h *COW) Range(f func(k core.Key, v core.Value) bool) {
 	}
 }
 
+// Scan implements core.Scanner for free: one immutable snapshot load,
+// filtered to the range; the scan linearizes at the load. Unordered (Go
+// map iteration order) and O(table), like every hash-table scan here.
+func (h *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	for k, v := range *h.snap.Load() {
+		if k >= lo && k < hi && !f(k, v) {
+			return false
+		}
+	}
+	return true
+}
+
 // stripeCount is the fixed stripe count of the striped table (Java
 // ConcurrentHashMap's historical default concurrency level).
 const stripeCount = 16
@@ -206,7 +238,8 @@ type Striped struct {
 		lock locks.TAS
 		_    [60]byte
 	}
-	mask uint64
+	mask  uint64
+	guard core.ScanGuard // validates optimistic range scans (table-wide)
 }
 
 // NewStriped builds a striped table sized per o.
@@ -242,7 +275,7 @@ func (h *Striped) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
 	c.InCS()
-	ok := h.buckets[bi].insertLocked(c, k, v)
+	ok := h.buckets[bi].insertLocked(c, &h.guard, k, v)
 	l.Release()
 	c.RecordRestarts(0)
 	return ok
@@ -254,7 +287,7 @@ func (h *Striped) Remove(c *core.Ctx, k core.Key) bool {
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
 	c.InCS()
-	ok, victim := h.buckets[bi].removeLocked(c, k)
+	ok, victim := h.buckets[bi].removeLocked(c, &h.guard, k)
 	l.Release()
 	if ok {
 		c.Retire(victim)
@@ -286,4 +319,17 @@ func (h *Striped) Range(f func(k core.Key, v core.Value) bool) {
 			}
 		}
 	}
+}
+
+// Scan implements core.Scanner: bucket-snapshot iteration under the
+// table-wide scan guard, exactly like the lazy table's — unordered
+// (bucket order) and O(table) per call, documented hash-table caveats.
+// (No epoch bracket, matching this table's own Get path.)
+func (h *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
+		collectBuckets(h.buckets, lo, hi, emit)
+	}, f)
 }

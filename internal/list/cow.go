@@ -129,3 +129,20 @@ func (l *COW) Range(f func(k core.Key, v core.Value) bool) {
 		}
 	}
 }
+
+// Scan implements core.Scanner for free: one atomic snapshot load, a
+// binary search to lo, and an in-order walk of immutable memory. The scan
+// linearizes at the load.
+func (l *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	s := l.snap.Load()
+	i, _ := s.find(lo)
+	for ; i < len(s.keys) && s.keys[i] < hi; i++ {
+		if !f(s.keys[i], s.vals[i]) {
+			return false
+		}
+	}
+	return true
+}

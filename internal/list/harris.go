@@ -27,7 +27,8 @@ type hNode struct {
 // lock-free comparator of Figure 1: deletion marks the node's next
 // reference, traversals physically unlink marked nodes they pass.
 type Harris struct {
-	head *hNode
+	head  *hNode
+	guard core.ScanGuard // validates optimistic range scans
 }
 
 // NewHarris builds an empty Harris list.
@@ -109,7 +110,10 @@ func (l *Harris) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		}
 		n := &hNode{key: k, val: v}
 		n.link.Store(&hLink{next: curr})
-		if pred.link.CompareAndSwap(predLink, &hLink{next: n}) {
+		l.guard.BeginWrite(c.Stat())
+		linked := pred.link.CompareAndSwap(predLink, &hLink{next: n})
+		l.guard.EndWrite()
+		if linked {
 			c.RecordRestarts(restarts)
 			return true
 		}
@@ -136,7 +140,10 @@ func (l *Harris) Remove(c *core.Ctx, k core.Key) bool {
 			continue
 		}
 		// Logical delete: mark curr's link.
-		if !curr.link.CompareAndSwap(currLink, &hLink{next: currLink.next, marked: true}) {
+		l.guard.BeginWrite(c.Stat())
+		marked := curr.link.CompareAndSwap(currLink, &hLink{next: currLink.next, marked: true})
+		l.guard.EndWrite()
+		if !marked {
 			restarts++
 			continue
 		}
@@ -172,4 +179,29 @@ func (l *Harris) Range(f func(k core.Key, v core.Value) bool) {
 		}
 		curr = link.next
 	}
+}
+
+// Scan implements core.Scanner: a wait-free non-helping traversal (like
+// Get) under the optimistic scan guard — only membership CASes (insert
+// link, delete mark) open guard windows; helping snips are physical-only
+// and invisible to the snapshot. Atomic per call.
+func (l *Harris) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &l.guard, func(emit func(k core.Key, v core.Value)) {
+		curr := l.head.link.Load().next
+		for curr.key < lo {
+			curr = curr.link.Load().next
+		}
+		for curr.key < hi {
+			link := curr.link.Load()
+			if !link.marked {
+				emit(curr.key, curr.val)
+			}
+			curr = link.next
+		}
+	}, f)
 }

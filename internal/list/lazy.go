@@ -32,6 +32,7 @@ type lazyNode struct {
 type Lazy struct {
 	head   *lazyNode
 	region htm.Region
+	guard  core.ScanGuard // validates optimistic range scans
 }
 
 // NewLazy builds an empty lazy list.
@@ -100,7 +101,9 @@ func (l *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			n := &lazyNode{key: k, val: v}
 			n.next.Store(curr)
 			c.InCS()
+			l.guard.BeginWrite(c.Stat())
 			pred.next.Store(n)
+			l.guard.EndWrite()
 			curr.lock.Release()
 			pred.lock.Release()
 			c.RecordRestarts(restarts)
@@ -133,7 +136,9 @@ func (l *Lazy) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 				return a.AbortStatus()
 			}
 			n.next.Store(curr)
+			l.guard.BeginWrite(c.Stat())
 			pred.next.Store(n)
+			l.guard.EndWrite()
 			inserted = true
 			return htm.Committed
 		})
@@ -166,8 +171,10 @@ func (l *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 				return false
 			}
 			c.InCS()
+			l.guard.BeginWrite(c.Stat())
 			curr.marked.Store(true)           // logical delete
 			pred.next.Store(curr.next.Load()) // physical unlink
+			l.guard.EndWrite()
 			curr.lock.Release()
 			pred.lock.Release()
 			c.Retire(curr)
@@ -199,8 +206,10 @@ func (l *Lazy) removeElided(c *core.Ctx, k core.Key) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
+			l.guard.BeginWrite(c.Stat())
 			curr.marked.Store(true)
 			pred.next.Store(curr.next.Load())
+			l.guard.EndWrite()
 			removed = true
 			return htm.Committed
 		})
@@ -234,6 +243,27 @@ func (l *Lazy) Range(f func(k core.Key, v core.Value) bool) {
 			return
 		}
 	}
+}
+
+// Scan implements core.Scanner: an optimistic guard-validated walk of the
+// range — the same synchronization-free traversal as Get, accepted only
+// when no update ran concurrently, with bounded retries and a brief
+// writer barrier as the fallback (see core.GuardedScan). The returned
+// snapshot is atomic: the scan linearizes at one point during the call.
+func (l *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &l.guard, func(emit func(k core.Key, v core.Value)) {
+		_, curr := l.search(lo)
+		for ; curr.key < hi; curr = curr.next.Load() {
+			if !curr.marked.Load() {
+				emit(curr.key, curr.val)
+			}
+		}
+	}, f)
 }
 
 // doom extracts the worker's HTM abort flag, tolerating nil contexts.

@@ -46,6 +46,31 @@ func TestWaitFree(t *testing.T) {
 	settest.Run(t, func(o core.Options) core.Set { return NewWaitFree(o) })
 }
 
+// TestScanners runs the linearizable range-scan battery on every list:
+// all six are ordered structures, so scans promise ascending key order.
+func TestScanners(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"lockcoupling": func(o core.Options) core.Set { return NewLockCoupling(o) },
+		"pugh":         func(o core.Options) core.Set { return NewPugh(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"harris":       func(o core.Options) core.Set { return NewHarris(o) },
+		"waitfree":     func(o core.Options) core.Set { return NewWaitFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, true) })
+	}
+}
+
+// TestLazyScannerElided re-runs the scan battery with HTM elision on the
+// update paths: the guard windows inside elided critical sections must
+// validate scans exactly like the plain-lock paths.
+func TestLazyScannerElided(t *testing.T) {
+	settest.RunScanner(t, func(o core.Options) core.Set {
+		o.ElideAttempts = 5
+		return NewLazy(o)
+	}, true)
+}
+
 func TestRegistryEntries(t *testing.T) {
 	for _, name := range []string{"list/lazy", "list/lockcoupling", "list/pugh", "list/cow", "list/harris", "list/waitfree"} {
 		info, ok := core.Lookup(name)

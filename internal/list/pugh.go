@@ -25,7 +25,8 @@ type pughNode struct {
 // meantime, rather than restarting the whole operation. Restarts happen
 // only when the locked predecessor itself got deleted.
 type Pugh struct {
-	head *pughNode
+	head  *pughNode
+	guard core.ScanGuard // validates optimistic range scans
 }
 
 // NewPugh builds an empty Pugh list.
@@ -111,7 +112,9 @@ func (l *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		n := &pughNode{key: k, val: v}
 		n.next.Store(curr)
 		c.InCS()
+		l.guard.BeginWrite(c.Stat())
 		pred.next.Store(n)
+		l.guard.EndWrite()
 		pred.lock.Release()
 		c.RecordRestarts(restarts)
 		return true
@@ -137,8 +140,10 @@ func (l *Pugh) Remove(c *core.Ctx, k core.Key) bool {
 		}
 		curr.lock.Acquire(c.Stat())
 		c.InCS()
+		l.guard.BeginWrite(c.Stat())
 		curr.marked.Store(true)
 		pred.next.Store(curr.next.Load())
+		l.guard.EndWrite()
 		curr.lock.Release()
 		pred.lock.Release()
 		c.Retire(curr)
@@ -166,4 +171,22 @@ func (l *Pugh) Range(f func(k core.Key, v core.Value) bool) {
 			return
 		}
 	}
+}
+
+// Scan implements core.Scanner: the lazy list's optimistic validated
+// protocol (the read path is identical), atomic per call.
+func (l *Pugh) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &l.guard, func(emit func(k core.Key, v core.Value)) {
+		curr := l.search(lo).next.Load()
+		for ; curr.key < hi; curr = curr.next.Load() {
+			if !curr.marked.Load() {
+				emit(curr.key, curr.val)
+			}
+		}
+	}, f)
 }

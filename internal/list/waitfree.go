@@ -41,6 +41,7 @@ type WaitFree struct {
 	head     *wfNode
 	maxPhase atomic.Uint64
 	state    [wfMaxThreads]atomic.Pointer[wfDesc]
+	guard    core.ScanGuard // validates optimistic range scans
 }
 
 // wfMaxThreads bounds the helping array; Ctx.IDs must stay below it.
@@ -257,7 +258,12 @@ func (l *WaitFree) helpInsert(c *core.Ctx, tid int, d *wfDesc) {
 				continue
 			}
 		}
-		if w.pred.link.CompareAndSwap(w.predLink, &wfLink{next: n}) {
+		// Membership CAS: whoever executes it (owner or helper) opens the
+		// scan-guard window so concurrent optimistic scans detect it.
+		l.guard.BeginWrite(c.Stat())
+		linked := w.pred.link.CompareAndSwap(w.predLink, &wfLink{next: n})
+		l.guard.EndWrite()
+		if linked {
 			l.finish(tid, d, wfSuccess)
 			return
 		}
@@ -298,7 +304,10 @@ func (l *WaitFree) helpRemove(c *core.Ctx, tid int, d *wfDesc) {
 			}
 			return
 		}
-		if v.link.CompareAndSwap(vl, &wfLink{next: vl.next, marked: true, src: d}) {
+		l.guard.BeginWrite(c.Stat())
+		markedIt := v.link.CompareAndSwap(vl, &wfLink{next: vl.next, marked: true, src: d})
+		l.guard.EndWrite()
+		if markedIt {
 			l.finish(tid, d, wfSuccess)
 			// Best-effort physical unlink.
 			l.search(c, d.key)
@@ -373,4 +382,30 @@ func (l *WaitFree) Range(f func(k core.Key, v core.Value) bool) {
 		}
 		curr = link.next
 	}
+}
+
+// Scan implements core.Scanner: the Harris-style plain traversal under
+// the optimistic scan guard. Only the membership CASes (the insert's
+// window link, the remove's mark) open guard windows — poisoning an
+// unreachable node and physical snips leave the logical contents
+// untouched. Atomic per call.
+func (l *WaitFree) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &l.guard, func(emit func(k core.Key, v core.Value)) {
+		curr := l.head.link.Load().next
+		for curr.key < lo {
+			curr = curr.link.Load().next
+		}
+		for curr.key < hi {
+			link := curr.link.Load()
+			if !link.marked {
+				emit(curr.key, curr.val)
+			}
+			curr = link.next
+		}
+	}, f)
 }

@@ -59,6 +59,22 @@ func (r *refSet) Len() int {
 	return len(r.m)
 }
 
+// Scan implements core.Scanner the obviously correct way: collect the
+// range under the mutex (one true atomic snapshot), release, replay in
+// key order.
+func (r *refSet) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	r.mu.Lock()
+	var buf []core.ScanPair
+	for k, v := range r.m {
+		if k >= lo && k < hi {
+			buf = append(buf, core.ScanPair{K: k, V: v})
+		}
+	}
+	r.mu.Unlock()
+	core.SortScanPairs(buf)
+	return core.ReplayScan(buf, f)
+}
+
 // refResizable adds a no-op repartition (the map is its own single
 // shard); it verifies the RunResizable harness machinery itself — width
 // cycling, final checks — against an implementation that cannot fail.
@@ -104,6 +120,23 @@ func TestRunResizableOnReference(t *testing.T) {
 // the layered core factory and runs them.
 func TestRunSpecComposite(t *testing.T) {
 	RunSpec(t, "sharded(2,list/lazy)")
+}
+
+// TestScannerBatteryOnReferenceSet: the scan battery accepts a correct
+// scanner.
+func TestScannerBatteryOnReferenceSet(t *testing.T) {
+	RunScanner(t, newRefSet, true)
+}
+
+// TestScannerBatteryUnderResizeOnReference: the scan-under-resize harness
+// itself passes against a Resizable whose scans cannot fail.
+func TestScannerBatteryUnderResizeOnReference(t *testing.T) {
+	RunScannerResizable(t, newRefResizable, true)
+}
+
+// TestRunScannerSpecComposite: spec resolution reaches the scan battery.
+func TestRunScannerSpecComposite(t *testing.T) {
+	RunScannerSpec(t, "sharded(2,list/lazy)", true)
 }
 
 // TestScale pins the -short iteration scaling contract.

@@ -68,6 +68,7 @@ type Herlihy struct {
 	tail     *hNode
 	maxLevel int
 	region   htm.Region
+	guard    core.ScanGuard // validates optimistic range scans
 }
 
 // NewHerlihy builds an empty skip list sized for o.ExpectedSize.
@@ -207,10 +208,12 @@ func (s *Herlihy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			n.next[lvl].Store(succs[lvl])
 		}
 		c.InCS()
+		s.guard.BeginWrite(c.Stat())
 		for lvl := 0; lvl <= topLevel; lvl++ {
 			preds[lvl].next[lvl].Store(n)
 		}
 		n.fullyLinked.Store(true)
+		s.guard.EndWrite()
 		ls.releaseAll()
 		c.RecordRestarts(restarts)
 		return true
@@ -254,10 +257,12 @@ func (s *Herlihy) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 			for lvl := 0; lvl <= topLevel; lvl++ {
 				n.next[lvl].Store(succs[lvl])
 			}
+			s.guard.BeginWrite(c.Stat())
 			for lvl := 0; lvl <= topLevel; lvl++ {
 				preds[lvl].next[lvl].Store(n)
 			}
 			n.fullyLinked.Store(true)
+			s.guard.EndWrite()
 			return htm.Committed
 		})
 		if st == htm.Committed {
@@ -299,7 +304,9 @@ func (s *Herlihy) Remove(c *core.Ctx, k core.Key) bool {
 					c.RecordRestarts(restarts)
 					return false
 				}
+				s.guard.BeginWrite(c.Stat())
 				victim.marked.Store(true)
+				s.guard.EndWrite()
 				isMarked = true
 			}
 			var ls lockSet
@@ -370,10 +377,12 @@ func (s *Herlihy) removeElided(c *core.Ctx, k core.Key) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
+			s.guard.BeginWrite(c.Stat())
 			victim.marked.Store(true)
 			for lvl := topLevel; lvl >= 0; lvl-- {
 				preds[lvl].next[lvl].Store(victim.next[lvl].Load())
 			}
+			s.guard.EndWrite()
 			removed = true
 			return htm.Committed
 		})
@@ -407,6 +416,32 @@ func (s *Herlihy) Range(f func(k core.Key, v core.Value) bool) {
 			return
 		}
 	}
+}
+
+// Scan implements core.Scanner: a read-only tower descent to the first
+// in-range node, then an optimistic level-0 walk validated by the scan
+// guard (see core.GuardedScan); atomic per call.
+func (s *Herlihy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &s.guard, func(emit func(k core.Key, v core.Value)) {
+		pred := s.head
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr := pred.next[lvl].Load()
+			for curr.key < lo {
+				pred = curr
+				curr = pred.next[lvl].Load()
+			}
+		}
+		for curr := pred.next[0].Load(); curr.key < hi; curr = curr.next[0].Load() {
+			if !curr.marked.Load() && curr.fullyLinked.Load() {
+				emit(curr.key, curr.val)
+			}
+		}
+	}, f)
 }
 
 // ctxDoom extracts the HTM doom flag from a context (nil-tolerant).

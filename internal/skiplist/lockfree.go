@@ -36,6 +36,7 @@ type LockFree struct {
 	head     *lfNode
 	tail     *lfNode
 	maxLevel int
+	guard    core.ScanGuard // validates optimistic range scans
 }
 
 // NewLockFree builds an empty lock-free skip list sized for o.ExpectedSize.
@@ -156,7 +157,10 @@ func (s *LockFree) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			restarts++
 			continue
 		}
-		if !preds[0].next[0].CompareAndSwap(predLink, &lfLink{next: n}) {
+		s.guard.BeginWrite(c.Stat())
+		linked := preds[0].next[0].CompareAndSwap(predLink, &lfLink{next: n})
+		s.guard.EndWrite()
+		if !linked {
 			restarts++
 			continue
 		}
@@ -224,7 +228,10 @@ func (s *LockFree) Remove(c *core.Ctx, k core.Key) bool {
 			c.RecordRestarts(restarts)
 			return false // someone else won
 		}
-		if victim.next[0].CompareAndSwap(link, &lfLink{next: link.next, marked: true}) {
+		s.guard.BeginWrite(c.Stat())
+		marked := victim.next[0].CompareAndSwap(link, &lfLink{next: link.next, marked: true})
+		s.guard.EndWrite()
+		if marked {
 			// Physically clean up via find.
 			s.find(c, k, preds, succs)
 			c.RecordRestarts(restarts)
@@ -257,6 +264,46 @@ func (s *LockFree) Range(f func(k core.Key, v core.Value) bool) {
 		}
 		curr = link.next
 	}
+}
+
+// Scan implements core.Scanner: a non-helping descent to the first
+// in-range node (skipping marked links, like Get), then an optimistic
+// level-0 walk validated by the scan guard — only the bottom-level
+// membership CASes open guard windows; upper-level splices and physical
+// snips are invisible to the snapshot. Atomic per call.
+func (s *LockFree) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &s.guard, func(emit func(k core.Key, v core.Value)) {
+		pred := s.head
+		var curr *lfNode
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr = pred.next[lvl].Load().next
+			for {
+				currLink := curr.next[lvl].Load()
+				if currLink.marked {
+					curr = currLink.next
+					continue
+				}
+				if curr.key < lo {
+					pred = curr
+					curr = currLink.next
+					continue
+				}
+				break
+			}
+		}
+		for curr.key < hi {
+			link := curr.next[0].Load()
+			if !link.marked {
+				emit(curr.key, curr.val)
+			}
+			curr = link.next
+		}
+	}, f)
 }
 
 // randomLevelLF mirrors randomLevel; separate name keeps the call sites

@@ -37,6 +37,7 @@ func newPNode(k core.Key, v core.Value, height int) *pNode {
 type Pugh struct {
 	head     *pNode
 	maxLevel int
+	guard    core.ScanGuard // validates optimistic range scans
 }
 
 // NewPugh builds an empty Pugh skip list sized for o.ExpectedSize.
@@ -158,7 +159,9 @@ func (s *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	n := newPNode(k, v, topLevel+1)
 	n.next[0].Store(curr)
 	c.InCS()
+	s.guard.BeginWrite(c.Stat())
 	pred.next[0].Store(n)
+	s.guard.EndWrite()
 	pred.lock.Release()
 
 	// Upper levels are linked one at a time; abandon if the node got
@@ -204,7 +207,9 @@ func (s *Pugh) Remove(c *core.Ctx, k core.Key) bool {
 		return false
 	}
 	c.InCS()
+	s.guard.BeginWrite(c.Stat())
 	victim.marked.Store(true)
+	s.guard.EndWrite()
 	victim.lock.Release()
 
 	// Best-effort unlink, top level first; lockLevel's helping removes the
@@ -237,4 +242,30 @@ func (s *Pugh) Range(f func(k core.Key, v core.Value) bool) {
 			return
 		}
 	}
+}
+
+// Scan implements core.Scanner: a read-only tower descent to the first
+// in-range node, then an optimistic level-0 walk validated by the scan
+// guard; atomic per call.
+func (s *Pugh) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedScan(c, &s.guard, func(emit func(k core.Key, v core.Value)) {
+		pred := s.head
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr := pred.next[lvl].Load()
+			for curr.key < lo {
+				pred = curr
+				curr = pred.next[lvl].Load()
+			}
+		}
+		for curr := pred.next[0].Load(); curr.key < hi; curr = curr.next[0].Load() {
+			if !curr.marked.Load() {
+				emit(curr.key, curr.val)
+			}
+		}
+	}, f)
 }

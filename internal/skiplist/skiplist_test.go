@@ -25,6 +25,18 @@ func TestPugh(t *testing.T) {
 	settest.Run(t, func(o core.Options) core.Set { return NewPugh(o) })
 }
 
+// TestScanners runs the linearizable range-scan battery on every skip
+// list; all are ordered structures.
+func TestScanners(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"herlihy":  func(o core.Options) core.Set { return NewHerlihy(o) },
+		"pugh":     func(o core.Options) core.Set { return NewPugh(o) },
+		"lockfree": func(o core.Options) core.Set { return NewLockFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, true) })
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	info, ok := core.Featured("skiplist")
 	if !ok || info.Name != "skiplist/herlihy" {

@@ -83,6 +83,15 @@ type Thread struct {
 	TxAborts    [numAbortCauses]uint64
 	TxFallbacks uint64 // critical sections that reverted to the real lock
 
+	// Range scans (the Scanner extension). Scans keep their own counters —
+	// they never contribute to Ops or the restart histogram — so the
+	// paper's point-operation metrics stay exactly what they were.
+	Scans       uint64 // completed range scans
+	ScanKeys    uint64 // mappings the scans returned, summed
+	ScanNs      uint64 // wall time spent inside Scan calls
+	MaxScanNs   uint64 // worst single scan (tail latency)
+	ScanRetries uint64 // optimistic scan attempts invalidated by updates
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -119,6 +128,23 @@ func (t *Thread) RecordRemove(ok bool) {
 	if ok {
 		t.Hits++
 	}
+}
+
+// RecordScan notes a completed range scan that returned keys mappings and
+// took ns nanoseconds of wall time.
+func (t *Thread) RecordScan(keys int, ns uint64) {
+	t.Scans++
+	t.ScanKeys += uint64(keys)
+	t.ScanNs += ns
+	if ns > t.MaxScanNs {
+		t.MaxScanNs = ns
+	}
+}
+
+// RecordScanRetries notes that a scan needed n optimistic retries before
+// its snapshot validated (n includes the fallback, if taken).
+func (t *Thread) RecordScanRetries(n int) {
+	t.ScanRetries += uint64(n)
 }
 
 // RecordAcquire notes an uncontended lock acquisition.
@@ -188,6 +214,13 @@ func (t *Thread) Merge(o *Thread) {
 		t.TxAborts[i] += o.TxAborts[i]
 	}
 	t.TxFallbacks += o.TxFallbacks
+	t.Scans += o.Scans
+	t.ScanKeys += o.ScanKeys
+	t.ScanNs += o.ScanNs
+	if o.MaxScanNs > t.MaxScanNs {
+		t.MaxScanNs = o.MaxScanNs
+	}
+	t.ScanRetries += o.ScanRetries
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
 }

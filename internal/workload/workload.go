@@ -3,9 +3,16 @@
 // remove rates keep the size stationary), an update ratio split evenly
 // between inserts and removes, and uniform or Zipfian key popularity
 // (§5.2 uses s = 0.8).
+//
+// Beyond the paper's point-op mixes, a workload can dedicate a fraction
+// of operations to range scans (ScanRatio), with a configurable
+// scan-length distribution — the scan-heavy scenarios (ranked feeds,
+// prefix queries, windowed aggregation) the Scanner extension serves.
 package workload
 
 import (
+	"math"
+
 	"csds/internal/core"
 	"csds/internal/xrand"
 )
@@ -18,6 +25,19 @@ const (
 	OpGet Op = iota
 	OpPut
 	OpRemove
+	OpScan
+)
+
+// Scan-length distributions.
+const (
+	// ScanLenUniform draws lengths uniformly from [1, 2*ScanLen-1]
+	// (mean ScanLen). The default.
+	ScanLenUniform = "uniform"
+	// ScanLenFixed uses exactly ScanLen every time.
+	ScanLenFixed = "fixed"
+	// ScanLenGeometric draws geometrically with mean ScanLen (long tail:
+	// mostly short scans, occasional span-sized ones).
+	ScanLenGeometric = "geometric"
 )
 
 // Config describes a workload.
@@ -33,6 +53,19 @@ type Config struct {
 	// ZipfS > 0 selects a Zipfian popularity with that exponent; 0 keeps
 	// the uniform distribution.
 	ZipfS float64
+
+	// ScanRatio is the fraction of operations that are range scans.
+	// The fractions are absolute — ScanRatio scans, UpdateRatio updates,
+	// the remainder gets — so adding scans never skews the Put/Remove
+	// split. ScanRatio + UpdateRatio must not exceed 1 (WithDefaults
+	// clamps UpdateRatio down, scans win ties).
+	ScanRatio float64
+	// ScanLen is the mean scan length in keys of the key space; 0
+	// defaults to 64 (a feed-page worth of keys).
+	ScanLen int64
+	// ScanLenDist selects the scan-length distribution: ScanLenUniform
+	// (default), ScanLenFixed or ScanLenGeometric.
+	ScanLenDist string
 }
 
 // WithDefaults fills derived fields.
@@ -42,6 +75,27 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.KeySpace <= 0 {
 		c.KeySpace = 2 * int64(c.Size)
+	}
+	if c.ScanRatio < 0 {
+		c.ScanRatio = 0
+	}
+	if c.ScanRatio > 1 {
+		c.ScanRatio = 1
+	}
+	if c.UpdateRatio < 0 {
+		c.UpdateRatio = 0
+	}
+	if c.ScanRatio+c.UpdateRatio > 1 {
+		c.UpdateRatio = 1 - c.ScanRatio
+	}
+	if c.ScanLen <= 0 {
+		c.ScanLen = 64
+	}
+	if c.ScanLen > c.KeySpace {
+		c.ScanLen = c.KeySpace
+	}
+	if c.ScanLenDist == "" {
+		c.ScanLenDist = ScanLenUniform
 	}
 	return c
 }
@@ -53,12 +107,24 @@ type Generator struct {
 	cfg  Config
 	zipf *xrand.Zipf
 	perm []int64 // rank -> key (decorrelates popularity from key order)
+
+	// Cumulative op-mix thresholds over one uniform draw in [0, 1):
+	// [0, pScan) scan, [pScan, pPut) put, [pPut, pRemove) remove, and
+	// [pRemove, 1) get. A single draw against precomputed boundaries
+	// keeps every category's probability exactly its configured
+	// fraction — stacking conditional coin flips (the old two-way
+	// update split) is where mix skew creeps in when categories are
+	// added.
+	pScan, pPut, pRemove float64
 }
 
 // NewGenerator prepares the (possibly shared) sampling tables.
 func NewGenerator(cfg Config) *Generator {
 	cfg = cfg.WithDefaults()
 	g := &Generator{cfg: cfg}
+	g.pScan = cfg.ScanRatio
+	g.pPut = g.pScan + cfg.UpdateRatio/2
+	g.pRemove = g.pScan + cfg.UpdateRatio
 	if cfg.ZipfS > 0 {
 		g.zipf = xrand.NewZipf(cfg.KeySpace, cfg.ZipfS)
 		g.perm = xrand.Perm(cfg.KeySpace, xrand.New(0xC0FFEE))
@@ -78,16 +144,59 @@ func (g *Generator) Key(rng *xrand.Rng) core.Key {
 	return core.Key(1 + g.perm[g.zipf.Rank(rng)])
 }
 
-// NextOp draws the operation kind: updates with probability UpdateRatio,
-// split evenly between puts and removes.
+// NextOp draws the operation kind: one uniform variate against the
+// cumulative mix thresholds (see the Generator field comment).
 func (g *Generator) NextOp(rng *xrand.Rng) Op {
-	if !rng.Bool(g.cfg.UpdateRatio) {
+	u := rng.Float64()
+	switch {
+	case u < g.pScan:
+		return OpScan
+	case u < g.pPut:
+		return OpPut
+	case u < g.pRemove:
+		return OpRemove
+	default:
 		return OpGet
 	}
-	if rng.Bool(0.5) {
-		return OpPut
+}
+
+// ScanLen draws a scan length (keys of the key space spanned) from the
+// configured distribution; always >= 1.
+func (g *Generator) ScanLen(rng *xrand.Rng) int64 {
+	mean := g.cfg.ScanLen
+	switch g.cfg.ScanLenDist {
+	case ScanLenFixed:
+		return mean
+	case ScanLenGeometric:
+		if mean <= 1 {
+			return 1
+		}
+		// Inverse-CDF geometric with success probability 1/mean.
+		u := rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		n := int64(math.Log(u)/math.Log(1-1/float64(mean))) + 1
+		if n < 1 {
+			n = 1
+		}
+		return n
+	default: // ScanLenUniform
+		if mean <= 1 {
+			return 1
+		}
+		return 1 + rng.Int63n(2*mean-1) // uniform on [1, 2*mean-1], mean = mean
 	}
-	return OpRemove
+}
+
+// ScanRange draws one scan window [lo, hi): the start follows the key
+// popularity distribution (so skewed workloads scan hot regions more,
+// like real feed reads) and the width follows the scan-length
+// distribution. The window is a key-space interval; on the paper's
+// half-full structures a width of L covers about L/2 live elements.
+func (g *Generator) ScanRange(rng *xrand.Rng) (lo, hi core.Key) {
+	lo = g.Key(rng)
+	return lo, lo + core.Key(g.ScanLen(rng))
 }
 
 // Fill populates s to the expected steady-state size: every other key of

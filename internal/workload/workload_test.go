@@ -57,6 +57,123 @@ func TestOpMixRatio(t *testing.T) {
 	}
 }
 
+// chiSquareMix draws n ops and returns the chi-square statistic of the
+// observed 4-way mix against the expected fractions (cells with zero
+// expectation are asserted empty instead of divided by).
+func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [4]float64) float64 {
+	t.Helper()
+	rng := xrand.New(seed)
+	var obs [4]int
+	for i := 0; i < n; i++ {
+		obs[g.NextOp(rng)]++
+	}
+	chi2 := 0.0
+	for cell, p := range want {
+		exp := p * float64(n)
+		if exp == 0 {
+			if obs[cell] != 0 {
+				t.Fatalf("op %d drawn %d times but has probability 0", cell, obs[cell])
+			}
+			continue
+		}
+		d := float64(obs[cell]) - exp
+		chi2 += d * d / exp
+	}
+	return chi2
+}
+
+// chi2Crit3 is the 99.9th percentile of chi-square with 3 degrees of
+// freedom: a correct generator fails this once in a thousand seeds, and
+// the seeds here are fixed.
+const chi2Crit3 = 16.27
+
+// TestOpMixChiSquare pins the drawn mix to the configured fractions with
+// a goodness-of-fit test, across mixes with and without scans — the
+// regression guard for the single-draw threshold arithmetic: adding
+// OpScan to the mix must not skew Get/Put/Remove relative shares.
+func TestOpMixChiSquare(t *testing.T) {
+	const draws = 200000
+	cases := []struct {
+		name string
+		cfg  Config
+		want [4]float64 // indexed by Op: get, put, remove, scan
+	}{
+		{"paper-mix-no-scans", Config{Size: 128, UpdateRatio: 0.2},
+			[4]float64{0.8, 0.1, 0.1, 0}},
+		{"scan-heavy", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.3},
+			[4]float64{0.5, 0.1, 0.1, 0.3}},
+		{"all-three-small", Config{Size: 128, UpdateRatio: 0.1, ScanRatio: 0.05},
+			[4]float64{0.85, 0.05, 0.05, 0.05}},
+		{"scans-only", Config{Size: 128, ScanRatio: 1},
+			[4]float64{0, 0, 0, 1}},
+		{"updates-clamped-by-scans", Config{Size: 128, UpdateRatio: 0.9, ScanRatio: 0.4},
+			[4]float64{0, 0.3, 0.3, 0.4}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGenerator(tc.cfg)
+			if chi2 := chiSquareMix(t, g, uint64(1000+i), draws, tc.want); chi2 > chi2Crit3 {
+				t.Fatalf("chi-square %.2f exceeds %.2f: drawn mix inconsistent with %v", chi2, chi2Crit3, tc.want)
+			}
+		})
+	}
+}
+
+func TestScanLenDistributions(t *testing.T) {
+	const draws = 100000
+	for _, dist := range []string{ScanLenUniform, ScanLenFixed, ScanLenGeometric} {
+		t.Run(dist, func(t *testing.T) {
+			g := NewGenerator(Config{Size: 4096, ScanRatio: 0.1, ScanLen: 64, ScanLenDist: dist})
+			rng := xrand.New(7)
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				n := g.ScanLen(rng)
+				if n < 1 {
+					t.Fatalf("scan length %d < 1", n)
+				}
+				if dist == ScanLenFixed && n != 64 {
+					t.Fatalf("fixed scan length drew %d", n)
+				}
+				if dist == ScanLenUniform && n > 127 {
+					t.Fatalf("uniform scan length %d outside [1, 127]", n)
+				}
+				sum += float64(n)
+			}
+			mean := sum / draws
+			if math.Abs(mean-64) > 3 {
+				t.Fatalf("%s mean scan length %.2f, want ~64", dist, mean)
+			}
+		})
+	}
+}
+
+func TestScanRangeWindows(t *testing.T) {
+	g := NewGenerator(Config{Size: 128, ScanRatio: 0.2, ScanLen: 16})
+	rng := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		lo, hi := g.ScanRange(rng)
+		if lo < 1 || lo > 256 {
+			t.Fatalf("scan lo %d outside the key space [1, 256]", lo)
+		}
+		if hi <= lo || hi > lo+31 {
+			t.Fatalf("scan window [%d, %d) inconsistent with mean length 16", lo, hi)
+		}
+	}
+}
+
+func TestScanDefaults(t *testing.T) {
+	c := Config{Size: 512, ScanRatio: 0.1}.WithDefaults()
+	if c.ScanLen != 64 || c.ScanLenDist != ScanLenUniform {
+		t.Fatalf("scan defaults wrong: %+v", c)
+	}
+	// ScanLen never exceeds the key space (a scan wider than the domain
+	// is just a full scan).
+	c2 := Config{Size: 16, ScanRatio: 0.1, ScanLen: 1000}.WithDefaults()
+	if c2.ScanLen != 32 {
+		t.Fatalf("ScanLen not clamped to key space: %+v", c2)
+	}
+}
+
 func TestFillReachesSize(t *testing.T) {
 	g := NewGenerator(Config{Size: 200})
 	s := list.NewLazy(core.Options{})
