@@ -1,0 +1,200 @@
+// Command benchsnap normalizes csdsbench -csv output into the JSON
+// snapshot format of the repository's perf trajectory, and verifies a
+// fresh run against a committed baseline.
+//
+// The CI bench job runs the fixed grid (scripts/bench_grid.sh), converts
+// the CSV to bench.json with this tool, and uploads both as artifacts;
+// BENCH_baseline.json in the repository root is the same conversion,
+// committed once per machine-visible perf change. -check compares a
+// fresh CSV's *grid identity* — schema, columns, and the configuration
+// axes of every cell — against the baseline, so the artifact format and
+// the measured grid cannot drift silently; measurements themselves are
+// expected to differ run to run and host to host and are not compared.
+//
+// Usage:
+//
+//	benchsnap bench.csv              # print the JSON snapshot
+//	benchsnap -out bench.json bench.csv
+//	benchsnap -check BENCH_baseline.json bench.csv
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// schemaID names the snapshot format; bump it together with the
+// csdsbench CSV header and the committed baseline.
+const schemaID = "csds-bench-v1"
+
+// gridAxes are the configuration columns that define a cell's identity:
+// two snapshots describe the same grid iff their cells agree on these
+// (measurements may differ).
+var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "scanfrac", "cursorfrac"}
+
+// Snapshot is the JSON artifact: the column schema plus one entry per
+// grid cell, numbers parsed where the column is numeric.
+type Snapshot struct {
+	Schema  string           `json:"schema"`
+	Columns []string         `json:"columns"`
+	Cells   []map[string]any `json:"cells"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	var out, check string
+	var csvPath string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-out":
+			i++
+			if i == len(args) {
+				fmt.Fprintln(stderr, "benchsnap: -out needs a path")
+				return 2
+			}
+			out = args[i]
+		case "-check":
+			i++
+			if i == len(args) {
+				fmt.Fprintln(stderr, "benchsnap: -check needs a baseline path")
+				return 2
+			}
+			check = args[i]
+		default:
+			if strings.HasPrefix(args[i], "-") || csvPath != "" {
+				fmt.Fprintf(stderr, "benchsnap: usage: benchsnap [-out file.json] [-check baseline.json] bench.csv\n")
+				return 2
+			}
+			csvPath = args[i]
+		}
+	}
+	if csvPath == "" {
+		fmt.Fprintln(stderr, "benchsnap: a bench CSV path is required")
+		return 2
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	snap, err := Parse(string(data))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	if check != "" {
+		base, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+			return 1
+		}
+		var baseline Snapshot
+		if err := json.Unmarshal(base, &baseline); err != nil {
+			fmt.Fprintf(stderr, "benchsnap: baseline %s: %v\n", check, err)
+			return 1
+		}
+		if err := CheckGrid(baseline, snap); err != nil {
+			fmt.Fprintf(stderr, "benchsnap: grid drifted from %s: %v\n", check, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchsnap: grid matches %s (%d cells)\n", check, len(snap.Cells))
+	}
+	js, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	js = append(js, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, js, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+			return 1
+		}
+	} else if check == "" {
+		stdout.Write(js)
+	}
+	return 0
+}
+
+// Parse converts concatenated csdsbench -csv output (one header+row
+// block per cell, or one header followed by many rows) into a Snapshot.
+// The alg column of composite specs carries literal commas in the
+// unquoted CSV, so rows are split right-to-left: the last len(columns)-1
+// fields are the numeric columns and everything before them is alg.
+func Parse(csv string) (Snapshot, error) {
+	snap := Snapshot{Schema: schemaID}
+	for ln, line := range strings.Split(csv, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "alg,") {
+			cols := strings.Split(line, ",")
+			if snap.Columns == nil {
+				snap.Columns = cols
+			} else if strings.Join(snap.Columns, ",") != line {
+				return Snapshot{}, fmt.Errorf("line %d: header %q disagrees with earlier header", ln+1, line)
+			}
+			continue
+		}
+		if snap.Columns == nil {
+			return Snapshot{}, fmt.Errorf("line %d: data row before any header", ln+1)
+		}
+		fields := strings.Split(line, ",")
+		extra := len(fields) - len(snap.Columns)
+		if extra < 0 {
+			return Snapshot{}, fmt.Errorf("line %d: %d fields for %d columns", ln+1, len(fields), len(snap.Columns))
+		}
+		cell := make(map[string]any, len(snap.Columns))
+		cell[snap.Columns[0]] = strings.Join(fields[:extra+1], ",")
+		for i := 1; i < len(snap.Columns); i++ {
+			raw := fields[extra+i]
+			if v, err := strconv.ParseFloat(raw, 64); err == nil {
+				cell[snap.Columns[i]] = v
+			} else {
+				cell[snap.Columns[i]] = raw
+			}
+		}
+		snap.Cells = append(snap.Cells, cell)
+	}
+	if snap.Columns == nil {
+		return Snapshot{}, fmt.Errorf("no CSV header found")
+	}
+	if len(snap.Cells) == 0 {
+		return Snapshot{}, fmt.Errorf("no data rows found")
+	}
+	return snap, nil
+}
+
+// CheckGrid verifies that fresh describes the same measurement grid as
+// baseline: same schema id, same columns, same cell count, and cell-by-
+// cell agreement on every configuration axis. Measurement columns are
+// deliberately not compared.
+func CheckGrid(baseline, fresh Snapshot) error {
+	if baseline.Schema != fresh.Schema {
+		return fmt.Errorf("schema %q vs baseline %q", fresh.Schema, baseline.Schema)
+	}
+	if strings.Join(baseline.Columns, ",") != strings.Join(fresh.Columns, ",") {
+		return fmt.Errorf("columns changed:\n  baseline: %s\n  fresh:    %s",
+			strings.Join(baseline.Columns, ","), strings.Join(fresh.Columns, ","))
+	}
+	if len(baseline.Cells) != len(fresh.Cells) {
+		return fmt.Errorf("cell count %d vs baseline %d", len(fresh.Cells), len(baseline.Cells))
+	}
+	for i := range baseline.Cells {
+		for _, ax := range gridAxes {
+			b, f := fmt.Sprint(baseline.Cells[i][ax]), fmt.Sprint(fresh.Cells[i][ax])
+			if b != f {
+				return fmt.Errorf("cell %d: %s = %q vs baseline %q", i, ax, f, b)
+			}
+		}
+	}
+	return nil
+}

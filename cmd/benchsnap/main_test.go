@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleCSV mimics the grid script's output: one header, then one row
+// per cell, with composite specs carrying commas inside the alg column.
+const sampleCSV = `alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac
+list/lazy,4,2048,0.1,0,1.2345,300000.0,1000.0,0.000100,0.000200,0.000000,1234,0.000000,0,0,0.05,100.0,30.0,2000,9000,0.05,400.0,15.0,500,4000,0.001000
+sharded(8,list/lazy),4,2048,0.1,0,2.3456,600000.0,2000.0,0.000050,0.000100,0.000000,999,0.000000,0,0,0.05,120.0,30.0,1500,8000,0.05,500.0,15.0,400,3000,0.000500
+elastic(8,list/lazy),4,2048,0.1,0,2.2222,550000.0,2100.0,0.000060,0.000110,0.000000,1111,0.000000,0,8,0.05,110.0,30.0,1600,8500,0.05,480.0,15.0,420,3100,0.000600
+`
+
+func TestParseSample(t *testing.T) {
+	snap, err := Parse(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != schemaID {
+		t.Fatalf("schema %q", snap.Schema)
+	}
+	if len(snap.Columns) != 26 {
+		t.Fatalf("parsed %d columns, want 26", len(snap.Columns))
+	}
+	if len(snap.Cells) != 3 {
+		t.Fatalf("parsed %d cells, want 3", len(snap.Cells))
+	}
+	// Composite specs keep their inner commas intact.
+	if got := snap.Cells[1]["alg"]; got != "sharded(8,list/lazy)" {
+		t.Fatalf("cell 1 alg = %v", got)
+	}
+	if got := snap.Cells[1]["mops"]; got != 2.3456 {
+		t.Fatalf("cell 1 mops = %v", got)
+	}
+	if got := snap.Cells[2]["final_width"]; got != 8.0 {
+		t.Fatalf("cell 2 final_width = %v", got)
+	}
+}
+
+func TestParseConcatenatedBlocks(t *testing.T) {
+	lines := strings.SplitN(sampleCSV, "\n", 3)
+	// header+row, then header+row again (per-invocation output).
+	blocks := lines[0] + "\n" + lines[1] + "\n" + lines[0] + "\n" + lines[1] + "\n"
+	snap, err := Parse(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Cells) != 2 {
+		t.Fatalf("parsed %d cells, want 2", len(snap.Cells))
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"no header here\n1,2,3\n",
+		"alg,threads\nonly-one-field\n",
+		"alg,threads\n", // header but no rows
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse accepted %q", bad)
+		}
+	}
+}
+
+func TestCheckGridMatchesItself(t *testing.T) {
+	snap, err := Parse(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGrid(snap, snap); err != nil {
+		t.Fatalf("snapshot does not match itself: %v", err)
+	}
+}
+
+func TestCheckGridCatchesDrift(t *testing.T) {
+	base, _ := Parse(sampleCSV)
+	// A changed configuration axis must be caught...
+	fresh, _ := Parse(strings.Replace(sampleCSV, "sharded(8,list/lazy),4,", "sharded(16,list/lazy),4,", 1))
+	if err := CheckGrid(base, fresh); err == nil {
+		t.Fatal("changed alg axis not caught")
+	}
+	// ...but changed measurements are fine.
+	fresh, _ = Parse(strings.Replace(sampleCSV, "2.3456", "9.9999", 1))
+	if err := CheckGrid(base, fresh); err != nil {
+		t.Fatalf("measurement change rejected: %v", err)
+	}
+	// A dropped cell must be caught.
+	lines := strings.Split(strings.TrimSpace(sampleCSV), "\n")
+	fresh, _ = Parse(strings.Join(lines[:3], "\n") + "\n")
+	if err := CheckGrid(base, fresh); err == nil {
+		t.Fatal("dropped cell not caught")
+	}
+}
+
+// TestCommittedBaselineGridMatchesSample: the committed baseline at the
+// repository root must describe exactly the grid scripts/bench_grid.sh
+// runs (same cells, same axes), so CI's -check pass is meaningful.
+func TestCommittedBaselineGrid(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var rt Snapshot
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatalf("baseline is not valid snapshot JSON: %v", err)
+	}
+	sample, _ := Parse(sampleCSV)
+	if err := CheckGrid(rt, sample); err != nil {
+		t.Fatalf("committed baseline grid disagrees with the documented grid: %v", err)
+	}
+}
+
+// TestRunEndToEnd drives the CLI surface: convert, write, and check.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "bench.csv")
+	if err := os.WriteFile(csv, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := filepath.Join(dir, "bench.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-out", jsonOut, csv}, &out, &errOut); code != 0 {
+		t.Fatalf("convert exited %d: %s", code, errOut.String())
+	}
+	// The emitted JSON is a valid baseline for its own CSV.
+	if code := run([]string{"-check", jsonOut, csv}, &out, &errOut); code != 0 {
+		t.Fatalf("self-check exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "grid matches") {
+		t.Fatalf("check did not confirm: %s", out.String())
+	}
+	// A drifted grid fails the check.
+	drifted := strings.Replace(sampleCSV, "list/lazy,4,", "list/lazy,8,", 1)
+	if err := os.WriteFile(csv, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-check", jsonOut, csv}, &out, &errOut); code == 0 {
+		t.Fatal("drifted grid passed -check")
+	}
+	if !strings.Contains(errOut.String(), "grid drifted") {
+		t.Fatalf("drift error not actionable: %s", errOut.String())
+	}
+	// Bad flags and missing files exit nonzero.
+	if code := run([]string{}, &out, &errOut); code == 0 {
+		t.Fatal("no arguments accepted")
+	}
+	if code := run([]string{filepath.Join(dir, "nope.csv")}, &out, &errOut); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+}

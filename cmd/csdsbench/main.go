@@ -13,6 +13,7 @@
 //	csdsbench -alg list/lazy -threads 20 -size 2048 -updates 0.1 -dur 5s -runs 11
 //	csdsbench -alg 'sharded(16,list/lazy)' -threads 20 -zipf 0.8
 //	csdsbench -alg 'striped(8,skiplist/herlihy)' -scan-frac 0.2 -scan-len 128
+//	csdsbench -alg 'sharded(8,list/lazy)' -cursor-frac 0.1 -page-len 50
 //	csdsbench -alg 'elastic(1,list/lazy)' -resize-at '100ms:8,300ms:2'
 //	csdsbench -alg 'elastic(1,list/lazy)' -elastic-growwait 0.05 -elastic-max 32
 //	csdsbench -alg hashtable/lazy -elide 5 -threads 32
@@ -21,7 +22,10 @@
 // A -scan-frac above 0 dedicates that fraction of operations to
 // linearizable range scans (every structure and combinator implements
 // them); scans are measured apart from point operations and reported on
-// their own rows.
+// their own rows. A -cursor-frac above 0 likewise dedicates operations
+// to paginated (cursor) scans — each draws a window and pages through it
+// with -page-len sized batches — measured apart from both point ops and
+// one-shot scans (pages/sec, keys/page, page latency, retries/page).
 package main
 
 import (
@@ -48,6 +52,12 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// csvHeader is the pinned -csv schema. CI parses it (the bench artifact
+// and the committed BENCH_baseline.json are derived from these columns),
+// so changes here must be deliberate: update the smoke test, the
+// benchsnap tool's expectations, and regenerate the baseline together.
+const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac"
 
 // parseResizeSteps parses the -resize-at syntax: a comma-separated list of
 // duration:width pairs, e.g. "100ms:8,300ms:2".
@@ -85,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scanFrac := fs.Float64("scan-frac", 0, "fraction of operations that are range scans (0 = none)")
 	scanLen := fs.Int64("scan-len", 64, "mean scan length in keys of the key space")
 	scanDist := fs.String("scan-dist", "uniform", "scan-length distribution: uniform, fixed or geometric")
+	cursorFrac := fs.Float64("cursor-frac", 0, "fraction of operations that are paginated (cursor) scans (0 = none)")
+	pageLen := fs.Int64("page-len", 16, "mean cursor page size in keys per batch")
+	pageDist := fs.String("page-dist", "uniform", "page-size distribution: uniform, fixed or geometric")
 	zipf := fs.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
 	dur := fs.Duration("dur", 500*time.Millisecond, "measurement window per run")
 	runs := fs.Int("runs", 3, "runs to average (paper: 11)")
@@ -129,12 +142,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "csdsbench: -scan-dist %q: want uniform, fixed or geometric\n", *scanDist)
 		return 1
 	}
+	switch *pageDist {
+	case workload.ScanLenUniform, workload.ScanLenFixed, workload.ScanLenGeometric:
+	default:
+		fmt.Fprintf(stderr, "csdsbench: -page-dist %q: want uniform, fixed or geometric\n", *pageDist)
+		return 1
+	}
 	if *scanFrac < 0 || *scanFrac > 1 {
 		fmt.Fprintf(stderr, "csdsbench: -scan-frac %v outside [0, 1]\n", *scanFrac)
 		return 1
 	}
+	if *cursorFrac < 0 || *cursorFrac > 1 {
+		fmt.Fprintf(stderr, "csdsbench: -cursor-frac %v outside [0, 1]\n", *cursorFrac)
+		return 1
+	}
 	if *scanLen < 1 {
 		fmt.Fprintf(stderr, "csdsbench: -scan-len %d: the mean scan length must be at least 1\n", *scanLen)
+		return 1
+	}
+	if *pageLen < 1 {
+		fmt.Fprintf(stderr, "csdsbench: -page-len %d: the mean page size must be at least 1\n", *pageLen)
 		return 1
 	}
 	cfg := harness.Config{
@@ -143,6 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workload: workload.Config{
 			Size: *size, UpdateRatio: *updates, ZipfS: *zipf,
 			ScanRatio: *scanFrac, ScanLen: *scanLen, ScanLenDist: *scanDist,
+			CursorRatio: *cursorFrac, PageLen: *pageLen, PageLenDist: *pageDist,
 		},
 	}
 	if *delayed > 0 {
@@ -185,13 +213,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *csv {
-		fmt.Fprintln(stdout, "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns")
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d\n",
+		fmt.Fprintln(stdout, csvHeader)
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f\n",
 			*alg, *threads, *size, *updates, *zipf,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
-			*scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs)
+			*scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
+			*cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac)
 		return 0
 	}
 	fmt.Fprintf(stdout, "algorithm          %s\n", *alg)
@@ -210,6 +239,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "scan latency       mean %v, worst %v, %.3f retries/scan\n",
 			time.Duration(res.ScanMeanNs).Round(time.Microsecond),
 			time.Duration(res.ScanMaxNs).Round(time.Microsecond), res.ScanRetryFrac)
+	}
+	if res.TotalPages > 0 {
+		fmt.Fprintf(stdout, "cursor throughput  %.0f pages/s (%d pages over %d paginated scans, %.1f keys/page)\n",
+			res.PageThroughput, res.TotalPages, res.TotalCursors, res.PageKeysMean)
+		fmt.Fprintf(stdout, "page latency       mean %v, worst %v, %.3f retries/page\n",
+			time.Duration(res.PageMeanNs).Round(time.Microsecond),
+			time.Duration(res.PageMaxNs).Round(time.Microsecond), res.CursorRetryFrac)
 	}
 	if res.FallbackFrac > 0 || *elide > 0 {
 		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",

@@ -149,6 +149,87 @@ func TestScanFlagValidation(t *testing.T) {
 	}
 }
 
+// TestCursorFlagsSmoke runs a tiny cursor-mix cell on each acceptance
+// composite and checks the cursor rows appear, distinct from both the
+// point-op and the one-shot-scan rows.
+func TestCursorFlagsSmoke(t *testing.T) {
+	for _, alg := range []string{
+		"sharded(4,list/lazy)",
+		"striped(4,list/lazy)",
+		"elastic(4,list/lazy)",
+	} {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-alg", alg, "-threads", "2", "-size", "128",
+			"-dur", "40ms", "-runs", "1", "-cursor-frac", "0.2",
+			"-scan-len", "32", "-page-len", "8",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: cursor run exited %d (stderr: %s)", alg, code, errOut.String())
+		}
+		for _, want := range []string{"cursor throughput", "page latency", "keys/page", "paginated scans"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("%s: report missing %q:\n%s", alg, want, out.String())
+			}
+		}
+		if strings.Contains(out.String(), "scan throughput") {
+			t.Fatalf("%s: cursor-only mix leaked one-shot scan rows:\n%s", alg, out.String())
+		}
+	}
+	// Without -cursor-frac the cursor rows stay out of the report.
+	var out, errOut strings.Builder
+	if code := run([]string{"-alg", "list/lazy", "-threads", "1", "-dur", "20ms", "-runs", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	if strings.Contains(out.String(), "cursor throughput") {
+		t.Fatalf("cursorless report shows cursor rows:\n%s", out.String())
+	}
+}
+
+// TestCursorFlagValidation rejects malformed cursor flags up front.
+func TestCursorFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "list/lazy", "-cursor-frac", "1.5"},
+		{"-alg", "list/lazy", "-cursor-frac", "-0.1"},
+		{"-alg", "list/lazy", "-cursor-frac", "0.1", "-page-len", "0"},
+		{"-alg", "list/lazy", "-cursor-frac", "0.1", "-page-dist", "pareto"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestCSVSchemaPinned pins the full -csv header verbatim and checks the
+// row/header column agreement: the CI bench artifact and the committed
+// BENCH_baseline.json are derived from exactly these columns, so any
+// drift must show up here first.
+func TestCSVSchemaPinned(t *testing.T) {
+	const wantHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev," +
+		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
+		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
+		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac"
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-alg", "list/lazy", "-threads", "2", "-size", "128",
+		"-dur", "30ms", "-runs", "1", "-scan-frac", "0.1", "-cursor-frac", "0.1", "-csv",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("csv cursor run exited %d (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv output not header+row (one row per cell):\n%s", out.String())
+	}
+	if lines[0] != wantHeader {
+		t.Fatalf("csv header drifted:\n got %s\nwant %s", lines[0], wantHeader)
+	}
+	if nh, nr := strings.Count(lines[0], ","), strings.Count(lines[1], ","); nh != nr {
+		t.Fatalf("csv header has %d columns, row has %d", nh+1, nr+1)
+	}
+}
+
 // TestScanCSVColumns pins the CSV header and the scan columns. The
 // column-count check uses a comma-free spec: composite specs carry
 // commas of their own inside the alg column (a long-standing quirk of

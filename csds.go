@@ -48,6 +48,23 @@
 //		return true
 //	})
 //
+// Real services page instead of scanning: Cursor is the resumable,
+// bounded-batch counterpart of Scanner, implemented by every structure
+// and combinator, delivering ascending pages with an opaque resume token
+// that pins no server-side state (tokens survive churn, restarts, and
+// elastic resizes). A paginated feed endpoint looks like:
+//
+//	// First request: open a window and serve one page.
+//	cur, err := csds.OpenCursor(s, 100, 200)
+//	token, done := cur.Next(c, 50, func(k csds.Key, v csds.Value) bool {
+//		... // up to 50 keys of [100, 200), ascending, one atomic batch
+//		return true
+//	})
+//	// Later request: the client echoes the token back; resume from it.
+//	cur, err = csds.ResumeCursor(s, token)
+//	token, done = cur.Next(c, 50, appendPage)
+//	... // until done; corrupt tokens error, they never misroute a page
+//
 // The subdirectories of this module hold the experiment harness
 // (internal/harness), the discrete-event multicore simulator
 // (internal/sim), and the Section 6 birthday-paradox model
@@ -92,6 +109,15 @@ type (
 	// Scanner is the optional linearizable range-scan extension of Set,
 	// implemented by every structure and combinator in this module.
 	Scanner = core.Scanner
+	// Cursor is the optional paginated-iteration extension of Set
+	// (resumable bounded batches), implemented by every structure and
+	// combinator in this module.
+	Cursor = core.Cursor
+	// CursorToken is the decoded form of a pagination token.
+	CursorToken = core.CursorToken
+	// PageCursor is the pagination handle returned by OpenCursor and
+	// ResumeCursor.
+	PageCursor = core.PageCursor
 	// Resizable is the optional online-repartitioning extension of Set,
 	// implemented by elastic composites.
 	Resizable = core.Resizable
@@ -125,6 +151,20 @@ func New(name string, o Options) (Set, bool) {
 // Build constructs an algorithm from a specification, reporting grammar
 // and resolution errors.
 func Build(spec string, o Options) (Set, error) { return core.Build(spec, o) }
+
+// OpenCursor starts a paginated iteration over s's window [lo, hi):
+// call Next for bounded ascending batches; each batch is individually
+// linearizable and returns an opaque resume token.
+func OpenCursor(s Set, lo, hi Key) (*PageCursor, error) { return core.OpenCursor(s, lo, hi) }
+
+// ResumeCursor rebuilds a pagination handle from a wire token minted by
+// a PageCursor over an equivalent structure — the "next page" entry
+// point of a stateless service. Corrupt tokens are rejected.
+func ResumeCursor(s Set, token string) (*PageCursor, error) { return core.ResumeCursor(s, token) }
+
+// DecodeCursorToken parses a wire token into its window and position
+// (diagnostics; Next and ResumeCursor handle tokens opaquely).
+func DecodeCursorToken(token string) (CursorToken, error) { return core.DecodeCursorToken(token) }
 
 // NewEBRDomain creates an epoch-based reclamation domain to share across
 // structures (optional: Go's GC reclaims safely without one).

@@ -231,6 +231,91 @@ func TestScannerRootAPI(t *testing.T) {
 	}
 }
 
+// TestCursorRootAPI exercises the exported pagination surface end to
+// end: OpenCursor/Next/ResumeCursor over plain structures and
+// composites, ascending bounded pages, token round-trip, and the
+// corrupt-token error path — the worked example from the package doc.
+func TestCursorRootAPI(t *testing.T) {
+	c := NewCtx(0)
+	for name, s := range map[string]Set{
+		"lazy-list":  NewLazyList(),
+		"bst-tk":     NewBSTTK(),
+		"hash-table": NewLazyHashTable(256),
+	} {
+		if _, ok := s.(Cursor); !ok {
+			t.Fatalf("%s: %T does not satisfy Cursor", name, s)
+		}
+		for k := Key(0); k < 50; k++ {
+			s.Put(c, k, k*3)
+		}
+		cur, err := OpenCursor(s, 10, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got []Key
+		pages := 0
+		for !cur.Done() {
+			pages++
+			n := 0
+			token, done := cur.Next(c, 7, func(k Key, v Value) bool {
+				if v != k*3 {
+					t.Fatalf("%s: page returned (%d, %d), want value %d", name, k, v, k*3)
+				}
+				got = append(got, k)
+				n++
+				return true
+			})
+			if n > 7 {
+				t.Fatalf("%s: page delivered %d keys over budget 7", name, n)
+			}
+			if !done {
+				// The stateless hand-off of the doc example: resume
+				// from the wire token alone.
+				if cur, err = ResumeCursor(s, token); err != nil {
+					t.Fatalf("%s: resume: %v", name, err)
+				}
+			}
+			if pages > 40 {
+				t.Fatalf("%s: cursor never finished", name)
+			}
+		}
+		if len(got) != 30 || got[0] != 10 || got[29] != 39 {
+			t.Fatalf("%s: pagination of [10, 40) = %v", name, got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("%s: pages not ascending: %v", name, got)
+			}
+		}
+		if _, err := ResumeCursor(s, "corrupt-token"); err == nil {
+			t.Fatalf("%s: corrupt token resumed without error", name)
+		}
+	}
+	// Composites through Build paginate too, and their tokens decode.
+	s, err := Build("elastic(4,list/lazy)", Options{ExpectedSize: 128, KeySpan: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Key(0); k < 50; k++ {
+		s.Put(c, k, k)
+	}
+	cur, err := OpenCursor(s, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, done := cur.Next(c, 20, func(Key, Value) bool { return true })
+	if done {
+		t.Fatal("50-key window done after one 20-key page")
+	}
+	tok, err := DecodeCursorToken(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Lo != 0 || tok.Hi != 50 || tok.Pos != 20 {
+		t.Fatalf("decoded token %+v, want {Lo:0 Hi:50 Pos:20}", tok)
+	}
+}
+
 // TestElasticRootAPI exercises the exported elastic surface: NewElastic,
 // the Resizable assertion, online resize, and Ranger iteration.
 func TestElasticRootAPI(t *testing.T) {

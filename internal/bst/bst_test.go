@@ -36,6 +36,16 @@ func TestScanners(t *testing.T) {
 	}
 }
 
+// TestCursors runs the paginated-iteration battery on both trees.
+func TestCursors(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"tk":       func(o core.Options) core.Set { return NewTK(o) },
+		"internal": func(o core.Options) core.Set { return NewInternal(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunCursor(t, mk) })
+	}
+}
+
 func TestFeaturedIsTK(t *testing.T) {
 	info, ok := core.Featured("bst")
 	if !ok || info.Name != "bst/tk" {

@@ -374,6 +374,46 @@ func scanLeaves(n *tkNode, lo, hi core.Key, emit func(k core.Key, v core.Value))
 	}
 }
 
+// CursorNext implements core.Cursor: a bounded in-order page over the
+// external tree under the scan guard. The descent prunes every subtree
+// whose routing interval lies below the token position, so resuming a
+// page costs O(log n) routing plus the page itself — the delivered
+// prefix is never re-walked.
+func (t *TK) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &t.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		pageLeaves(t.sroot.left.Load(), pos, hi, emit)
+	}, f)
+}
+
+// pageLeaves emits the in-range, non-sentinel leaves of n in key order,
+// stopping as soon as emit reports the page full; it reports whether the
+// walk should continue.
+func pageLeaves(n *tkNode, lo, hi core.Key, emit func(k core.Key, v core.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.leaf {
+		if n.key >= lo && n.key < hi && n.key != core.KeyMin && n.key != core.KeyMax {
+			return emit(n.key, n.val)
+		}
+		return true
+	}
+	if lo < n.key {
+		if !pageLeaves(n.left.Load(), lo, hi, emit) {
+			return false
+		}
+	}
+	if hi > n.key {
+		return pageLeaves(n.right.Load(), lo, hi, emit)
+	}
+	return true
+}
+
 func tkDoom(c *core.Ctx) *htm.Doom {
 	if c == nil {
 		return nil

@@ -212,3 +212,41 @@ func scanPresent(n *inode, lo, hi core.Key, emit func(k core.Key, v core.Value))
 		scanPresent(n.right.Load(), lo, hi, emit)
 	}
 }
+
+// CursorNext implements core.Cursor: a bounded in-order page over
+// present nodes under the scan guard, pruning subtrees below the token
+// position (see TK.CursorNext; logical-only deletion means the walked
+// shape can only grow underneath a page).
+func (t *Internal) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	return core.GuardedPage(c, &t.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		if pagePresent(t.root.left.Load(), pos, hi, emit) {
+			pagePresent(t.root.right.Load(), pos, hi, emit)
+		}
+	}, f)
+}
+
+// pagePresent emits n's present, in-range nodes in key order, stopping
+// as soon as emit reports the page full; it reports whether the walk
+// should continue.
+func pagePresent(n *inode, lo, hi core.Key, emit func(k core.Key, v core.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if lo < n.key {
+		if !pagePresent(n.left.Load(), lo, hi, emit) {
+			return false
+		}
+	}
+	if n.key >= lo && n.key < hi && n.present.Load() {
+		if !emit(n.key, n.val.Load()) {
+			return false
+		}
+	}
+	if hi > n.key {
+		return pagePresent(n.right.Load(), lo, hi, emit)
+	}
+	return true
+}

@@ -85,7 +85,8 @@ func init() {
 			e, err := NewElastic(arg, inner, o)
 			if err != nil {
 				// Unreachable through the registries: every algorithm and
-				// combinator in this module implements core.Ranger.
+				// combinator in this module implements core.Ranger,
+				// core.Scanner and core.Cursor.
 				panic(fmt.Sprintf("combinator: %v", err))
 			}
 			return e

@@ -85,6 +85,62 @@ func TestCompositeScannersMoreLeaves(t *testing.T) {
 	}
 }
 
+// TestCompositeCursors runs the paginated-iteration battery across the
+// combinator grid: merge cursors (sharded), per-stripe resumption
+// (striped), delegation (readcache), epoch-disciplined merges (elastic),
+// and nesting — including hash-table leaves, whose cursor pages are
+// sorted into the same ascending order every composite promises.
+func TestCompositeCursors(t *testing.T) {
+	for _, spec := range []string{
+		"sharded(16,list/lazy)",
+		"sharded(4,hashtable/lazy)",
+		"striped(8,skiplist/herlihy)",
+		"striped(4,hashtable/lazy)",
+		"readcache(1024,bst/tk)",
+		"readcache(64,sharded(4,hashtable/lazy))",
+		"elastic(4,list/lazy)",
+		"striped(4,sharded(2,list/lazy))",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunCursorSpec(t, spec) })
+	}
+}
+
+// TestCompositeCursorsMoreLeaves cross-checks cursors over lock-free and
+// wait-free leaves (the long battery).
+func TestCompositeCursorsMoreLeaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product suites are the long battery")
+	}
+	for _, spec := range []string{
+		"sharded(4,list/harris)",
+		"striped(4,list/waitfree)",
+		"striped(4,skiplist/lockfree)",
+		"elastic(4,bst/tk)",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunCursorSpec(t, spec) })
+	}
+}
+
+// TestElasticCursorUnderResize is the acceptance point of the cursor
+// battery: pagination over elastic composites must stay duplicate-free
+// and anchor-complete — and tokens must keep resuming — while a
+// dedicated goroutine grows and shrinks the shard map between (and
+// during) pages.
+func TestElasticCursorUnderResize(t *testing.T) {
+	for _, spec := range []string{
+		"elastic(2,list/lazy)",
+		"elastic(2,skiplist/herlihy)",
+	} {
+		f, err := core.NewFactory(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec, func(t *testing.T) {
+			settest.RunCursorResizable(t, settest.Factory(f))
+		})
+	}
+}
+
 // TestElasticScanUnderResize is the acceptance point of the scan
 // battery: elastic composites must return consistent snapshots while a
 // dedicated goroutine grows and shrinks the shard map mid-scan.

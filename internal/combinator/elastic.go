@@ -103,6 +103,9 @@ func NewElastic(n int, inner func(core.Options) core.Set, o core.Options) (*Elas
 	if _, ok := p.shards[0].set.(core.Scanner); !ok {
 		return nil, fmt.Errorf("combinator: elastic needs an inner structure that implements core.Scanner (composite scans collect per-shard snapshots); %T does not", p.shards[0].set)
 	}
+	if _, ok := p.shards[0].set.(core.Cursor); !ok {
+		return nil, fmt.Errorf("combinator: elastic needs an inner structure that implements core.Cursor (composite cursor pages merge per-shard pages); %T does not", p.shards[0].set)
+	}
 	e.cur.Store(p)
 	return e, nil
 }
@@ -242,6 +245,73 @@ func (e *Elastic) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	e.resizeMu.Unlock()
 	core.SortScanPairs(buf)
 	return core.ReplayScan(buf, f)
+}
+
+// CursorNext implements core.Cursor with the same old-then-new epoch
+// discipline as Scan, at page granularity: collect one bounded page from
+// every shard of the loaded map (each shard's own linearizable cursor,
+// at most max keys per shard), re-checking the staleness witness after
+// each shard — a frozen shard under a superseded map means the page may
+// predate post-swap updates, so it is discarded and retried on the
+// published map. The consistent union sorts and pages out ascending.
+//
+// The token is a bare key position, so it names no shard map at all:
+// a resize between two pages just means the next page collects from the
+// new partition — resume positions survive any number of Resizes, which
+// is exactly why the merge keeps no per-shard state. After
+// scanEpochRetries discarded epochs the page pins the map by briefly
+// excluding resizes (resizeMu pauses migrations, never operations),
+// mirroring Scan's fallback.
+func (e *Elastic) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	if max < 1 {
+		max = 1
+	}
+	var buf []core.ScanPair
+	for attempt := 0; attempt < scanEpochRetries; attempt++ {
+		p := e.cur.Load()
+		buf = buf[:0]
+		exhausted := true
+		stale := false
+		for i := range p.shards {
+			sh := &p.shards[i]
+			_, done := sh.set.(core.Cursor).CursorNext(c, pos, hi, max, func(k core.Key, v core.Value) bool {
+				buf = append(buf, core.ScanPair{K: k, V: v})
+				return true
+			})
+			if !done {
+				exhausted = false
+			}
+			if sh.frozen.Load() && e.cur.Load() != p {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			c.RecordCursorRetries(attempt)
+			return core.MergePage(buf, exhausted, hi, max, f)
+		}
+	}
+	// Pin the shard map: resizes wait briefly for this one bounded
+	// collect; readers and writers never do.
+	e.resizeMu.Lock()
+	p := e.cur.Load()
+	buf = buf[:0]
+	exhausted := true
+	for i := range p.shards {
+		_, done := p.shards[i].set.(core.Cursor).CursorNext(c, pos, hi, max, func(k core.Key, v core.Value) bool {
+			buf = append(buf, core.ScanPair{K: k, V: v})
+			return true
+		})
+		if !done {
+			exhausted = false
+		}
+	}
+	e.resizeMu.Unlock()
+	c.RecordCursorRetries(scanEpochRetries)
+	return core.MergePage(buf, exhausted, hi, max, f)
 }
 
 // Width implements core.Resizable: the current shard count.

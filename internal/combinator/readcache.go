@@ -150,6 +150,13 @@ func (r *ReadCache) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core
 	return r.inner.(core.Scanner).Scan(c, lo, hi, f)
 }
 
+// CursorNext implements core.Cursor by delegating to the inner
+// structure's cursor; like Scan, the cache never holds a mapping the
+// inner structure lacks, so inner pages are pages of the composite.
+func (r *ReadCache) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	return r.inner.(core.Cursor).CursorNext(c, pos, hi, max, f)
+}
+
 // Fills returns how many Get misses filled a slot. It is maintained on
 // the miss path only: the hit path stays a bare atomic load — a hit
 // counter would put shared RMW traffic on the one path the cache exists

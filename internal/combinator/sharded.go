@@ -78,3 +78,13 @@ func (s *Sharded) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	}
 	return mergeScan(c, s.shards, lo, hi, f)
 }
+
+// CursorNext implements core.Cursor by k-way merge over the shards' own
+// cursors: each shard contributes its first max in-range keys at or
+// beyond the token position (one atomic sub-snapshot per shard, bounded —
+// never the shard's whole range) and the sorted union pages out
+// ascending. A single key position resumes every shard, so tokens carry
+// no per-shard state (see core.CursorMergeNext).
+func (s *Sharded) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	return core.CursorMergeNext(c, s.shards, pos, hi, max, f)
+}

@@ -1,0 +1,51 @@
+// Fuzz target for the cursor-token codec, run as a CI smoke alongside
+// FuzzParseSpec: tokens cross trust boundaries (clients echo them back),
+// so decode must never panic, must reject anything inconsistent, and
+// must round-trip everything Encode produces.
+package core_test
+
+import (
+	"testing"
+
+	"csds/internal/core"
+)
+
+func FuzzCursorToken(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), "")
+	f.Add(int64(1), int64(100), int64(37), "csc1")
+	f.Add(int64(-50), int64(50), int64(0), core.CursorToken{Lo: 1, Hi: 9, Pos: 3}.Encode())
+	f.Add(int64(5), int64(2), int64(9), "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	f.Fuzz(func(t *testing.T, lo, hi, pos int64, wire string) {
+		// Property 1: decode(encode(t)) is the identity on every token
+		// Encode can produce (normalize the arbitrary triple first).
+		if lo <= hi {
+			p := pos
+			if p < lo {
+				p = lo
+			}
+			if p > hi {
+				p = hi
+			}
+			tok := core.CursorToken{Lo: lo, Hi: hi, Pos: p}
+			got, err := core.DecodeCursorToken(tok.Encode())
+			if err != nil {
+				t.Fatalf("decode(encode(%+v)): %v", tok, err)
+			}
+			if got != tok {
+				t.Fatalf("decode(encode(%+v)) = %+v", tok, got)
+			}
+		}
+		// Property 2: arbitrary input never panics, and anything that
+		// decodes successfully is internally consistent and canonical.
+		got, err := core.DecodeCursorToken(wire)
+		if err != nil {
+			return
+		}
+		if got.Lo > got.Hi || got.Pos < got.Lo || got.Pos > got.Hi {
+			t.Fatalf("decoded token violates its window invariant: %+v", got)
+		}
+		if got.Encode() != wire {
+			t.Fatalf("accepted token %q is not canonical (re-encodes to %q)", wire, got.Encode())
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// sliceSet is a minimal ordered Set + Cursor over a fixed sorted slice,
+// enough to unit-test the token codec and the PageCursor handle without
+// importing an algorithm package (which would cycle).
+type sliceSet struct {
+	keys []Key
+}
+
+func (s *sliceSet) Get(c *Ctx, k Key) (Value, bool) {
+	for _, x := range s.keys {
+		if x == k {
+			return Value(x), true
+		}
+	}
+	return 0, false
+}
+func (s *sliceSet) Put(c *Ctx, k Key, v Value) bool { return false }
+func (s *sliceSet) Remove(c *Ctx, k Key) bool       { return false }
+func (s *sliceSet) Len() int                        { return len(s.keys) }
+
+func (s *sliceSet) CursorNext(c *Ctx, pos, hi Key, max int, f func(k Key, v Value) bool) (Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	max = clampPageMax(max)
+	var buf []ScanPair
+	full := false
+	for _, k := range s.keys {
+		if k < pos || k >= hi {
+			continue
+		}
+		if len(buf) == max {
+			full = true
+			break
+		}
+		buf = append(buf, ScanPair{K: k, V: Value(k)})
+	}
+	return ReplayPage(buf, !full, hi, f)
+}
+
+func TestCursorTokenRoundTrip(t *testing.T) {
+	for _, tok := range []CursorToken{
+		{Lo: 0, Hi: 0, Pos: 0},
+		{Lo: 1, Hi: 100, Pos: 37},
+		{Lo: -50, Hi: 50, Pos: 0},
+		{Lo: KeyMin + 1, Hi: KeyMax, Pos: 12345},
+	} {
+		got, err := DecodeCursorToken(tok.Encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", tok, err)
+		}
+		if got != tok {
+			t.Fatalf("decode(encode(%+v)) = %+v", tok, got)
+		}
+	}
+}
+
+func TestCursorTokenRejectsCorruption(t *testing.T) {
+	valid := CursorToken{Lo: 1, Hi: 100, Pos: 37}.Encode()
+	cases := []string{
+		"",
+		"garbage",
+		valid[:len(valid)-1],
+		valid + "A",
+		strings.Repeat("!", len(valid)), // outside the base64url alphabet
+	}
+	// Single-character corruption anywhere must be caught by the
+	// checksum (or the decoded-window invariants).
+	for i := range valid {
+		alt := byte('A')
+		if valid[i] == alt {
+			alt = 'B'
+		}
+		cases = append(cases, valid[:i]+string(alt)+valid[i+1:])
+	}
+	for _, s := range cases {
+		if tok, err := DecodeCursorToken(s); err == nil {
+			t.Fatalf("corrupt token %q decoded silently to %+v", s, tok)
+		}
+	}
+	// An internally inconsistent window (Pos outside [Lo, Hi]) must be
+	// rejected even with a valid checksum.
+	bad := CursorToken{Lo: 50, Hi: 10, Pos: 30}
+	if _, err := DecodeCursorToken(bad.Encode()); err == nil {
+		t.Fatal("inconsistent window decoded without error")
+	}
+}
+
+func TestPageCursorPagination(t *testing.T) {
+	s := &sliceSet{}
+	for k := Key(0); k < 25; k++ {
+		s.keys = append(s.keys, k*2) // evens 0..48
+	}
+	c := NewCtx(0)
+	pc, err := OpenCursor(s, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Key
+	pages := 0
+	for !pc.Done() {
+		pages++
+		if pages > 100 {
+			t.Fatal("cursor never finished")
+		}
+		n := 0
+		tok, done := pc.Next(c, 4, func(k Key, v Value) bool {
+			got = append(got, k)
+			n++
+			return true
+		})
+		if n > 4 {
+			t.Fatalf("page delivered %d keys, budget 4", n)
+		}
+		// Tokens must round-trip and resume to an equivalent cursor.
+		if !done {
+			pc, err = ResumeCursor(s, tok)
+			if err != nil {
+				t.Fatalf("resume from %q: %v", tok, err)
+			}
+		}
+	}
+	want := []Key{6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34, 36, 38}
+	if len(got) != len(want) {
+		t.Fatalf("paginated [5,40) over evens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paginated [5,40) over evens = %v, want %v", got, want)
+		}
+	}
+	// A drained cursor stays drained and visits nothing.
+	if _, done := pc.Next(c, 4, func(Key, Value) bool { t.Fatal("visit after done"); return false }); !done {
+		t.Fatal("drained cursor reported done=false")
+	}
+}
+
+func TestOpenCursorDegenerateWindows(t *testing.T) {
+	s := &sliceSet{keys: []Key{10}}
+	c := NewCtx(0)
+	for _, w := range []struct{ lo, hi Key }{{5, 5}, {9, 5}} {
+		pc, err := OpenCursor(s, w.lo, w.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc.Done() {
+			t.Fatalf("cursor over empty window [%d, %d) not immediately done", w.lo, w.hi)
+		}
+	}
+	// max clamps to 1: progress is still made.
+	pc, _ := OpenCursor(s, 0, 20)
+	n := 0
+	_, done := pc.Next(c, 0, func(Key, Value) bool { n++; return true })
+	if n != 1 || !done {
+		t.Fatalf("clamped page visited %d keys (done=%v), want 1 key", n, done)
+	}
+}
+
+func TestOpenCursorRequiresCursor(t *testing.T) {
+	if _, err := OpenCursor(plainSet{}, 0, 10); err == nil {
+		t.Fatal("OpenCursor accepted a Set without cursor support")
+	}
+	tok := CursorToken{Lo: 0, Hi: 10, Pos: 0}.Encode()
+	if _, err := ResumeCursor(plainSet{}, tok); err == nil {
+		t.Fatal("ResumeCursor accepted a Set without cursor support")
+	}
+}
+
+// plainSet implements Set but not Cursor.
+type plainSet struct{}
+
+func (plainSet) Get(*Ctx, Key) (Value, bool) { return 0, false }
+func (plainSet) Put(*Ctx, Key, Value) bool   { return false }
+func (plainSet) Remove(*Ctx, Key) bool       { return false }
+func (plainSet) Len() int                    { return 0 }
+
+func TestMergePageTrimsAndResumes(t *testing.T) {
+	buf := []ScanPair{{K: 9}, {K: 3}, {K: 7}, {K: 1}, {K: 5}}
+	var got []Key
+	next, done := MergePage(buf, true, 100, 3, func(k Key, v Value) bool {
+		got = append(got, k)
+		return true
+	})
+	if done || next != 6 {
+		t.Fatalf("trimmed merge returned (next=%d, done=%v), want (6, false)", next, done)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("trimmed merge delivered %v, want [1 3 5]", got)
+	}
+	// Untouched budget with every part done: exhausted.
+	next, done = MergePage(buf[:2], true, 100, 3, func(Key, Value) bool { return true })
+	if !done || next != 100 {
+		t.Fatalf("exhausted merge returned (next=%d, done=%v), want (100, true)", next, done)
+	}
+	// Early stop resumes one past the stopped key.
+	next, done = MergePage(buf, true, 100, 5, func(k Key, v Value) bool { return k < 5 })
+	if done || next != 6 {
+		t.Fatalf("early-stopped merge returned (next=%d, done=%v), want (6, false)", next, done)
+	}
+}

@@ -158,6 +158,19 @@ type Result struct {
 	ScanMaxNs      uint64  // worst single scan
 	ScanRetryFrac  float64 // optimistic validation retries per scan
 
+	// Paginated cursor scans (set when the workload's CursorRatio > 0).
+	// Pages are measured apart from one-shot scans and from point ops:
+	// pages/sec is the serving-rate metric of a pagination workload, and
+	// the retry fraction counts resume-validation (and stale-epoch)
+	// retries per page.
+	PageThroughput  float64 // cursor pages per second, system-wide
+	TotalPages      uint64
+	TotalCursors    uint64  // full paginated iterations completed
+	PageKeysMean    float64 // mappings delivered per page, averaged
+	PageMeanNs      float64 // mean page latency
+	PageMaxNs       uint64  // worst single page
+	CursorRetryFrac float64 // validation/epoch retries per page
+
 	// Fine-grained (practical wait-freedom).
 	WaitFraction       float64 // fraction of time waiting for locks (Fig 5)
 	WaitFractionStddev float64
@@ -221,6 +234,15 @@ func (a *Result) accumulate(r *Result, runs int) {
 		a.ScanMaxNs = r.ScanMaxNs
 	}
 	a.ScanRetryFrac += r.ScanRetryFrac * f
+	a.PageThroughput += r.PageThroughput * f
+	a.TotalPages += r.TotalPages
+	a.TotalCursors += r.TotalCursors
+	a.PageKeysMean += r.PageKeysMean * f
+	a.PageMeanNs += r.PageMeanNs * f
+	if r.PageMaxNs > a.PageMaxNs {
+		a.PageMaxNs = r.PageMaxNs
+	}
+	a.CursorRetryFrac += r.CursorRetryFrac * f
 	a.WaitFraction += r.WaitFraction * f
 	a.WaitFractionStddev += r.WaitFractionStddev * f
 	a.RestartedFrac += r.RestartedFrac * f
@@ -277,6 +299,14 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			return Result{}, fmt.Errorf("harness: algorithm %q does not implement core.Scanner; a workload with ScanRatio > 0 needs range-scan support", cfg.Algorithm)
 		}
 		scanner = sc
+	}
+	var cursor core.Cursor
+	if cfg.Workload.CursorRatio > 0 {
+		cu, ok := s.(core.Cursor)
+		if !ok {
+			return Result{}, fmt.Errorf("harness: algorithm %q does not implement core.Cursor; a workload with CursorRatio > 0 needs paginated-scan support", cfg.Algorithm)
+		}
+		cursor = cu
 	}
 	var live []liveCell
 	if runCtrl && cfg.Elastic != nil {
@@ -346,6 +376,27 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 						return true
 					})
 					c.Stats.RecordScan(keys, uint64(time.Since(scanStart)))
+				case workload.OpCursorScan:
+					// One paginated iteration: page through the window
+					// with page sizes drawn from the page-size
+					// distribution. Each page is timed and recorded on
+					// its own (pages/sec is the serving-rate metric);
+					// like scans, nothing here touches Ops. The raw
+					// CursorNext interface is used directly — the wire
+					// token costs an encode/decode per page and belongs
+					// to service boundaries, not the measurement loop.
+					lo, hi := gen.ScanRange(rng)
+					pos := lo
+					for done := false; !done; {
+						keys := 0
+						pageStart := time.Now()
+						pos, done = cursor.CursorNext(c, pos, hi, int(gen.PageLen(rng)), func(core.Key, core.Value) bool {
+							keys++
+							return true
+						})
+						c.Stats.RecordPage(keys, uint64(time.Since(pageStart)))
+					}
+					c.Stats.RecordCursorScan()
 				}
 				if live != nil && c.Stats.Ops&(liveEvery-1) == 0 {
 					// Publish a snapshot of the thread's plain counters so
@@ -515,6 +566,30 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 		res.ScanKeysMean = float64(scanKeys) / float64(totalScans)
 		res.ScanMeanNs = float64(scanNs) / float64(totalScans)
 		res.ScanRetryFrac = float64(scanRetries) / float64(totalScans)
+	}
+	var totalPages, pageKeys, pageNs, cursorRetries, totalCursors uint64
+	pageRates := make([]float64, 0, len(ths))
+	for i := range ths {
+		t := &ths[i]
+		totalPages += t.Pages
+		pageKeys += t.PageKeys
+		pageNs += t.PageNs
+		cursorRetries += t.CursorRetries
+		totalCursors += t.CursorScans
+		if t.MaxPageNs > res.PageMaxNs {
+			res.PageMaxNs = t.MaxPageNs
+		}
+		if secs := float64(t.ActiveNs) / 1e9; secs > 0 {
+			pageRates = append(pageRates, float64(t.Pages)/secs)
+		}
+	}
+	res.TotalPages = totalPages
+	res.TotalCursors = totalCursors
+	if totalPages > 0 {
+		res.PageThroughput = stats.Mean(pageRates) * float64(len(ths))
+		res.PageKeysMean = float64(pageKeys) / float64(totalPages)
+		res.PageMeanNs = float64(pageNs) / float64(totalPages)
+		res.CursorRetryFrac = float64(cursorRetries) / float64(totalPages)
 	}
 	res.WaitFraction = stats.Mean(waitFracs)
 	res.WaitFractionStddev = stats.Stddev(waitFracs)

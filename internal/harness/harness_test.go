@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"csds/internal/core"
 	"csds/internal/interrupt"
 	"csds/internal/stats"
 	"csds/internal/workload"
@@ -78,6 +79,119 @@ func TestScanMetricsBuckets(t *testing.T) {
 		t.Fatalf("scanless run leaked scan metrics: %+v", res)
 	}
 }
+
+// TestPageMetricsBuckets pins the cursor metric plumbing
+// deterministically, like TestScanMetricsBuckets: hand-crafted page
+// counters must land in the page-specific Result fields and pollute
+// neither the point-op nor the one-shot-scan fields.
+func TestPageMetricsBuckets(t *testing.T) {
+	cfg := quick("list/lazy")
+	cfg.Threads = 1
+	ths := []stats.Thread{{
+		Ops:      1000,
+		Reads:    1000,
+		ActiveNs: 1e9, // 1 s window
+		// 4 paginated iterations totalling 20 pages, 8 keys each,
+		// 1ms each, worst 3ms, 5 retries total.
+		Pages:         20,
+		PageKeys:      160,
+		PageNs:        20e6,
+		MaxPageNs:     3e6,
+		CursorScans:   4,
+		CursorRetries: 5,
+	}}
+	res := summarize(cfg, ths, nil)
+	if res.TotalOps != 1000 || res.Throughput != 1000 {
+		t.Fatalf("point-op throughput polluted by pages: ops=%d thr=%v", res.TotalOps, res.Throughput)
+	}
+	if res.TotalScans != 0 || res.ScanThroughput != 0 {
+		t.Fatalf("one-shot scan metrics polluted by pages: %+v", res)
+	}
+	if res.TotalPages != 20 || res.PageThroughput != 20 || res.TotalCursors != 4 {
+		t.Fatalf("page throughput wrong: %+v", res)
+	}
+	if res.PageKeysMean != 8 {
+		t.Fatalf("PageKeysMean = %v, want 8", res.PageKeysMean)
+	}
+	if res.PageMeanNs != 1e6 || res.PageMaxNs != 3e6 {
+		t.Fatalf("page latency buckets wrong: mean %v max %v", res.PageMeanNs, res.PageMaxNs)
+	}
+	if res.CursorRetryFrac != 0.25 {
+		t.Fatalf("CursorRetryFrac = %v, want 0.25", res.CursorRetryFrac)
+	}
+	// A cursorless thread reports zero page metrics, not NaNs.
+	res = summarize(cfg, []stats.Thread{{Ops: 10, ActiveNs: 1e9}}, nil)
+	if res.TotalPages != 0 || res.PageThroughput != 0 || res.PageKeysMean != 0 || res.PageMeanNs != 0 {
+		t.Fatalf("cursorless run leaked page metrics: %+v", res)
+	}
+}
+
+// TestRunCursorWorkload drives a real single-worker cursor mix end to
+// end (60ms window: comfortably above 1-CPU scheduling noise, like
+// TestRunScanWorkload).
+func TestRunCursorWorkload(t *testing.T) {
+	cfg := Config{
+		Algorithm: "striped(4,list/lazy)",
+		Threads:   1,
+		Duration:  60 * time.Millisecond,
+		Workload: workload.Config{
+			Size: 256, UpdateRatio: 0.2, CursorRatio: 0.2,
+			ScanLen: 64, PageLen: 8,
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPages == 0 || res.PageThroughput <= 0 || res.TotalCursors == 0 {
+		t.Fatalf("cursor mix produced no pages: %+v", res)
+	}
+	if res.TotalPages < res.TotalCursors {
+		t.Fatalf("fewer pages than iterations: %+v", res)
+	}
+	if res.TotalOps == 0 || res.Throughput <= 0 {
+		t.Fatalf("cursor mix starved point ops: %+v", res)
+	}
+	if res.PageKeysMean <= 0 {
+		t.Fatalf("pages delivered no keys on a half-full structure: %+v", res)
+	}
+	if res.PageMeanNs <= 0 || res.PageMaxNs < uint64(res.PageMeanNs) {
+		t.Fatalf("page latencies inconsistent: mean %v max %v", res.PageMeanNs, res.PageMaxNs)
+	}
+	if res.TotalScans != 0 {
+		t.Fatalf("cursor mix leaked one-shot scans: %+v", res)
+	}
+}
+
+// TestCursorWorkloadChecksSupport: a CursorRatio against a structure is
+// validated before workers start. Every registered structure implements
+// core.Cursor, so the success path goes through Run and the rejection
+// path drives runOnce directly with a set whose Cursor is hidden.
+func TestCursorWorkloadChecksSupport(t *testing.T) {
+	cfg := quick("bst/tk")
+	cfg.Workload.CursorRatio = 0.1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("bst/tk implements Cursor but Run rejected the cursor mix: %v", err)
+	}
+	// noCursor embeds the plain Set interface, so only Get/Put/Remove/Len
+	// promote: the core.Cursor assertion on it fails even though the
+	// wrapped structure paginates fine.
+	cfg = cfg.withDefaults()
+	newSet, err := core.NewFactory("list/lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runOnce(cfg, func(o core.Options) core.Set {
+		return noCursor{newSet(o)}
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "core.Cursor") {
+		t.Fatalf("cursor mix on a cursorless set: err = %v, want a core.Cursor support error", err)
+	}
+}
+
+// noCursor hides every optional extension of the wrapped set (interface
+// embedding promotes only Set's own methods).
+type noCursor struct{ core.Set }
 
 // TestRunScanWorkload drives a real single-worker scan mix end to end.
 // The worker run is the only timing-dependent part, so it gets a window

@@ -89,6 +89,40 @@ func TestLazyScannerSmallTable(t *testing.T) {
 	}, false)
 }
 
+// TestCursors runs the paginated-iteration battery on every table.
+// Unlike one-shot hash scans, cursor pages are ascending by key even
+// here — key order is the only resumable order a churning hash table
+// can offer — so the battery's order assertion stays on.
+func TestCursors(t *testing.T) {
+	lookup := func(name string) func(core.Options) core.Set {
+		info, ok := core.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		return info.New
+	}
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"striped":      func(o core.Options) core.Set { return NewStriped(o) },
+		"lockcoupling": lookup("hashtable/lockcoupling"),
+		"pugh":         lookup("hashtable/pugh"),
+		"harris":       lookup("hashtable/harris"),
+		"waitfree":     lookup("hashtable/waitfree"),
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunCursor(t, mk) })
+	}
+}
+
+// TestLazyCursorSmallTable forces heavy chain sharing so cursor pages
+// see long shared buckets under churn.
+func TestLazyCursorSmallTable(t *testing.T) {
+	settest.RunCursor(t, func(o core.Options) core.Set {
+		o.Buckets = 2
+		return NewLazy(o)
+	})
+}
+
 func TestBucketCount(t *testing.T) {
 	cases := []struct {
 		o    core.Options

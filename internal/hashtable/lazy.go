@@ -255,6 +255,25 @@ func (h *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Valu
 	}, f)
 }
 
+// CursorNext implements core.Cursor. Unlike Scan, cursor pages are
+// delivered in ascending key order even here: key order is the only
+// order a churning hash table can resume from (bucket positions shift
+// under updates; keys do not). Each page collects the whole in-range
+// tail under the table-wide guard — the documented O(table) hash-scan
+// cost, which pagination cannot improve — then sorts and delivers the
+// first max (see core.GuardedSortedPage). Prefer ordered structures or
+// striped composites for cursor-heavy workloads.
+func (h *Lazy) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedSortedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value)) {
+		collectBuckets(h.buckets, pos, hi, emit)
+	}, f)
+}
+
 // collectBuckets emits a bucket array's in-range unmarked nodes in
 // bucket order — the shared collect phase of the monolithic tables'
 // scans (Lazy and Striped).

@@ -130,6 +130,16 @@ func (b *Bucketed) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.
 	return true
 }
 
+// CursorNext implements core.Cursor by k-way merge over the bucket
+// lists' own cursors: each bucket contributes its first max in-range
+// keys at or beyond the token position (one atomic sub-snapshot per
+// bucket) and the sorted union pages out ascending — the same
+// single-position merge protocol the sharded combinator uses, at bucket
+// granularity (see core.CursorMergeNext).
+func (b *Bucketed) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	return core.CursorMergeNext(c, b.buckets, pos, hi, max, f)
+}
+
 // COW is the copy-on-write hash table: readers load an immutable map
 // snapshot; each writer copies the entire map under a global lock. Wait-free
 // O(1) reads, fully serialized O(n) writes.
@@ -221,6 +231,24 @@ func (h *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value
 		}
 	}
 	return true
+}
+
+// CursorNext implements core.Cursor as a snapshot cursor: each page
+// loads the then-current immutable map, collects the in-range tail at or
+// beyond the token position (O(table), like every hash scan here), and
+// delivers the first max in ascending key order. Nothing is pinned
+// between pages; each page linearizes at its own snapshot load.
+func (h *COW) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	var buf []core.ScanPair
+	for k, v := range *h.snap.Load() {
+		if k >= pos && k < hi {
+			buf = append(buf, core.ScanPair{K: k, V: v})
+		}
+	}
+	return core.MergePage(buf, true, hi, max, f)
 }
 
 // stripeCount is the fixed stripe count of the striped table (Java
@@ -331,5 +359,17 @@ func (h *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	}
 	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
 		collectBuckets(h.buckets, lo, hi, emit)
+	}, f)
+}
+
+// CursorNext implements core.Cursor: the lazy table's sorted-page
+// protocol under this table's own guard (ascending key order, O(table)
+// collect per page — see Lazy.CursorNext).
+func (h *Striped) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	return core.GuardedSortedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value)) {
+		collectBuckets(h.buckets, pos, hi, emit)
 	}, f)
 }

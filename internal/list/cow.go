@@ -146,3 +146,30 @@ func (l *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value
 	}
 	return true
 }
+
+// CursorNext implements core.Cursor as a snapshot cursor: every page
+// loads the then-current immutable snapshot, binary-searches to the
+// token position, and delivers up to max keys — no validation needed and
+// no snapshot pinned between pages (each page linearizes at its own
+// load, so pagination tracks updates instead of freezing a version).
+func (l *COW) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	if max < 1 {
+		max = 1
+	}
+	s := l.snap.Load()
+	i, _ := s.find(pos)
+	delivered := 0
+	for ; i < len(s.keys) && s.keys[i] < hi; i++ {
+		if delivered == max {
+			return s.keys[i-1] + 1, false
+		}
+		if !f(s.keys[i], s.vals[i]) {
+			return s.keys[i] + 1, false
+		}
+		delivered++
+	}
+	return hi, true
+}

@@ -266,6 +266,27 @@ func (l *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Valu
 	}, f)
 }
 
+// CursorNext implements core.Cursor: the same optimistic guard-validated
+// walk as Scan, resuming at the token position and bounded to one page —
+// the search phase re-parses to pos, so pagination never re-walks keys
+// already delivered (beyond the list's own prefix traversal, which every
+// point op pays too). Each page is one atomic sub-snapshot.
+func (l *Lazy) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &l.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		_, curr := l.search(pos)
+		for ; curr.key < hi; curr = curr.next.Load() {
+			if !curr.marked.Load() && !emit(curr.key, curr.val) {
+				return
+			}
+		}
+	}, f)
+}
+
 // doom extracts the worker's HTM abort flag, tolerating nil contexts.
 func doom(c *core.Ctx) *htm.Doom {
 	if c == nil {

@@ -71,6 +71,30 @@ func TestLazyScannerElided(t *testing.T) {
 	}, true)
 }
 
+// TestCursors runs the paginated-iteration battery on every list:
+// resumable pages, ascending, duplicate-free, anchor-complete.
+func TestCursors(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"lockcoupling": func(o core.Options) core.Set { return NewLockCoupling(o) },
+		"pugh":         func(o core.Options) core.Set { return NewPugh(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"harris":       func(o core.Options) core.Set { return NewHarris(o) },
+		"waitfree":     func(o core.Options) core.Set { return NewWaitFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunCursor(t, mk) })
+	}
+}
+
+// TestLazyCursorElided re-runs the cursor battery with HTM elision on
+// the update paths, mirroring TestLazyScannerElided.
+func TestLazyCursorElided(t *testing.T) {
+	settest.RunCursor(t, func(o core.Options) core.Set {
+		o.ElideAttempts = 5
+		return NewLazy(o)
+	})
+}
+
 func TestRegistryEntries(t *testing.T) {
 	for _, name := range []string{"list/lazy", "list/lockcoupling", "list/pugh", "list/cow", "list/harris", "list/waitfree"} {
 		info, ok := core.Lookup(name)

@@ -149,3 +149,39 @@ func (l *LockCoupling) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v c
 	pred.lock.Release()
 	return core.ReplayScan(buf, f)
 }
+
+// CursorNext implements core.Cursor by the same lock-coupled walk as
+// Scan, released as soon as the page fills: the two-lock window makes
+// the bounded collect one atomic sub-snapshot, and stopping at max keys
+// bounds how long this baseline's scans hold up writers — pagination is
+// exactly the remedy for its hold-locks-along-the-path cost.
+func (l *LockCoupling) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	if max < 1 {
+		max = 1
+	}
+	var buf []core.ScanPair
+	full := false
+	pred := l.head
+	pred.lock.Acquire(c.Stat())
+	curr := pred.next
+	curr.lock.Acquire(c.Stat())
+	for curr.key < hi {
+		if curr.key >= pos {
+			if len(buf) == max {
+				full = true
+				break
+			}
+			buf = append(buf, core.ScanPair{K: curr.key, V: curr.val})
+		}
+		pred.lock.Release()
+		pred = curr
+		curr = curr.next
+		curr.lock.Acquire(c.Stat())
+	}
+	curr.lock.Release()
+	pred.lock.Release()
+	return core.ReplayPage(buf, !full, hi, f)
+}

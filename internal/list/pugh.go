@@ -190,3 +190,21 @@ func (l *Pugh) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Valu
 		}
 	}, f)
 }
+
+// CursorNext implements core.Cursor: the lazy list's bounded page
+// protocol over this list's own search phase (see Lazy.CursorNext).
+func (l *Pugh) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &l.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		curr := l.search(pos).next.Load()
+		for ; curr.key < hi; curr = curr.next.Load() {
+			if !curr.marked.Load() && !emit(curr.key, curr.val) {
+				return
+			}
+		}
+	}, f)
+}

@@ -409,3 +409,27 @@ func (l *WaitFree) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.
 		}
 	}, f)
 }
+
+// CursorNext implements core.Cursor: the Harris-style bounded page under
+// the optimistic guard, resuming at the token position (see Scan for the
+// guard-window argument). Each page is one atomic sub-snapshot.
+func (l *WaitFree) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &l.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		curr := l.head.link.Load().next
+		for curr.key < pos {
+			curr = curr.link.Load().next
+		}
+		for curr.key < hi {
+			link := curr.link.Load()
+			if !link.marked && !emit(curr.key, curr.val) {
+				return
+			}
+			curr = link.next
+		}
+	}, f)
+}

@@ -155,7 +155,7 @@ func waitUntil(t *testing.T, cond func() bool) {
 	t.Helper()
 	// Yield every iteration: on a single-CPU host a non-yielding spin can
 	// starve the very goroutine whose progress the condition observes.
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(contentionScaled(5 * time.Second))
 	for time.Now().Before(deadline) {
 		if cond() {
 			return
@@ -163,6 +163,19 @@ func waitUntil(t *testing.T, cond func() bool) {
 		runtime.Gosched()
 	}
 	t.Fatal("condition never became true")
+}
+
+// contentionScaled stretches a timing window that must let a background
+// goroutine make progress: on a single-CPU host (CI runners and dev
+// containers both hit this) every goroutine timeshares one core, so
+// windows sized for parallel hardware sit inside scheduling noise.
+// Condition-gated waits stay condition-gated — this only moves the
+// give-up horizon, never the success path.
+func contentionScaled(d time.Duration) time.Duration {
+	if runtime.NumCPU() == 1 {
+		return d * 10
+	}
+	return d
 }
 
 func TestTicketContendedRecordsWait(t *testing.T) {
@@ -320,7 +333,9 @@ func TestWaitWhile(t *testing.T) {
 	var frozen atomic.Bool
 	frozen.Store(true)
 	go func() {
-		time.Sleep(2 * time.Millisecond)
+		// Scaled on single-CPU hosts: the sleeping goroutine must get
+		// scheduled over the spinning WaitWhile before the window ends.
+		time.Sleep(contentionScaled(2 * time.Millisecond))
 		frozen.Store(false)
 	}()
 	WaitWhile(&th, frozen.Load)
@@ -330,7 +345,7 @@ func TestWaitWhile(t *testing.T) {
 	// A nil stats slot disables recording, like the locks.
 	frozen.Store(true)
 	go func() {
-		time.Sleep(time.Millisecond)
+		time.Sleep(contentionScaled(time.Millisecond))
 		frozen.Store(false)
 	}()
 	WaitWhile(nil, frozen.Load)

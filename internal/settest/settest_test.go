@@ -5,6 +5,7 @@
 package settest
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -75,6 +76,23 @@ func (r *refSet) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Va
 	return core.ReplayScan(buf, f)
 }
 
+// CursorNext implements core.Cursor the obviously correct way: collect
+// the in-range tail under the mutex, sort, deliver the first max.
+func (r *refSet) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	r.mu.Lock()
+	var buf []core.ScanPair
+	for k, v := range r.m {
+		if k >= pos && k < hi {
+			buf = append(buf, core.ScanPair{K: k, V: v})
+		}
+	}
+	r.mu.Unlock()
+	return core.MergePage(buf, true, hi, max, f)
+}
+
 // refResizable adds a no-op repartition (the map is its own single
 // shard); it verifies the RunResizable harness machinery itself — width
 // cycling, final checks — against an implementation that cannot fail.
@@ -139,13 +157,38 @@ func TestRunScannerSpecComposite(t *testing.T) {
 	RunScannerSpec(t, "sharded(2,list/lazy)", true)
 }
 
-// TestScale pins the -short iteration scaling contract.
+// TestCursorBatteryOnReferenceSet: the cursor battery accepts a correct
+// pagination implementation.
+func TestCursorBatteryOnReferenceSet(t *testing.T) {
+	RunCursor(t, newRefSet)
+}
+
+// TestCursorBatteryUnderResizeOnReference: the cursor-under-resize
+// harness itself passes against a Resizable whose pages cannot fail.
+func TestCursorBatteryUnderResizeOnReference(t *testing.T) {
+	RunCursorResizable(t, newRefResizable)
+}
+
+// TestRunCursorSpecComposite: spec resolution reaches the cursor battery.
+func TestRunCursorSpecComposite(t *testing.T) {
+	RunCursorSpec(t, "sharded(2,list/lazy)")
+}
+
+// TestScale pins the iteration scaling contract: /4 under -short, /2
+// again on single-CPU hosts (where spin-heavy workers timeshare one
+// core), floored at 1.
 func TestScale(t *testing.T) {
 	want := 4000
 	if testing.Short() {
 		want = 1000
 	}
+	if runtime.NumCPU() == 1 {
+		want /= 2
+	}
 	if got := scale(4000); got != want {
-		t.Fatalf("scale(4000) = %d, want %d (short=%v)", got, want, testing.Short())
+		t.Fatalf("scale(4000) = %d, want %d (short=%v, cpus=%d)", got, want, testing.Short(), runtime.NumCPU())
+	}
+	if got := scale(1); got != 1 {
+		t.Fatalf("scale(1) = %d, want the floor of 1", got)
 	}
 }

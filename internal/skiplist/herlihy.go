@@ -444,6 +444,33 @@ func (s *Herlihy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	}, f)
 }
 
+// CursorNext implements core.Cursor: the read-only tower descent lands
+// on the token position in O(log n) — resuming a page costs what a point
+// read costs, not a re-walk of the delivered prefix — then a bounded
+// guard-validated level-0 walk collects one page (atomic, like Scan).
+func (s *Herlihy) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &s.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		pred := s.head
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr := pred.next[lvl].Load()
+			for curr.key < pos {
+				pred = curr
+				curr = pred.next[lvl].Load()
+			}
+		}
+		for curr := pred.next[0].Load(); curr.key < hi; curr = curr.next[0].Load() {
+			if !curr.marked.Load() && curr.fullyLinked.Load() && !emit(curr.key, curr.val) {
+				return
+			}
+		}
+	}, f)
+}
+
 // ctxDoom extracts the HTM doom flag from a context (nil-tolerant).
 func ctxDoom(c *core.Ctx) *htm.Doom {
 	if c == nil {

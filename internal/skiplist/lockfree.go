@@ -306,6 +306,44 @@ func (s *LockFree) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.
 	}, f)
 }
 
+// CursorNext implements core.Cursor: the non-helping marked-skipping
+// descent lands on the token position, then a bounded guard-validated
+// level-0 walk collects one page (atomic, like Scan).
+func (s *LockFree) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &s.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		pred := s.head
+		var curr *lfNode
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr = pred.next[lvl].Load().next
+			for {
+				currLink := curr.next[lvl].Load()
+				if currLink.marked {
+					curr = currLink.next
+					continue
+				}
+				if curr.key < pos {
+					pred = curr
+					curr = currLink.next
+					continue
+				}
+				break
+			}
+		}
+		for curr.key < hi {
+			link := curr.next[0].Load()
+			if !link.marked && !emit(curr.key, curr.val) {
+				return
+			}
+			curr = link.next
+		}
+	}, f)
+}
+
 // randomLevelLF mirrors randomLevel; separate name keeps the call sites
 // greppable per algorithm.
 func randomLevelLF(rng *xrand.Rng, max int) int { return randomLevel(rng, max) }

@@ -269,3 +269,29 @@ func (s *Pugh) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Valu
 		}
 	}, f)
 }
+
+// CursorNext implements core.Cursor: O(log n) descent to the token
+// position, then a bounded guard-validated level-0 page (see
+// Herlihy.CursorNext; the protocols are identical).
+func (s *Pugh) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	c.EpochEnter()
+	defer c.EpochExit()
+	return core.GuardedPage(c, &s.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		pred := s.head
+		for lvl := s.maxLevel - 1; lvl >= 0; lvl-- {
+			curr := pred.next[lvl].Load()
+			for curr.key < pos {
+				pred = curr
+				curr = pred.next[lvl].Load()
+			}
+		}
+		for curr := pred.next[0].Load(); curr.key < hi; curr = curr.next[0].Load() {
+			if !curr.marked.Load() && !emit(curr.key, curr.val) {
+				return
+			}
+		}
+	}, f)
+}

@@ -37,6 +37,17 @@ func TestScanners(t *testing.T) {
 	}
 }
 
+// TestCursors runs the paginated-iteration battery on every skip list.
+func TestCursors(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"herlihy":  func(o core.Options) core.Set { return NewHerlihy(o) },
+		"pugh":     func(o core.Options) core.Set { return NewPugh(o) },
+		"lockfree": func(o core.Options) core.Set { return NewLockFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunCursor(t, mk) })
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	info, ok := core.Featured("skiplist")
 	if !ok || info.Name != "skiplist/herlihy" {

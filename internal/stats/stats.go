@@ -92,6 +92,17 @@ type Thread struct {
 	MaxScanNs   uint64 // worst single scan (tail latency)
 	ScanRetries uint64 // optimistic scan attempts invalidated by updates
 
+	// Paginated (cursor) scans. Pages keep their own counters, separate
+	// from one-shot scans and from point ops, so a paginated mix never
+	// skews either of those: pages/sec and per-page resume-validation
+	// retries are first-class metrics of the Cursor extension.
+	Pages         uint64 // cursor pages (Next batches) completed
+	PageKeys      uint64 // mappings the pages delivered, summed
+	PageNs        uint64 // wall time spent inside Next calls
+	MaxPageNs     uint64 // worst single page (tail latency)
+	CursorScans   uint64 // full paginated iterations completed
+	CursorRetries uint64 // page collects invalidated by updates (or stale epochs)
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -145,6 +156,28 @@ func (t *Thread) RecordScan(keys int, ns uint64) {
 // its snapshot validated (n includes the fallback, if taken).
 func (t *Thread) RecordScanRetries(n int) {
 	t.ScanRetries += uint64(n)
+}
+
+// RecordPage notes a completed cursor page that delivered keys mappings
+// and took ns nanoseconds of wall time.
+func (t *Thread) RecordPage(keys int, ns uint64) {
+	t.Pages++
+	t.PageKeys += uint64(keys)
+	t.PageNs += ns
+	if ns > t.MaxPageNs {
+		t.MaxPageNs = ns
+	}
+}
+
+// RecordCursorScan notes one full paginated iteration (a sequence of
+// pages driven to done).
+func (t *Thread) RecordCursorScan() { t.CursorScans++ }
+
+// RecordCursorRetries notes that a cursor page needed n retries —
+// invalidated optimistic collects or abandoned (stale) shard-map epochs —
+// before it delivered (n includes the fallback, if taken).
+func (t *Thread) RecordCursorRetries(n int) {
+	t.CursorRetries += uint64(n)
 }
 
 // RecordAcquire notes an uncontended lock acquisition.
@@ -221,6 +254,14 @@ func (t *Thread) Merge(o *Thread) {
 		t.MaxScanNs = o.MaxScanNs
 	}
 	t.ScanRetries += o.ScanRetries
+	t.Pages += o.Pages
+	t.PageKeys += o.PageKeys
+	t.PageNs += o.PageNs
+	if o.MaxPageNs > t.MaxPageNs {
+		t.MaxPageNs = o.MaxPageNs
+	}
+	t.CursorScans += o.CursorScans
+	t.CursorRetries += o.CursorRetries
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
 }

@@ -26,6 +26,10 @@ const (
 	OpPut
 	OpRemove
 	OpScan
+	// OpCursorScan is a paginated range scan: the window is drawn like a
+	// one-shot scan's, then iterated page by page through a resumable
+	// cursor with page sizes drawn from the page-size distribution.
+	OpCursorScan
 )
 
 // Scan-length distributions.
@@ -66,6 +70,17 @@ type Config struct {
 	// ScanLenDist selects the scan-length distribution: ScanLenUniform
 	// (default), ScanLenFixed or ScanLenGeometric.
 	ScanLenDist string
+
+	// CursorRatio is the fraction of operations that are paginated
+	// (cursor) scans. Like ScanRatio the fraction is absolute; cursors
+	// win ties over scans, scans over updates (WithDefaults clamps).
+	CursorRatio float64
+	// PageLen is the mean page size (keys delivered per cursor batch);
+	// 0 defaults to 16 (a screenful of a feed page).
+	PageLen int64
+	// PageLenDist selects the page-size distribution: the same choices
+	// as ScanLenDist (uniform default, fixed, geometric).
+	PageLenDist string
 }
 
 // WithDefaults fills derived fields.
@@ -76,17 +91,26 @@ func (c Config) WithDefaults() Config {
 	if c.KeySpace <= 0 {
 		c.KeySpace = 2 * int64(c.Size)
 	}
+	if c.CursorRatio < 0 {
+		c.CursorRatio = 0
+	}
+	if c.CursorRatio > 1 {
+		c.CursorRatio = 1
+	}
 	if c.ScanRatio < 0 {
 		c.ScanRatio = 0
 	}
 	if c.ScanRatio > 1 {
 		c.ScanRatio = 1
 	}
+	if c.CursorRatio+c.ScanRatio > 1 {
+		c.ScanRatio = 1 - c.CursorRatio
+	}
 	if c.UpdateRatio < 0 {
 		c.UpdateRatio = 0
 	}
-	if c.ScanRatio+c.UpdateRatio > 1 {
-		c.UpdateRatio = 1 - c.ScanRatio
+	if c.CursorRatio+c.ScanRatio+c.UpdateRatio > 1 {
+		c.UpdateRatio = 1 - c.CursorRatio - c.ScanRatio
 	}
 	if c.ScanLen <= 0 {
 		c.ScanLen = 64
@@ -96,6 +120,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ScanLenDist == "" {
 		c.ScanLenDist = ScanLenUniform
+	}
+	if c.PageLen <= 0 {
+		c.PageLen = 16
+	}
+	if c.PageLenDist == "" {
+		c.PageLenDist = ScanLenUniform
 	}
 	return c
 }
@@ -109,20 +139,21 @@ type Generator struct {
 	perm []int64 // rank -> key (decorrelates popularity from key order)
 
 	// Cumulative op-mix thresholds over one uniform draw in [0, 1):
-	// [0, pScan) scan, [pScan, pPut) put, [pPut, pRemove) remove, and
-	// [pRemove, 1) get. A single draw against precomputed boundaries
-	// keeps every category's probability exactly its configured
-	// fraction — stacking conditional coin flips (the old two-way
-	// update split) is where mix skew creeps in when categories are
-	// added.
-	pScan, pPut, pRemove float64
+	// [0, pCursor) cursor scan, [pCursor, pScan) scan, [pScan, pPut)
+	// put, [pPut, pRemove) remove, and [pRemove, 1) get. A single draw
+	// against precomputed boundaries keeps every category's probability
+	// exactly its configured fraction — stacking conditional coin flips
+	// (the old two-way update split) is where mix skew creeps in when
+	// categories are added.
+	pCursor, pScan, pPut, pRemove float64
 }
 
 // NewGenerator prepares the (possibly shared) sampling tables.
 func NewGenerator(cfg Config) *Generator {
 	cfg = cfg.WithDefaults()
 	g := &Generator{cfg: cfg}
-	g.pScan = cfg.ScanRatio
+	g.pCursor = cfg.CursorRatio
+	g.pScan = g.pCursor + cfg.ScanRatio
 	g.pPut = g.pScan + cfg.UpdateRatio/2
 	g.pRemove = g.pScan + cfg.UpdateRatio
 	if cfg.ZipfS > 0 {
@@ -149,6 +180,8 @@ func (g *Generator) Key(rng *xrand.Rng) core.Key {
 func (g *Generator) NextOp(rng *xrand.Rng) Op {
 	u := rng.Float64()
 	switch {
+	case u < g.pCursor:
+		return OpCursorScan
 	case u < g.pScan:
 		return OpScan
 	case u < g.pPut:
@@ -163,9 +196,23 @@ func (g *Generator) NextOp(rng *xrand.Rng) Op {
 // ScanLen draws a scan length (keys of the key space spanned) from the
 // configured distribution; always >= 1.
 func (g *Generator) ScanLen(rng *xrand.Rng) int64 {
-	mean := g.cfg.ScanLen
-	switch g.cfg.ScanLenDist {
+	return drawLen(rng, g.cfg.ScanLen, g.cfg.ScanLenDist)
+}
+
+// PageLen draws a cursor page size (keys delivered per Next batch) from
+// the configured page-size distribution; always >= 1.
+func (g *Generator) PageLen(rng *xrand.Rng) int64 {
+	return drawLen(rng, g.cfg.PageLen, g.cfg.PageLenDist)
+}
+
+// drawLen draws from one of the shared length distributions with the
+// given mean; always >= 1.
+func drawLen(rng *xrand.Rng, mean int64, dist string) int64 {
+	switch dist {
 	case ScanLenFixed:
+		if mean < 1 {
+			return 1
+		}
 		return mean
 	case ScanLenGeometric:
 		if mean <= 1 {

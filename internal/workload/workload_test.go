@@ -58,12 +58,12 @@ func TestOpMixRatio(t *testing.T) {
 }
 
 // chiSquareMix draws n ops and returns the chi-square statistic of the
-// observed 4-way mix against the expected fractions (cells with zero
+// observed 5-way mix against the expected fractions (cells with zero
 // expectation are asserted empty instead of divided by).
-func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [4]float64) float64 {
+func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [5]float64) float64 {
 	t.Helper()
 	rng := xrand.New(seed)
-	var obs [4]int
+	var obs [5]int
 	for i := 0; i < n; i++ {
 		obs[g.NextOp(rng)]++
 	}
@@ -82,38 +82,47 @@ func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [4]float6
 	return chi2
 }
 
-// chi2Crit3 is the 99.9th percentile of chi-square with 3 degrees of
+// chi2Crit4 is the 99.9th percentile of chi-square with 4 degrees of
 // freedom: a correct generator fails this once in a thousand seeds, and
 // the seeds here are fixed.
-const chi2Crit3 = 16.27
+const chi2Crit4 = 18.47
 
 // TestOpMixChiSquare pins the drawn mix to the configured fractions with
-// a goodness-of-fit test, across mixes with and without scans — the
-// regression guard for the single-draw threshold arithmetic: adding
-// OpScan to the mix must not skew Get/Put/Remove relative shares.
+// a goodness-of-fit test, across mixes with and without scans and
+// cursors — the regression guard for the single-draw threshold
+// arithmetic: adding OpScan (and now OpCursorScan) to the mix must not
+// skew Get/Put/Remove relative shares.
 func TestOpMixChiSquare(t *testing.T) {
 	const draws = 200000
 	cases := []struct {
 		name string
 		cfg  Config
-		want [4]float64 // indexed by Op: get, put, remove, scan
+		want [5]float64 // indexed by Op: get, put, remove, scan, cursor
 	}{
 		{"paper-mix-no-scans", Config{Size: 128, UpdateRatio: 0.2},
-			[4]float64{0.8, 0.1, 0.1, 0}},
+			[5]float64{0.8, 0.1, 0.1, 0, 0}},
 		{"scan-heavy", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.3},
-			[4]float64{0.5, 0.1, 0.1, 0.3}},
+			[5]float64{0.5, 0.1, 0.1, 0.3, 0}},
 		{"all-three-small", Config{Size: 128, UpdateRatio: 0.1, ScanRatio: 0.05},
-			[4]float64{0.85, 0.05, 0.05, 0.05}},
+			[5]float64{0.85, 0.05, 0.05, 0.05, 0}},
 		{"scans-only", Config{Size: 128, ScanRatio: 1},
-			[4]float64{0, 0, 0, 1}},
+			[5]float64{0, 0, 0, 1, 0}},
 		{"updates-clamped-by-scans", Config{Size: 128, UpdateRatio: 0.9, ScanRatio: 0.4},
-			[4]float64{0, 0.3, 0.3, 0.4}},
+			[5]float64{0, 0.3, 0.3, 0.4, 0}},
+		{"cursor-mix", Config{Size: 128, UpdateRatio: 0.2, CursorRatio: 0.1},
+			[5]float64{0.7, 0.1, 0.1, 0, 0.1}},
+		{"cursor-and-scan", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.1, CursorRatio: 0.1},
+			[5]float64{0.6, 0.1, 0.1, 0.1, 0.1}},
+		{"cursors-only", Config{Size: 128, CursorRatio: 1},
+			[5]float64{0, 0, 0, 0, 1}},
+		{"updates-clamped-by-cursors", Config{Size: 128, UpdateRatio: 0.9, ScanRatio: 0.3, CursorRatio: 0.3},
+			[5]float64{0, 0.2, 0.2, 0.3, 0.3}},
 	}
 	for i, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			g := NewGenerator(tc.cfg)
-			if chi2 := chiSquareMix(t, g, uint64(1000+i), draws, tc.want); chi2 > chi2Crit3 {
-				t.Fatalf("chi-square %.2f exceeds %.2f: drawn mix inconsistent with %v", chi2, chi2Crit3, tc.want)
+			if chi2 := chiSquareMix(t, g, uint64(1000+i), draws, tc.want); chi2 > chi2Crit4 {
+				t.Fatalf("chi-square %.2f exceeds %.2f: drawn mix inconsistent with %v", chi2, chi2Crit4, tc.want)
 			}
 		})
 	}
@@ -144,6 +153,46 @@ func TestScanLenDistributions(t *testing.T) {
 				t.Fatalf("%s mean scan length %.2f, want ~64", dist, mean)
 			}
 		})
+	}
+}
+
+func TestPageLenDistributions(t *testing.T) {
+	const draws = 100000
+	for _, dist := range []string{ScanLenUniform, ScanLenFixed, ScanLenGeometric} {
+		t.Run(dist, func(t *testing.T) {
+			g := NewGenerator(Config{Size: 4096, CursorRatio: 0.1, PageLen: 32, PageLenDist: dist})
+			rng := xrand.New(11)
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				n := g.PageLen(rng)
+				if n < 1 {
+					t.Fatalf("page size %d < 1", n)
+				}
+				if dist == ScanLenFixed && n != 32 {
+					t.Fatalf("fixed page size drew %d", n)
+				}
+				if dist == ScanLenUniform && n > 63 {
+					t.Fatalf("uniform page size %d outside [1, 63]", n)
+				}
+				sum += float64(n)
+			}
+			mean := sum / draws
+			if math.Abs(mean-32) > 2 {
+				t.Fatalf("%s mean page size %.2f, want ~32", dist, mean)
+			}
+		})
+	}
+}
+
+func TestCursorDefaults(t *testing.T) {
+	c := Config{Size: 512, CursorRatio: 0.1}.WithDefaults()
+	if c.PageLen != 16 || c.PageLenDist != ScanLenUniform {
+		t.Fatalf("cursor defaults wrong: %+v", c)
+	}
+	// Cursors win ties over scans, scans over updates.
+	c2 := Config{Size: 512, CursorRatio: 0.6, ScanRatio: 0.6, UpdateRatio: 0.6}.WithDefaults()
+	if c2.CursorRatio != 0.6 || math.Abs(c2.ScanRatio-0.4) > 1e-9 || c2.UpdateRatio != 0 {
+		t.Fatalf("ratio clamping wrong: %+v", c2)
 	}
 }
 

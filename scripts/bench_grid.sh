@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# bench_grid.sh — the fixed CI bench grid, emitted as one CSV.
+#
+# This is the single source of truth for the perf-trajectory grid: CI
+# runs it on every push (uploading the CSV and its benchsnap JSON as
+# artifacts), and the committed BENCH_baseline.json is the benchsnap
+# conversion of one local run. Changing any axis here requires
+# regenerating the baseline (and benchsnap's sample expectations):
+#
+#   go build -o csdsbench ./cmd/csdsbench
+#   sh scripts/bench_grid.sh ./csdsbench > bench.csv
+#   go run ./cmd/benchsnap -out BENCH_baseline.json bench.csv
+#
+# The grid is deliberately small — one plain structure against its
+# hash-sharded and elastic composites, under the paper's 10%-update mix
+# plus a 5% one-shot-scan and 5% paginated-cursor tail — so a CI runner
+# finishes in a few seconds while still exposing the three throughput
+# regimes (single instance, static partition, resizable partition) and
+# all three op families (point, scan, page).
+set -eu
+
+BIN=${1:?usage: bench_grid.sh /path/to/csdsbench}
+
+first=1
+for alg in 'list/lazy' 'sharded(8,list/lazy)' 'elastic(8,list/lazy)'; do
+    out=$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 \
+        -scan-frac 0.05 -scan-len 64 \
+        -cursor-frac 0.05 -page-len 16 \
+        -dur 300ms -runs 2 -csv)
+    if [ "$first" -eq 1 ]; then
+        printf '%s\n' "$out"
+        first=0
+    else
+        printf '%s\n' "$out" | tail -n 1
+    fi
+done
