@@ -1,6 +1,7 @@
 // Command benchsnap normalizes csdsbench -csv output into the JSON
-// snapshot format of the repository's perf trajectory, and verifies a
-// fresh run against a committed baseline.
+// snapshot format of the repository's perf trajectory, verifies a fresh
+// run against a committed baseline, and diffs successive snapshots so
+// the accumulated artifacts read as a trend.
 //
 // The CI bench job runs the fixed grid (scripts/bench_grid.sh), converts
 // the CSV to bench.json with this tool, and uploads both as artifacts;
@@ -10,12 +11,16 @@
 // axes of every cell — against the baseline, so the artifact format and
 // the measured grid cannot drift silently; measurements themselves are
 // expected to differ run to run and host to host and are not compared.
+// -diff is the trend half: it matches two JSON snapshots cell by cell
+// (by grid axes) and prints per-cell throughput deltas, threshold-free —
+// a report for humans and artifacts, never a gate.
 //
 // Usage:
 //
 //	benchsnap bench.csv              # print the JSON snapshot
 //	benchsnap -out bench.json bench.csv
 //	benchsnap -check BENCH_baseline.json bench.csv
+//	benchsnap -diff old.json new.json
 package main
 
 import (
@@ -28,8 +33,9 @@ import (
 )
 
 // schemaID names the snapshot format; bump it together with the
-// csdsbench CSV header and the committed baseline.
-const schemaID = "csds-bench-v1"
+// csdsbench CSV header and the committed baseline. (v2: the streaming
+// cursor refill columns page_pulls,page_pull_keys joined the schema.)
+const schemaID = "csds-bench-v2"
 
 // gridAxes are the configuration columns that define a cell's identity:
 // two snapshots describe the same grid iff their cells agree on these
@@ -49,6 +55,13 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "-diff" {
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "benchsnap: usage: benchsnap -diff old.json new.json")
+			return 2
+		}
+		return runDiff(args[1], args[2], stdout, stderr)
+	}
 	var out, check string
 	var csvPath string
 	for i := 0; i < len(args); i++ {
@@ -171,6 +184,95 @@ func Parse(csv string) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("no data rows found")
 	}
 	return snap, nil
+}
+
+// diffMetrics are the throughput columns the trend report renders; any
+// that a snapshot lacks are skipped (old snapshots survive schema
+// growth).
+var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys"}
+
+// runDiff loads two snapshots and prints their per-cell delta report.
+func runDiff(oldPath, newPath string, stdout, stderr io.Writer) int {
+	load := func(path string) (Snapshot, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsnap: %v\n", err)
+			return Snapshot{}, false
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			fmt.Fprintf(stderr, "benchsnap: %s: %v\n", path, err)
+			return Snapshot{}, false
+		}
+		return s, true
+	}
+	old, ok := load(oldPath)
+	if !ok {
+		return 1
+	}
+	fresh, ok := load(newPath)
+	if !ok {
+		return 1
+	}
+	Diff(old, fresh, stdout)
+	return 0
+}
+
+// axisKey renders a cell's grid-axis identity (the join key of Diff and
+// the cell label of its report).
+func axisKey(cell map[string]any) string {
+	parts := make([]string, 0, len(gridAxes))
+	for _, ax := range gridAxes {
+		parts = append(parts, fmt.Sprintf("%s=%v", ax, cell[ax]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Diff prints the per-cell throughput deltas between two snapshots,
+// matching cells by their grid axes. It is threshold-free by design: the
+// perf trajectory is a sequence of artifacts on varying runners, so the
+// report renders the trend and leaves judgment to the reader — numbers
+// gate nothing. Cells present on only one side are listed, not errors;
+// a schema difference is noted and the overlapping metrics still diff.
+func Diff(old, fresh Snapshot, w io.Writer) {
+	if old.Schema != fresh.Schema {
+		fmt.Fprintf(w, "note: schema %s -> %s (diffing the overlapping metrics)\n", old.Schema, fresh.Schema)
+	}
+	oldByKey := make(map[string]map[string]any, len(old.Cells))
+	for _, cell := range old.Cells {
+		oldByKey[axisKey(cell)] = cell
+	}
+	matched := 0
+	for _, cell := range fresh.Cells {
+		key := axisKey(cell)
+		prev, ok := oldByKey[key]
+		if !ok {
+			fmt.Fprintf(w, "%s\n  new cell (no previous measurement)\n", key)
+			continue
+		}
+		delete(oldByKey, key)
+		matched++
+		fmt.Fprintln(w, key)
+		for _, m := range diffMetrics {
+			was, okW := prev[m].(float64)
+			now, okN := cell[m].(float64)
+			if !okW || !okN {
+				continue
+			}
+			switch {
+			case was == 0 && now == 0:
+				fmt.Fprintf(w, "  %-14s 0 -> 0\n", m)
+			case was == 0:
+				fmt.Fprintf(w, "  %-14s 0 -> %.4g\n", m, now)
+			default:
+				fmt.Fprintf(w, "  %-14s %.4g -> %.4g  (%+.1f%%)\n", m, was, now, (now-was)/was*100)
+			}
+		}
+	}
+	for key := range oldByKey {
+		fmt.Fprintf(w, "%s\n  cell dropped (present only in the old snapshot)\n", key)
+	}
+	fmt.Fprintf(w, "%d cells matched, %d new, %d dropped\n", matched, len(fresh.Cells)-matched, len(oldByKey))
 }
 
 // CheckGrid verifies that fresh describes the same measurement grid as

@@ -10,10 +10,13 @@ import (
 
 // sampleCSV mimics the grid script's output: one header, then one row
 // per cell, with composite specs carrying commas inside the alg column.
-const sampleCSV = `alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac
-list/lazy,4,2048,0.1,0,1.2345,300000.0,1000.0,0.000100,0.000200,0.000000,1234,0.000000,0,0,0.05,100.0,30.0,2000,9000,0.05,400.0,15.0,500,4000,0.001000
-sharded(8,list/lazy),4,2048,0.1,0,2.3456,600000.0,2000.0,0.000050,0.000100,0.000000,999,0.000000,0,0,0.05,120.0,30.0,1500,8000,0.05,500.0,15.0,400,3000,0.000500
-elastic(8,list/lazy),4,2048,0.1,0,2.2222,550000.0,2100.0,0.000060,0.000110,0.000000,1111,0.000000,0,8,0.05,110.0,30.0,1600,8500,0.05,480.0,15.0,420,3100,0.000600
+const sampleCSV = `alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys
+list/lazy,4,2048,0.1,0,1.2345,300000.0,1000.0,0.000100,0.000200,0.000000,1234,0.000000,0,0,0.05,100.0,30.0,2000,9000,0.05,400.0,15.0,500,4000,0.001000,1.0,15.2
+sharded(8,list/lazy),4,2048,0.1,0,2.3456,600000.0,2000.0,0.000050,0.000100,0.000000,999,0.000000,0,0,0.05,120.0,30.0,1500,8000,0.05,500.0,15.0,400,3000,0.000500,8.4,67.0
+elastic(8,list/lazy),4,2048,0.1,0,2.2222,550000.0,2100.0,0.000060,0.000110,0.000000,1111,0.000000,0,8,0.05,110.0,30.0,1600,8500,0.05,480.0,15.0,420,3100,0.000600,8.5,68.0
+sharded(32,list/lazy),4,2048,0.1,0,2.4567,620000.0,2200.0,0.000040,0.000090,0.000000,950,0.000000,0,0,0.05,125.0,30.0,1400,7800,0.05,520.0,15.0,380,2900,0.000400,32.6,258.0
+elastic(32,list/lazy),4,2048,0.1,0,2.3333,580000.0,2300.0,0.000055,0.000105,0.000000,1050,0.000000,0,32,0.05,115.0,30.0,1550,8200,0.05,490.0,15.0,410,3000,0.000550,32.8,260.0
+readcache(1024,list/lazy),4,2048,0.1,0.9,3.1111,780000.0,2500.0,0.000030,0.000080,0.000000,800,0.000000,0,0,0.05,130.0,30.0,1300,7500,0.05,540.0,15.0,360,2800,0.000300,1.0,15.1
 `
 
 func TestParseSample(t *testing.T) {
@@ -24,11 +27,11 @@ func TestParseSample(t *testing.T) {
 	if snap.Schema != schemaID {
 		t.Fatalf("schema %q", snap.Schema)
 	}
-	if len(snap.Columns) != 26 {
-		t.Fatalf("parsed %d columns, want 26", len(snap.Columns))
+	if len(snap.Columns) != 28 {
+		t.Fatalf("parsed %d columns, want 28", len(snap.Columns))
 	}
-	if len(snap.Cells) != 3 {
-		t.Fatalf("parsed %d cells, want 3", len(snap.Cells))
+	if len(snap.Cells) != 6 {
+		t.Fatalf("parsed %d cells, want 6", len(snap.Cells))
 	}
 	// Composite specs keep their inner commas intact.
 	if got := snap.Cells[1]["alg"]; got != "sharded(8,list/lazy)" {
@@ -113,6 +116,74 @@ func TestCommittedBaselineGrid(t *testing.T) {
 	sample, _ := Parse(sampleCSV)
 	if err := CheckGrid(rt, sample); err != nil {
 		t.Fatalf("committed baseline grid disagrees with the documented grid: %v", err)
+	}
+}
+
+// TestDiffReport: the trend diff matches cells by grid axes, renders
+// per-metric deltas, and treats added/dropped cells as report lines,
+// never errors (the diff is threshold-free by contract).
+func TestDiffReport(t *testing.T) {
+	old, err := Parse(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := Parse(strings.Replace(sampleCSV, "1.2345", "2.4690", 1))
+	var out strings.Builder
+	Diff(old, fresh, &out)
+	report := out.String()
+	if !strings.Contains(report, "mops") || !strings.Contains(report, "(+100.0%)") {
+		t.Fatalf("doubled mops not reported as +100%%:\n%s", report)
+	}
+	if !strings.Contains(report, "6 cells matched, 0 new, 0 dropped") {
+		t.Fatalf("matched-cell summary missing:\n%s", report)
+	}
+	// A cell present on only one side is reported, not fatal.
+	lines := strings.Split(strings.TrimSpace(sampleCSV), "\n")
+	shrunk, _ := Parse(strings.Join(lines[:6], "\n") + "\n")
+	out.Reset()
+	Diff(old, shrunk, &out)
+	if !strings.Contains(out.String(), "dropped") {
+		t.Fatalf("dropped cell not reported:\n%s", out.String())
+	}
+	out.Reset()
+	Diff(shrunk, old, &out)
+	if !strings.Contains(out.String(), "new cell") {
+		t.Fatalf("new cell not reported:\n%s", out.String())
+	}
+}
+
+// TestDiffCLI drives the -diff surface end to end.
+func TestDiffCLI(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "bench.csv")
+	if err := os.WriteFile(csv, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldJSON := filepath.Join(dir, "old.json")
+	newJSON := filepath.Join(dir, "new.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-out", oldJSON, csv}, &out, &errOut); code != 0 {
+		t.Fatalf("convert exited %d: %s", code, errOut.String())
+	}
+	if err := os.WriteFile(csv, []byte(strings.Replace(sampleCSV, "2.3456", "9.9999", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-out", newJSON, csv}, &out, &errOut); code != 0 {
+		t.Fatalf("convert exited %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{"-diff", oldJSON, newJSON}, &out, &errOut); code != 0 {
+		t.Fatalf("-diff exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "cells matched") {
+		t.Fatalf("diff output missing summary:\n%s", out.String())
+	}
+	// Usage and IO errors exit nonzero.
+	if code := run([]string{"-diff", oldJSON}, &out, &errOut); code == 0 {
+		t.Fatal("-diff with one path accepted")
+	}
+	if code := run([]string{"-diff", oldJSON, filepath.Join(dir, "nope.json")}, &out, &errOut); code == 0 {
+		t.Fatal("-diff with a missing file accepted")
 	}
 }
 

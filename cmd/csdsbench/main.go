@@ -57,7 +57,7 @@ func main() {
 // and the committed BENCH_baseline.json are derived from these columns),
 // so changes here must be deliberate: update the smoke test, the
 // benchsnap tool's expectations, and regenerate the baseline together.
-const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac"
+const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys"
 
 // parseResizeSteps parses the -resize-at syntax: a comma-separated list of
 // duration:width pairs, e.g. "100ms:8,300ms:2".
@@ -214,13 +214,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *csv {
 		fmt.Fprintln(stdout, csvHeader)
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f\n",
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f\n",
 			*alg, *threads, *size, *updates, *zipf,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
 			*scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
-			*cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac)
+			*cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
+			res.PagePullsMean, res.PagePullKeysMean)
 		return 0
 	}
 	fmt.Fprintf(stdout, "algorithm          %s\n", *alg)
@@ -246,6 +247,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "page latency       mean %v, worst %v, %.3f retries/page\n",
 			time.Duration(res.PageMeanNs).Round(time.Microsecond),
 			time.Duration(res.PageMaxNs).Round(time.Microsecond), res.CursorRetryFrac)
+		over := 1.0
+		if res.PageKeysMean > 0 {
+			over = res.PagePullKeysMean / res.PageKeysMean
+		}
+		fmt.Fprintf(stdout, "page pulls         %.1f pulls/page, %.1f keys pulled/page (overcollect x%.2f)\n",
+			res.PagePullsMean, res.PagePullKeysMean, over)
 	}
 	if res.FallbackFrac > 0 || *elide > 0 {
 		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",

@@ -209,7 +209,8 @@ func TestCSVSchemaPinned(t *testing.T) {
 	const wantHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev," +
 		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
 		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
-		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac"
+		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac," +
+		"page_pulls,page_pull_keys"
 	var out, errOut strings.Builder
 	code := run([]string{
 		"-alg", "list/lazy", "-threads", "2", "-size", "128",

@@ -48,9 +48,10 @@ func TestCompositeSuitesMoreLeaves(t *testing.T) {
 
 // TestCompositeScanners runs the linearizable range-scan battery over
 // every combinator. Ordered follows the scan contract: striped preserves
-// inner order, sharded and elastic sort their merge (ascending even over
-// unordered leaves), readcache inherits the inner order; only striping
-// over a hash table stays unordered.
+// inner order, sharded and elastic sort their merge, readcache inherits
+// the inner order — and since the hash tables grew their ordered key
+// index, every leaf in the module scans ascending, so every composite
+// does too.
 func TestCompositeScanners(t *testing.T) {
 	for _, tc := range []struct {
 		spec    string
@@ -59,7 +60,7 @@ func TestCompositeScanners(t *testing.T) {
 		{"sharded(16,list/lazy)", true},
 		{"sharded(4,hashtable/lazy)", true}, // merge sort orders the hash leaves
 		{"striped(8,skiplist/herlihy)", true},
-		{"striped(4,hashtable/lazy)", false}, // ordered stripes of unordered tables
+		{"striped(4,hashtable/lazy)", true}, // indexed hash leaves scan ascending now
 		{"readcache(1024,bst/tk)", true},
 		{"readcache(64,sharded(4,hashtable/lazy))", true},
 		{"elastic(4,list/lazy)", true},
@@ -612,5 +613,65 @@ func TestCombinatorStatsFlow(t *testing.T) {
 	}
 	if c.Stats.LockAcqs == 0 {
 		t.Fatal("no lock acquisitions recorded through the sharded layer")
+	}
+}
+
+// TestStreamingMergeVisitBound pins the tentpole acceptance number of
+// the streaming cursor merge: a wide composite's cursor pages must
+// visit at most 2·max keys per page on average (counter-verified via
+// the page pull counters), where the old eager merge visited up to
+// k·max — 32·max on these 32-way composites. The page size is chosen
+// so max/k clears the refill-chunk floor, the regime the streaming
+// merge is sized for.
+func TestStreamingMergeVisitBound(t *testing.T) {
+	span := core.Key(1 << 16)
+	if testing.Short() {
+		span = 1 << 14
+	}
+	const max = 512
+	for _, spec := range []string{"sharded(32,list/lazy)", "elastic(32,list/lazy)"} {
+		t.Run(spec, func(t *testing.T) {
+			f, err := core.NewFactory(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := f(core.Options{ExpectedSize: int(span / 2), KeySpan: span})
+			fill := core.NewCtx(0)
+			want := 0
+			for k := core.Key(0); k < span; k += 2 {
+				if !s.Put(fill, k, k) {
+					t.Fatalf("fill insert %d failed", k)
+				}
+				want++
+			}
+			c := core.NewCtx(1)
+			cur := s.(core.Cursor)
+			pos, delivered, pages := core.Key(0), 0, 0
+			for {
+				next, done := cur.CursorNext(c, pos, span, max, func(core.Key, core.Value) bool {
+					delivered++
+					return true
+				})
+				pages++
+				if pages > want {
+					t.Fatal("iteration never finished")
+				}
+				if done {
+					break
+				}
+				pos = next
+			}
+			if delivered != want {
+				t.Fatalf("iteration delivered %d keys, want %d", delivered, want)
+			}
+			pulled := c.Stats.PagePullKeys
+			if bound := uint64(2 * max * pages); pulled > bound {
+				t.Fatalf("%d pages pulled %d keys (%.1f/page) — streaming bound 2·max=%d/page exceeded",
+					pages, pulled, float64(pulled)/float64(pages), 2*max)
+			}
+			if eager := uint64(32 * max * pages); pulled > eager/4 {
+				t.Fatalf("pulled %d keys, within 4x of the eager merge's %d — streaming win not realized", pulled, eager)
+			}
+		})
 	}
 }

@@ -182,12 +182,7 @@ func (e *Elastic) Len() int {
 // Range implements core.Ranger over the current map's shards, in index
 // order — arbitrary key order overall (the partition is hashed).
 func (e *Elastic) Range(f func(k core.Key, v core.Value) bool) {
-	p := e.cur.Load()
-	sets := make([]core.Set, len(p.shards))
-	for i := range p.shards {
-		sets[i] = p.shards[i].set
-	}
-	rangeParts(sets, f)
+	rangeParts(e.cur.Load().shardSets(), f)
 }
 
 // scanEpochRetries bounds how many superseded shard maps a scan abandons
@@ -247,18 +242,32 @@ func (e *Elastic) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	return core.ReplayScan(buf, f)
 }
 
-// CursorNext implements core.Cursor with the same old-then-new epoch
-// discipline as Scan, at page granularity: collect one bounded page from
-// every shard of the loaded map (each shard's own linearizable cursor,
-// at most max keys per shard), re-checking the staleness witness after
-// each shard — a frozen shard under a superseded map means the page may
-// predate post-swap updates, so it is discarded and retried on the
-// published map. The consistent union sorts and pages out ascending.
+// shardSets snapshots an epoch's shard instances as a []core.Set (the
+// shape the core merge primitives take).
+func (p *epartition) shardSets() []core.Set {
+	sets := make([]core.Set, len(p.shards))
+	for i := range p.shards {
+		sets[i] = p.shards[i].set
+	}
+	return sets
+}
+
+// CursorNext implements core.Cursor by lazy streaming merge under the
+// same old-then-new epoch discipline as Scan, at refill granularity:
+// the shards of the loaded map are pulled in small bounded chunks
+// (core.StreamMergePage — each pull one atomic sub-snapshot of its
+// shard, the heap merge stopping exactly at the page budget instead of
+// collecting max keys from every shard), and the staleness witness is
+// re-checked after every pull — a frozen shard under a superseded map
+// means the page may predate post-swap updates, so the merged-so-far
+// page is discarded and retried on the published map. The merge buffers
+// its delivery precisely so an aborted page can be discarded; a
+// consistent page replays ascending.
 //
 // The token is a bare key position, so it names no shard map at all:
-// a resize between two pages just means the next page collects from the
+// a resize between two pages just means the next page streams from the
 // new partition — resume positions survive any number of Resizes, which
-// is exactly why the merge keeps no per-shard state. After
+// is exactly why the merge keeps no per-shard state across pages. After
 // scanEpochRetries discarded epochs the page pins the map by briefly
 // excluding resizes (resizeMu pauses migrations, never operations),
 // mirroring Scan's fallback.
@@ -266,52 +275,37 @@ func (e *Elastic) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k co
 	if pos >= hi {
 		return hi, true
 	}
-	if max < 1 {
-		max = 1
-	}
-	var buf []core.ScanPair
 	for attempt := 0; attempt < scanEpochRetries; attempt++ {
 		p := e.cur.Load()
-		buf = buf[:0]
-		exhausted := true
-		stale := false
-		for i := range p.shards {
-			sh := &p.shards[i]
-			_, done := sh.set.(core.Cursor).CursorNext(c, pos, hi, max, func(k core.Key, v core.Value) bool {
-				buf = append(buf, core.ScanPair{K: k, V: v})
-				return true
-			})
-			if !done {
-				exhausted = false
-			}
-			if sh.frozen.Load() && e.cur.Load() != p {
-				stale = true
-				break
-			}
+		buf, next, done, aborted := core.StreamMergePage(c, p.shardSets(), pos, hi, max, func(i int) bool {
+			return !(p.shards[i].frozen.Load() && e.cur.Load() != p)
+		})
+		if aborted {
+			continue
 		}
-		if !stale {
-			c.RecordCursorRetries(attempt)
-			return core.MergePage(buf, exhausted, hi, max, f)
-		}
+		c.RecordCursorRetries(attempt)
+		return replayMerged(buf, next, done, f)
 	}
 	// Pin the shard map: resizes wait briefly for this one bounded
 	// collect; readers and writers never do.
 	e.resizeMu.Lock()
 	p := e.cur.Load()
-	buf = buf[:0]
-	exhausted := true
-	for i := range p.shards {
-		_, done := p.shards[i].set.(core.Cursor).CursorNext(c, pos, hi, max, func(k core.Key, v core.Value) bool {
-			buf = append(buf, core.ScanPair{K: k, V: v})
-			return true
-		})
-		if !done {
-			exhausted = false
-		}
-	}
+	buf, next, done, _ := core.StreamMergePage(c, p.shardSets(), pos, hi, max, nil)
 	e.resizeMu.Unlock()
 	c.RecordCursorRetries(scanEpochRetries)
-	return core.MergePage(buf, exhausted, hi, max, f)
+	return replayMerged(buf, next, done, f)
+}
+
+// replayMerged drives a validated merged page through the user
+// callback, honoring early stop (resume one past the last delivered
+// key, like core.ReplayPage).
+func replayMerged(buf []core.ScanPair, next core.Key, done bool, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
+	for _, pr := range buf {
+		if !f(pr.K, pr.V) {
+			return pr.K + 1, false
+		}
+	}
+	return next, done
 }
 
 // Width implements core.Resizable: the current shard count.

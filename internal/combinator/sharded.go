@@ -79,12 +79,16 @@ func (s *Sharded) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	return mergeScan(c, s.shards, lo, hi, f)
 }
 
-// CursorNext implements core.Cursor by k-way merge over the shards' own
-// cursors: each shard contributes its first max in-range keys at or
-// beyond the token position (one atomic sub-snapshot per shard, bounded —
-// never the shard's whole range) and the sorted union pages out
-// ascending. A single key position resumes every shard, so tokens carry
-// no per-shard state (see core.CursorMergeNext).
+// CursorNext implements core.Cursor by lazy k-way streaming merge over
+// the shards' own cursors (core.StreamMergeNext): each shard is pulled
+// in small refill chunks (~max/k keys, one atomic sub-snapshot per
+// pull) as the heap merge consumes its head, and delivery stops exactly
+// at the page budget — a page materializes about one page worth of
+// keys, not k pages (the k× overcollect of the old eager merge). A
+// single key position still resumes every shard, so tokens carry no
+// per-shard state; buffered overshoot is discarded and re-fetched by
+// position.
 func (s *Sharded) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
-	return core.CursorMergeNext(c, s.shards, pos, hi, max, f)
+	next, done, _ := core.StreamMergeNext(c, s.shards, pos, hi, max, nil, f)
+	return next, done
 }

@@ -131,46 +131,17 @@ func (s *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	return true
 }
 
-// CursorNext implements core.Cursor by per-stripe resumption — the
-// order-preserving payoff again: the token position routes straight to
-// its stripe, stripes before it are never touched, and the page drains
-// stripes in partition order until the budget fills. Each stripe
-// contributes through its own linearizable cursor (one atomic
-// sub-snapshot per stripe), and the concatenation is ascending because
-// the routing is monotone; no merge, no overshoot.
+// CursorNext implements core.Cursor by cross-stripe streaming drain
+// (core.StreamDrainNext) — the order-preserving payoff again: the token
+// position routes straight to its stripe, stripes before it are never
+// touched, and the page pulls stripes in partition order through
+// bounded streams until the budget fills. Each pull is one atomic
+// sub-snapshot of its stripe, the concatenation is ascending because
+// the routing is monotone, and no merge or overshoot is needed.
 func (s *Striped) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
 	if pos >= hi {
 		return hi, true
 	}
-	if max < 1 {
-		max = 1
-	}
-	remaining := max
-	nextPos := pos
-	stopped := false
-	last := s.stripeIndex(hi - 1)
-	for i := s.stripeIndex(pos); i <= last; i++ {
-		n, done := s.stripes[i].(core.Cursor).CursorNext(c, pos, hi, remaining, func(k core.Key, v core.Value) bool {
-			remaining--
-			nextPos = k + 1
-			if !f(k, v) {
-				stopped = true
-				return false
-			}
-			return true
-		})
-		if stopped {
-			return nextPos, false
-		}
-		if !done {
-			// The stripe's page filled mid-stripe; resume inside it.
-			return n, false
-		}
-		if remaining == 0 && i < last {
-			// Budget exhausted exactly at a stripe boundary; later
-			// stripes may still hold keys, so the window is not done.
-			return nextPos, false
-		}
-	}
-	return hi, true
+	first, last := s.stripeIndex(pos), s.stripeIndex(hi-1)
+	return core.StreamDrainNext(c, s.stripes[first:last+1], pos, hi, max, f)
 }

@@ -26,8 +26,15 @@
 //   - ascending key order everywhere, including the hash tables: a page
 //     must define "what comes after it", and key order is the only
 //     resumable order a churning hash table can offer (bucket positions
-//     shift under updates; keys do not). Monolithic hash tables pay
-//     their documented O(table) collect per page for it.
+//     shift under updates; keys do not). The hash tables serve that
+//     order from their ordered key index (a sorted shadow maintained
+//     under the same write brackets), so a page costs O(page + log n),
+//     never O(table).
+//
+// Page collects record how much they materialize (pulls and pulled keys,
+// overshoot and retries included) into the cursor pull counters, so the
+// page-cost contract — O(page), not O(structure) or O(k·page) — is
+// measurable, not just documented (see stats.Thread.PagePulls).
 package core
 
 import (
@@ -226,13 +233,21 @@ func ReplayPage(buf []ScanPair, exhausted bool, hi Key, f func(k Key, v Value) b
 	return buf[len(buf)-1].K + 1, false
 }
 
-// MergePage finishes a composite page: sort the disjoint per-part
-// contributions (partitions never duplicate a key), trim to the page
-// budget, and replay. exhausted must say whether every part reported
-// done; a trimmed page is never exhausted. The trimmed union is exact:
+// MergePage finishes an eagerly collected composite page: sort the
+// disjoint per-part contributions (partitions never duplicate a key),
+// trim to the page budget, and replay — the callback never runs more
+// than max times, even if a misdeclared partition contributed duplicate
+// boundary keys, because the trim precedes the replay. exhausted must
+// say whether every part reported done; a trimmed page is never
+// exhausted, and the overshoot cut by the trim is simply discarded and
+// re-fetched by position on the next page. The trimmed union is exact:
 // a part only withholds keys greater than everything it contributed, so
 // the first max keys of the union are the structure's true first max
 // keys at or beyond the position.
+//
+// The lazy composites page through StreamMergeNext (stream.go) instead;
+// MergePage remains the primitive for snapshot sources that already
+// hold their whole tail (and for reference implementations in tests).
 func MergePage(buf []ScanPair, exhausted bool, hi Key, max int, f func(k Key, v Value) bool) (next Key, done bool) {
 	max = clampPageMax(max)
 	SortScanPairs(buf)
@@ -255,12 +270,14 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 	max = clampPageMax(max)
 	var buf []ScanPair
 	full := false
+	visited := 0
 	emit := func(k Key, v Value) bool {
 		if len(buf) >= max {
 			full = true
 			return false
 		}
 		buf = append(buf, ScanPair{k, v})
+		visited++
 		return true
 	}
 	for attempt := 0; attempt < scanAttempts; attempt++ {
@@ -273,6 +290,7 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 		collect(emit)
 		if g.validate(s) {
 			c.RecordCursorRetries(attempt)
+			c.RecordPagePull(visited)
 			return ReplayPage(buf, !full, hi, f)
 		}
 	}
@@ -283,64 +301,8 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 	collect(emit)
 	g.unfreeze()
 	c.RecordCursorRetries(scanAttempts)
+	c.RecordPagePull(visited)
 	return ReplayPage(buf, !full, hi, f)
-}
-
-// GuardedSortedPage builds a key-ordered page over a structure whose
-// traversal is unordered (the monolithic hash tables): collect every
-// in-range mapping at or beyond the position under g's protocol, then
-// sort and deliver the first max. The per-page collect is O(table) —
-// the hash tables' documented scan cost, which pagination cannot
-// improve because a hash walk has no resumable order of its own.
-// collect is unbounded (emit returns nothing) and must be restartable.
-func GuardedSortedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k Key, v Value)), f func(k Key, v Value) bool) (next Key, done bool) {
-	var buf []ScanPair
-	emit := func(k Key, v Value) { buf = append(buf, ScanPair{k, v}) }
-	for attempt := 0; attempt < scanAttempts; attempt++ {
-		s, ok := g.snapshot()
-		if !ok {
-			runtime.Gosched()
-			continue
-		}
-		buf = buf[:0]
-		collect(emit)
-		if g.validate(s) {
-			c.RecordCursorRetries(attempt)
-			return MergePage(buf, true, hi, max, f)
-		}
-	}
-	g.freeze(c.Stat())
-	buf = buf[:0]
-	collect(emit)
-	g.unfreeze()
-	c.RecordCursorRetries(scanAttempts)
-	return MergePage(buf, true, hi, max, f)
-}
-
-// CursorMergeNext pages a disjoint partition in ascending key order:
-// every part contributes its first max in-range mappings at or beyond
-// pos through its own linearizable cursor (one atomic sub-snapshot per
-// part), and the sorted union is delivered up to the page budget. Each
-// part's overshoot is discarded — the resume position re-fetches it —
-// so no state spans calls and the merge needs no per-part bookkeeping:
-// a single key position resumes every part.
-func CursorMergeNext(c *Ctx, parts []Set, pos, hi Key, max int, f func(k Key, v Value) bool) (next Key, done bool) {
-	if pos >= hi {
-		return hi, true
-	}
-	max = clampPageMax(max)
-	var buf []ScanPair
-	exhausted := true
-	for _, p := range parts {
-		_, d := p.(Cursor).CursorNext(c, pos, hi, max, func(k Key, v Value) bool {
-			buf = append(buf, ScanPair{k, v})
-			return true
-		})
-		if !d {
-			exhausted = false
-		}
-	}
-	return MergePage(buf, exhausted, hi, max, f)
 }
 
 // RecordCursorRetries forwards a cursor page's validation (or epoch)
@@ -350,5 +312,17 @@ func CursorMergeNext(c *Ctx, parts []Set, pos, hi Key, max int, f func(k Key, v 
 func (c *Ctx) RecordCursorRetries(n int) {
 	if c != nil && c.Stats != nil {
 		c.Stats.RecordCursorRetries(n)
+	}
+}
+
+// RecordPagePull notes one bounded page collect that materialized keys
+// mappings (keys counts everything the collect touched — invalidated
+// optimistic attempts and overshoot included — which is exactly what
+// makes overcollect visible), tolerating nil. Every leaf page protocol
+// in this module records here, so a composite page's pull totals expose
+// its true per-page key traffic.
+func (c *Ctx) RecordPagePull(keys int) {
+	if c != nil && c.Stats != nil {
+		c.Stats.RecordPagePull(keys)
 	}
 }

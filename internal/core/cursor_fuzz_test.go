@@ -8,13 +8,52 @@ import (
 	"testing"
 
 	"csds/internal/core"
+
+	_ "csds/internal/combinator"
+	_ "csds/internal/list"
 )
+
+// streamMergeSeeds mints wire tokens through the live streaming merge
+// path: a wide sharded composite paginated with page sizes that land
+// the resume position on shard-edge boundary keys (the positions the
+// lazy per-shard pulls produce, which the eager merge never minted).
+// Keeping real merge-produced tokens in the corpus keeps the
+// decode∘encode fixed-point property honest against the tokens services
+// actually hand out.
+func streamMergeSeeds(f *testing.F) []string {
+	factory, err := core.NewFactory("sharded(8,list/lazy)")
+	if err != nil {
+		f.Fatalf("resolving the seed composite: %v", err)
+	}
+	s := factory(core.Options{ExpectedSize: 256, KeySpan: 512})
+	c := core.NewCtx(0)
+	for k := core.Key(0); k < 512; k += 3 {
+		s.Put(c, k, k)
+	}
+	var seeds []string
+	for _, page := range []int{1, 7, 64} {
+		pc, err := core.OpenCursor(s, 5, 500)
+		if err != nil {
+			f.Fatalf("opening the seed cursor: %v", err)
+		}
+		// Cap per page size, so every page-size pass contributes its own
+		// resume positions to the corpus.
+		for taken := 0; !pc.Done() && taken < 8; taken++ {
+			tok, _ := pc.Next(c, page, func(core.Key, core.Value) bool { return true })
+			seeds = append(seeds, tok)
+		}
+	}
+	return seeds
+}
 
 func FuzzCursorToken(f *testing.F) {
 	f.Add(int64(0), int64(0), int64(0), "")
 	f.Add(int64(1), int64(100), int64(37), "csc1")
 	f.Add(int64(-50), int64(50), int64(0), core.CursorToken{Lo: 1, Hi: 9, Pos: 3}.Encode())
 	f.Add(int64(5), int64(2), int64(9), "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	for _, tok := range streamMergeSeeds(f) {
+		f.Add(int64(5), int64(500), int64(5), tok)
+	}
 	f.Fuzz(func(t *testing.T, lo, hi, pos int64, wire string) {
 		// Property 1: decode(encode(t)) is the identity on every token
 		// Encode can produce (normalize the arbitrary triple first).

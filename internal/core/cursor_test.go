@@ -180,6 +180,48 @@ func (plainSet) Put(*Ctx, Key, Value) bool   { return false }
 func (plainSet) Remove(*Ctx, Key) bool       { return false }
 func (plainSet) Len() int                    { return 0 }
 
+// TestMergePageBudgetWithDuplicateBoundaries pins the doc's promise that
+// the callback never runs more than max times, even when misdeclared
+// partitions contribute duplicated boundary keys: the budget trim
+// precedes the replay, so duplicates can waste budget but never extend
+// it — the overshoot is discarded and re-fetched by position.
+func TestMergePageBudgetWithDuplicateBoundaries(t *testing.T) {
+	// Two "parts" both contributed keys 5 and 6 (a boundary overlap),
+	// plus their own keys — 8 pairs for a budget of 3.
+	buf := []ScanPair{
+		{K: 5, V: 50}, {K: 6, V: 60}, {K: 7, V: 70}, {K: 9, V: 90},
+		{K: 5, V: 51}, {K: 6, V: 61}, {K: 8, V: 80}, {K: 10, V: 100},
+	}
+	for _, max := range []int{1, 2, 3, 7, 8, 100} {
+		calls := 0
+		last := Key(-1)
+		next, done := MergePage(append([]ScanPair(nil), buf...), true, 100, max, func(k Key, v Value) bool {
+			calls++
+			if k < last {
+				t.Fatalf("max=%d: delivered %d after %d (not sorted)", max, k, last)
+			}
+			last = k
+			return true
+		})
+		want := max
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if calls > max {
+			t.Fatalf("max=%d: callback ran %d times, budget is %d", max, calls, max)
+		}
+		if calls != want {
+			t.Fatalf("max=%d: callback ran %d times, want %d", max, calls, want)
+		}
+		if max < len(buf) && done {
+			t.Fatalf("max=%d: trimmed page reported done", max)
+		}
+		if !done && next != last+1 {
+			t.Fatalf("max=%d: next=%d after last key %d", max, next, last)
+		}
+	}
+}
+
 func TestMergePageTrimsAndResumes(t *testing.T) {
 	buf := []ScanPair{{K: 9}, {K: 3}, {K: 7}, {K: 1}, {K: 5}}
 	var got []Key

@@ -37,10 +37,11 @@ import (
 // Scanner is an optional Set extension: linearizable range scans. Scan
 // visits the mappings with lo <= k < hi, each key at most once, and stops
 // early when f returns false; it reports whether it reached the end of
-// the range (false = stopped by f). Ordered structures (lists, skip
-// lists, BSTs, range partitions — and the hash-partitioned composites,
-// which sort their merge) visit keys in ascending order; monolithic hash
-// tables scan in bucket order (unordered) and document it.
+// the range (false = stopped by f). Every structure in this module scans
+// in ascending key order: the ordered structures natively, the
+// hash-partitioned composites by sorting their merge, and the hash
+// tables off their ordered key index (a sorted shadow maintained under
+// the same write brackets the scans validate against).
 //
 // Consistency: on a single structure instance the visited mappings are
 // one atomic snapshot of the range — the scan linearizes at a single

@@ -1,0 +1,294 @@
+// Streaming pull layer of the cursor machinery: PageStream (a bounded
+// per-source pull buffer over any Cursor) and the lazy k-way merges
+// built on it.
+//
+// PR 4's composite cursors collected eagerly: every part contributed its
+// first max in-range keys per page and the sorted union was trimmed to
+// the budget, discarding up to (k-1)·max keys per page — the documented
+// k× overcollect of wide composites. The streaming architecture inverts
+// the dataflow: each part is wrapped in a PageStream that pulls small
+// refill chunks (~max/k keys, floored at streamMinChunk) on demand, and
+// a heap merge consumes stream heads lazily, stopping exactly at the
+// page budget. A sharded(32) page now materializes about one page worth
+// of keys instead of 32, and the refill counters (stats.Thread.PagePulls
+// / PagePullKeys) make the difference measurable.
+//
+// The consistency story is unchanged from the eager merge: every pull is
+// one linearizable bounded page on its part (one atomic sub-snapshot),
+// parts partition the key space (no duplicates to resolve), and the
+// merge delivers the union in ascending order. Tokens stay position-only
+// — per-part stream positions live only inside a single CursorNext call,
+// never across pages — so resume positions survive churn, restarts and
+// resizes exactly as before; overshoot buffered beyond the delivered
+// boundary is discarded and re-fetched by position on the next page.
+package core
+
+// streamMinChunk floors the per-part refill size: below this, per-pull
+// seek costs (position descent, guard validation) dominate the keys
+// moved and the merge thrashes its sources.
+const streamMinChunk = 8
+
+// streamChunk sizes per-part refill pulls so the initial fill of a k-way
+// merge materializes about one page budget in total (max/k per part),
+// floored at streamMinChunk and capped at the budget itself.
+func streamChunk(max, parts int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	chunk := max / parts
+	if chunk < streamMinChunk {
+		chunk = streamMinChunk
+	}
+	if chunk > max {
+		chunk = max
+	}
+	return chunk
+}
+
+// PageStream adapts one Cursor source into a bounded pull buffer: Refill
+// fetches the next ≤ chunk in-range mappings from the stream's private
+// position, Peek/Pop consume them in ascending order. The stream holds
+// no source state beyond that position — dropping it mid-page leaks
+// nothing, which is what keeps composite tokens position-only.
+type PageStream struct {
+	c       *Ctx
+	src     Cursor
+	pos     Key
+	hi      Key
+	chunk   int
+	buf     []ScanPair
+	i       int
+	srcDone bool
+}
+
+// NewPageStream opens a pull stream over src's window [pos, hi) with the
+// given refill chunk (clamped to at least 1).
+func NewPageStream(c *Ctx, src Cursor, pos, hi Key, chunk int) *PageStream {
+	if chunk < 1 {
+		chunk = 1
+	}
+	s := &PageStream{c: c, src: src, pos: pos, hi: hi, chunk: chunk}
+	if pos >= hi {
+		s.srcDone = true
+	}
+	return s
+}
+
+// Refill pulls the next chunk from the source. It is a no-op while
+// buffered mappings remain or once the source is exhausted; it reports
+// whether the buffer holds data afterwards. Each refill is one
+// linearizable bounded page on the source.
+func (s *PageStream) Refill() bool {
+	if s.i < len(s.buf) {
+		return true
+	}
+	if s.srcDone {
+		return false
+	}
+	s.buf, s.i = s.buf[:0], 0
+	next, done := s.src.CursorNext(s.c, s.pos, s.hi, s.chunk, func(k Key, v Value) bool {
+		s.buf = append(s.buf, ScanPair{K: k, V: v})
+		return true
+	})
+	if len(s.buf) == 0 && !done {
+		// The cursor contract makes an empty, non-exhausted page
+		// impossible; treat one as exhaustion rather than spinning the
+		// merge on a source that will never progress.
+		done = true
+	}
+	s.pos = next
+	s.srcDone = done
+	return len(s.buf) > 0
+}
+
+// Peek returns the buffered head without consuming it.
+func (s *PageStream) Peek() (ScanPair, bool) {
+	if s.i < len(s.buf) {
+		return s.buf[s.i], true
+	}
+	return ScanPair{}, false
+}
+
+// Pop consumes and returns the buffered head.
+func (s *PageStream) Pop() (ScanPair, bool) {
+	if s.i < len(s.buf) {
+		p := s.buf[s.i]
+		s.i++
+		return p, true
+	}
+	return ScanPair{}, false
+}
+
+// Drained reports that the source is exhausted and the buffer is empty:
+// this stream will never produce another mapping.
+func (s *PageStream) Drained() bool { return s.srcDone && s.i >= len(s.buf) }
+
+// streamHead is one heap slot of the k-way merge: the cached head key of
+// a stream plus which part it came from (for the per-pull hook).
+type streamHead struct {
+	key  Key
+	s    *PageStream
+	part int
+}
+
+// mergeHeap is a hand-rolled binary min-heap over stream heads, keyed by
+// head key. Partitions are disjoint, so ties cannot occur between live
+// streams; if they did (a misdeclared partition) the merge would still
+// respect the page budget, merely delivering the duplicate.
+type mergeHeap []streamHead
+
+func (h mergeHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].key <= h[i].key {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (h mergeHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].key < h[min].key {
+			min = l
+		}
+		if r < len(h) && h[r].key < h[min].key {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// StreamMergeNext pages a disjoint partition in ascending key order with
+// lazy per-part pulls: each part streams refill chunks of ~max/len(parts)
+// keys (min streamMinChunk) through its own linearizable cursor, and a
+// heap merge delivers the union until the page budget fills or every
+// stream drains — the streaming replacement for the eager
+// collect-everything merge, cutting the per-page overcollect from
+// k×max to roughly one refill chunk per part.
+//
+// afterPull, when non-nil, runs after every pull from parts[i]; returning
+// false aborts the merge immediately (aborted == true, nothing more is
+// delivered) — the hook elastic composites use to detect a stale shard
+// map mid-page. Parts must partition the key space (no shared keys) and
+// every part must implement Cursor.
+//
+// Like every composite page, keys already delivered come from per-part
+// sub-snapshots taken at pull time; buffered overshoot beyond the last
+// delivered key is discarded and re-fetched by position on the next call.
+func StreamMergeNext(c *Ctx, parts []Set, pos, hi Key, max int, afterPull func(part int) bool, f func(k Key, v Value) bool) (next Key, done bool, aborted bool) {
+	if pos >= hi {
+		return hi, true, false
+	}
+	max = clampPageMax(max)
+	chunk := streamChunk(max, len(parts))
+	h := make(mergeHeap, 0, len(parts))
+	for i, p := range parts {
+		s := NewPageStream(c, p.(Cursor), pos, hi, chunk)
+		s.Refill() // an empty result marks the stream drained
+		if afterPull != nil && !afterPull(i) {
+			return 0, false, true
+		}
+		if head, ok := s.Peek(); ok {
+			h = append(h, streamHead{key: head.K, s: s, part: i})
+			h.siftUp(len(h) - 1)
+		}
+	}
+	delivered := 0
+	for len(h) > 0 {
+		top := &h[0]
+		pair, _ := top.s.Pop()
+		if !f(pair.K, pair.V) {
+			return pair.K + 1, false, false
+		}
+		delivered++
+		if delivered == max {
+			// Budget filled: decide done without another refill (a
+			// refill here would be pure overcollect — its keys would be
+			// discarded and re-fetched by the next page anyway).
+			if _, ok := top.s.Peek(); ok || !top.s.Drained() {
+				return pair.K + 1, false, false
+			}
+			if len(h) == 1 {
+				return hi, true, false
+			}
+			return pair.K + 1, false, false
+		}
+		// Restore the heap: refill the popped stream if its buffer
+		// emptied (the merge may not deliver past a live stream's
+		// position), then re-key or drop its slot.
+		if _, ok := top.s.Peek(); !ok && !top.s.Drained() {
+			top.s.Refill()
+			if afterPull != nil && !afterPull(top.part) {
+				return 0, false, true
+			}
+		}
+		if head, ok := top.s.Peek(); ok {
+			top.key = head.K
+			h.siftDown(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			h.siftDown(0)
+		}
+	}
+	return hi, true, false
+}
+
+// StreamMergePage is StreamMergeNext with the delivery buffered: the
+// merged page collects into a slice instead of running a user callback,
+// so callers that must validate the whole page before releasing it
+// (elastic composites re-checking their epoch witness) can discard an
+// aborted page without having delivered anything.
+func StreamMergePage(c *Ctx, parts []Set, pos, hi Key, max int, afterPull func(part int) bool) (buf []ScanPair, next Key, done bool, aborted bool) {
+	next, done, aborted = StreamMergeNext(c, parts, pos, hi, max, afterPull, func(k Key, v Value) bool {
+		buf = append(buf, ScanPair{K: k, V: v})
+		return true
+	})
+	return buf, next, done, aborted
+}
+
+// StreamDrainNext pages an ordered disjoint partition — parts[i]'s keys
+// all precede parts[i+1]'s (a range partition, e.g. the overlapping
+// stripes of a striped composite) — by draining parts in order through
+// bounded pull streams: no merge, no overshoot, and parts beyond the
+// one where the budget fills are never touched. The concatenation is
+// ascending whenever the parts' own cursors are.
+func StreamDrainNext(c *Ctx, parts []Set, pos, hi Key, max int, f func(k Key, v Value) bool) (next Key, done bool) {
+	if pos >= hi {
+		return hi, true
+	}
+	max = clampPageMax(max)
+	remaining := max
+	nextPos := pos
+	for i, p := range parts {
+		s := NewPageStream(c, p.(Cursor), pos, hi, remaining)
+		for {
+			if !s.Refill() {
+				break // part exhausted; drain the next one
+			}
+			pair, _ := s.Pop()
+			if !f(pair.K, pair.V) {
+				return pair.K + 1, false
+			}
+			remaining--
+			nextPos = pair.K + 1
+			if remaining == 0 {
+				if s.Drained() && i == len(parts)-1 {
+					// Budget filled exactly at the end of the last part.
+					return hi, true
+				}
+				// Later parts (or this one) may still hold keys.
+				return nextPos, false
+			}
+		}
+	}
+	return hi, true
+}

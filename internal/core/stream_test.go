@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+)
+
+// countingSet wraps a sliceSet and counts cursor pulls and the keys
+// they materialize — the whitebox view of the streaming merge's refill
+// behaviour.
+type countingSet struct {
+	*sliceSet
+	pulls     int
+	keyPulled int
+}
+
+func (s *countingSet) CursorNext(c *Ctx, pos, hi Key, max int, f func(k Key, v Value) bool) (Key, bool) {
+	s.pulls++
+	return s.sliceSet.CursorNext(c, pos, hi, max, func(k Key, v Value) bool {
+		s.keyPulled++
+		return f(k, v)
+	})
+}
+
+// modPartition builds n counting parts holding keys 0..total-1 hashed by
+// key mod n — a disjoint partition with interleaved key ranges, the
+// worst case for an eager merge.
+func modPartition(total Key, n int) ([]Set, []*countingSet) {
+	parts := make([]*countingSet, n)
+	for i := range parts {
+		parts[i] = &countingSet{sliceSet: &sliceSet{}}
+	}
+	for k := Key(0); k < total; k++ {
+		parts[k%Key(n)].keys = append(parts[k%Key(n)].keys, k)
+	}
+	sets := make([]Set, n)
+	for i := range parts {
+		sets[i] = parts[i]
+	}
+	return sets, parts
+}
+
+func TestStreamChunk(t *testing.T) {
+	cases := []struct{ max, parts, want int }{
+		{512, 32, 16},
+		{512, 4, 128},
+		{16, 32, streamMinChunk},
+		{4, 32, 4}, // floor capped at the budget itself
+		{100, 1, 100},
+		{100, 0, 100},
+	}
+	for _, tc := range cases {
+		if got := streamChunk(tc.max, tc.parts); got != tc.want {
+			t.Errorf("streamChunk(%d, %d) = %d, want %d", tc.max, tc.parts, got, tc.want)
+		}
+	}
+}
+
+// TestStreamMergeSequential: the streaming merge paginates a mod
+// partition exactly — ascending union, budget respected, done at the
+// end — across page sizes on both sides of the chunk floor.
+func TestStreamMergeSequential(t *testing.T) {
+	const total = 500
+	for _, max := range []int{1, 3, 16, 64, 500, 1000} {
+		sets, _ := modPartition(total, 7)
+		c := NewCtx(0)
+		pos := Key(0)
+		var got []Key
+		for {
+			n := 0
+			next, done, aborted := StreamMergeNext(c, sets, pos, total, max, nil, func(k Key, v Value) bool {
+				got = append(got, k)
+				if v != Value(k) {
+					t.Fatalf("key %d delivered with value %d", k, v)
+				}
+				n++
+				return true
+			})
+			if aborted {
+				t.Fatal("merge aborted without an abort hook")
+			}
+			if n > max {
+				t.Fatalf("page delivered %d keys over budget %d", n, max)
+			}
+			if done {
+				if next != total {
+					t.Fatalf("done page returned next=%d, want %d", next, total)
+				}
+				break
+			}
+			if n == 0 {
+				t.Fatal("empty page reported done=false")
+			}
+			if next != got[len(got)-1]+1 {
+				t.Fatalf("page returned next=%d after last key %d", next, got[len(got)-1])
+			}
+			pos = next
+		}
+		if len(got) != total {
+			t.Fatalf("max=%d: merged %d keys, want %d", max, len(got), total)
+		}
+		for i, k := range got {
+			if k != Key(i) {
+				t.Fatalf("max=%d: position %d holds key %d (not ascending/complete)", max, i, k)
+			}
+		}
+	}
+}
+
+// TestStreamMergeBoundedPulls pins the tentpole arithmetic: a 32-part
+// merge page of 512 keys must materialize at most 2*max keys across all
+// parts — the old eager merge pulled up to 32*max.
+func TestStreamMergeBoundedPulls(t *testing.T) {
+	const parts = 32
+	const max = 512
+	sets, counters := modPartition(1<<16, parts)
+	c := NewCtx(0)
+	pos := Key(0)
+	pages := 0
+	for pos < 1<<15 { // a prefix of the domain is plenty
+		next, done, _ := StreamMergeNext(c, sets, pos, 1<<16, max, nil, func(Key, Value) bool { return true })
+		pages++
+		if done {
+			break
+		}
+		pos = next
+	}
+	var pulled int
+	for _, p := range counters {
+		pulled += p.keyPulled
+	}
+	if pulled > 2*max*pages {
+		t.Fatalf("%d pages materialized %d keys, want <= %d (2*max per page)", pages, pulled, 2*max*pages)
+	}
+}
+
+// TestStreamMergeEarlyStop: a callback that declines mid-merge ends the
+// page at exactly that key, and the returned position resumes one past
+// it.
+func TestStreamMergeEarlyStop(t *testing.T) {
+	sets, _ := modPartition(100, 3)
+	c := NewCtx(0)
+	calls := 0
+	next, done, _ := StreamMergeNext(c, sets, 0, 100, 50, nil, func(k Key, v Value) bool {
+		calls++
+		return calls < 7
+	})
+	if done || calls != 7 {
+		t.Fatalf("early stop: done=%v after %d calls, want false after 7", done, calls)
+	}
+	if next != 7 {
+		t.Fatalf("early stop resumed at %d, want 7", next)
+	}
+}
+
+// TestStreamMergeAbort: the per-pull hook aborting poisons the page
+// before anything more is delivered (the elastic stale-epoch path).
+func TestStreamMergeAbort(t *testing.T) {
+	sets, _ := modPartition(100, 4)
+	c := NewCtx(0)
+	pullsSeen := 0
+	_, _, aborted := StreamMergeNext(c, sets, 0, 100, 10, func(part int) bool {
+		pullsSeen++
+		return pullsSeen < 3
+	}, func(Key, Value) bool { return true })
+	if !aborted {
+		t.Fatal("abort hook returning false did not abort the merge")
+	}
+	// And the buffered variant delivers nothing on abort.
+	buf, _, _, aborted := StreamMergePage(c, sets, 0, 100, 10, func(int) bool { return false })
+	if !aborted || len(buf) != 0 {
+		t.Fatalf("aborted StreamMergePage returned buf=%v aborted=%v", buf, aborted)
+	}
+}
+
+// TestStreamDrainSequential: the ordered drain paginates a range
+// partition exactly and never touches parts beyond the budget fill.
+func TestStreamDrainSequential(t *testing.T) {
+	// Range partition: part i owns [i*100, (i+1)*100).
+	parts := make([]*countingSet, 5)
+	sets := make([]Set, 5)
+	for i := range parts {
+		parts[i] = &countingSet{sliceSet: &sliceSet{}}
+		for k := Key(i * 100); k < Key((i+1)*100); k += 2 {
+			parts[i].keys = append(parts[i].keys, k)
+		}
+		sets[i] = parts[i]
+	}
+	c := NewCtx(0)
+	var got []Key
+	pos := Key(0)
+	for {
+		next, done := StreamDrainNext(c, sets, pos, 500, 37, func(k Key, v Value) bool {
+			got = append(got, k)
+			return true
+		})
+		if done {
+			break
+		}
+		pos = next
+	}
+	if len(got) != 250 {
+		t.Fatalf("drained %d keys, want 250", len(got))
+	}
+	for i, k := range got {
+		if k != Key(2*i) {
+			t.Fatalf("position %d holds key %d, want %d", i, k, 2*i)
+		}
+	}
+	// A one-page drain with a small budget must not touch later parts.
+	for _, p := range parts {
+		p.pulls = 0
+	}
+	// Ten even keys 0..18 fill the budget; the resume position is one
+	// past the last delivered key.
+	if next, done := StreamDrainNext(c, sets, 0, 500, 10, func(Key, Value) bool { return true }); done || next != 19 {
+		t.Fatalf("bounded drain returned next=%d done=%v, want 19 false", next, done)
+	}
+	for i, p := range parts[1:] {
+		if p.pulls != 0 {
+			t.Fatalf("part %d pulled %d times on a page confined to part 0", i+1, p.pulls)
+		}
+	}
+}
+
+// TestPageStreamDefensive: a buggy source returning an empty non-done
+// page is treated as drained instead of spinning the merge.
+type emptyLiar struct{ sliceSet }
+
+func (s *emptyLiar) CursorNext(c *Ctx, pos, hi Key, max int, f func(k Key, v Value) bool) (Key, bool) {
+	return pos, false // never delivers, never finishes
+}
+
+func TestPageStreamDefensive(t *testing.T) {
+	s := NewPageStream(NewCtx(0), &emptyLiar{}, 0, 100, 8)
+	if s.Refill() {
+		t.Fatal("liar source reported data")
+	}
+	if !s.Drained() {
+		t.Fatal("empty non-done page did not drain the stream")
+	}
+	next, done, _ := StreamMergeNext(NewCtx(0), []Set{&emptyLiar{}}, 0, 100, 8, nil, func(Key, Value) bool { return true })
+	if !done || next != 100 {
+		t.Fatalf("merge over a liar source returned next=%d done=%v", next, done)
+	}
+}

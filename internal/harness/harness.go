@@ -170,6 +170,12 @@ type Result struct {
 	PageMeanNs      float64 // mean page latency
 	PageMaxNs       uint64  // worst single page
 	CursorRetryFrac float64 // validation/epoch retries per page
+	// Refill counters of the streaming page machinery: how much the
+	// page collects materialized. PagePullKeysMean / PageKeysMean is
+	// the overcollect factor — ~1 on O(page) protocols, k× on an eager
+	// k-way merge — so page-cost regressions show in the CSV.
+	PagePullsMean    float64 // bounded per-part pulls per page
+	PagePullKeysMean float64 // keys pulled per page (overshoot+retries incl.)
 
 	// Fine-grained (practical wait-freedom).
 	WaitFraction       float64 // fraction of time waiting for locks (Fig 5)
@@ -243,6 +249,8 @@ func (a *Result) accumulate(r *Result, runs int) {
 		a.PageMaxNs = r.PageMaxNs
 	}
 	a.CursorRetryFrac += r.CursorRetryFrac * f
+	a.PagePullsMean += r.PagePullsMean * f
+	a.PagePullKeysMean += r.PagePullKeysMean * f
 	a.WaitFraction += r.WaitFraction * f
 	a.WaitFractionStddev += r.WaitFractionStddev * f
 	a.RestartedFrac += r.RestartedFrac * f
@@ -568,6 +576,7 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 		res.ScanRetryFrac = float64(scanRetries) / float64(totalScans)
 	}
 	var totalPages, pageKeys, pageNs, cursorRetries, totalCursors uint64
+	var pagePulls, pagePullKeys uint64
 	pageRates := make([]float64, 0, len(ths))
 	for i := range ths {
 		t := &ths[i]
@@ -576,6 +585,8 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 		pageNs += t.PageNs
 		cursorRetries += t.CursorRetries
 		totalCursors += t.CursorScans
+		pagePulls += t.PagePulls
+		pagePullKeys += t.PagePullKeys
 		if t.MaxPageNs > res.PageMaxNs {
 			res.PageMaxNs = t.MaxPageNs
 		}
@@ -590,6 +601,8 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 		res.PageKeysMean = float64(pageKeys) / float64(totalPages)
 		res.PageMeanNs = float64(pageNs) / float64(totalPages)
 		res.CursorRetryFrac = float64(cursorRetries) / float64(totalPages)
+		res.PagePullsMean = float64(pagePulls) / float64(totalPages)
+		res.PagePullKeysMean = float64(pagePullKeys) / float64(totalPages)
 	}
 	res.WaitFraction = stats.Mean(waitFracs)
 	res.WaitFractionStddev = stats.Stddev(waitFracs)

@@ -99,6 +99,10 @@ func TestPageMetricsBuckets(t *testing.T) {
 		MaxPageNs:     3e6,
 		CursorScans:   4,
 		CursorRetries: 5,
+		// 3 pulls per page materializing 12 keys per page (a 1.5x
+		// overcollect over the 8 delivered).
+		PagePulls:    60,
+		PagePullKeys: 240,
 	}}
 	res := summarize(cfg, ths, nil)
 	if res.TotalOps != 1000 || res.Throughput != 1000 {
@@ -119,9 +123,13 @@ func TestPageMetricsBuckets(t *testing.T) {
 	if res.CursorRetryFrac != 0.25 {
 		t.Fatalf("CursorRetryFrac = %v, want 0.25", res.CursorRetryFrac)
 	}
+	if res.PagePullsMean != 3 || res.PagePullKeysMean != 12 {
+		t.Fatalf("page pull means wrong: pulls %v keys %v, want 3 and 12",
+			res.PagePullsMean, res.PagePullKeysMean)
+	}
 	// A cursorless thread reports zero page metrics, not NaNs.
 	res = summarize(cfg, []stats.Thread{{Ops: 10, ActiveNs: 1e9}}, nil)
-	if res.TotalPages != 0 || res.PageThroughput != 0 || res.PageKeysMean != 0 || res.PageMeanNs != 0 {
+	if res.TotalPages != 0 || res.PageThroughput != 0 || res.PageKeysMean != 0 || res.PageMeanNs != 0 || res.PagePullsMean != 0 {
 		t.Fatalf("cursorless run leaked page metrics: %+v", res)
 	}
 }

@@ -57,8 +57,8 @@ func TestBucketedWaitFree(t *testing.T) {
 }
 
 // TestScanners runs the linearizable range-scan battery on every table.
-// Hash tables scan in bucket order — unordered, by documented design —
-// so the battery's order assertion is off.
+// Since the ordered key index, hash-table scans are ascending like every
+// other structure's — the battery's order assertion is on.
 func TestScanners(t *testing.T) {
 	lookup := func(name string) func(core.Options) core.Set {
 		info, ok := core.Lookup(name)
@@ -76,7 +76,7 @@ func TestScanners(t *testing.T) {
 		"harris":       lookup("hashtable/harris"),
 		"waitfree":     lookup("hashtable/waitfree"),
 	} {
-		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, false) })
+		t.Run(name, func(t *testing.T) { settest.RunScanner(t, mk, true) })
 	}
 }
 
@@ -86,7 +86,7 @@ func TestLazyScannerSmallTable(t *testing.T) {
 	settest.RunScanner(t, func(o core.Options) core.Set {
 		o.Buckets = 2
 		return NewLazy(o)
-	}, false)
+	}, true)
 }
 
 // TestCursors runs the paginated-iteration battery on every table.
@@ -121,6 +121,31 @@ func TestLazyCursorSmallTable(t *testing.T) {
 		o.Buckets = 2
 		return NewLazy(o)
 	})
+}
+
+// TestCursorPageCost: every table's full paginated iteration must
+// materialize O(pages·page) keys (counter-verified), not the
+// O(pages·table) the pre-index collect-and-sort paid — the ordered key
+// index is what this pins.
+func TestCursorPageCost(t *testing.T) {
+	lookup := func(name string) func(core.Options) core.Set {
+		info, ok := core.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		return info.New
+	}
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"striped":      func(o core.Options) core.Set { return NewStriped(o) },
+		"lockcoupling": lookup("hashtable/lockcoupling"),
+		"pugh":         lookup("hashtable/pugh"),
+		"harris":       lookup("hashtable/harris"),
+		"waitfree":     lookup("hashtable/waitfree"),
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunCursorPageCost(t, mk) })
+	}
 }
 
 func TestBucketCount(t *testing.T) {

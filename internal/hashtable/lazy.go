@@ -68,12 +68,13 @@ type Lazy struct {
 	mask    uint64
 	region  htm.Region
 	guard   core.ScanGuard // validates optimistic range scans (table-wide)
+	index   *keyIndex      // ordered shadow: O(page)/O(range) scans & cursors
 }
 
 // NewLazy builds a lazy hash table sized per o (load factor 1).
 func NewLazy(o core.Options) *Lazy {
 	n := bucketCount(o)
-	return &Lazy{buckets: make([]lbucket, n), mask: uint64(n - 1), region: o.Region()}
+	return &Lazy{buckets: make([]lbucket, n), mask: uint64(n - 1), region: o.Region(), index: newKeyIndex(indexSize(o, n))}
 }
 
 func init() {
@@ -117,7 +118,7 @@ func (h *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
-			inserted = b.insertLocked(c, &h.guard, k, v)
+			inserted = b.insertLocked(c, &h.guard, h.index, k, v)
 			return htm.Committed
 		})
 		c.RecordRestarts(0)
@@ -125,15 +126,17 @@ func (h *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	}
 	b.lock.Acquire(c.Stat())
 	c.InCS()
-	ok := b.insertLocked(c, &h.guard, k, v)
+	ok := b.insertLocked(c, &h.guard, h.index, k, v)
 	b.lock.Release()
 	c.RecordRestarts(0)
 	return ok
 }
 
 // insertLocked does the sorted-splice under the bucket lock; a
-// membership change opens g's scan window (g may be nil).
-func (b *lbucket) insertLocked(c *core.Ctx, g *core.ScanGuard, k core.Key, v core.Value) bool {
+// membership change opens g's scan window (g may be nil) and shadows
+// itself into the ordered index inside that same window, so a validated
+// guarded collect always sees bucket and index in agreement.
+func (b *lbucket) insertLocked(c *core.Ctx, g *core.ScanGuard, ix *keyIndex, k core.Key, v core.Value) bool {
 	var pred *lnode
 	curr := b.head.Load()
 	for curr != nil && curr.key < k {
@@ -151,6 +154,7 @@ func (b *lbucket) insertLocked(c *core.Ctx, g *core.ScanGuard, k core.Key, v cor
 	} else {
 		pred.next.Store(n)
 	}
+	ix.insert(k, v)
 	g.EndWrite()
 	return true
 }
@@ -170,7 +174,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 			if !a.Commit() {
 				return a.AbortStatus()
 			}
-			removed, victim = b.removeLocked(c, &h.guard, k)
+			removed, victim = b.removeLocked(c, &h.guard, h.index, k)
 			return htm.Committed
 		})
 		if removed {
@@ -181,7 +185,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 	}
 	b.lock.Acquire(c.Stat())
 	c.InCS()
-	ok, victim := b.removeLocked(c, &h.guard, k)
+	ok, victim := b.removeLocked(c, &h.guard, h.index, k)
 	b.lock.Release()
 	if ok {
 		c.Retire(victim)
@@ -190,7 +194,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 	return ok
 }
 
-func (b *lbucket) removeLocked(c *core.Ctx, g *core.ScanGuard, k core.Key) (bool, *lnode) {
+func (b *lbucket) removeLocked(c *core.Ctx, g *core.ScanGuard, ix *keyIndex, k core.Key) (bool, *lnode) {
 	var pred *lnode
 	curr := b.head.Load()
 	for curr != nil && curr.key < k {
@@ -207,6 +211,7 @@ func (b *lbucket) removeLocked(c *core.Ctx, g *core.ScanGuard, k core.Key) (bool
 	} else {
 		pred.next.Store(curr.next.Load())
 	}
+	ix.remove(k)
 	g.EndWrite()
 	return true, curr
 }
@@ -236,14 +241,13 @@ func (h *Lazy) Range(f func(k core.Key, v core.Value) bool) {
 	}
 }
 
-// Scan implements core.Scanner: bucket-snapshot iteration — the whole
-// table is collected bucket by bucket under the table-wide optimistic
-// scan guard, filtered to [lo, hi), and accepted only if no update ran
-// concurrently; atomic per call. Two hash-table caveats, by design: the
-// key order is bucket order (unordered), and the cost is O(table), not
-// O(range) — the hash destroys locality, so a range filter must look
-// everywhere. Prefer ordered structures (or striped composites over
-// them) for scan-heavy workloads.
+// Scan implements core.Scanner over the ordered key index: an O(log n)
+// descent to lo, then an ascending in-range walk, collected under the
+// table-wide optimistic scan guard and accepted only if no update ran
+// concurrently — atomic per call, O(log n + range) instead of the
+// O(table) bucket sweep of the unindexed design, and in ascending key
+// order (updates keep the index in the same guard bracket as the bucket
+// splice, so a validated collect saw bucket and index agree).
 func (h *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
 	if lo >= hi {
 		return true
@@ -251,40 +255,28 @@ func (h *Lazy) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Valu
 	c.EpochEnter()
 	defer c.EpochExit()
 	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
-		collectBuckets(h.buckets, lo, hi, emit)
+		h.index.collect(lo, hi, func(k core.Key, v core.Value) bool {
+			emit(k, v)
+			return true
+		})
 	}, f)
 }
 
-// CursorNext implements core.Cursor. Unlike Scan, cursor pages are
-// delivered in ascending key order even here: key order is the only
-// order a churning hash table can resume from (bucket positions shift
-// under updates; keys do not). Each page collects the whole in-range
-// tail under the table-wide guard — the documented O(table) hash-scan
-// cost, which pagination cannot improve — then sorts and delivers the
-// first max (see core.GuardedSortedPage). Prefer ordered structures or
-// striped composites for cursor-heavy workloads.
+// CursorNext implements core.Cursor: a bounded guard-validated page off
+// the ordered key index — O(log n) seek to the position, O(page) walk —
+// in ascending key order like every cursor in this module. The index
+// (maintained inside the same guard brackets as the bucket splices) is
+// what retires the old O(table)-per-page collect-and-sort: hash-table
+// pages now cost what list pages cost, plus the seek.
 func (h *Lazy) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
 	if pos >= hi {
 		return hi, true
 	}
 	c.EpochEnter()
 	defer c.EpochExit()
-	return core.GuardedSortedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value)) {
-		collectBuckets(h.buckets, pos, hi, emit)
+	return core.GuardedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		h.index.collect(pos, hi, emit)
 	}, f)
-}
-
-// collectBuckets emits a bucket array's in-range unmarked nodes in
-// bucket order — the shared collect phase of the monolithic tables'
-// scans (Lazy and Striped).
-func collectBuckets(buckets []lbucket, lo, hi core.Key, emit func(k core.Key, v core.Value)) {
-	for i := range buckets {
-		for n := buckets[i].head.Load(); n != nil; n = n.next.Load() {
-			if n.key >= lo && n.key < hi && !n.marked.Load() {
-				emit(n.key, n.val)
-			}
-		}
-	}
 }
 
 func doomOf(c *core.Ctx) *htm.Doom {

@@ -1,6 +1,7 @@
 package hashtable
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"csds/internal/core"
@@ -15,6 +16,19 @@ import (
 type Bucketed struct {
 	buckets []core.Set
 	mask    uint64
+	guard   core.ScanGuard // brackets composite updates for index agreement
+	index   *keyIndex      // ordered shadow: O(page)/O(range) scans & cursors
+	seq     []ixSeqLock    // per-bucket-striped update sequencers (see Put)
+}
+
+// ixSeqCount bounds the sequencer pool (tables smaller than this get one
+// sequencer per bucket — the featured table's own lock granularity).
+const ixSeqCount = 1024
+
+// ixSeqLock pads each sequencer to its own cache line region.
+type ixSeqLock struct {
+	lock locks.TAS
+	_    [60]byte
 }
 
 // NewBucketed builds a table of n buckets (rounded to a power of two) where
@@ -23,7 +37,11 @@ func NewBucketed(o core.Options, mk func(core.Options) core.Set) *Bucketed {
 	n := bucketCount(o)
 	sub := o
 	sub.ExpectedSize = 2 // load factor 1: tiny chains
-	b := &Bucketed{buckets: make([]core.Set, n), mask: uint64(n - 1)}
+	ns := n
+	if ns > ixSeqCount {
+		ns = ixSeqCount
+	}
+	b := &Bucketed{buckets: make([]core.Set, n), mask: uint64(n - 1), index: newKeyIndex(indexSize(o, n)), seq: make([]ixSeqLock, ns)}
 	for i := range b.buckets {
 		b.buckets[i] = mk(sub)
 	}
@@ -76,14 +94,51 @@ func (b *Bucketed) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 	return b.buckets[hash(k, b.mask)].Get(c, k)
 }
 
-// Put implements core.Set.
+// Put implements core.Set. Two pieces of discipline keep the ordered
+// index agreeing with the buckets:
+//
+//   - the whole update runs inside the composite's guard bracket, so a
+//     validated guarded collect never observes a bucket mutation whose
+//     index shadow has not landed (an unsuccessful Put bumps the guard
+//     version spuriously; that costs collect retries, never
+//     correctness);
+//   - the inner operation and its index shadow run under a per-bucket
+//     sequencer lock, so two updates of the same key apply their index
+//     deltas in the same order their bucket effects linearized —
+//     without it, a delegated Put's index insert could land after a
+//     later Remove's index delete and strand the key in the index
+//     forever. The sequencer is the featured lazy table's own lock
+//     granularity (per bucket, striped beyond ixSeqCount buckets);
+//     reads never touch it, so the read path keeps the inner
+//     structure's progress guarantee, and its waits surface in the
+//     lock-wait metrics like every lock in this module.
 func (b *Bucketed) Put(c *core.Ctx, k core.Key, v core.Value) bool {
-	return b.buckets[hash(k, b.mask)].Put(c, k, v)
+	bi := hash(k, b.mask)
+	l := &b.seq[bi%uint64(len(b.seq))].lock
+	b.guard.BeginWrite(c.Stat())
+	l.Acquire(c.Stat())
+	ok := b.buckets[bi].Put(c, k, v)
+	if ok {
+		b.index.insert(k, v)
+	}
+	l.Release()
+	b.guard.EndWrite()
+	return ok
 }
 
-// Remove implements core.Set.
+// Remove implements core.Set (sequencing discipline as in Put).
 func (b *Bucketed) Remove(c *core.Ctx, k core.Key) bool {
-	return b.buckets[hash(k, b.mask)].Remove(c, k)
+	bi := hash(k, b.mask)
+	l := &b.seq[bi%uint64(len(b.seq))].lock
+	b.guard.BeginWrite(c.Stat())
+	l.Acquire(c.Stat())
+	ok := b.buckets[bi].Remove(c, k)
+	if ok {
+		b.index.remove(k)
+	}
+	l.Release()
+	b.guard.EndWrite()
+	return ok
 }
 
 // Len implements core.Set.
@@ -113,71 +168,92 @@ func (b *Bucketed) Range(f func(k core.Key, v core.Value) bool) {
 	}
 }
 
-// Scan implements core.Scanner by delegating to each bucket's own
-// linearizable scan, in bucket index order. Buckets partition the keys,
-// so no key is visited twice and each bucket's sub-snapshot is atomic;
-// like every hash-table scan the result is unordered, O(table), and
-// consistent per key within the call window (segment = bucket).
+// Scan implements core.Scanner over the composite's ordered key index,
+// validated by the composite guard: O(log n + range), ascending, atomic
+// per call — delegated per-bucket scans (unordered, O(table)) are gone.
 func (b *Bucketed) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
 	if lo >= hi {
 		return true
 	}
-	for _, s := range b.buckets {
-		if !s.(core.Scanner).Scan(c, lo, hi, f) {
-			return false
-		}
-	}
-	return true
+	return core.GuardedScan(c, &b.guard, func(emit func(k core.Key, v core.Value)) {
+		b.index.collect(lo, hi, func(k core.Key, v core.Value) bool {
+			emit(k, v)
+			return true
+		})
+	}, f)
 }
 
-// CursorNext implements core.Cursor by k-way merge over the bucket
-// lists' own cursors: each bucket contributes its first max in-range
-// keys at or beyond the token position (one atomic sub-snapshot per
-// bucket) and the sorted union pages out ascending — the same
-// single-position merge protocol the sharded combinator uses, at bucket
-// granularity (see core.CursorMergeNext).
+// CursorNext implements core.Cursor: a bounded guard-validated page off
+// the ordered key index, O(log n + page) — the 1024-way per-bucket
+// cursor merge this replaces pulled up to a page from every bucket list
+// per page, the worst overcollect in the module.
 func (b *Bucketed) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
-	return core.CursorMergeNext(c, b.buckets, pos, hi, max, f)
+	if pos >= hi {
+		return hi, true
+	}
+	return core.GuardedPage(c, &b.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		b.index.collect(pos, hi, emit)
+	}, f)
 }
 
-// COW is the copy-on-write hash table: readers load an immutable map
-// snapshot; each writer copies the entire map under a global lock. Wait-free
-// O(1) reads, fully serialized O(n) writes.
+// cowSnap is one immutable COW-table version: the map for O(1) point
+// reads plus its ascending key slice — the table's ordered index,
+// snapshotted for free since every write copies the world anyway. The
+// slice gives ordered O(log n + range) scans and O(log n + page) cursor
+// pages off a binary search.
+type cowSnap struct {
+	m    map[core.Key]core.Value
+	keys []core.Key // ascending
+}
+
+// seek returns the index of the first key >= k.
+func (s *cowSnap) seek(k core.Key) int {
+	return sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+}
+
+// COW is the copy-on-write hash table: readers load an immutable
+// snapshot; each writer copies the entire map (and its sorted key
+// slice) under a global lock. Wait-free O(1) reads, fully serialized
+// O(n) writes.
 type COW struct {
-	snap atomic.Pointer[map[core.Key]core.Value]
+	snap atomic.Pointer[cowSnap]
 	mu   locks.Ticket
 }
 
 // NewCOW builds an empty copy-on-write table.
 func NewCOW(o core.Options) *COW {
 	h := &COW{}
-	m := make(map[core.Key]core.Value)
-	h.snap.Store(&m)
+	h.snap.Store(&cowSnap{m: make(map[core.Key]core.Value)})
 	return h
 }
 
 // Get implements core.Set.
 func (h *COW) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
-	v, ok := (*h.snap.Load())[k]
+	v, ok := h.snap.Load().m[k]
 	return v, ok
 }
 
 // Put implements core.Set.
 func (h *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	h.mu.Acquire(c.Stat())
-	old := *h.snap.Load()
-	if _, ok := old[k]; ok {
+	old := h.snap.Load()
+	if _, ok := old.m[k]; ok {
 		h.mu.Release()
 		c.RecordRestarts(0)
 		return false
 	}
-	next := make(map[core.Key]core.Value, len(old)+1)
-	for ok, ov := range old {
-		next[ok] = ov
+	next := &cowSnap{m: make(map[core.Key]core.Value, len(old.m)+1)}
+	for ok, ov := range old.m {
+		next.m[ok] = ov
 	}
-	next[k] = v
+	next.m[k] = v
+	i := old.seek(k)
+	next.keys = make([]core.Key, 0, len(old.keys)+1)
+	next.keys = append(next.keys, old.keys[:i]...)
+	next.keys = append(next.keys, k)
+	next.keys = append(next.keys, old.keys[i:]...)
 	c.InCS()
-	h.snap.Store(&next)
+	h.snap.Store(next)
 	h.mu.Release()
 	c.RecordRestarts(0)
 	return true
@@ -186,47 +262,53 @@ func (h *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 // Remove implements core.Set.
 func (h *COW) Remove(c *core.Ctx, k core.Key) bool {
 	h.mu.Acquire(c.Stat())
-	old := *h.snap.Load()
-	if _, ok := old[k]; !ok {
+	old := h.snap.Load()
+	if _, ok := old.m[k]; !ok {
 		h.mu.Release()
 		c.RecordRestarts(0)
 		return false
 	}
-	next := make(map[core.Key]core.Value, len(old))
-	for ok, ov := range old {
+	next := &cowSnap{m: make(map[core.Key]core.Value, len(old.m))}
+	for ok, ov := range old.m {
 		if ok != k {
-			next[ok] = ov
+			next.m[ok] = ov
 		}
 	}
+	i := old.seek(k)
+	next.keys = make([]core.Key, 0, len(old.keys)-1)
+	next.keys = append(next.keys, old.keys[:i]...)
+	next.keys = append(next.keys, old.keys[i+1:]...)
 	c.InCS()
-	h.snap.Store(&next)
+	h.snap.Store(next)
 	h.mu.Release()
 	c.RecordRestarts(0)
 	return true
 }
 
 // Len implements core.Set.
-func (h *COW) Len() int { return len(*h.snap.Load()) }
+func (h *COW) Len() int { return len(h.snap.Load().m) }
 
 // Range implements core.Ranger over one immutable snapshot (exact even
-// during concurrency), in Go map iteration order.
+// during concurrency), in ascending key order.
 func (h *COW) Range(f func(k core.Key, v core.Value) bool) {
-	for k, v := range *h.snap.Load() {
-		if !f(k, v) {
+	s := h.snap.Load()
+	for _, k := range s.keys {
+		if !f(k, s.m[k]) {
 			return
 		}
 	}
 }
 
-// Scan implements core.Scanner for free: one immutable snapshot load,
-// filtered to the range; the scan linearizes at the load. Unordered (Go
-// map iteration order) and O(table), like every hash-table scan here.
+// Scan implements core.Scanner for free: one immutable snapshot load, a
+// binary search to lo, and an in-order walk of the sorted key slice —
+// ascending and O(log n + range); the scan linearizes at the load.
 func (h *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
 	if lo >= hi {
 		return true
 	}
-	for k, v := range *h.snap.Load() {
-		if k >= lo && k < hi && !f(k, v) {
+	s := h.snap.Load()
+	for i := s.seek(lo); i < len(s.keys) && s.keys[i] < hi; i++ {
+		if !f(s.keys[i], s.m[s.keys[i]]) {
 			return false
 		}
 	}
@@ -234,21 +316,32 @@ func (h *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value
 }
 
 // CursorNext implements core.Cursor as a snapshot cursor: each page
-// loads the then-current immutable map, collects the in-range tail at or
-// beyond the token position (O(table), like every hash scan here), and
-// delivers the first max in ascending key order. Nothing is pinned
-// between pages; each page linearizes at its own snapshot load.
+// loads the then-current immutable snapshot, binary-searches to the
+// token position, and delivers up to max keys ascending — O(log n +
+// page), nothing pinned between pages; each page linearizes at its own
+// snapshot load.
 func (h *COW) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
 	if pos >= hi {
 		return hi, true
 	}
-	var buf []core.ScanPair
-	for k, v := range *h.snap.Load() {
-		if k >= pos && k < hi {
-			buf = append(buf, core.ScanPair{K: k, V: v})
-		}
+	if max < 1 {
+		max = 1
 	}
-	return core.MergePage(buf, true, hi, max, f)
+	s := h.snap.Load()
+	delivered := 0
+	for i := s.seek(pos); i < len(s.keys) && s.keys[i] < hi; i++ {
+		if delivered == max {
+			c.RecordPagePull(delivered)
+			return s.keys[i-1] + 1, false
+		}
+		if !f(s.keys[i], s.m[s.keys[i]]) {
+			c.RecordPagePull(delivered + 1)
+			return s.keys[i] + 1, false
+		}
+		delivered++
+	}
+	c.RecordPagePull(delivered)
+	return hi, true
 }
 
 // stripeCount is the fixed stripe count of the striped table (Java
@@ -268,12 +361,13 @@ type Striped struct {
 	}
 	mask  uint64
 	guard core.ScanGuard // validates optimistic range scans (table-wide)
+	index *keyIndex      // ordered shadow: O(page)/O(range) scans & cursors
 }
 
 // NewStriped builds a striped table sized per o.
 func NewStriped(o core.Options) *Striped {
 	n := bucketCount(o)
-	return &Striped{buckets: make([]lbucket, n), mask: uint64(n - 1)}
+	return &Striped{buckets: make([]lbucket, n), mask: uint64(n - 1), index: newKeyIndex(indexSize(o, n))}
 }
 
 func (h *Striped) stripe(b uint64) *locks.TAS {
@@ -303,7 +397,7 @@ func (h *Striped) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
 	c.InCS()
-	ok := h.buckets[bi].insertLocked(c, &h.guard, k, v)
+	ok := h.buckets[bi].insertLocked(c, &h.guard, h.index, k, v)
 	l.Release()
 	c.RecordRestarts(0)
 	return ok
@@ -315,7 +409,7 @@ func (h *Striped) Remove(c *core.Ctx, k core.Key) bool {
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
 	c.InCS()
-	ok, victim := h.buckets[bi].removeLocked(c, &h.guard, k)
+	ok, victim := h.buckets[bi].removeLocked(c, &h.guard, h.index, k)
 	l.Release()
 	if ok {
 		c.Retire(victim)
@@ -349,27 +443,30 @@ func (h *Striped) Range(f func(k core.Key, v core.Value) bool) {
 	}
 }
 
-// Scan implements core.Scanner: bucket-snapshot iteration under the
-// table-wide scan guard, exactly like the lazy table's — unordered
-// (bucket order) and O(table) per call, documented hash-table caveats.
-// (No epoch bracket, matching this table's own Get path.)
+// Scan implements core.Scanner over the ordered key index, exactly like
+// the lazy table's — ascending, O(log n + range), atomic per call under
+// this table's own guard. (No epoch bracket, matching this table's own
+// Get path.)
 func (h *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
 	if lo >= hi {
 		return true
 	}
 	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
-		collectBuckets(h.buckets, lo, hi, emit)
+		h.index.collect(lo, hi, func(k core.Key, v core.Value) bool {
+			emit(k, v)
+			return true
+		})
 	}, f)
 }
 
-// CursorNext implements core.Cursor: the lazy table's sorted-page
-// protocol under this table's own guard (ascending key order, O(table)
-// collect per page — see Lazy.CursorNext).
+// CursorNext implements core.Cursor: the lazy table's indexed page
+// protocol under this table's own guard (ascending, O(log n + page) —
+// see Lazy.CursorNext).
 func (h *Striped) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.Key, v core.Value) bool) (core.Key, bool) {
 	if pos >= hi {
 		return hi, true
 	}
-	return core.GuardedSortedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value)) {
-		collectBuckets(h.buckets, pos, hi, emit)
+	return core.GuardedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
+		h.index.collect(pos, hi, emit)
 	}, f)
 }

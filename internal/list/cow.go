@@ -164,12 +164,15 @@ func (l *COW) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.K
 	delivered := 0
 	for ; i < len(s.keys) && s.keys[i] < hi; i++ {
 		if delivered == max {
+			c.RecordPagePull(delivered)
 			return s.keys[i-1] + 1, false
 		}
 		if !f(s.keys[i], s.vals[i]) {
+			c.RecordPagePull(delivered + 1)
 			return s.keys[i] + 1, false
 		}
 		delivered++
 	}
+	c.RecordPagePull(delivered)
 	return hi, true
 }

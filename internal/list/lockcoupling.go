@@ -183,5 +183,6 @@ func (l *LockCoupling) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func
 	}
 	curr.lock.Release()
 	pred.lock.Release()
+	c.RecordPagePull(len(buf))
 	return core.ReplayPage(buf, !full, hi, f)
 }

@@ -99,6 +99,68 @@ func RunCursorResizable(t *testing.T, f Factory) {
 	})
 }
 
+// RunCursorPageCost pins the page-cost contract of the Cursor extension
+// — O(page), never O(structure) — using the refill counters of the page
+// machinery (stats.Thread.PagePulls / PagePullKeys): a full paginated
+// iteration over a pre-filled structure must deliver every key exactly
+// once, in ascending order, while materializing O(pages·page) keys in
+// total, not O(pages·table). The hash tables are the motivating case
+// (their ordered key index replaced an O(table) collect-and-sort per
+// page, which this battery would count at ~table/page times the
+// budget), but any Cursor implementation must pass.
+func RunCursorPageCost(t *testing.T, f Factory) {
+	t.Helper()
+	t.Run("CursorPageCost", func(t *testing.T) {
+		const n = 10000
+		const page = 100
+		s := f(core.Options{ExpectedSize: n, KeySpan: 2 * n})
+		if _, ok := s.(core.Cursor); !ok {
+			t.Fatalf("settest: %T does not implement core.Cursor", s)
+		}
+		fill := ctx()
+		for i := core.Key(0); i < n; i++ {
+			if !s.Put(fill, 2*i, core.Value(i)) { // even keys over [0, 2n)
+				t.Fatalf("fill insert %d failed", 2*i)
+			}
+		}
+		c := ctx() // fresh stats slot: only the iteration's pulls count
+		cur := s.(core.Cursor)
+		pos, last := core.Key(0), core.Key(-1)
+		total, pages := 0, 0
+		for {
+			var done bool
+			pos, done = cur.CursorNext(c, pos, 2*n, page, func(k core.Key, v core.Value) bool {
+				if k <= last {
+					t.Fatalf("page delivered %d after %d: not ascending", k, last)
+				}
+				last = k
+				total++
+				return true
+			})
+			pages++
+			if pages > n {
+				t.Fatal("iteration never finished")
+			}
+			if done {
+				break
+			}
+		}
+		if total != n {
+			t.Fatalf("iteration delivered %d keys, want %d", total, n)
+		}
+		if c.Stats.PagePulls == 0 || c.Stats.PagePullKeys == 0 {
+			t.Fatal("page collects recorded no pulls: the refill counters are not wired")
+		}
+		// O(pages·page) with generous slack for seeks and boundary
+		// refills; an O(pages·table) protocol would materialize about
+		// (n/page)·n = 100x this budget.
+		if budget := uint64(4 * total); c.Stats.PagePullKeys > budget {
+			t.Fatalf("full iteration materialized %d keys for %d delivered over %d pages — O(pages·page) bound (%d) exceeded",
+				c.Stats.PagePullKeys, total, pages, budget)
+		}
+	})
+}
+
 // paginate drives one full paginated iteration over [lo, hi), returning
 // the union of all pages. Pages use the given budget; when resume is
 // set, the token round-trips through Encode/Decode/ResumeCursor between

@@ -103,6 +103,15 @@ type Thread struct {
 	CursorScans   uint64 // full paginated iterations completed
 	CursorRetries uint64 // page collects invalidated by updates (or stale epochs)
 
+	// Page pull (refill) counters: how much the page collects actually
+	// materialized. PagePulls counts bounded leaf collects (a streaming
+	// merge's per-part refills each count once); PagePullKeys sums the
+	// keys those collects touched, overshoot and invalidated retries
+	// included. PagePullKeys / PageKeys is the overcollect factor — the
+	// measurable form of the O(page)-not-O(structure) page-cost contract.
+	PagePulls    uint64
+	PagePullKeys uint64
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -178,6 +187,14 @@ func (t *Thread) RecordCursorScan() { t.CursorScans++ }
 // before it delivered (n includes the fallback, if taken).
 func (t *Thread) RecordCursorRetries(n int) {
 	t.CursorRetries += uint64(n)
+}
+
+// RecordPagePull notes one bounded page collect (a leaf page or one
+// per-part refill of a streaming merge) that materialized keys mappings,
+// overshoot and retry re-collects included.
+func (t *Thread) RecordPagePull(keys int) {
+	t.PagePulls++
+	t.PagePullKeys += uint64(keys)
 }
 
 // RecordAcquire notes an uncontended lock acquisition.
@@ -262,6 +279,8 @@ func (t *Thread) Merge(o *Thread) {
 	}
 	t.CursorScans += o.CursorScans
 	t.CursorRetries += o.CursorRetries
+	t.PagePulls += o.PagePulls
+	t.PagePullKeys += o.PagePullKeys
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
 }

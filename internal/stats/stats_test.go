@@ -137,14 +137,19 @@ func TestMerge(t *testing.T) {
 	a.RecordWait(10)
 	a.RecordRestarts(1)
 	a.ActiveNs = 5
+	a.RecordPagePull(5)
 	b.RecordInsert(false)
 	b.RecordWait(30)
 	b.RecordRestarts(2)
+	b.RecordPagePull(7)
 	b.ActiveNs = 7
 	b.MaxWaitNs = 30
 	a.Merge(&b)
 	if a.Ops != 2 || a.LockWaitNs != 40 || a.MaxWaitNs != 30 || a.ActiveNs != 12 {
 		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.PagePulls != 2 || a.PagePullKeys != 12 {
+		t.Fatalf("merge pull counters wrong: %+v", a)
 	}
 	if a.RestartedOps[1] != 1 || a.RestartedOps[2] != 1 {
 		t.Fatalf("merge restart buckets wrong: %v", a.RestartedOps)

@@ -3,7 +3,8 @@
 #
 # This is the single source of truth for the perf-trajectory grid: CI
 # runs it on every push (uploading the CSV and its benchsnap JSON as
-# artifacts), and the committed BENCH_baseline.json is the benchsnap
+# artifacts, plus the benchsnap -diff report against the previous
+# artifact), and the committed BENCH_baseline.json is the benchsnap
 # conversion of one local run. Changing any axis here requires
 # regenerating the baseline (and benchsnap's sample expectations):
 #
@@ -12,18 +13,24 @@
 #   go run ./cmd/benchsnap -out BENCH_baseline.json bench.csv
 #
 # The grid is deliberately small — one plain structure against its
-# hash-sharded and elastic composites, under the paper's 10%-update mix
-# plus a 5% one-shot-scan and 5% paginated-cursor tail — so a CI runner
-# finishes in a few seconds while still exposing the three throughput
-# regimes (single instance, static partition, resizable partition) and
-# all three op families (point, scan, page).
+# composites, under the paper's 10%-update mix plus a 5% one-shot-scan
+# and 5% paginated-cursor tail — so a CI runner finishes in seconds
+# while still exposing the throughput regimes (single instance, static
+# partition, resizable partition), all three op families (point, scan,
+# page), the wide-composite cells where the streaming cursor merge
+# matters most (sharded(32)/elastic(32): the old eager merge paid 32x
+# overcollect per page there; page_pull_keys in the artifact proves the
+# difference), and a readcache cell under Zipfian skew so cache-path
+# regressions surface in the trajectory.
 set -eu
 
 BIN=${1:?usage: bench_grid.sh /path/to/csdsbench}
 
 first=1
-for alg in 'list/lazy' 'sharded(8,list/lazy)' 'elastic(8,list/lazy)'; do
-    out=$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 \
+run_cell() {
+    alg=$1
+    zipf=$2
+    out=$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf "$zipf" \
         -scan-frac 0.05 -scan-len 64 \
         -cursor-frac 0.05 -page-len 16 \
         -dur 300ms -runs 2 -csv)
@@ -33,4 +40,11 @@ for alg in 'list/lazy' 'sharded(8,list/lazy)' 'elastic(8,list/lazy)'; do
     else
         printf '%s\n' "$out" | tail -n 1
     fi
-done
+}
+
+run_cell 'list/lazy' 0
+run_cell 'sharded(8,list/lazy)' 0
+run_cell 'elastic(8,list/lazy)' 0
+run_cell 'sharded(32,list/lazy)' 0
+run_cell 'elastic(32,list/lazy)' 0
+run_cell 'readcache(1024,list/lazy)' 0.9
