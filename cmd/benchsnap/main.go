@@ -34,13 +34,15 @@ import (
 
 // schemaID names the snapshot format; bump it together with the
 // csdsbench CSV header and the committed baseline. (v2: the streaming
-// cursor refill columns page_pulls,page_pull_keys joined the schema.)
-const schemaID = "csds-bench-v2"
+// cursor refill columns page_pulls,page_pull_keys joined the schema.
+// v3: the batched-operation columns batchfrac,batches_per_s,
+// batch_mean_keys,batch_mean_ns,combine_frac plus allocs_op.)
+const schemaID = "csds-bench-v3"
 
 // gridAxes are the configuration columns that define a cell's identity:
 // two snapshots describe the same grid iff their cells agree on these
 // (measurements may differ).
-var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "scanfrac", "cursorfrac"}
+var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "scanfrac", "cursorfrac", "batchfrac"}
 
 // Snapshot is the JSON artifact: the column schema plus one entry per
 // grid cell, numbers parsed where the column is numeric.
@@ -189,7 +191,7 @@ func Parse(csv string) (Snapshot, error) {
 // diffMetrics are the throughput columns the trend report renders; any
 // that a snapshot lacks are skipped (old snapshots survive schema
 // growth).
-var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys"}
+var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys", "batches_per_s", "allocs_op"}
 
 // runDiff loads two snapshots and prints their per-cell delta report.
 func runDiff(oldPath, newPath string, stdout, stderr io.Writer) int {

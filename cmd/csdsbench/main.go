@@ -26,6 +26,13 @@
 // to paginated (cursor) scans — each draws a window and pages through it
 // with -page-len sized batches — measured apart from both point ops and
 // one-shot scans (pages/sec, keys/page, page latency, retries/page).
+// A -batch-frac above 0 dedicates operations to batched Multi* calls of
+// -batch-len keys (every structure and combinator implements
+// core.Batcher); batches report their own rows — batches/sec,
+// keys/batch, batch latency, and the fraction that traveled a
+// flat-combining publication list — plus an allocs/op column:
+//
+//	csdsbench -alg 'sharded(32,list/lazy)' -batch-frac 0.25 -batch-len 64 -zipf 0.9
 package main
 
 import (
@@ -57,7 +64,87 @@ func main() {
 // and the committed BENCH_baseline.json are derived from these columns),
 // so changes here must be deliberate: update the smoke test, the
 // benchsnap tool's expectations, and regenerate the baseline together.
-const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys"
+const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op"
+
+// benchOpts holds every flag's destination. The FlagSet they register on
+// (newFlags) is the single source of flag documentation: -list prints
+// its roster and the unknown-algorithm hint derives from it too, so the
+// help text cannot drift from the registered flags.
+type benchOpts struct {
+	alg        *string
+	threads    *int
+	size       *int
+	updates    *float64
+	scanFrac   *float64
+	scanLen    *int64
+	scanDist   *string
+	cursorFrac *float64
+	pageLen    *int64
+	pageDist   *string
+	batchFrac  *float64
+	batchLen   *int64
+	batchDist  *string
+	zipf       *float64
+	dur        *time.Duration
+	runs       *int
+	elide      *int
+	ebrOn      *bool
+	delayed    *int
+	resizeAt   *string
+	egrow      *float64
+	eshrink    *float64
+	egrowWait  *float64
+	emin       *int
+	emax       *int
+	einterval  *time.Duration
+	csv        *bool
+	listAlgs   *bool
+}
+
+// newFlags registers the full csdsbench flag table on a fresh FlagSet.
+func newFlags(stderr io.Writer) (*flag.FlagSet, *benchOpts) {
+	fs := flag.NewFlagSet("csdsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &benchOpts{
+		alg:        fs.String("alg", "list/lazy", "algorithm spec: a name or composite like 'sharded(16,list/lazy)' (see -list)"),
+		threads:    fs.Int("threads", 20, "worker goroutines"),
+		size:       fs.Int("size", 2048, "structure size"),
+		updates:    fs.Float64("updates", 0.1, "update ratio"),
+		scanFrac:   fs.Float64("scan-frac", 0, "fraction of operations that are range scans (0 = none)"),
+		scanLen:    fs.Int64("scan-len", 64, "mean scan length in keys of the key space"),
+		scanDist:   fs.String("scan-dist", "uniform", "scan-length distribution: uniform, fixed or geometric"),
+		cursorFrac: fs.Float64("cursor-frac", 0, "fraction of operations that are paginated (cursor) scans (0 = none)"),
+		pageLen:    fs.Int64("page-len", 16, "mean cursor page size in keys per batch"),
+		pageDist:   fs.String("page-dist", "uniform", "page-size distribution: uniform, fixed or geometric"),
+		batchFrac:  fs.Float64("batch-frac", 0, "fraction of operations that are batched Multi* calls (0 = none)"),
+		batchLen:   fs.Int64("batch-len", 64, "mean batch length in keys per Multi* call"),
+		batchDist:  fs.String("batch-dist", "uniform", "batch-length distribution: uniform, fixed or geometric"),
+		zipf:       fs.Float64("zipf", 0, "Zipfian exponent (0 = uniform)"),
+		dur:        fs.Duration("dur", 500*time.Millisecond, "measurement window per run"),
+		runs:       fs.Int("runs", 3, "runs to average (paper: 11)"),
+		elide:      fs.Int("elide", 0, "HTM elision attempts (0 = plain locks)"),
+		ebrOn:      fs.Bool("ebr", false, "attach epoch-based reclamation"),
+		delayed:    fs.Int("delayed", 0, "number of Figure 9 victim threads"),
+		resizeAt:   fs.String("resize-at", "", "resize schedule for elastic specs: 'dur:width[,dur:width...]', e.g. '100ms:8,300ms:2'"),
+		egrow:      fs.Float64("elastic-grow", 0, "adaptive policy: double the width when per-shard ops/s exceeds this (0 = off)"),
+		eshrink:    fs.Float64("elastic-shrink", 0, "adaptive policy: halve the width when per-shard ops/s falls below this (0 = off)"),
+		egrowWait:  fs.Float64("elastic-growwait", 0, "adaptive policy: double the width when the lock-wait fraction exceeds this (0 = off)"),
+		emin:       fs.Int("elastic-min", 1, "adaptive policy width floor"),
+		emax:       fs.Int("elastic-max", 64, "adaptive policy width ceiling"),
+		einterval:  fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence"),
+		csv:        fs.Bool("csv", false, "CSV output"),
+		listAlgs:   fs.Bool("list", false, "list registered algorithms, combinators and flags, then exit"),
+	}
+	return fs, o
+}
+
+// flagRoster renders every registered flag as "-name" in lexical order —
+// the drift-proof flag listing -list and the error hint share.
+func flagRoster(fs *flag.FlagSet) []string {
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, "-"+f.Name) })
+	return names
+}
 
 // parseResizeSteps parses the -resize-at syntax: a comma-separated list of
 // duration:width pairs, e.g. "100ms:8,300ms:2".
@@ -86,33 +173,7 @@ func parseResizeSteps(s string) ([]harness.ResizeStep, error) {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("csdsbench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	alg := fs.String("alg", "list/lazy", "algorithm spec: a name or composite like 'sharded(16,list/lazy)' (see -list)")
-	threads := fs.Int("threads", 20, "worker goroutines")
-	size := fs.Int("size", 2048, "structure size")
-	updates := fs.Float64("updates", 0.1, "update ratio")
-	scanFrac := fs.Float64("scan-frac", 0, "fraction of operations that are range scans (0 = none)")
-	scanLen := fs.Int64("scan-len", 64, "mean scan length in keys of the key space")
-	scanDist := fs.String("scan-dist", "uniform", "scan-length distribution: uniform, fixed or geometric")
-	cursorFrac := fs.Float64("cursor-frac", 0, "fraction of operations that are paginated (cursor) scans (0 = none)")
-	pageLen := fs.Int64("page-len", 16, "mean cursor page size in keys per batch")
-	pageDist := fs.String("page-dist", "uniform", "page-size distribution: uniform, fixed or geometric")
-	zipf := fs.Float64("zipf", 0, "Zipfian exponent (0 = uniform)")
-	dur := fs.Duration("dur", 500*time.Millisecond, "measurement window per run")
-	runs := fs.Int("runs", 3, "runs to average (paper: 11)")
-	elide := fs.Int("elide", 0, "HTM elision attempts (0 = plain locks)")
-	ebrOn := fs.Bool("ebr", false, "attach epoch-based reclamation")
-	delayed := fs.Int("delayed", 0, "number of Figure 9 victim threads")
-	resizeAt := fs.String("resize-at", "", "resize schedule for elastic specs: 'dur:width[,dur:width...]', e.g. '100ms:8,300ms:2'")
-	egrow := fs.Float64("elastic-grow", 0, "adaptive policy: double the width when per-shard ops/s exceeds this (0 = off)")
-	eshrink := fs.Float64("elastic-shrink", 0, "adaptive policy: halve the width when per-shard ops/s falls below this (0 = off)")
-	egrowWait := fs.Float64("elastic-growwait", 0, "adaptive policy: double the width when the lock-wait fraction exceeds this (0 = off)")
-	emin := fs.Int("elastic-min", 1, "adaptive policy width floor")
-	emax := fs.Int("elastic-max", 64, "adaptive policy width ceiling")
-	einterval := fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence")
-	csv := fs.Bool("csv", false, "CSV output")
-	listAlgs := fs.Bool("list", false, "list registered algorithms and exit")
+	fs, o := newFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -120,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *listAlgs {
+	if *o.listAlgs {
 		for _, n := range core.Names() {
 			info, _ := core.Lookup(n)
 			star := " "
@@ -133,62 +194,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, c := range core.Combinators() {
 			fmt.Fprintf(stdout, "  %-26s %s\n", fmt.Sprintf("%s(%s,spec)", c.Name, c.ArgDesc), c.Desc)
 		}
+		// The flag section is generated straight from the FlagSet, so it
+		// lists every flag — scan, cursor, batch, elastic — without a
+		// hand-maintained copy that could drift.
+		fmt.Fprintln(stdout, "\nflags (defaults in parentheses):")
+		fs.VisitAll(func(f *flag.Flag) {
+			fmt.Fprintf(stdout, "  %-20s %s (%s)\n", "-"+f.Name, f.Usage, f.DefValue)
+		})
 		return 0
 	}
 
-	switch *scanDist {
-	case workload.ScanLenUniform, workload.ScanLenFixed, workload.ScanLenGeometric:
-	default:
-		fmt.Fprintf(stderr, "csdsbench: -scan-dist %q: want uniform, fixed or geometric\n", *scanDist)
+	for _, d := range []struct {
+		flag, val string
+	}{
+		{"scan-dist", *o.scanDist},
+		{"page-dist", *o.pageDist},
+		{"batch-dist", *o.batchDist},
+	} {
+		switch d.val {
+		case workload.ScanLenUniform, workload.ScanLenFixed, workload.ScanLenGeometric:
+		default:
+			fmt.Fprintf(stderr, "csdsbench: -%s %q: want uniform, fixed or geometric\n", d.flag, d.val)
+			return 1
+		}
+	}
+	for _, fr := range []struct {
+		flag string
+		val  float64
+	}{
+		{"scan-frac", *o.scanFrac},
+		{"cursor-frac", *o.cursorFrac},
+		{"batch-frac", *o.batchFrac},
+	} {
+		if fr.val < 0 || fr.val > 1 {
+			fmt.Fprintf(stderr, "csdsbench: -%s %v outside [0, 1]\n", fr.flag, fr.val)
+			return 1
+		}
+	}
+	if *o.scanLen < 1 {
+		fmt.Fprintf(stderr, "csdsbench: -scan-len %d: the mean scan length must be at least 1\n", *o.scanLen)
 		return 1
 	}
-	switch *pageDist {
-	case workload.ScanLenUniform, workload.ScanLenFixed, workload.ScanLenGeometric:
-	default:
-		fmt.Fprintf(stderr, "csdsbench: -page-dist %q: want uniform, fixed or geometric\n", *pageDist)
+	if *o.pageLen < 1 {
+		fmt.Fprintf(stderr, "csdsbench: -page-len %d: the mean page size must be at least 1\n", *o.pageLen)
 		return 1
 	}
-	if *scanFrac < 0 || *scanFrac > 1 {
-		fmt.Fprintf(stderr, "csdsbench: -scan-frac %v outside [0, 1]\n", *scanFrac)
-		return 1
-	}
-	if *cursorFrac < 0 || *cursorFrac > 1 {
-		fmt.Fprintf(stderr, "csdsbench: -cursor-frac %v outside [0, 1]\n", *cursorFrac)
-		return 1
-	}
-	if *scanLen < 1 {
-		fmt.Fprintf(stderr, "csdsbench: -scan-len %d: the mean scan length must be at least 1\n", *scanLen)
-		return 1
-	}
-	if *pageLen < 1 {
-		fmt.Fprintf(stderr, "csdsbench: -page-len %d: the mean page size must be at least 1\n", *pageLen)
+	if *o.batchLen < 1 {
+		fmt.Fprintf(stderr, "csdsbench: -batch-len %d: the mean batch length must be at least 1\n", *o.batchLen)
 		return 1
 	}
 	cfg := harness.Config{
-		Algorithm: *alg, Threads: *threads, Duration: *dur, Runs: *runs,
-		ElideAttempts: *elide, UseEBR: *ebrOn,
+		Algorithm: *o.alg, Threads: *o.threads, Duration: *o.dur, Runs: *o.runs,
+		ElideAttempts: *o.elide, UseEBR: *o.ebrOn,
 		Workload: workload.Config{
-			Size: *size, UpdateRatio: *updates, ZipfS: *zipf,
-			ScanRatio: *scanFrac, ScanLen: *scanLen, ScanLenDist: *scanDist,
-			CursorRatio: *cursorFrac, PageLen: *pageLen, PageLenDist: *pageDist,
+			Size: *o.size, UpdateRatio: *o.updates, ZipfS: *o.zipf,
+			ScanRatio: *o.scanFrac, ScanLen: *o.scanLen, ScanLenDist: *o.scanDist,
+			CursorRatio: *o.cursorFrac, PageLen: *o.pageLen, PageLenDist: *o.pageDist,
+			BatchRatio: *o.batchFrac, BatchLen: *o.batchLen, BatchLenDist: *o.batchDist,
 		},
 	}
-	if *delayed > 0 {
-		cfg.DelayedThreads = *delayed
+	if *o.delayed > 0 {
+		cfg.DelayedThreads = *o.delayed
 		cfg.DelayPlan = interrupt.PaperDelayPlan()
 	}
-	if *resizeAt != "" {
-		steps, err := parseResizeSteps(*resizeAt)
+	if *o.resizeAt != "" {
+		steps, err := parseResizeSteps(*o.resizeAt)
 		if err != nil {
 			fmt.Fprintf(stderr, "csdsbench: -resize-at: %v\n", err)
 			return 1
 		}
 		cfg.ResizeSteps = steps
 	}
-	if *egrow > 0 || *eshrink > 0 || *egrowWait > 0 {
+	if *o.egrow > 0 || *o.eshrink > 0 || *o.egrowWait > 0 {
 		cfg.Elastic = &harness.ElasticPolicy{
-			Interval: *einterval, GrowOps: *egrow, ShrinkOps: *eshrink,
-			GrowWait: *egrowWait, MinWidth: *emin, MaxWidth: *emax,
+			Interval: *o.einterval, GrowOps: *o.egrow, ShrinkOps: *o.eshrink,
+			GrowWait: *o.egrowWait, MinWidth: *o.emin, MaxWidth: *o.emax,
 		}
 	} else {
 		// Bound/cadence flags without a trigger would silently run a
@@ -208,25 +288,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "csdsbench: %v\n", err)
-		fmt.Fprintf(stderr, "hint: run 'csdsbench -list' for registered algorithms and combinators;\n")
+		fmt.Fprintf(stderr, "hint: run 'csdsbench -list' for registered algorithms, combinators and flags;\n")
 		fmt.Fprintf(stderr, "      composite specs look like 'sharded(16,list/lazy)' or 'elastic(4,bst/tk)'\n")
+		fmt.Fprintf(stderr, "      flags: %s\n", strings.Join(flagRoster(fs), " "))
 		return 1
 	}
-	if *csv {
+	if *o.csv {
 		fmt.Fprintln(stdout, csvHeader)
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f\n",
-			*alg, *threads, *size, *updates, *zipf,
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f\n",
+			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
-			*scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
-			*cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
-			res.PagePullsMean, res.PagePullKeysMean)
+			*o.scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
+			*o.cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
+			res.PagePullsMean, res.PagePullKeysMean,
+			*o.batchFrac, res.BatchThroughput, res.BatchKeysMean, res.BatchMeanNs,
+			res.CombineFrac, res.AllocsPerOp)
 		return 0
 	}
-	fmt.Fprintf(stdout, "algorithm          %s\n", *alg)
-	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *threads, *size, *updates*100, *zipf)
-	fmt.Fprintf(stdout, "window x runs      %v x %d\n", *dur, *runs)
+	fmt.Fprintf(stdout, "algorithm          %s\n", *o.alg)
+	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *o.threads, *o.size, *o.updates*100, *o.zipf)
+	fmt.Fprintf(stdout, "window x runs      %v x %d\n", *o.dur, *o.runs)
 	fmt.Fprintf(stdout, "throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)
 	fmt.Fprintf(stdout, "per-thread         mean %.0f ops/s, stddev %.0f\n", res.PerThreadMean, res.PerThreadStddev)
 	fmt.Fprintf(stdout, "lock wait frac     %.6f (stddev %.6f), worst single wait %v\n",
@@ -254,11 +337,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "page pulls         %.1f pulls/page, %.1f keys pulled/page (overcollect x%.2f)\n",
 			res.PagePullsMean, res.PagePullKeysMean, over)
 	}
-	if res.FallbackFrac > 0 || *elide > 0 {
+	if res.TotalBatches > 0 {
+		fmt.Fprintf(stdout, "batch throughput   %.0f batches/s (%d batches, %d keys total, %.1f keys/batch)\n",
+			res.BatchThroughput, res.TotalBatches, res.TotalBatchKeys, res.BatchKeysMean)
+		fmt.Fprintf(stdout, "batch latency      mean %v, worst %v\n",
+			time.Duration(res.BatchMeanNs).Round(time.Microsecond),
+			time.Duration(res.BatchMaxNs).Round(time.Microsecond))
+		fmt.Fprintf(stdout, "flat combining     %.6f of batches rode a combiner (%d combined)\n",
+			res.CombineFrac, res.CombinedBatches)
+	}
+	if res.AllocsPerOp > 0 {
+		fmt.Fprintf(stdout, "allocations        %.2f allocs/op (point + batch keys + scans + pages)\n", res.AllocsPerOp)
+	}
+	if res.FallbackFrac > 0 || *o.elide > 0 {
 		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",
 			res.FallbackFrac, res.TxAborts[0], res.TxAborts[1], res.TxAborts[2], res.TxAborts[3])
 	}
-	if *ebrOn {
+	if *o.ebrOn {
 		fmt.Fprintf(stdout, "EBR                retired %d, reclaimed %d\n", res.Retired, res.Reclaimed)
 	}
 	if res.WidthTrace != nil {

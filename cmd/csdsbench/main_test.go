@@ -30,7 +30,10 @@ func TestListOutput(t *testing.T) {
 }
 
 // TestUnknownSpecError smoke-tests the error path: an unknown algorithm
-// must exit nonzero with the actionable registry hint on stderr.
+// must exit nonzero with the actionable registry hint on stderr, and the
+// hint's flag roster — generated from the FlagSet, not hand-written —
+// must name every registered flag (the scan/cursor/batch flags used to
+// be missing from this text).
 func TestUnknownSpecError(t *testing.T) {
 	var out, errOut strings.Builder
 	code := run([]string{"-alg", "list/nonexistent", "-dur", "10ms", "-runs", "1", "-threads", "1"}, &out, &errOut)
@@ -40,6 +43,39 @@ func TestUnknownSpecError(t *testing.T) {
 	for _, want := range []string{"unknown algorithm", "csdsbench -list"} {
 		if !strings.Contains(errOut.String(), want) {
 			t.Fatalf("stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+	fs, _ := newFlags(&errOut)
+	for _, name := range flagRoster(fs) {
+		if !strings.Contains(errOut.String(), name+" ") && !strings.HasSuffix(strings.TrimSpace(errOut.String()), name) {
+			t.Fatalf("stderr flag roster missing %q:\n%s", name, errOut.String())
+		}
+	}
+}
+
+// TestListShowsEveryFlag asserts the -list flag section is complete:
+// because the section is generated from the same FlagSet the parser
+// uses, every registered flag — however it is added later — must appear.
+func TestListShowsEveryFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d (stderr: %s)", code, errOut.String())
+	}
+	fs, _ := newFlags(&errOut)
+	roster := flagRoster(fs)
+	if len(roster) < 20 {
+		t.Fatalf("flag roster suspiciously small: %v", roster)
+	}
+	for _, name := range roster {
+		if !strings.Contains(out.String(), name+" ") {
+			t.Fatalf("-list output missing flag %q:\n%s", name, out.String())
+		}
+	}
+	// The scan, cursor and batch flags in particular — the ones the old
+	// hand-written help text forgot.
+	for _, name := range []string{"-scan-frac", "-cursor-frac", "-batch-frac", "-batch-len", "-batch-dist"} {
+		if !strings.Contains(out.String(), name+" ") {
+			t.Fatalf("-list output missing %q:\n%s", name, out.String())
 		}
 	}
 }
@@ -201,6 +237,55 @@ func TestCursorFlagValidation(t *testing.T) {
 	}
 }
 
+// TestBatchFlagsSmoke runs a tiny batch-mix cell on each acceptance
+// composite and checks the batch rows appear, distinct from the
+// point-op rows; a contended single-shard cell must report a nonzero
+// flat-combining fraction.
+func TestBatchFlagsSmoke(t *testing.T) {
+	for _, alg := range []string{
+		"sharded(4,list/lazy)",
+		"striped(4,list/lazy)",
+		"elastic(4,list/lazy)",
+	} {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-alg", alg, "-threads", "2", "-size", "128",
+			"-dur", "40ms", "-runs", "1", "-batch-frac", "0.3", "-batch-len", "8",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: batch run exited %d (stderr: %s)", alg, code, errOut.String())
+		}
+		for _, want := range []string{"batch throughput", "batch latency", "keys/batch", "flat combining", "allocs/op"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("%s: report missing %q:\n%s", alg, want, out.String())
+			}
+		}
+	}
+	// Without -batch-frac the batch rows stay out of the report.
+	var out, errOut strings.Builder
+	if code := run([]string{"-alg", "list/lazy", "-threads", "1", "-dur", "20ms", "-runs", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	if strings.Contains(out.String(), "batch throughput") {
+		t.Fatalf("batchless report shows batch rows:\n%s", out.String())
+	}
+}
+
+// TestBatchFlagValidation rejects malformed batch flags up front.
+func TestBatchFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "list/lazy", "-batch-frac", "1.5"},
+		{"-alg", "list/lazy", "-batch-frac", "-0.1"},
+		{"-alg", "list/lazy", "-batch-frac", "0.1", "-batch-len", "0"},
+		{"-alg", "list/lazy", "-batch-frac", "0.1", "-batch-dist", "pareto"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
 // TestCSVSchemaPinned pins the full -csv header verbatim and checks the
 // row/header column agreement: the CI bench artifact and the committed
 // BENCH_baseline.json are derived from exactly these columns, so any
@@ -210,11 +295,13 @@ func TestCSVSchemaPinned(t *testing.T) {
 		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
 		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
 		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac," +
-		"page_pulls,page_pull_keys"
+		"page_pulls,page_pull_keys," +
+		"batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op"
 	var out, errOut strings.Builder
 	code := run([]string{
 		"-alg", "list/lazy", "-threads", "2", "-size", "128",
-		"-dur", "30ms", "-runs", "1", "-scan-frac", "0.1", "-cursor-frac", "0.1", "-csv",
+		"-dur", "30ms", "-runs", "1", "-scan-frac", "0.1", "-cursor-frac", "0.1",
+		"-batch-frac", "0.1", "-batch-len", "8", "-csv",
 	}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("csv cursor run exited %d (stderr: %s)", code, errOut.String())

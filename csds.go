@@ -65,6 +65,21 @@
 //	token, done = cur.Next(c, 50, appendPage)
 //	... // until done; corrupt tokens error, they never misroute a page
 //
+// Multi-key requests have a batched path: Batcher is implemented by
+// every structure and combinator, and amortizes synchronization across
+// the keys of one call — composites group the batch by destination
+// shard/stripe and cross each boundary once, ordered structures sort
+// the batch and traverse once, and contended shards switch to a
+// flat-combining fast path where one thread applies many threads'
+// batches in a single lock acquisition. Results arrive through a
+// per-key callback, in the caller's index order:
+//
+//	s.(csds.Batcher).MultiGet(c, keys, func(i int, v csds.Value, ok bool) {
+//		... // result for keys[i]; ok=false marks a miss
+//	})
+//	s.(csds.Batcher).MultiPut(c, []csds.KV{{K: 1, V: 10}, {K: 2, V: 20}},
+//		func(i int, inserted bool) { ... })
+//
 // The subdirectories of this module hold the experiment harness
 // (internal/harness), the discrete-event multicore simulator
 // (internal/sim), and the Section 6 birthday-paradox model
@@ -121,6 +136,14 @@ type (
 	// Resizable is the optional online-repartitioning extension of Set,
 	// implemented by elastic composites.
 	Resizable = core.Resizable
+	// Batcher is the optional batched-operation extension of Set
+	// (MultiGet / MultiPut / MultiRemove with per-key callbacks),
+	// implemented by every structure and combinator in this module.
+	// Each batch is individually linearizable against point operations;
+	// within a batch, elements apply in index order.
+	Batcher = core.Batcher
+	// KV is a key/value pair, the MultiPut element type.
+	KV = core.KV
 	// Queue is the FIFO interface (Section 7 structures).
 	Queue = queuestack.Queue
 	// Stack is the LIFO interface (Section 7 structures).

@@ -25,7 +25,12 @@ const (
 	workers       = 6
 	opsPerWorker  = 120_000
 	writeFraction = 0.5 // write-heavy ingest, LSM style
+	batchSize     = 8   // keys per multi-key read request
+	batchEvery    = 32  // every Nth read is a multi-key request
 )
+
+// batchReads counts the multi-key read requests served batched.
+var batchReads atomic.Int64
 
 // store is the two-level engine: one active memtable plus frozen ones.
 type store struct {
@@ -88,6 +93,55 @@ func (st *store) get(c *csds.Ctx, k csds.Key) (csds.Value, bool) {
 	return 0, false
 }
 
+// multiGet is the multi-key read endpoint (the MultiGet of the LevelDB
+// API): one batched probe per generation instead of one point Get per
+// key. The active memtable answers the whole batch in a single
+// MultiGet — one sorted traversal, one synchronization bracket — and
+// only the residue of misses is forwarded, again as one batch, to the
+// frozen generations newest-first, so a request for 50 keys crosses
+// each table once rather than 50 times. Results arrive through f in
+// the caller's index order, like every Batcher.
+func (st *store) multiGet(c *csds.Ctx, keys []csds.Key, f func(i int, v csds.Value, ok bool)) {
+	vals := make([]csds.Value, len(keys))
+	oks := make([]bool, len(keys))
+	var pending []int // indices not yet resolved, in ascending order
+	active := *st.active.Load()
+	active.(csds.Batcher).MultiGet(c, keys, func(i int, v csds.Value, ok bool) {
+		if ok {
+			vals[i], oks[i] = v, true
+		} else {
+			pending = append(pending, i)
+		}
+	})
+	if len(pending) > 0 {
+		st.mu.Lock()
+		gens := make([]csds.Set, len(st.frozen))
+		copy(gens, st.frozen)
+		st.mu.Unlock()
+		sub := make([]csds.Key, 0, len(pending))
+		for g := len(gens) - 1; g >= 0 && len(pending) > 0; g-- {
+			sub = sub[:0]
+			for _, i := range pending {
+				sub = append(sub, keys[i])
+			}
+			src := pending
+			next := pending[:0] // consumed positions only; safe reuse
+			gens[g].(csds.Batcher).MultiGet(c, sub, func(j int, v csds.Value, ok bool) {
+				if ok {
+					vals[src[j]], oks[src[j]] = v, true
+				} else {
+					next = append(next, src[j])
+				}
+			})
+			pending = next
+		}
+	}
+	for i := range keys {
+		c.Stats.RecordRead(oks[i])
+		f(i, vals[i], oks[i])
+	}
+}
+
 func main() {
 	fmt.Println("== LSM-memtable kv-store on the featured skip list ==")
 	st := newStore()
@@ -101,11 +155,21 @@ func main() {
 			c := csds.NewCtx(w)
 			ctxs[w] = c
 			rng := xrand.New(uint64(w)*31 + 7)
+			batch := make([]csds.Key, batchSize)
 			for i := 0; i < opsPerWorker; i++ {
 				k := csds.Key(1 + rng.Int63n(4*memtableLimit))
-				if rng.Bool(writeFraction) {
+				switch {
+				case rng.Bool(writeFraction):
 					st.put(c, k, csds.Value(i))
-				} else {
+				case i%batchEvery == 0:
+					// A multi-key request: one MultiGet per generation
+					// instead of batchSize point Gets.
+					for j := range batch {
+						batch[j] = csds.Key(1 + rng.Int63n(4*memtableLimit))
+					}
+					st.multiGet(c, batch, func(int, csds.Value, bool) {})
+					batchReads.Add(1)
+				default:
 					st.get(c, k)
 				}
 			}
@@ -120,6 +184,8 @@ func main() {
 	fmt.Printf("rotations       %d memtables frozen (limit %d writes each)\n", st.rotations.Load(), memtableLimit)
 	active := *st.active.Load()
 	fmt.Printf("active memtable %d entries; frozen generations: %d\n", active.Len(), len(st.frozen))
+	fmt.Printf("multi-key reads %d requests x %d keys, batched (one MultiGet per generation)\n",
+		batchReads.Load(), batchSize)
 
 	var waits, restarts, ops uint64
 	var maxWait uint64

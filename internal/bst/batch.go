@@ -1,0 +1,39 @@
+// Batched (core.Batcher) paths for the BSTs: sorted point application.
+// Like the skip lists, a BST point search is already logarithmic and
+// the write phase touches a constant number of nodes, so there is no
+// per-key bracket or epoch to amortize — the batch win is the
+// ascending order's path locality (consecutive sorted keys share tree
+// path prefixes).
+package bst
+
+import "csds/internal/core"
+
+// MultiGet implements core.Batcher by sorted point lookups.
+func (t *TK) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	core.SortedMultiGet(c, t, keys, f)
+}
+
+// MultiPut implements core.Batcher by sorted point inserts.
+func (t *TK) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.SortedMultiPut(c, t, pairs, f)
+}
+
+// MultiRemove implements core.Batcher by sorted point removes.
+func (t *TK) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.SortedMultiRemove(c, t, keys, f)
+}
+
+// MultiGet implements core.Batcher by sorted point lookups.
+func (t *Internal) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	core.SortedMultiGet(c, t, keys, f)
+}
+
+// MultiPut implements core.Batcher by sorted point inserts.
+func (t *Internal) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.SortedMultiPut(c, t, pairs, f)
+}
+
+// MultiRemove implements core.Batcher by sorted point removes.
+func (t *Internal) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.SortedMultiRemove(c, t, keys, f)
+}

@@ -46,6 +46,17 @@ func TestCursors(t *testing.T) {
 	}
 }
 
+// TestBatchers runs the batched-operation battery on both trees (sorted
+// point application: logarithmic descents with path-prefix locality).
+func TestBatchers(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"tk":       func(o core.Options) core.Set { return NewTK(o) },
+		"internal": func(o core.Options) core.Set { return NewInternal(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunBatcher(t, mk) })
+	}
+}
+
 func TestFeaturedIsTK(t *testing.T) {
 	info, ok := core.Featured("bst")
 	if !ok || info.Name != "bst/tk" {

@@ -122,6 +122,63 @@ func TestCompositeCursorsMoreLeaves(t *testing.T) {
 	}
 }
 
+// TestCompositeBatchers runs the batched-operation battery over every
+// combinator: shard-grouped sub-batches (sharded, including the
+// single-shard flat-combining path), per-stripe grouping (striped),
+// probe-then-forward (readcache), epoch- and gate-disciplined grouping
+// (elastic), and nesting. sharded(1,...) maximizes the single-shard
+// combine path's exposure.
+func TestCompositeBatchers(t *testing.T) {
+	for _, spec := range []string{
+		"sharded(16,list/lazy)",
+		"sharded(1,list/lazy)",
+		"sharded(4,hashtable/lazy)",
+		"striped(8,skiplist/herlihy)",
+		"readcache(1024,bst/tk)",
+		"readcache(64,sharded(4,hashtable/lazy))",
+		"elastic(4,list/lazy)",
+		"striped(4,sharded(2,list/lazy))",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunBatcherSpec(t, spec) })
+	}
+}
+
+// TestCompositeBatchersMoreLeaves cross-checks batches over lock-free
+// and wait-free leaves (the long battery).
+func TestCompositeBatchersMoreLeaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-product suites are the long battery")
+	}
+	for _, spec := range []string{
+		"sharded(4,list/harris)",
+		"striped(4,list/waitfree)",
+		"striped(4,skiplist/lockfree)",
+		"elastic(4,bst/tk)",
+	} {
+		t.Run(spec, func(t *testing.T) { settest.RunBatcherSpec(t, spec) })
+	}
+}
+
+// TestElasticBatchUnderResize is the acceptance point of the batch
+// battery: batches over elastic composites must keep the per-key
+// algebra and anchor visibility — every element linearizing inside its
+// call — while a dedicated goroutine grows and shrinks the shard map
+// between (and during) batches.
+func TestElasticBatchUnderResize(t *testing.T) {
+	for _, spec := range []string{
+		"elastic(2,list/lazy)",
+		"elastic(2,skiplist/herlihy)",
+	} {
+		f, err := core.NewFactory(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec, func(t *testing.T) {
+			settest.RunBatcherResizable(t, settest.Factory(f))
+		})
+	}
+}
+
 // TestElasticCursorUnderResize is the acceptance point of the cursor
 // battery: pagination over elastic composites must stay duplicate-free
 // and anchor-complete — and tokens must keep resuming — while a

@@ -14,6 +14,11 @@ import "csds/internal/core"
 // hash table (a lock per bucket) applies at bucket granularity.
 type Sharded struct {
 	shards []core.Set
+	// combiners are the per-shard flat-combining points for contended
+	// single-shard write batches (see batch.go); uncontended they cost
+	// one trylock and one pointer load per engaged batch, nothing per
+	// point op.
+	combiners []core.Combiner
 }
 
 // NewSharded builds an n-way hash-sharded composite over inner instances.
@@ -25,7 +30,7 @@ func NewSharded(n int, inner func(core.Options) core.Set, o core.Options) *Shard
 	for i := range shards {
 		shards[i] = inner(so)
 	}
-	return &Sharded{shards: shards}
+	return &Sharded{shards: shards, combiners: make([]core.Combiner, n)}
 }
 
 // shard routes a key to its instance.

@@ -1,0 +1,190 @@
+// Batched-operation layer of the set abstraction: the Batcher optional
+// interface and the shared helpers behind every structure's amortized
+// multi-key paths.
+//
+// The paper's thesis is that throughput is governed by how much
+// synchronization each operation pays on the hot path; a caller that
+// logically operates on many keys at once should not pay a full guard
+// bracket, shard-map load and lock epoch *per key*. Batcher is the
+// synchronization-amortization counterpart of the Cursor extension:
+// where cursors amortize scan collection over pages, batches amortize
+// write/read synchronization over key groups. Composites group a batch
+// by destination and cross each shard/stripe boundary once; leaf
+// structures sort the batch and traverse once, resuming the search from
+// the previous key's position instead of restarting at the head.
+package core
+
+import "sort"
+
+// KV is one key/value pair of a batched Put.
+type KV struct {
+	K Key
+	V Value
+}
+
+// Batcher is the optional batched-operation extension of Set,
+// implemented by every structure and combinator in this module.
+//
+// Each method applies one operation per element of the batch and
+// reports every element's outcome through the per-key callback f, which
+// is invoked exactly once per index, in caller (ascending index) order,
+// with the same result the corresponding point operation would have
+// returned. A zero-length batch is a no-op (f is never called). f must
+// not call back into the same structure (batched paths may hold
+// internal brackets across the replay).
+//
+// Consistency — per-batch, not cross-batch, linearizability: every
+// element's operation linearizes individually at some instant inside
+// the Multi* call, exactly as the equivalent point operation would
+// inside its own call window. The batch as a whole is NOT an atomic
+// multi-key transaction: two elements of one batch may be separated by
+// concurrent operations of other threads. Duplicate keys inside one
+// batch behave as if their operations executed in ascending index
+// order (the first Put of a duplicate key inserts, the second finds it
+// present), so on a quiescent structure a batch is indistinguishable
+// from the equivalent loop of point operations.
+type Batcher interface {
+	// MultiGet looks up every key of keys; f receives (index, value,
+	// present) per element.
+	MultiGet(c *Ctx, keys []Key, f func(i int, v Value, ok bool))
+	// MultiPut inserts every absent pair of pairs; f receives (index,
+	// inserted) per element. Like Put, an existing entry is never
+	// overwritten.
+	MultiPut(c *Ctx, pairs []KV, f func(i int, inserted bool))
+	// MultiRemove deletes every present key of keys; f receives
+	// (index, removed) per element.
+	MultiRemove(c *Ctx, keys []Key, f func(i int, removed bool))
+}
+
+// BatchOrder returns the batch indices 0..n-1 ordered by ascending
+// key, stably: duplicate keys keep their caller order, which is what
+// makes a sorted application sequentially equivalent to the index-order
+// loop of point operations (Batcher's duplicate-key contract).
+func BatchOrder(n int, key func(int) Key) []int {
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return key(ord[a]) < key(ord[b]) })
+	return ord
+}
+
+// KeyOrder is BatchOrder over a key slice.
+func KeyOrder(keys []Key) []int {
+	return BatchOrder(len(keys), func(i int) Key { return keys[i] })
+}
+
+// PairOrder is BatchOrder over a pair slice.
+func PairOrder(pairs []KV) []int {
+	return BatchOrder(len(pairs), func(i int) Key { return pairs[i].K })
+}
+
+// LoopMultiGet implements MultiGet as a loop of point Gets — the
+// fallback for structures whose point read is already O(1)-ish (hash
+// tables) and for foreign Sets wrapped by AsBatcher.
+func LoopMultiGet(c *Ctx, s Set, keys []Key, f func(i int, v Value, ok bool)) {
+	for i, k := range keys {
+		v, ok := s.Get(c, k)
+		f(i, v, ok)
+	}
+}
+
+// LoopMultiPut implements MultiPut as a loop of point Puts.
+func LoopMultiPut(c *Ctx, s Set, pairs []KV, f func(i int, inserted bool)) {
+	for i, p := range pairs {
+		f(i, s.Put(c, p.K, p.V))
+	}
+}
+
+// LoopMultiRemove implements MultiRemove as a loop of point Removes.
+func LoopMultiRemove(c *Ctx, s Set, keys []Key, f func(i int, removed bool)) {
+	for i, k := range keys {
+		f(i, s.Remove(c, k))
+	}
+}
+
+// SortedMultiGet applies point Gets in ascending key order and replays
+// the results in caller order — the locality-amortized path for ordered
+// structures whose point search is already logarithmic (skip lists,
+// BSTs): consecutive sorted keys descend through largely the same upper
+// levels, so the sort buys branch and cache locality even without a
+// bespoke resumed traversal.
+func SortedMultiGet(c *Ctx, s Set, keys []Key, f func(i int, v Value, ok bool)) {
+	ord := KeyOrder(keys)
+	vals := make([]Value, len(keys))
+	oks := make([]bool, len(keys))
+	for _, i := range ord {
+		vals[i], oks[i] = s.Get(c, keys[i])
+	}
+	for i := range keys {
+		f(i, vals[i], oks[i])
+	}
+}
+
+// SortedMultiPut applies point Puts in ascending key order (stable, so
+// duplicate keys resolve in caller order) and replays results in caller
+// order.
+func SortedMultiPut(c *Ctx, s Set, pairs []KV, f func(i int, inserted bool)) {
+	ord := PairOrder(pairs)
+	res := make([]bool, len(pairs))
+	for _, i := range ord {
+		res[i] = s.Put(c, pairs[i].K, pairs[i].V)
+	}
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// SortedMultiRemove applies point Removes in ascending key order and
+// replays results in caller order.
+func SortedMultiRemove(c *Ctx, s Set, keys []Key, f func(i int, removed bool)) {
+	ord := KeyOrder(keys)
+	res := make([]bool, len(keys))
+	for _, i := range ord {
+		res[i] = s.Remove(c, keys[i])
+	}
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// loopBatcher adapts a plain Set to Batcher through point-op loops.
+type loopBatcher struct{ s Set }
+
+func (b loopBatcher) MultiGet(c *Ctx, keys []Key, f func(i int, v Value, ok bool)) {
+	LoopMultiGet(c, b.s, keys, f)
+}
+func (b loopBatcher) MultiPut(c *Ctx, pairs []KV, f func(i int, inserted bool)) {
+	LoopMultiPut(c, b.s, pairs, f)
+}
+func (b loopBatcher) MultiRemove(c *Ctx, keys []Key, f func(i int, removed bool)) {
+	LoopMultiRemove(c, b.s, keys, f)
+}
+
+// AsBatcher returns s's batched paths, wrapping plain Sets in the
+// generic loop adapter — combinators delegate sub-batches through this,
+// so a composite over a foreign Set still satisfies the Batcher
+// contract (without the amortization).
+func AsBatcher(s Set) Batcher {
+	if b, ok := s.(Batcher); ok {
+		return b
+	}
+	return loopBatcher{s}
+}
+
+// RecordBatch forwards a completed batch's size and wall time,
+// tolerating nil (batches keep their own counters, like scans and
+// pages, so the paper's point-op metrics stay unpolluted).
+func (c *Ctx) RecordBatch(keys int, ns uint64) {
+	if c != nil && c.Stats != nil {
+		c.Stats.RecordBatch(keys, ns)
+	}
+}
+
+// RecordCombined notes that this worker's batch was applied through a
+// flat-combining publication list, tolerating nil.
+func (c *Ctx) RecordCombined() {
+	if c != nil && c.Stats != nil {
+		c.Stats.RecordCombined()
+	}
+}

@@ -1,0 +1,163 @@
+// Flat combining for contended single-destination batches — the
+// generalization of the queuestack hot-spot experiment into a reusable
+// core facility.
+//
+// When many threads aim write batches at the same shard, having each
+// thread fight for the shard's locks serializes them anyway — but with
+// every thread paying its own synchronization. Flat combining (Hendler,
+// Incze, Shavit, Tzafrir, SPAA 2010) inverts the deal: threads that
+// lose the combiner lock publish their batch on a lock-free list and
+// park; the winner applies *all* published batches inside one
+// amortized bracket, so the synchronization cost of the collision is
+// paid once instead of once per thread. The paper's thesis in one
+// mechanism: contention converted into amortization.
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"csds/internal/locks"
+)
+
+// BatchOp enumerates the batched write kinds a Combiner can apply.
+type BatchOp uint8
+
+const (
+	// BatchPut applies pairs as MultiPut.
+	BatchPut BatchOp = iota
+	// BatchRemove applies pairs' keys as MultiRemove (values ignored).
+	BatchRemove
+)
+
+// combineReq is one published batch awaiting a combiner. The owner
+// spins on done (release-stored by whichever thread applies the batch,
+// acquire-loaded by the owner) and owns res again once done is set.
+type combineReq struct {
+	next  *combineReq // publication-list link; immutable after push
+	op    BatchOp
+	pairs []KV
+	res   []bool
+	done  atomic.Bool
+}
+
+// CombineApply applies one homogeneous batch (all BatchPut or all
+// BatchRemove) under whatever bracket the owner structure uses; res[i]
+// receives element i's outcome. A combiner passes the concatenation of
+// all published batches of one kind, so one apply call amortizes the
+// bracket over every colliding thread's keys.
+type CombineApply func(c *Ctx, op BatchOp, pairs []KV, res []bool)
+
+// Combiner is a flat-combining point for write batches aimed at one
+// destination (typically one shard). The zero value is ready to use.
+//
+// Uncontended, Run costs one TryAcquire, one publication-list load and
+// one Release on top of the apply itself — there is no publication,
+// no allocation and no parking unless the lock is already held.
+type Combiner struct {
+	mu   locks.TAS
+	head atomic.Pointer[combineReq]
+}
+
+// Run applies the batch (op, pairs) through the combining protocol and
+// fills res (len(res) must equal len(pairs)). If the combiner lock is
+// free the batch is applied directly; otherwise the batch is published
+// and either a concurrent winner applies it inside its own bracket or
+// this thread wins a later round and drains the whole publication list
+// itself. Batches that travel through the publication list are counted
+// by their owning thread via Ctx.RecordCombined.
+func (cb *Combiner) Run(c *Ctx, op BatchOp, pairs []KV, res []bool, apply CombineApply) {
+	if cb.mu.TryAcquire(nil) {
+		// Fast path: the destination is uncontended. Apply directly, then
+		// serve any losers that published while we held the lock.
+		apply(c, op, pairs, res)
+		cb.drain(c, apply)
+		cb.mu.Release()
+		return
+	}
+	req := &combineReq{op: op, pairs: pairs, res: res}
+	for {
+		old := cb.head.Load()
+		req.next = old
+		if cb.head.CompareAndSwap(old, req) {
+			break
+		}
+	}
+	for spins := 0; ; spins++ {
+		if req.done.Load() {
+			c.RecordCombined()
+			return
+		}
+		if cb.mu.TryAcquire(nil) {
+			cb.drain(c, apply)
+			cb.mu.Release()
+			// Our own request was on the list, so the drain applied it
+			// (unless an earlier winner already had).
+			if !req.done.Load() {
+				panic("csds: combiner drain left own request unapplied")
+			}
+			c.RecordCombined()
+			return
+		}
+		if spins%8 == 7 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drain swaps out the publication list and applies everything on it,
+// one concatenated apply call per op kind, scattering results back to
+// each request before release-storing its done flag.
+func (cb *Combiner) drain(c *Ctx, apply CombineApply) {
+	head := cb.head.Swap(nil)
+	if head == nil {
+		return
+	}
+	// The Treiber push order is reverse-arrival; reverse again so the
+	// concatenation applies batches roughly in arrival order (any order
+	// is linearizable — every owner is parked — but arrival order keeps
+	// the combined application fair).
+	var reqs []*combineReq
+	for r := head; r != nil; r = r.next {
+		reqs = append(reqs, r)
+	}
+	for i, j := 0, len(reqs)-1; i < j; i, j = i+1, j-1 {
+		reqs[i], reqs[j] = reqs[j], reqs[i]
+	}
+	cb.drainKind(c, apply, reqs, BatchPut)
+	cb.drainKind(c, apply, reqs, BatchRemove)
+}
+
+// drainKind concatenates all published batches of one kind into a
+// single apply call and scatters the results.
+func (cb *Combiner) drainKind(c *Ctx, apply CombineApply, reqs []*combineReq, op BatchOp) {
+	var group []*combineReq
+	total := 0
+	for _, r := range reqs {
+		if r.op == op {
+			group = append(group, r)
+			total += len(r.pairs)
+		}
+	}
+	if len(group) == 0 {
+		return
+	}
+	if len(group) == 1 {
+		r := group[0]
+		apply(c, op, r.pairs, r.res)
+		r.done.Store(true)
+		return
+	}
+	cat := make([]KV, 0, total)
+	for _, r := range group {
+		cat = append(cat, r.pairs...)
+	}
+	res := make([]bool, total)
+	apply(c, op, cat, res)
+	off := 0
+	for _, r := range group {
+		copy(r.res, res[off:off+len(r.pairs)])
+		off += len(r.pairs)
+		r.done.Store(true)
+	}
+}

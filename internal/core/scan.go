@@ -117,6 +117,23 @@ func (g *ScanGuard) EndWrite() {
 	g.state.Add(^uint64(scanWriterOne - 1))
 }
 
+// WriteYield briefly closes an open write bracket when a fallback
+// scanner has raised the freeze barrier, reopening it once the barrier
+// clears. Batched writers call this between keys: a batch amortizes
+// one bracket over many mutations, and without the yield a frozen
+// scanner (which drains writers) could wait on the batch while the
+// batch waits on a lock held by a writer parked behind the barrier.
+// Reports whether the bracket was yielded — the caller must then
+// re-validate any optimistic position it carried across keys.
+func (g *ScanGuard) WriteYield(t *stats.Thread) bool {
+	if g == nil || !g.block.Load() {
+		return false
+	}
+	g.EndWrite()
+	g.BeginWrite(t) // parks until the barrier clears
+	return true
+}
+
 // snapshot reads the guard state; ok reports a quiescent instance (no
 // writer mid-mutation), the precondition for an optimistic collect.
 func (g *ScanGuard) snapshot() (s uint64, ok bool) {

@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -177,6 +178,25 @@ type Result struct {
 	PagePullsMean    float64 // bounded per-part pulls per page
 	PagePullKeysMean float64 // keys pulled per page (overshoot+retries incl.)
 
+	// Batched operations (set when the workload's BatchRatio > 0).
+	// Batches are measured apart from point ops — batches/sec and
+	// keys/batch together give the amortized per-key rate, and the
+	// combine fraction says how often a batch traveled a shard's
+	// flat-combining publication list instead of applying directly.
+	BatchThroughput float64 // batches per second, system-wide
+	TotalBatches    uint64
+	TotalBatchKeys  uint64
+	BatchKeysMean   float64 // keys per batch, averaged
+	BatchMeanNs     float64 // mean batch latency
+	BatchMaxNs      uint64  // worst single batch
+	CombineFrac     float64 // fraction of batches applied by a combiner
+	CombinedBatches uint64
+
+	// AllocsPerOp is the heap-allocation rate: runtime.ReadMemStats
+	// Mallocs delta across the run divided by all work units (point ops,
+	// batch keys, scans and pages). Averaged over runs.
+	AllocsPerOp float64
+
 	// Fine-grained (practical wait-freedom).
 	WaitFraction       float64 // fraction of time waiting for locks (Fig 5)
 	WaitFractionStddev float64
@@ -251,6 +271,17 @@ func (a *Result) accumulate(r *Result, runs int) {
 	a.CursorRetryFrac += r.CursorRetryFrac * f
 	a.PagePullsMean += r.PagePullsMean * f
 	a.PagePullKeysMean += r.PagePullKeysMean * f
+	a.BatchThroughput += r.BatchThroughput * f
+	a.TotalBatches += r.TotalBatches
+	a.TotalBatchKeys += r.TotalBatchKeys
+	a.BatchKeysMean += r.BatchKeysMean * f
+	a.BatchMeanNs += r.BatchMeanNs * f
+	if r.BatchMaxNs > a.BatchMaxNs {
+		a.BatchMaxNs = r.BatchMaxNs
+	}
+	a.CombineFrac += r.CombineFrac * f
+	a.CombinedBatches += r.CombinedBatches
+	a.AllocsPerOp += r.AllocsPerOp * f
 	a.WaitFraction += r.WaitFraction * f
 	a.WaitFractionStddev += r.WaitFractionStddev * f
 	a.RestartedFrac += r.RestartedFrac * f
@@ -316,6 +347,14 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 		}
 		cursor = cu
 	}
+	var batcher core.Batcher
+	if cfg.Workload.BatchRatio > 0 {
+		ba, ok := s.(core.Batcher)
+		if !ok {
+			return Result{}, fmt.Errorf("harness: algorithm %q does not implement core.Batcher; a workload with BatchRatio > 0 needs batched-operation support", cfg.Algorithm)
+		}
+		batcher = ba
+	}
 	var live []liveCell
 	if runCtrl && cfg.Elastic != nil {
 		live = make([]liveCell, cfg.Threads)
@@ -351,6 +390,12 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			if inj.Delay != nil || inj.Switch != nil {
 				c.CSHook = inj.CSHook
 			}
+
+			// Reusable batch buffers: grown to the largest batch drawn so
+			// far and refilled in place, so steady-state batch issue costs
+			// zero allocations in the measurement loop.
+			var keyBuf []core.Key
+			var pairBuf []core.KV
 
 			start.Done()
 			<-startGate
@@ -405,6 +450,42 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 						c.Stats.RecordPage(keys, uint64(time.Since(pageStart)))
 					}
 					c.Stats.RecordCursorScan()
+				case workload.OpMultiGet, workload.OpMultiPut, workload.OpMultiRemove:
+					// One batched call: BatchLen keys drawn from the key
+					// popularity distribution (duplicates allowed — the
+					// Batcher contract resolves them in index order). Like
+					// scans, batches time themselves and record into their
+					// own counters, never into Ops.
+					n := int(gen.BatchLen(rng))
+					switch op {
+					case workload.OpMultiGet:
+						keyBuf = keyBuf[:0]
+						for i := 0; i < n; i++ {
+							keyBuf = append(keyBuf, gen.Key(rng))
+						}
+						batchStart := time.Now()
+						batcher.MultiGet(c, keyBuf, func(int, core.Value, bool) {})
+						c.Stats.RecordBatch(n, uint64(time.Since(batchStart)))
+					case workload.OpMultiPut:
+						inj.OnUpdate()
+						pairBuf = pairBuf[:0]
+						for i := 0; i < n; i++ {
+							bk := gen.Key(rng)
+							pairBuf = append(pairBuf, core.KV{K: bk, V: core.Value(bk)})
+						}
+						batchStart := time.Now()
+						batcher.MultiPut(c, pairBuf, func(int, bool) {})
+						c.Stats.RecordBatch(n, uint64(time.Since(batchStart)))
+					default: // workload.OpMultiRemove
+						inj.OnUpdate()
+						keyBuf = keyBuf[:0]
+						for i := 0; i < n; i++ {
+							keyBuf = append(keyBuf, gen.Key(rng))
+						}
+						batchStart := time.Now()
+						batcher.MultiRemove(c, keyBuf, func(int, bool) {})
+						c.Stats.RecordBatch(n, uint64(time.Since(batchStart)))
+					}
 				}
 				if live != nil && c.Stats.Ops&(liveEvery-1) == 0 {
 					// Publish a snapshot of the thread's plain counters so
@@ -494,13 +575,23 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 	}
 
 	start.Wait()
+	// Allocation accounting brackets the measured window with
+	// ReadMemStats (a brief stop-the-world each, outside the window's
+	// hot loop on both sides). The Mallocs delta over all work units is
+	// the allocs/op column of the bench grid.
+	var mem0, mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	close(startGate)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	done.Wait()
 	ctrlWg.Wait()
+	runtime.ReadMemStats(&mem1)
 
 	res := summarize(cfg, ths, dom)
+	if units := res.TotalOps + res.TotalBatchKeys + res.TotalScans + res.TotalPages; units > 0 {
+		res.AllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(units)
+	}
 	if runCtrl {
 		res.Resizes = resizes
 		res.FinalWidth = rz.Width()
@@ -603,6 +694,30 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 		res.CursorRetryFrac = float64(cursorRetries) / float64(totalPages)
 		res.PagePullsMean = float64(pagePulls) / float64(totalPages)
 		res.PagePullKeysMean = float64(pagePullKeys) / float64(totalPages)
+	}
+	var totalBatches, batchKeys, batchNs, combined uint64
+	batchRates := make([]float64, 0, len(ths))
+	for i := range ths {
+		t := &ths[i]
+		totalBatches += t.Batches
+		batchKeys += t.BatchKeys
+		batchNs += t.BatchNs
+		combined += t.CombinedBatches
+		if t.MaxBatchNs > res.BatchMaxNs {
+			res.BatchMaxNs = t.MaxBatchNs
+		}
+		if secs := float64(t.ActiveNs) / 1e9; secs > 0 {
+			batchRates = append(batchRates, float64(t.Batches)/secs)
+		}
+	}
+	res.TotalBatches = totalBatches
+	res.TotalBatchKeys = batchKeys
+	res.CombinedBatches = combined
+	if totalBatches > 0 {
+		res.BatchThroughput = stats.Mean(batchRates) * float64(len(ths))
+		res.BatchKeysMean = float64(batchKeys) / float64(totalBatches)
+		res.BatchMeanNs = float64(batchNs) / float64(totalBatches)
+		res.CombineFrac = float64(combined) / float64(totalBatches)
 	}
 	res.WaitFraction = stats.Mean(waitFracs)
 	res.WaitFractionStddev = stats.Stddev(waitFracs)

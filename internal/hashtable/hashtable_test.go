@@ -114,6 +114,31 @@ func TestCursors(t *testing.T) {
 	}
 }
 
+// TestBatchers runs the batched-operation battery on every table
+// (unsorted point application — hash routing destroys key order, so the
+// loop is the optimal plan and amortization comes from the combinator
+// layer above).
+func TestBatchers(t *testing.T) {
+	lookup := func(name string) func(core.Options) core.Set {
+		info, ok := core.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		return info.New
+	}
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"striped":      func(o core.Options) core.Set { return NewStriped(o) },
+		"lockcoupling": lookup("hashtable/lockcoupling"),
+		"pugh":         lookup("hashtable/pugh"),
+		"harris":       lookup("hashtable/harris"),
+		"waitfree":     lookup("hashtable/waitfree"),
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunBatcher(t, mk) })
+	}
+}
+
 // TestLazyCursorSmallTable forces heavy chain sharing so cursor pages
 // see long shared buckets under churn.
 func TestLazyCursorSmallTable(t *testing.T) {

@@ -256,6 +256,50 @@ func (r *Region) Run(th *stats.Thread, doom *Doom, body func(*Acq) Status) Statu
 	return st
 }
 
+// Try executes body as a single one-shot speculative attempt: Lock
+// try-acquires, Commit checks the doom flag, and any abort releases
+// everything and reports false — no retries and no pessimistic
+// fallback. It exists for callers that have a *structural* fallback of
+// their own (e.g. a batched cache update that reverts to its per-key
+// locked loop): Try is the optimistic half of such a batch commit, so
+// the usual fallback-to-the-same-locks protocol of Region.Run does not
+// apply. Returns whether body committed; a ValidateFail also reports
+// false (the caller's fallback re-reads fresh state anyway).
+func Try(th *stats.Thread, doom *Doom, body func(*Acq) Status) bool {
+	a := Acq{spec: true, th: th, doom: doom}
+	if th != nil {
+		th.RecordTxAttempt()
+	}
+	st := body(&a)
+	a.releaseAll()
+	switch st {
+	case Committed:
+		if th != nil {
+			th.RecordTxCommit()
+		}
+		return true
+	case ValidateFail:
+		if th != nil {
+			th.RecordTxCommit() // the speculation itself succeeded
+		}
+		return false
+	case Conflict, Interrupted, Capacity:
+		cause := st
+		if a.status != Committed {
+			cause = a.status
+		}
+		if th != nil {
+			th.RecordTxAbort(abortCause(cause))
+		}
+		if cause == Interrupted && doom != nil {
+			doom.disarm()
+		}
+		return false
+	default:
+		panic("htm: body returned invalid status")
+	}
+}
+
 func abortCause(s Status) stats.AbortCause {
 	switch s {
 	case Conflict:

@@ -1,0 +1,492 @@
+// Batched (core.Batcher) paths for the list structures. The lists are
+// where batching pays the most: a point operation's dominant cost is
+// the O(n) prefix traversal, and a sorted batch walks that prefix
+// once, resuming each key's search from the previous key's position.
+// Write batches additionally amortize one scan-guard write bracket
+// over the whole batch instead of opening a window per key.
+package list
+
+import (
+	"runtime"
+
+	"csds/internal/core"
+)
+
+// ---------------------------------------------------------------------------
+// Lazy list: resumed traversal, one guard bracket per write batch.
+// ---------------------------------------------------------------------------
+
+// MultiGet implements core.Batcher: one synchronization-free traversal
+// serves the whole sorted batch, resuming from the previous key's
+// predecessor (pred.key < k <= k' keeps every resume position valid).
+// Like Get it performs no stores and never restarts.
+func (l *Lazy) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	vals := make([]core.Value, len(keys))
+	oks := make([]bool, len(keys))
+	c.EpochEnter()
+	pred := l.head
+	for _, i := range ord {
+		k := keys[i]
+		curr := pred.next.Load()
+		for curr.key < k {
+			pred = curr
+			curr = curr.next.Load()
+		}
+		if curr.key == k && !curr.marked.Load() {
+			vals[i], oks[i] = curr.val, true
+		}
+	}
+	c.EpochExit()
+	for i := range keys {
+		f(i, vals[i], oks[i])
+	}
+}
+
+// MultiPut implements core.Batcher: the batch is applied in ascending
+// key order inside ONE scan-guard write bracket, each key's window
+// search resuming from the previous key's predecessor. Holding the
+// bracket across the batch forces two disciplines the point path does
+// not need: node locks are try-acquired only (a blocking acquire could
+// deadlock against a frozen scanner draining the bracket we hold), and
+// the bracket is yielded between attempts whenever a fallback scanner
+// has raised the freeze barrier (core.ScanGuard.WriteYield).
+func (l *Lazy) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	if len(pairs) == 0 {
+		return
+	}
+	ord := core.PairOrder(pairs)
+	res := make([]bool, len(pairs))
+	c.EpochEnter()
+	l.guard.BeginWrite(c.Stat())
+	pred := l.head
+	for _, i := range ord {
+		k, v := pairs[i].K, pairs[i].V
+		for {
+			if l.guard.WriteYield(c.Stat()) || pred.marked.Load() {
+				pred = l.head // resume position invalidated
+			}
+			curr := pred.next.Load()
+			for curr.key < k {
+				pred = curr
+				curr = curr.next.Load()
+			}
+			if !pred.lock.TryAcquire(c.Stat()) {
+				runtime.Gosched()
+				continue
+			}
+			if !curr.lock.TryAcquire(c.Stat()) {
+				pred.lock.Release()
+				runtime.Gosched()
+				continue
+			}
+			if !validateLazy(pred, curr) {
+				curr.lock.Release()
+				pred.lock.Release()
+				pred = l.head
+				continue
+			}
+			if curr.key == k {
+				res[i] = false
+			} else {
+				n := &lazyNode{key: k, val: v}
+				n.next.Store(curr)
+				c.InCS()
+				pred.next.Store(n)
+				res[i] = true
+			}
+			curr.lock.Release()
+			pred.lock.Release()
+			break
+		}
+	}
+	l.guard.EndWrite()
+	c.EpochExit()
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// MultiRemove implements core.Batcher with the same one-bracket,
+// resumed-window, trylock-only discipline as MultiPut.
+func (l *Lazy) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	res := make([]bool, len(keys))
+	c.EpochEnter()
+	l.guard.BeginWrite(c.Stat())
+	pred := l.head
+	for _, i := range ord {
+		k := keys[i]
+		for {
+			if l.guard.WriteYield(c.Stat()) || pred.marked.Load() {
+				pred = l.head
+			}
+			curr := pred.next.Load()
+			for curr.key < k {
+				pred = curr
+				curr = curr.next.Load()
+			}
+			if !pred.lock.TryAcquire(c.Stat()) {
+				runtime.Gosched()
+				continue
+			}
+			if !curr.lock.TryAcquire(c.Stat()) {
+				pred.lock.Release()
+				runtime.Gosched()
+				continue
+			}
+			if !validateLazy(pred, curr) {
+				curr.lock.Release()
+				pred.lock.Release()
+				pred = l.head
+				continue
+			}
+			if curr.key != k {
+				res[i] = false
+				curr.lock.Release()
+				pred.lock.Release()
+			} else {
+				c.InCS()
+				curr.marked.Store(true)           // logical delete
+				pred.next.Store(curr.next.Load()) // physical unlink
+				res[i] = true
+				curr.lock.Release()
+				pred.lock.Release()
+				c.Retire(curr)
+			}
+			break
+		}
+	}
+	l.guard.EndWrite()
+	c.EpochExit()
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Harris list: resumed wait-free read pass; sorted CAS writes.
+// ---------------------------------------------------------------------------
+
+// MultiGet implements core.Batcher: one wait-free non-helping
+// traversal (like Get) serves the whole sorted batch, resuming from
+// the previous key's position — marked nodes' link chains stay valid
+// forever, so a resume position is never unsafe, only stale, and
+// staleness is absorbed by the per-key linearization points.
+func (l *Harris) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	vals := make([]core.Value, len(keys))
+	oks := make([]bool, len(keys))
+	c.EpochEnter()
+	curr := l.head.link.Load().next
+	for _, i := range ord {
+		k := keys[i]
+		for curr.key < k {
+			curr = curr.link.Load().next
+		}
+		link := curr.link.Load()
+		if curr.key == k && !link.marked {
+			vals[i], oks[i] = curr.val, true
+		}
+	}
+	c.EpochExit()
+	for i := range keys {
+		f(i, vals[i], oks[i])
+	}
+}
+
+// MultiPut implements core.Batcher by sorted point CASes: the
+// lock-free write path pays no bracket or lock epoch to amortize (its
+// per-key cost is the search), so the batch win here is the ascending
+// application order's cache locality. A resumed write window is not
+// maintained because helping snips can invalidate any remembered
+// predecessor, forcing the head restart the point path already does.
+func (l *Harris) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.SortedMultiPut(c, l, pairs, f)
+}
+
+// MultiRemove implements core.Batcher; see MultiPut for the rationale.
+func (l *Harris) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.SortedMultiRemove(c, l, keys, f)
+}
+
+// ---------------------------------------------------------------------------
+// COW list: one snapshot copy per write batch.
+// ---------------------------------------------------------------------------
+
+// MultiGet implements core.Batcher: one atomic snapshot load serves
+// the whole batch (every element linearizes at that load).
+func (l *COW) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	s := l.snap.Load()
+	for i, k := range keys {
+		if j, ok := s.find(k); ok {
+			f(i, s.vals[j], true)
+		} else {
+			f(i, 0, false)
+		}
+	}
+}
+
+// MultiPut implements core.Batcher: ONE new snapshot merges the whole
+// sorted batch — the biggest amortization in the module, collapsing k
+// O(n) copies under the global lock into a single O(n+k) merge.
+func (l *COW) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	if len(pairs) == 0 {
+		return
+	}
+	ord := core.PairOrder(pairs)
+	res := make([]bool, len(pairs))
+	l.mu.Acquire(c.Stat())
+	s := l.snap.Load()
+	nk := make([]core.Key, 0, len(s.keys)+len(pairs))
+	nv := make([]core.Value, 0, len(s.vals)+len(pairs))
+	si := 0
+	inserted := 0
+	for _, i := range ord {
+		k := pairs[i].K
+		for si < len(s.keys) && s.keys[si] < k {
+			nk = append(nk, s.keys[si])
+			nv = append(nv, s.vals[si])
+			si++
+		}
+		// Present in the old snapshot, or inserted by an earlier
+		// (duplicate-key) element of this batch.
+		if (si < len(s.keys) && s.keys[si] == k) || (len(nk) > 0 && nk[len(nk)-1] == k) {
+			continue
+		}
+		nk = append(nk, k)
+		nv = append(nv, pairs[i].V)
+		res[i] = true
+		inserted++
+	}
+	nk = append(nk, s.keys[si:]...)
+	nv = append(nv, s.vals[si:]...)
+	if inserted > 0 {
+		c.InCS()
+		l.snap.Store(&cowSnapshot{keys: nk, vals: nv})
+	}
+	l.mu.Release()
+	if inserted > 0 {
+		c.Retire(s)
+	}
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// MultiRemove implements core.Batcher with the same single-merge copy
+// as MultiPut.
+func (l *COW) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	res := make([]bool, len(keys))
+	l.mu.Acquire(c.Stat())
+	s := l.snap.Load()
+	nk := make([]core.Key, 0, len(s.keys))
+	nv := make([]core.Value, 0, len(s.vals))
+	si := 0
+	removed := 0
+	for _, i := range ord {
+		k := keys[i]
+		for si < len(s.keys) && s.keys[si] < k {
+			nk = append(nk, s.keys[si])
+			nv = append(nv, s.vals[si])
+			si++
+		}
+		if si < len(s.keys) && s.keys[si] == k {
+			si++ // skip: removed
+			res[i] = true
+			removed++
+		}
+	}
+	nk = append(nk, s.keys[si:]...)
+	nv = append(nv, s.vals[si:]...)
+	if removed > 0 {
+		c.InCS()
+		l.snap.Store(&cowSnapshot{keys: nk, vals: nv})
+	}
+	l.mu.Release()
+	if removed > 0 {
+		c.Retire(s)
+	}
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock-coupling list: one hand-over-hand pass per batch.
+// ---------------------------------------------------------------------------
+
+// MultiGet implements core.Batcher as a single hand-over-hand pass:
+// the two-lock window sweeps the list once and reads each sorted key
+// as it passes, so the batch pays one lock chain instead of k.
+func (l *LockCoupling) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	vals := make([]core.Value, len(keys))
+	oks := make([]bool, len(keys))
+	pred := l.head
+	pred.lock.Acquire(c.Stat())
+	curr := pred.next
+	curr.lock.Acquire(c.Stat())
+	for _, i := range ord {
+		k := keys[i]
+		for curr.key < k {
+			pred.lock.Release()
+			pred = curr
+			curr = curr.next
+			curr.lock.Acquire(c.Stat())
+		}
+		if curr.key == k {
+			vals[i], oks[i] = curr.val, true
+		}
+	}
+	curr.lock.Release()
+	pred.lock.Release()
+	for i := range keys {
+		f(i, vals[i], oks[i])
+	}
+}
+
+// MultiPut implements core.Batcher as a single hand-over-hand pass
+// that links new nodes as the window passes their sorted position.
+// Nodes inserted since the last window advance hang between pred and
+// curr, reachable only through the pred lock this pass still holds, so
+// the attach pointer can chain further inserts without extra locks.
+func (l *LockCoupling) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	if len(pairs) == 0 {
+		return
+	}
+	ord := core.PairOrder(pairs)
+	res := make([]bool, len(pairs))
+	pred := l.head
+	pred.lock.Acquire(c.Stat())
+	curr := pred.next
+	curr.lock.Acquire(c.Stat())
+	attach := pred // last node of the pred→inserts chain; attach.next == curr
+	var prevKey core.Key
+	havePrev := false
+	for _, i := range ord {
+		k := pairs[i].K
+		if havePrev && k == prevKey {
+			continue // duplicate of a key this pass just handled
+		}
+		for curr.key < k {
+			pred.lock.Release()
+			pred = curr
+			curr = curr.next
+			curr.lock.Acquire(c.Stat())
+			attach = pred
+		}
+		if curr.key != k {
+			c.InCS()
+			n := &lcNode{key: k, val: pairs[i].V, next: curr}
+			attach.next = n
+			attach = n
+			res[i] = true
+		}
+		prevKey, havePrev = k, true
+	}
+	curr.lock.Release()
+	pred.lock.Release()
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// MultiRemove implements core.Batcher as a single hand-over-hand pass
+// that unlinks matching nodes as the window passes them (locking each
+// successor before the unlink keeps the window adjacent).
+func (l *LockCoupling) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	ord := core.KeyOrder(keys)
+	res := make([]bool, len(keys))
+	pred := l.head
+	pred.lock.Acquire(c.Stat())
+	curr := pred.next
+	curr.lock.Acquire(c.Stat())
+	var prevKey core.Key
+	havePrev := false
+	for _, i := range ord {
+		k := keys[i]
+		if havePrev && k == prevKey {
+			continue // duplicate: the first occurrence already removed it
+		}
+		for curr.key < k {
+			pred.lock.Release()
+			pred = curr
+			curr = curr.next
+			curr.lock.Acquire(c.Stat())
+		}
+		if curr.key == k {
+			next := curr.next
+			next.lock.Acquire(c.Stat())
+			c.InCS()
+			pred.next = next
+			curr.lock.Release()
+			c.Retire(curr)
+			curr = next
+			res[i] = true
+		}
+		prevKey, havePrev = k, true
+	}
+	curr.lock.Release()
+	pred.lock.Release()
+	for i := range res {
+		f(i, res[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pugh and wait-free lists: sorted point application.
+// ---------------------------------------------------------------------------
+
+// MultiGet implements core.Batcher by sorted point lookups (the
+// per-node-lock design has no shared bracket to amortize; ascending
+// order still buys prefix locality).
+func (l *Pugh) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	core.SortedMultiGet(c, l, keys, f)
+}
+
+// MultiPut implements core.Batcher by sorted point inserts.
+func (l *Pugh) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.SortedMultiPut(c, l, pairs, f)
+}
+
+// MultiRemove implements core.Batcher by sorted point removes.
+func (l *Pugh) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.SortedMultiRemove(c, l, keys, f)
+}
+
+// MultiGet implements core.Batcher by sorted point lookups (the
+// descriptor-based helping protocol admits no multi-key window; the
+// sort still buys locality).
+func (l *WaitFree) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	core.SortedMultiGet(c, l, keys, f)
+}
+
+// MultiPut implements core.Batcher by sorted point inserts.
+func (l *WaitFree) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.SortedMultiPut(c, l, pairs, f)
+}
+
+// MultiRemove implements core.Batcher by sorted point removes.
+func (l *WaitFree) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.SortedMultiRemove(c, l, keys, f)
+}

@@ -86,6 +86,24 @@ func TestCursors(t *testing.T) {
 	}
 }
 
+// TestBatchers runs the batched-operation battery on every list: model
+// conformance over random batch shapes (duplicates, misses, empties),
+// caller-order delivery, and the concurrent batch algebra — covering
+// both the bespoke single-traversal paths (lazy, lockcoupling, cow,
+// harris reads) and the generic sorted delegation (pugh, waitfree).
+func TestBatchers(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"lazy":         func(o core.Options) core.Set { return NewLazy(o) },
+		"lockcoupling": func(o core.Options) core.Set { return NewLockCoupling(o) },
+		"pugh":         func(o core.Options) core.Set { return NewPugh(o) },
+		"cow":          func(o core.Options) core.Set { return NewCOW(o) },
+		"harris":       func(o core.Options) core.Set { return NewHarris(o) },
+		"waitfree":     func(o core.Options) core.Set { return NewWaitFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunBatcher(t, mk) })
+	}
+}
+
 // TestLazyCursorElided re-runs the cursor battery with HTM elision on
 // the update paths, mirroring TestLazyScannerElided.
 func TestLazyCursorElided(t *testing.T) {

@@ -93,6 +93,20 @@ func (r *refSet) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k cor
 	return core.MergePage(buf, true, hi, max, f)
 }
 
+// The reference Batcher is the obviously correct one: each element is a
+// point op under the mutex, applied in index order.
+func (r *refSet) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	core.LoopMultiGet(c, r, keys, f)
+}
+
+func (r *refSet) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	core.LoopMultiPut(c, r, pairs, f)
+}
+
+func (r *refSet) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	core.LoopMultiRemove(c, r, keys, f)
+}
+
 // refResizable adds a no-op repartition (the map is its own single
 // shard); it verifies the RunResizable harness machinery itself — width
 // cycling, final checks — against an implementation that cannot fail.
@@ -172,6 +186,23 @@ func TestCursorBatteryUnderResizeOnReference(t *testing.T) {
 // TestRunCursorSpecComposite: spec resolution reaches the cursor battery.
 func TestRunCursorSpecComposite(t *testing.T) {
 	RunCursorSpec(t, "sharded(2,list/lazy)")
+}
+
+// TestBatcherBatteryOnReferenceSet: the batched battery accepts a
+// correct Batcher.
+func TestBatcherBatteryOnReferenceSet(t *testing.T) {
+	RunBatcher(t, newRefSet)
+}
+
+// TestBatcherBatteryUnderResizeOnReference: the batch-under-resize
+// harness itself passes against a Resizable whose batches cannot fail.
+func TestBatcherBatteryUnderResizeOnReference(t *testing.T) {
+	RunBatcherResizable(t, newRefResizable)
+}
+
+// TestRunBatcherSpecComposite: spec resolution reaches the batch battery.
+func TestRunBatcherSpecComposite(t *testing.T) {
+	RunBatcherSpec(t, "sharded(2,list/lazy)")
 }
 
 // TestScale pins the iteration scaling contract: /4 under -short, /2

@@ -48,6 +48,19 @@ func TestCursors(t *testing.T) {
 	}
 }
 
+// TestBatchers runs the batched-operation battery on every skip list
+// (sorted point application — a resumed level-0 walk would forfeit the
+// logarithmic descents, see batch.go).
+func TestBatchers(t *testing.T) {
+	for name, mk := range map[string]func(core.Options) core.Set{
+		"herlihy":  func(o core.Options) core.Set { return NewHerlihy(o) },
+		"pugh":     func(o core.Options) core.Set { return NewPugh(o) },
+		"lockfree": func(o core.Options) core.Set { return NewLockFree(o) },
+	} {
+		t.Run(name, func(t *testing.T) { settest.RunBatcher(t, mk) })
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	info, ok := core.Featured("skiplist")
 	if !ok || info.Name != "skiplist/herlihy" {

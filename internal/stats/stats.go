@@ -112,6 +112,16 @@ type Thread struct {
 	PagePulls    uint64
 	PagePullKeys uint64
 
+	// Batched operations (the Batcher extension). Batches keep their own
+	// counters — batch keys never contribute to Ops, the hit rate or the
+	// restart histogram — so the paper's point-op metrics stay exactly
+	// what they were, mirroring the scan/page discipline above.
+	Batches         uint64 // completed Multi* calls
+	BatchKeys       uint64 // batch elements applied, summed
+	BatchNs         uint64 // wall time spent inside Multi* calls
+	MaxBatchNs      uint64 // worst single batch (tail latency)
+	CombinedBatches uint64 // batches applied via a flat-combining list
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -197,6 +207,22 @@ func (t *Thread) RecordPagePull(keys int) {
 	t.PagePullKeys += uint64(keys)
 }
 
+// RecordBatch notes a completed batched operation that applied keys
+// elements and took ns nanoseconds of wall time.
+func (t *Thread) RecordBatch(keys int, ns uint64) {
+	t.Batches++
+	t.BatchKeys += uint64(keys)
+	t.BatchNs += ns
+	if ns > t.MaxBatchNs {
+		t.MaxBatchNs = ns
+	}
+}
+
+// RecordCombined notes that one of this thread's batches was applied
+// through a flat-combining publication list (by this thread or by the
+// combining winner on its behalf).
+func (t *Thread) RecordCombined() { t.CombinedBatches++ }
+
 // RecordAcquire notes an uncontended lock acquisition.
 func (t *Thread) RecordAcquire() { t.LockAcqs++ }
 
@@ -281,6 +307,13 @@ func (t *Thread) Merge(o *Thread) {
 	t.CursorRetries += o.CursorRetries
 	t.PagePulls += o.PagePulls
 	t.PagePullKeys += o.PagePullKeys
+	t.Batches += o.Batches
+	t.BatchKeys += o.BatchKeys
+	t.BatchNs += o.BatchNs
+	if o.MaxBatchNs > t.MaxBatchNs {
+		t.MaxBatchNs = o.MaxBatchNs
+	}
+	t.CombinedBatches += o.CombinedBatches
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
 }

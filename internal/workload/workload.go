@@ -30,6 +30,13 @@ const (
 	// one-shot scan's, then iterated page by page through a resumable
 	// cursor with page sizes drawn from the page-size distribution.
 	OpCursorScan
+	// OpMultiGet is a batched lookup: BatchLen keys drawn from the key
+	// popularity distribution, applied through one Batcher.MultiGet.
+	OpMultiGet
+	// OpMultiPut is a batched insert (Batcher.MultiPut).
+	OpMultiPut
+	// OpMultiRemove is a batched remove (Batcher.MultiRemove).
+	OpMultiRemove
 )
 
 // Scan-length distributions.
@@ -81,6 +88,19 @@ type Config struct {
 	// PageLenDist selects the page-size distribution: the same choices
 	// as ScanLenDist (uniform default, fixed, geometric).
 	PageLenDist string
+
+	// BatchRatio is the fraction of operations that are batched
+	// (Batcher) operations. Like the scan fractions it is absolute, and
+	// the batch segment is itself split by UpdateRatio — a BatchRatio
+	// batch mix has the same read/insert/remove proportions as the
+	// point mix, so batching never skews the update rate. Ties clamp in
+	// the order cursors > scans > batches > point updates.
+	BatchRatio float64
+	// BatchLen is the mean batch length in keys; 0 defaults to 64.
+	BatchLen int64
+	// BatchLenDist selects the batch-length distribution: the same
+	// choices as ScanLenDist (uniform default, fixed, geometric).
+	BatchLenDist string
 }
 
 // WithDefaults fills derived fields.
@@ -106,11 +126,23 @@ func (c Config) WithDefaults() Config {
 	if c.CursorRatio+c.ScanRatio > 1 {
 		c.ScanRatio = 1 - c.CursorRatio
 	}
+	if c.BatchRatio < 0 {
+		c.BatchRatio = 0
+	}
+	if c.BatchRatio > 1 {
+		c.BatchRatio = 1
+	}
+	if c.CursorRatio+c.ScanRatio+c.BatchRatio > 1 {
+		c.BatchRatio = 1 - c.CursorRatio - c.ScanRatio
+	}
 	if c.UpdateRatio < 0 {
 		c.UpdateRatio = 0
 	}
-	if c.CursorRatio+c.ScanRatio+c.UpdateRatio > 1 {
-		c.UpdateRatio = 1 - c.CursorRatio - c.ScanRatio
+	if c.UpdateRatio > 1 {
+		c.UpdateRatio = 1
+	}
+	if c.CursorRatio+c.ScanRatio+c.BatchRatio+c.UpdateRatio > 1 {
+		c.UpdateRatio = 1 - c.CursorRatio - c.ScanRatio - c.BatchRatio
 	}
 	if c.ScanLen <= 0 {
 		c.ScanLen = 64
@@ -127,6 +159,12 @@ func (c Config) WithDefaults() Config {
 	if c.PageLenDist == "" {
 		c.PageLenDist = ScanLenUniform
 	}
+	if c.BatchLen <= 0 {
+		c.BatchLen = 64
+	}
+	if c.BatchLenDist == "" {
+		c.BatchLenDist = ScanLenUniform
+	}
 	return c
 }
 
@@ -139,13 +177,17 @@ type Generator struct {
 	perm []int64 // rank -> key (decorrelates popularity from key order)
 
 	// Cumulative op-mix thresholds over one uniform draw in [0, 1):
-	// [0, pCursor) cursor scan, [pCursor, pScan) scan, [pScan, pPut)
-	// put, [pPut, pRemove) remove, and [pRemove, 1) get. A single draw
-	// against precomputed boundaries keeps every category's probability
-	// exactly its configured fraction — stacking conditional coin flips
-	// (the old two-way update split) is where mix skew creeps in when
-	// categories are added.
-	pCursor, pScan, pPut, pRemove float64
+	// [0, pCursor) cursor scan, [pCursor, pScan) scan, [pScan,
+	// pBatchPut) batched put, [pBatchPut, pBatchRemove) batched remove,
+	// [pBatchRemove, pBatch) batched get, [pBatch, pPut) put, [pPut,
+	// pRemove) remove, and [pRemove, 1) get. A single draw against
+	// precomputed boundaries keeps every category's probability exactly
+	// its configured fraction — stacking conditional coin flips (the
+	// old two-way update split) is where mix skew creeps in when
+	// categories are added. The batch segment is split by UpdateRatio
+	// exactly like the point segment, so batch traffic mirrors the
+	// point mix's read/write proportions.
+	pCursor, pScan, pBatchPut, pBatchRemove, pBatch, pPut, pRemove float64
 }
 
 // NewGenerator prepares the (possibly shared) sampling tables.
@@ -154,8 +196,11 @@ func NewGenerator(cfg Config) *Generator {
 	g := &Generator{cfg: cfg}
 	g.pCursor = cfg.CursorRatio
 	g.pScan = g.pCursor + cfg.ScanRatio
-	g.pPut = g.pScan + cfg.UpdateRatio/2
-	g.pRemove = g.pScan + cfg.UpdateRatio
+	g.pBatchPut = g.pScan + cfg.BatchRatio*cfg.UpdateRatio/2
+	g.pBatchRemove = g.pScan + cfg.BatchRatio*cfg.UpdateRatio
+	g.pBatch = g.pScan + cfg.BatchRatio
+	g.pPut = g.pBatch + cfg.UpdateRatio/2
+	g.pRemove = g.pBatch + cfg.UpdateRatio
 	if cfg.ZipfS > 0 {
 		g.zipf = xrand.NewZipf(cfg.KeySpace, cfg.ZipfS)
 		g.perm = xrand.Perm(cfg.KeySpace, xrand.New(0xC0FFEE))
@@ -184,6 +229,12 @@ func (g *Generator) NextOp(rng *xrand.Rng) Op {
 		return OpCursorScan
 	case u < g.pScan:
 		return OpScan
+	case u < g.pBatchPut:
+		return OpMultiPut
+	case u < g.pBatchRemove:
+		return OpMultiRemove
+	case u < g.pBatch:
+		return OpMultiGet
 	case u < g.pPut:
 		return OpPut
 	case u < g.pRemove:
@@ -191,6 +242,12 @@ func (g *Generator) NextOp(rng *xrand.Rng) Op {
 	default:
 		return OpGet
 	}
+}
+
+// BatchLen draws a batch length (keys per Multi* call) from the
+// configured batch-length distribution; always >= 1.
+func (g *Generator) BatchLen(rng *xrand.Rng) int64 {
+	return drawLen(rng, g.cfg.BatchLen, g.cfg.BatchLenDist)
 }
 
 // ScanLen draws a scan length (keys of the key space spanned) from the

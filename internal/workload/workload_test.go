@@ -58,12 +58,12 @@ func TestOpMixRatio(t *testing.T) {
 }
 
 // chiSquareMix draws n ops and returns the chi-square statistic of the
-// observed 5-way mix against the expected fractions (cells with zero
+// observed 8-way mix against the expected fractions (cells with zero
 // expectation are asserted empty instead of divided by).
-func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [5]float64) float64 {
+func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [8]float64) float64 {
 	t.Helper()
 	rng := xrand.New(seed)
-	var obs [5]int
+	var obs [8]int
 	for i := 0; i < n; i++ {
 		obs[g.NextOp(rng)]++
 	}
@@ -82,47 +82,65 @@ func chiSquareMix(t *testing.T, g *Generator, seed uint64, n int, want [5]float6
 	return chi2
 }
 
-// chi2Crit4 is the 99.9th percentile of chi-square with 4 degrees of
+// chi2Crit7 is the 99.9th percentile of chi-square with 7 degrees of
 // freedom: a correct generator fails this once in a thousand seeds, and
 // the seeds here are fixed.
-const chi2Crit4 = 18.47
+const chi2Crit7 = 24.32
 
 // TestOpMixChiSquare pins the drawn mix to the configured fractions with
-// a goodness-of-fit test, across mixes with and without scans and
-// cursors — the regression guard for the single-draw threshold
-// arithmetic: adding OpScan (and now OpCursorScan) to the mix must not
-// skew Get/Put/Remove relative shares.
+// a goodness-of-fit test, across mixes with and without scans, cursors
+// and batches — the regression guard for the single-draw threshold
+// arithmetic: adding OpScan (then OpCursorScan, now the Multi* batch
+// kinds) to the mix must not skew Get/Put/Remove relative shares, and
+// the batch segment must itself split by UpdateRatio.
 func TestOpMixChiSquare(t *testing.T) {
 	const draws = 200000
 	cases := []struct {
 		name string
 		cfg  Config
-		want [5]float64 // indexed by Op: get, put, remove, scan, cursor
+		// Indexed by Op: get, put, remove, scan, cursor, multiget,
+		// multiput, multiremove.
+		want [8]float64
 	}{
 		{"paper-mix-no-scans", Config{Size: 128, UpdateRatio: 0.2},
-			[5]float64{0.8, 0.1, 0.1, 0, 0}},
+			[8]float64{0.8, 0.1, 0.1, 0, 0, 0, 0, 0}},
 		{"scan-heavy", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.3},
-			[5]float64{0.5, 0.1, 0.1, 0.3, 0}},
+			[8]float64{0.5, 0.1, 0.1, 0.3, 0, 0, 0, 0}},
 		{"all-three-small", Config{Size: 128, UpdateRatio: 0.1, ScanRatio: 0.05},
-			[5]float64{0.85, 0.05, 0.05, 0.05, 0}},
+			[8]float64{0.85, 0.05, 0.05, 0.05, 0, 0, 0, 0}},
 		{"scans-only", Config{Size: 128, ScanRatio: 1},
-			[5]float64{0, 0, 0, 1, 0}},
+			[8]float64{0, 0, 0, 1, 0, 0, 0, 0}},
 		{"updates-clamped-by-scans", Config{Size: 128, UpdateRatio: 0.9, ScanRatio: 0.4},
-			[5]float64{0, 0.3, 0.3, 0.4, 0}},
+			[8]float64{0, 0.3, 0.3, 0.4, 0, 0, 0, 0}},
 		{"cursor-mix", Config{Size: 128, UpdateRatio: 0.2, CursorRatio: 0.1},
-			[5]float64{0.7, 0.1, 0.1, 0, 0.1}},
+			[8]float64{0.7, 0.1, 0.1, 0, 0.1, 0, 0, 0}},
 		{"cursor-and-scan", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.1, CursorRatio: 0.1},
-			[5]float64{0.6, 0.1, 0.1, 0.1, 0.1}},
+			[8]float64{0.6, 0.1, 0.1, 0.1, 0.1, 0, 0, 0}},
 		{"cursors-only", Config{Size: 128, CursorRatio: 1},
-			[5]float64{0, 0, 0, 0, 1}},
+			[8]float64{0, 0, 0, 0, 1, 0, 0, 0}},
 		{"updates-clamped-by-cursors", Config{Size: 128, UpdateRatio: 0.9, ScanRatio: 0.3, CursorRatio: 0.3},
-			[5]float64{0, 0.2, 0.2, 0.3, 0.3}},
+			[8]float64{0, 0.2, 0.2, 0.3, 0.3, 0, 0, 0}},
+		// Batch segment: BatchRatio 0.2 × UpdateRatio 0.2 = 0.04 split
+		// evenly between batched puts and removes; the remaining 0.16 of
+		// the segment is batched gets. Point ops keep their absolute
+		// fractions (0.2 of the whole mix is point updates).
+		{"batch-mix", Config{Size: 128, UpdateRatio: 0.2, BatchRatio: 0.2},
+			[8]float64{0.6, 0.1, 0.1, 0, 0, 0.16, 0.02, 0.02}},
+		{"batch-read-only", Config{Size: 128, BatchRatio: 0.5},
+			[8]float64{0.5, 0, 0, 0, 0, 0.5, 0, 0}},
+		// BatchRatio 1 leaves no room for point updates, so UpdateRatio
+		// clamps to 0 and the batch segment's internal split follows it:
+		// the whole mix becomes batched gets.
+		{"batches-only", Config{Size: 128, UpdateRatio: 0.5, BatchRatio: 1},
+			[8]float64{0, 0, 0, 0, 0, 1, 0, 0}},
+		{"everything", Config{Size: 128, UpdateRatio: 0.2, ScanRatio: 0.1, CursorRatio: 0.1, BatchRatio: 0.2},
+			[8]float64{0.4, 0.1, 0.1, 0.1, 0.1, 0.16, 0.02, 0.02}},
 	}
 	for i, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			g := NewGenerator(tc.cfg)
-			if chi2 := chiSquareMix(t, g, uint64(1000+i), draws, tc.want); chi2 > chi2Crit4 {
-				t.Fatalf("chi-square %.2f exceeds %.2f: drawn mix inconsistent with %v", chi2, chi2Crit4, tc.want)
+			if chi2 := chiSquareMix(t, g, uint64(1000+i), draws, tc.want); chi2 > chi2Crit7 {
+				t.Fatalf("chi-square %.2f exceeds %.2f: drawn mix inconsistent with %v", chi2, chi2Crit7, tc.want)
 			}
 		})
 	}
@@ -181,6 +199,46 @@ func TestPageLenDistributions(t *testing.T) {
 				t.Fatalf("%s mean page size %.2f, want ~32", dist, mean)
 			}
 		})
+	}
+}
+
+func TestBatchLenDistributions(t *testing.T) {
+	const draws = 100000
+	for _, dist := range []string{ScanLenUniform, ScanLenFixed, ScanLenGeometric} {
+		t.Run(dist, func(t *testing.T) {
+			g := NewGenerator(Config{Size: 4096, BatchRatio: 0.1, BatchLen: 64, BatchLenDist: dist})
+			rng := xrand.New(13)
+			sum := 0.0
+			for i := 0; i < draws; i++ {
+				n := g.BatchLen(rng)
+				if n < 1 {
+					t.Fatalf("batch length %d < 1", n)
+				}
+				if dist == ScanLenFixed && n != 64 {
+					t.Fatalf("fixed batch length drew %d", n)
+				}
+				if dist == ScanLenUniform && n > 127 {
+					t.Fatalf("uniform batch length %d outside [1, 127]", n)
+				}
+				sum += float64(n)
+			}
+			mean := sum / draws
+			if math.Abs(mean-64) > 3 {
+				t.Fatalf("%s mean batch length %.2f, want ~64", dist, mean)
+			}
+		})
+	}
+}
+
+func TestBatchDefaults(t *testing.T) {
+	c := Config{Size: 512, BatchRatio: 0.1}.WithDefaults()
+	if c.BatchLen != 64 || c.BatchLenDist != ScanLenUniform {
+		t.Fatalf("batch defaults wrong: %+v", c)
+	}
+	// Batches yield to cursors and scans but win over point updates.
+	c2 := Config{Size: 512, CursorRatio: 0.4, ScanRatio: 0.4, BatchRatio: 0.5, UpdateRatio: 0.5}.WithDefaults()
+	if math.Abs(c2.BatchRatio-0.2) > 1e-9 || c2.UpdateRatio != 0 {
+		t.Fatalf("batch ratio clamping wrong: %+v", c2)
 	}
 }
 

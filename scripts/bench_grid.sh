@@ -22,24 +22,44 @@
 # overcollect per page there; page_pull_keys in the artifact proves the
 # difference), and a readcache cell under Zipfian skew so cache-path
 # regressions surface in the trajectory.
+#
+# The batch cells run the batched-operation mix (25% Multi* calls of 64
+# keys, no scans or cursors) on the wide composites where shard grouping
+# amortizes best — uniform and Zipf-0.9 each, so the skewed cells show
+# what grouping buys when most keys land in one shard — plus a
+# deliberately contended sharded(1) cell where every batch fights for a
+# single lock: its combine_frac column proves the flat-combining path
+# engages in the trajectory (and stays near zero in the wide cells).
 set -eu
 
 BIN=${1:?usage: bench_grid.sh /path/to/csdsbench}
 
 first=1
+emit() {
+    if [ "$first" -eq 1 ]; then
+        printf '%s\n' "$1"
+        first=0
+    else
+        printf '%s\n' "$1" | tail -n 1
+    fi
+}
+
 run_cell() {
     alg=$1
     zipf=$2
-    out=$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf "$zipf" \
+    emit "$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf "$zipf" \
         -scan-frac 0.05 -scan-len 64 \
         -cursor-frac 0.05 -page-len 16 \
-        -dur 300ms -runs 2 -csv)
-    if [ "$first" -eq 1 ]; then
-        printf '%s\n' "$out"
-        first=0
-    else
-        printf '%s\n' "$out" | tail -n 1
-    fi
+        -dur 300ms -runs 2 -csv)"
+}
+
+run_batch_cell() {
+    alg=$1
+    zipf=$2
+    emit "$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf "$zipf" \
+        -scan-frac 0 -cursor-frac 0 \
+        -batch-frac 0.25 -batch-len 64 \
+        -dur 300ms -runs 2 -csv)"
 }
 
 run_cell 'list/lazy' 0
@@ -48,3 +68,8 @@ run_cell 'elastic(8,list/lazy)' 0
 run_cell 'sharded(32,list/lazy)' 0
 run_cell 'elastic(32,list/lazy)' 0
 run_cell 'readcache(1024,list/lazy)' 0.9
+run_batch_cell 'sharded(32,list/lazy)' 0
+run_batch_cell 'sharded(32,list/lazy)' 0.9
+run_batch_cell 'elastic(32,list/lazy)' 0
+run_batch_cell 'elastic(32,list/lazy)' 0.9
+run_batch_cell 'sharded(1,list/lazy)' 0.9
