@@ -73,16 +73,38 @@ func BenchmarkAblationPhaseRatio(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationEBR measures the cost of epoch-based reclamation
-// against GC-only operation (the paper's C library needs EBR; Go does
-// not).
+// BenchmarkAblationEBR ablates epoch-based reclamation against GC-only
+// operation. Since the retire path gained real reclamation callbacks
+// the comparison has two sides: the epoch bookkeeping is pure overhead
+// on the op path, while recycling retired nodes through the pools pays
+// it back in allocation rate and GC pause time — so alongside
+// throughput, the cells report retired/reclaimed totals, the pool hit
+// fraction, and allocs/op + GC pause, which the ebr=false cells show
+// as the all-GC baseline.
 func BenchmarkAblationEBR(b *testing.B) {
 	for _, ebrOn := range []bool{false, true} {
 		b.Run(fmt.Sprintf("ebr=%v", ebrOn), func(b *testing.B) {
-			benchCell(b, harness.Config{
+			cfg := harness.Config{
 				Algorithm: "list/lazy", Threads: 8, UseEBR: ebrOn,
 				Workload: workload.Config{Size: 512, UpdateRatio: 0.5},
-			})
+			}
+			if cfg.Duration == 0 {
+				cfg.Duration = benchDur
+			}
+			var res harness.Result
+			for i := 0; i < b.N; i++ {
+				r, err := harness.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			report(b, res)
+			b.ReportMetric(float64(res.Retired), "retired")
+			b.ReportMetric(float64(res.Reclaimed), "reclaimed")
+			b.ReportMetric(res.PoolHitFrac, "poolhitfrac")
+			b.ReportMetric(res.AllocsPerOp, "allocs/op")
+			b.ReportMetric(float64(res.GCPauseNs), "gcpause-ns")
 		})
 	}
 }

@@ -36,13 +36,16 @@ import (
 // csdsbench CSV header and the committed baseline. (v2: the streaming
 // cursor refill columns page_pulls,page_pull_keys joined the schema.
 // v3: the batched-operation columns batchfrac,batches_per_s,
-// batch_mean_keys,batch_mean_ns,combine_frac plus allocs_op.)
-const schemaID = "csds-bench-v3"
+// batch_mean_keys,batch_mean_ns,combine_frac plus allocs_op.
+// v4: the reclamation columns gc_pause_ns,pool_hit_frac plus the ebr
+// configuration axis, so ebr-on and ebr-off runs of the same spec are
+// distinct grid cells.)
+const schemaID = "csds-bench-v4"
 
 // gridAxes are the configuration columns that define a cell's identity:
 // two snapshots describe the same grid iff their cells agree on these
 // (measurements may differ).
-var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "scanfrac", "cursorfrac", "batchfrac"}
+var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "ebr", "scanfrac", "cursorfrac", "batchfrac"}
 
 // Snapshot is the JSON artifact: the column schema plus one entry per
 // grid cell, numbers parsed where the column is numeric.
@@ -191,7 +194,7 @@ func Parse(csv string) (Snapshot, error) {
 // diffMetrics are the throughput columns the trend report renders; any
 // that a snapshot lacks are skipped (old snapshots survive schema
 // growth).
-var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys", "batches_per_s", "allocs_op"}
+var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys", "batches_per_s", "allocs_op", "gc_pause_ns", "pool_hit_frac"}
 
 // runDiff loads two snapshots and prints their per-cell delta report.
 func runDiff(oldPath, newPath string, stdout, stderr io.Writer) int {

@@ -64,7 +64,7 @@ func main() {
 // and the committed BENCH_baseline.json are derived from these columns),
 // so changes here must be deliberate: update the smoke test, the
 // benchsnap tool's expectations, and regenerate the baseline together.
-const csvHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op"
+const csvHeader = "alg,threads,size,updates,zipf,ebr,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac"
 
 // benchOpts holds every flag's destination. The FlagSet they register on
 // (newFlags) is the single source of flag documentation: -list prints
@@ -294,9 +294,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *o.csv {
+		ebr := 0
+		if *o.ebrOn {
+			ebr = 1
+		}
 		fmt.Fprintln(stdout, csvHeader)
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f\n",
-			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf,
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%d,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f,%d,%.4f\n",
+			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf, ebr,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
@@ -304,7 +308,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*o.cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
 			res.PagePullsMean, res.PagePullKeysMean,
 			*o.batchFrac, res.BatchThroughput, res.BatchKeysMean, res.BatchMeanNs,
-			res.CombineFrac, res.AllocsPerOp)
+			res.CombineFrac, res.AllocsPerOp, res.GCPauseNs, res.PoolHitFrac)
 		return 0
 	}
 	fmt.Fprintf(stdout, "algorithm          %s\n", *o.alg)
@@ -354,7 +358,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.FallbackFrac, res.TxAborts[0], res.TxAborts[1], res.TxAborts[2], res.TxAborts[3])
 	}
 	if *o.ebrOn {
-		fmt.Fprintf(stdout, "EBR                retired %d, reclaimed %d\n", res.Retired, res.Reclaimed)
+		fmt.Fprintf(stdout, "EBR                retired %d, reclaimed %d, pool hit frac %.4f (%d hits / %d misses)\n",
+			res.Retired, res.Reclaimed, res.PoolHitFrac, res.PoolHits, res.PoolMisses)
+	}
+	if res.GCPauseNs > 0 {
+		fmt.Fprintf(stdout, "GC pause           %v stop-the-world inside the measured window\n", time.Duration(res.GCPauseNs))
 	}
 	if res.WidthTrace != nil {
 		var tr []string

@@ -291,12 +291,13 @@ func TestBatchFlagValidation(t *testing.T) {
 // BENCH_baseline.json are derived from exactly these columns, so any
 // drift must show up here first.
 func TestCSVSchemaPinned(t *testing.T) {
-	const wantHeader = "alg,threads,size,updates,zipf,mops,perthread_mean,perthread_stddev," +
+	const wantHeader = "alg,threads,size,updates,zipf,ebr,mops,perthread_mean,perthread_stddev," +
 		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
 		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
 		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac," +
 		"page_pulls,page_pull_keys," +
-		"batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op"
+		"batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op," +
+		"gc_pause_ns,pool_hit_frac"
 	var out, errOut strings.Builder
 	code := run([]string{
 		"-alg", "list/lazy", "-threads", "2", "-size", "128",

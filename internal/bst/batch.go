@@ -1,39 +1,52 @@
 // Batched (core.Batcher) paths for the BSTs: sorted point application.
 // Like the skip lists, a BST point search is already logarithmic and
-// the write phase touches a constant number of nodes, so there is no
-// per-key bracket or epoch to amortize — the batch win is the
-// ascending order's path locality (consecutive sorted keys share tree
-// path prefixes).
+// the write phase touches a constant number of nodes, so the batch win
+// is the ascending order's path locality (consecutive sorted keys share
+// tree path prefixes). Each Multi* additionally opens one epoch bracket
+// for the whole batch (brackets nest), amortizing the per-op epoch
+// announcement.
 package bst
 
 import "csds/internal/core"
 
 // MultiGet implements core.Batcher by sorted point lookups.
 func (t *TK) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiGet(c, t, keys, f)
 }
 
 // MultiPut implements core.Batcher by sorted point inserts.
 func (t *TK) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiPut(c, t, pairs, f)
 }
 
 // MultiRemove implements core.Batcher by sorted point removes.
 func (t *TK) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiRemove(c, t, keys, f)
 }
 
 // MultiGet implements core.Batcher by sorted point lookups.
 func (t *Internal) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiGet(c, t, keys, f)
 }
 
 // MultiPut implements core.Batcher by sorted point inserts.
 func (t *Internal) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiPut(c, t, pairs, f)
 }
 
 // MultiRemove implements core.Batcher by sorted point removes.
 func (t *Internal) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiRemove(c, t, keys, f)
 }

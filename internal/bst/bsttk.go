@@ -133,7 +133,7 @@ func (t *TK) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		}
 		c.InCS()
 		t.guard.BeginWrite(c.Stat())
-		p.setChild(right, newSubtree(k, v, l))
+		p.setChild(right, newSubtree(c, k, v, l))
 		t.guard.EndWrite()
 		p.lock.Release()
 		c.RecordRestarts(restarts)
@@ -143,15 +143,15 @@ func (t *TK) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 
 // newSubtree builds the internal node replacing leaf l when inserting k:
 // the router key is the larger of the two, the smaller key goes left.
-func newSubtree(k core.Key, v core.Value, l *tkNode) *tkNode {
-	nl := leafNode(k, v)
+func newSubtree(c *core.Ctx, k core.Key, v core.Value, l *tkNode) *tkNode {
+	nl := leafNodePooled(c, k, v)
 	var in *tkNode
 	if k < l.key {
-		in = &tkNode{key: l.key}
+		in = routerNodePooled(c, l.key)
 		in.left.Store(nl)
 		in.right.Store(l)
 	} else {
-		in = &tkNode{key: k}
+		in = routerNodePooled(c, k)
 		in.left.Store(l)
 		in.right.Store(nl)
 	}
@@ -179,7 +179,7 @@ func (t *TK) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 				return a.AbortStatus()
 			}
 			t.guard.BeginWrite(c.Stat())
-			p.setChild(right, newSubtree(k, v, l))
+			p.setChild(right, newSubtree(c, k, v, l))
 			t.guard.EndWrite()
 			inserted = true
 			return htm.Committed
@@ -228,8 +228,8 @@ func (t *TK) Remove(c *core.Ctx, k core.Key) bool {
 		t.guard.EndWrite()
 		p.lock.Release()
 		gp.lock.Release()
-		c.Retire(p)
-		c.Retire(l)
+		c.Retire(p, reclaimTKNode)
+		c.Retire(l, reclaimTKNode)
 		c.RecordRestarts(restarts)
 		return true
 	}
@@ -290,8 +290,8 @@ func (t *TK) removeElided(c *core.Ctx, k core.Key) bool {
 		})
 		if st == htm.Committed {
 			if removed {
-				c.Retire(p)
-				c.Retire(l)
+				c.Retire(p, reclaimTKNode)
+				c.Retire(l, reclaimTKNode)
 			}
 			c.RecordRestarts(restarts)
 			return removed

@@ -1,0 +1,24 @@
+package bst
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The poisoning battery (settest.RunPoison): EBR on, reclaim callbacks
+// poisoning and recycling every retired router and leaf, concurrent
+// readers asserting no traversal ever observes a poisoned or recycled
+// mapping.
+
+func TestTKPoison(t *testing.T) {
+	settest.RunPoison(t, func(o core.Options) core.Set { return NewTK(o) })
+}
+
+func TestInternalPoison(t *testing.T) {
+	// The internal BST deletes logically and never retires — the battery
+	// degenerates to a read-consistency check plus a trivially empty
+	// drain, which is exactly the documented contract.
+	settest.RunPoison(t, func(o core.Options) core.Set { return NewInternal(o) })
+}

@@ -1,0 +1,53 @@
+// Typed free-list and reclaim callback for BST-TK nodes (DESIGN.md,
+// "Pooling contract"). Routers and leaves share one pool: they are the
+// same struct, and a remove retires one of each, so the pool stays
+// balanced under churn.
+//
+// Pooling is safe here because a remove splices both the parent router
+// and the victim leaf out of the tree under the grandparent's and
+// parent's locks before retiring them: once the splice is published no
+// structure-resident pointer reaches either node, and every optimistic
+// searcher that might still hold one obtained it inside an epoch
+// bracket that the grace period waits out. The internal BST (internal.go)
+// deletes logically and never unlinks, so it has nothing to retire and
+// stays GC-only.
+package bst
+
+import "csds/internal/core"
+
+var tkNodePool core.Pool
+
+func leafNodePooled(c *core.Ctx, k core.Key, v core.Value) *tkNode {
+	if c.Pooled() {
+		if n, _ := tkNodePool.Get(c).(*tkNode); n != nil {
+			n.key, n.val, n.leaf = k, v, true
+			n.left.Store(nil)
+			n.right.Store(nil)
+			n.removed.Store(false)
+			return n
+		}
+	}
+	return leafNode(k, v)
+}
+
+func routerNodePooled(c *core.Ctx, k core.Key) *tkNode {
+	if c.Pooled() {
+		if n, _ := tkNodePool.Get(c).(*tkNode); n != nil {
+			n.key, n.val, n.leaf = k, 0, false
+			n.left.Store(nil)
+			n.right.Store(nil)
+			n.removed.Store(false)
+			return n
+		}
+	}
+	return &tkNode{key: k}
+}
+
+func reclaimTKNode(p any) {
+	n := p.(*tkNode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.removed.Store(true)
+	n.left.Store(nil)
+	n.right.Store(nil)
+	tkNodePool.Put(n)
+}

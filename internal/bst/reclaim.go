@@ -1,0 +1,27 @@
+// ReclaimAll (core.Reclaimer) for BST-TK: a quiesced teardown sweep
+// that recycles every router and leaf under the data root at once (same
+// contract as the list package: the caller guarantees the instance is
+// quiesced and discarded — the elastic resize's retire callback). The
+// internal BST deletes logically and has no pool, so no ReclaimAll.
+package bst
+
+import "csds/internal/core"
+
+// ReclaimAll implements core.Reclaimer: recycle every node of the data
+// subtree, leaving the sentinel skeleton coherent (empty tree).
+func (t *TK) ReclaimAll() {
+	root := t.sroot.left.Load()
+	reclaimSubtree(root.left.Load())
+	root.left.Store(leafNode(core.KeyMin, 0))
+}
+
+func reclaimSubtree(n *tkNode) {
+	if n == nil {
+		return
+	}
+	if !n.leaf {
+		reclaimSubtree(n.left.Load())
+		reclaimSubtree(n.right.Load())
+	}
+	reclaimTKNode(n)
+}

@@ -16,17 +16,19 @@ import (
 // part, preserving caller order inside each part (so inner duplicate-
 // key semantics match the caller's index order; distinct parts hold
 // disjoint keys, so cross-part order is immaterial). idx[off[p]:
-// off[p+1]] lists the caller indices routed to part p.
-func groupBatch(n, parts int, partOf func(i int) int) (idx, off []int) {
-	off = make([]int, parts+1)
+// off[p+1]] lists the caller indices routed to part p. The index
+// arrays are carved from the caller's scratch, so they live until the
+// caller releases it.
+func groupBatch(sc *core.BatchScratch, n, parts int, partOf func(i int) int) (idx, off []int) {
+	off = sc.Ints(parts + 1)
 	for i := 0; i < n; i++ {
 		off[partOf(i)+1]++
 	}
 	for p := 0; p < parts; p++ {
 		off[p+1] += off[p]
 	}
-	idx = make([]int, n)
-	cur := make([]int, parts)
+	idx = sc.Ints(n)
+	cur := sc.Ints(parts)
 	copy(cur, off[:parts])
 	for i := 0; i < n; i++ {
 		p := partOf(i)
@@ -71,23 +73,25 @@ func (s *Sharded) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Va
 		core.AsBatcher(s.shards[0]).MultiGet(c, keys, f)
 		return
 	}
-	idx, off := groupBatch(n, len(s.shards), func(i int) int { return s.partOfKey(keys[i]) })
-	vals := make([]core.Value, n)
-	oks := make([]bool, n)
-	sub := make([]core.Key, 0, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	idx, off := groupBatch(sc, n, len(s.shards), func(i int) int { return s.partOfKey(keys[i]) })
+	vals := sc.Vals(n)
+	oks := sc.Bools(n)
+	sub := sc.Keys(n)[:0]
+	var g []int
+	cb := func(j int, v core.Value, ok bool) { vals[g[j]], oks[g[j]] = v, ok }
 	for p := range s.shards {
 		lo, hi := off[p], off[p+1]
 		if lo == hi {
 			continue
 		}
-		g := idx[lo:hi]
+		g = idx[lo:hi]
 		sub = sub[:0]
 		for _, i := range g {
 			sub = append(sub, keys[i])
 		}
-		core.AsBatcher(s.shards[p]).MultiGet(c, sub, func(j int, v core.Value, ok bool) {
-			vals[g[j]], oks[g[j]] = v, ok
-		})
+		core.AsBatcher(s.shards[p]).MultiGet(c, sub, cb)
 	}
 	for i := 0; i < n; i++ {
 		f(i, vals[i], oks[i])
@@ -105,23 +109,30 @@ func (s *Sharded) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted 
 	if n == 0 {
 		return
 	}
-	res := make([]bool, n)
-	idx, off := groupBatch(n, len(s.shards), func(i int) int { return s.partOfKey(pairs[i].K) })
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	res := sc.Bools(n)
+	idx, off := groupBatch(sc, n, len(s.shards), func(i int) int { return s.partOfKey(pairs[i].K) })
 	if p, one := singlePart(off); one {
+		// res may travel through the publication list, but the combiner
+		// hands it back exclusively once done is set, so Run's return
+		// makes the scratch-carved slice safe to recycle.
 		s.combiners[p].Run(c, core.BatchPut, pairs, res, s.applyCombined(p))
 	} else {
-		sub := make([]core.KV, 0, n)
+		sub := sc.KVs(n)[:0]
+		var g []int
+		cb := func(j int, ok bool) { res[g[j]] = ok }
 		for p := range s.shards {
 			lo, hi := off[p], off[p+1]
 			if lo == hi {
 				continue
 			}
-			g := idx[lo:hi]
+			g = idx[lo:hi]
 			sub = sub[:0]
 			for _, i := range g {
 				sub = append(sub, pairs[i])
 			}
-			core.AsBatcher(s.shards[p]).MultiPut(c, sub, func(j int, ok bool) { res[g[j]] = ok })
+			core.AsBatcher(s.shards[p]).MultiPut(c, sub, cb)
 		}
 	}
 	for i := range res {
@@ -136,27 +147,31 @@ func (s *Sharded) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, remove
 	if n == 0 {
 		return
 	}
-	res := make([]bool, n)
-	idx, off := groupBatch(n, len(s.shards), func(i int) int { return s.partOfKey(keys[i]) })
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	res := sc.Bools(n)
+	idx, off := groupBatch(sc, n, len(s.shards), func(i int) int { return s.partOfKey(keys[i]) })
 	if p, one := singlePart(off); one {
-		kv := make([]core.KV, n)
+		kv := sc.KVs(n)
 		for i, k := range keys {
 			kv[i] = core.KV{K: k}
 		}
 		s.combiners[p].Run(c, core.BatchRemove, kv, res, s.applyCombined(p))
 	} else {
-		sub := make([]core.Key, 0, n)
+		sub := sc.Keys(n)[:0]
+		var g []int
+		cb := func(j int, ok bool) { res[g[j]] = ok }
 		for p := range s.shards {
 			lo, hi := off[p], off[p+1]
 			if lo == hi {
 				continue
 			}
-			g := idx[lo:hi]
+			g = idx[lo:hi]
 			sub = sub[:0]
 			for _, i := range g {
 				sub = append(sub, keys[i])
 			}
-			core.AsBatcher(s.shards[p]).MultiRemove(c, sub, func(j int, ok bool) { res[g[j]] = ok })
+			core.AsBatcher(s.shards[p]).MultiRemove(c, sub, cb)
 		}
 	}
 	for i := range res {
@@ -194,23 +209,25 @@ func (s *Striped) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Va
 	if n == 0 {
 		return
 	}
-	idx, off := groupBatch(n, len(s.stripes), func(i int) int { return s.stripeIndex(keys[i]) })
-	vals := make([]core.Value, n)
-	oks := make([]bool, n)
-	sub := make([]core.Key, 0, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	idx, off := groupBatch(sc, n, len(s.stripes), func(i int) int { return s.stripeIndex(keys[i]) })
+	vals := sc.Vals(n)
+	oks := sc.Bools(n)
+	sub := sc.Keys(n)[:0]
+	var g []int
+	cb := func(j int, v core.Value, ok bool) { vals[g[j]], oks[g[j]] = v, ok }
 	for p := range s.stripes {
 		lo, hi := off[p], off[p+1]
 		if lo == hi {
 			continue
 		}
-		g := idx[lo:hi]
+		g = idx[lo:hi]
 		sub = sub[:0]
 		for _, i := range g {
 			sub = append(sub, keys[i])
 		}
-		core.AsBatcher(s.stripes[p]).MultiGet(c, sub, func(j int, v core.Value, ok bool) {
-			vals[g[j]], oks[g[j]] = v, ok
-		})
+		core.AsBatcher(s.stripes[p]).MultiGet(c, sub, cb)
 	}
 	for i := 0; i < n; i++ {
 		f(i, vals[i], oks[i])
@@ -223,20 +240,24 @@ func (s *Striped) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted 
 	if n == 0 {
 		return
 	}
-	idx, off := groupBatch(n, len(s.stripes), func(i int) int { return s.stripeIndex(pairs[i].K) })
-	res := make([]bool, n)
-	sub := make([]core.KV, 0, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	idx, off := groupBatch(sc, n, len(s.stripes), func(i int) int { return s.stripeIndex(pairs[i].K) })
+	res := sc.Bools(n)
+	sub := sc.KVs(n)[:0]
+	var g []int
+	cb := func(j int, ok bool) { res[g[j]] = ok }
 	for p := range s.stripes {
 		lo, hi := off[p], off[p+1]
 		if lo == hi {
 			continue
 		}
-		g := idx[lo:hi]
+		g = idx[lo:hi]
 		sub = sub[:0]
 		for _, i := range g {
 			sub = append(sub, pairs[i])
 		}
-		core.AsBatcher(s.stripes[p]).MultiPut(c, sub, func(j int, ok bool) { res[g[j]] = ok })
+		core.AsBatcher(s.stripes[p]).MultiPut(c, sub, cb)
 	}
 	for i := range res {
 		f(i, res[i])
@@ -249,20 +270,24 @@ func (s *Striped) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, remove
 	if n == 0 {
 		return
 	}
-	idx, off := groupBatch(n, len(s.stripes), func(i int) int { return s.stripeIndex(keys[i]) })
-	res := make([]bool, n)
-	sub := make([]core.Key, 0, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	idx, off := groupBatch(sc, n, len(s.stripes), func(i int) int { return s.stripeIndex(keys[i]) })
+	res := sc.Bools(n)
+	sub := sc.Keys(n)[:0]
+	var g []int
+	cb := func(j int, ok bool) { res[g[j]] = ok }
 	for p := range s.stripes {
 		lo, hi := off[p], off[p+1]
 		if lo == hi {
 			continue
 		}
-		g := idx[lo:hi]
+		g = idx[lo:hi]
 		sub = sub[:0]
 		for _, i := range g {
 			sub = append(sub, keys[i])
 		}
-		core.AsBatcher(s.stripes[p]).MultiRemove(c, sub, func(j int, ok bool) { res[g[j]] = ok })
+		core.AsBatcher(s.stripes[p]).MultiRemove(c, sub, cb)
 	}
 	for i := range res {
 		f(i, res[i])
@@ -278,25 +303,27 @@ func (s *Striped) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, remove
 // key). Reports false if any shard was stale (results are then
 // discarded and the whole batch retried on the published map).
 func (e *Elastic) multiGetOn(c *core.Ctx, p *epartition, keys []core.Key, vals []core.Value, oks []bool, witness bool) bool {
+	sc := core.GetBatchScratch()
+	defer sc.Release()
 	parts := len(p.shards)
-	idx, off := groupBatch(len(keys), parts, func(i int) int {
+	idx, off := groupBatch(sc, len(keys), parts, func(i int) int {
 		return indexOf(mix64(uint64(keys[i])), parts)
 	})
-	sub := make([]core.Key, 0, len(keys))
+	sub := sc.Keys(len(keys))[:0]
+	var g []int
+	cb := func(j int, v core.Value, ok bool) { vals[g[j]], oks[g[j]] = v, ok }
 	for part := 0; part < parts; part++ {
 		lo, hi := off[part], off[part+1]
 		if lo == hi {
 			continue
 		}
-		g := idx[lo:hi]
+		g = idx[lo:hi]
 		sub = sub[:0]
 		for _, i := range g {
 			sub = append(sub, keys[i])
 		}
 		sh := &p.shards[part]
-		core.AsBatcher(sh.set).MultiGet(c, sub, func(j int, v core.Value, ok bool) {
-			vals[g[j]], oks[g[j]] = v, ok
-		})
+		core.AsBatcher(sh.set).MultiGet(c, sub, cb)
 		if witness && sh.frozen.Load() && e.cur.Load() != p {
 			return false
 		}
@@ -314,8 +341,14 @@ func (e *Elastic) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Va
 	if n == 0 {
 		return
 	}
-	vals := make([]core.Value, n)
-	oks := make([]bool, n)
+	// Pin the loaded shard maps against eager resize reclamation (one
+	// bracket for the whole batch; brackets nest).
+	c.EpochEnter()
+	defer c.EpochExit()
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	vals := sc.Vals(n)
+	oks := sc.Bools(n)
 	for attempt := 0; attempt < scanEpochRetries; attempt++ {
 		if e.multiGetOn(c, e.cur.Load(), keys, vals, oks, true) {
 			for i := 0; i < n; i++ {
@@ -337,19 +370,22 @@ func (e *Elastic) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Va
 // A frozen shard parks the batch until the epoch advances, then the
 // unapplied remainder regroups on the published map — applied elements
 // keep their results (their inner operations already linearized).
-func (e *Elastic) multiWrite(c *core.Ctx, n int, keyAt func(i int) core.Key, apply func(s core.Set, members []int, res []bool)) []bool {
-	res := make([]bool, n)
-	pending := make([]int, n)
+func (e *Elastic) multiWrite(c *core.Ctx, sc *core.BatchScratch, n int, keyAt func(i int) core.Key, apply func(s core.Set, members []int, res []bool)) []bool {
+	c.EpochEnter()
+	defer c.EpochExit()
+	res := sc.Bools(n)
+	pending := sc.Ints(n)
 	for i := range pending {
 		pending[i] = i
 	}
 	for len(pending) > 0 {
 		p := e.cur.Load()
 		parts := len(p.shards)
-		idx, off := groupBatch(len(pending), parts, func(j int) int {
+		idx, off := groupBatch(sc, len(pending), parts, func(j int) int {
 			return indexOf(mix64(uint64(keyAt(pending[j]))), parts)
 		})
-		applied := make([]bool, len(pending))
+		applied := sc.Bools(len(pending))
+		memberBuf := sc.Ints(len(pending))
 		stale := false
 		for part := 0; part < parts; part++ {
 			lo, hi := off[part], off[part+1]
@@ -366,7 +402,7 @@ func (e *Elastic) multiWrite(c *core.Ctx, n int, keyAt func(i int) core.Key, app
 				stale = true
 				break
 			}
-			members := make([]int, 0, hi-lo)
+			members := memberBuf[:0]
 			for _, j := range idx[lo:hi] {
 				members = append(members, pending[j])
 			}
@@ -379,7 +415,7 @@ func (e *Elastic) multiWrite(c *core.Ctx, n int, keyAt func(i int) core.Key, app
 		if !stale {
 			return res
 		}
-		var rest []int
+		rest := sc.Ints(len(pending))[:0]
 		for j, did := range applied {
 			if !did {
 				rest = append(rest, pending[j])
@@ -396,14 +432,21 @@ func (e *Elastic) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted 
 	if len(pairs) == 0 {
 		return
 	}
-	res := e.multiWrite(c, len(pairs),
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	subBuf := sc.KVs(len(pairs))
+	var m []int
+	var out []bool
+	cb := func(j int, ok bool) { out[m[j]] = ok }
+	res := e.multiWrite(c, sc, len(pairs),
 		func(i int) core.Key { return pairs[i].K },
 		func(s core.Set, members []int, res []bool) {
-			sub := make([]core.KV, len(members))
-			for j, i := range members {
-				sub[j] = pairs[i]
+			sub := subBuf[:0]
+			for _, i := range members {
+				sub = append(sub, pairs[i])
 			}
-			core.AsBatcher(s).MultiPut(c, sub, func(j int, ok bool) { res[members[j]] = ok })
+			m, out = members, res
+			core.AsBatcher(s).MultiPut(c, sub, cb)
 		})
 	for i := range res {
 		f(i, res[i])
@@ -416,14 +459,21 @@ func (e *Elastic) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, remove
 	if len(keys) == 0 {
 		return
 	}
-	res := e.multiWrite(c, len(keys),
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	subBuf := sc.Keys(len(keys))
+	var m []int
+	var out []bool
+	cb := func(j int, ok bool) { out[m[j]] = ok }
+	res := e.multiWrite(c, sc, len(keys),
 		func(i int) core.Key { return keys[i] },
 		func(s core.Set, members []int, res []bool) {
-			sub := make([]core.Key, len(members))
-			for j, i := range members {
-				sub[j] = keys[i]
+			sub := subBuf[:0]
+			for _, i := range members {
+				sub = append(sub, keys[i])
 			}
-			core.AsBatcher(s).MultiRemove(c, sub, func(j int, ok bool) { res[members[j]] = ok })
+			m, out = members, res
+			core.AsBatcher(s).MultiRemove(c, sub, cb)
 		})
 	for i := range res {
 		f(i, res[i])
@@ -444,10 +494,12 @@ func (r *ReadCache) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.
 	if n == 0 {
 		return
 	}
-	vals := make([]core.Value, n)
-	oks := make([]bool, n)
-	var missIdx []int
-	var missKeys []core.Key
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	vals := sc.Vals(n)
+	oks := sc.Bools(n)
+	missIdx := sc.Ints(n)[:0]
+	missKeys := sc.Keys(n)[:0]
 	var missVers []uint64
 	for i, k := range keys {
 		sl := r.slot(k)
@@ -491,7 +543,9 @@ func (r *ReadCache) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserte
 	if n == 0 {
 		return
 	}
-	res := make([]bool, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	res := sc.Bools(n)
 	if r.tryBatchUpdate(c, core.BatchPut, pairs, res) {
 		for i := range res {
 			f(i, res[i])
@@ -509,11 +563,13 @@ func (r *ReadCache) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, remo
 	if n == 0 {
 		return
 	}
-	pairs := make([]core.KV, n)
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	pairs := sc.KVs(n)
 	for i, k := range keys {
 		pairs[i] = core.KV{K: k}
 	}
-	res := make([]bool, n)
+	res := sc.Bools(n)
 	if r.tryBatchUpdate(c, core.BatchRemove, pairs, res) {
 		for i := range res {
 			f(i, res[i])

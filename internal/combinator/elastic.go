@@ -124,6 +124,11 @@ func (e *Elastic) buildPartition(n int) *epartition {
 // Get implements core.Set. The hot path is one map load, the inner Get,
 // and one flag load; it never waits, even during a resize.
 func (e *Elastic) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	// The bracket must open before the map load: a superseded map is
+	// retired eagerly (see Resize), so holding one without an active
+	// epoch would race its reclamation.
+	c.EpochEnter()
+	defer c.EpochExit()
 	for {
 		p := e.cur.Load()
 		sh := p.route(k)
@@ -139,8 +144,11 @@ func (e *Elastic) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 	}
 }
 
-// write runs one mutation under the shard gate protocol.
+// write runs one mutation under the shard gate protocol. The bracket
+// pins the loaded shard map against eager resize reclamation, like Get.
 func (e *Elastic) write(c *core.Ctx, k core.Key, op func(core.Set) bool) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	for {
 		p := e.cur.Load()
 		sh := p.route(k)
@@ -210,6 +218,8 @@ func (e *Elastic) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.V
 	if lo >= hi {
 		return true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	var buf []core.ScanPair
 	for attempt := 0; attempt < scanEpochRetries; attempt++ {
 		p := e.cur.Load()
@@ -275,6 +285,8 @@ func (e *Elastic) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k co
 	if pos >= hi {
 		return hi, true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	for attempt := 0; attempt < scanEpochRetries; attempt++ {
 		p := e.cur.Load()
 		buf, next, done, aborted := core.StreamMergePage(c, p.shardSets(), pos, hi, max, func(i int) bool {
@@ -357,5 +369,19 @@ func (e *Elastic) Resize(c *core.Ctx, n int) error {
 	// frozen forever, so stragglers holding them detect and retry.
 	e.cur.Store(next)
 	e.resizes.Add(1)
+	// Eager reclamation: the superseded map is unreachable for new
+	// operations the moment the swap lands, and every straggler holding
+	// it does so inside an epoch bracket — so retire it through the
+	// caller's record and let the grace period, not the GC, decide when
+	// its shards' nodes feed the pools. Shards whose structures cannot
+	// pool (and the map skeleton itself) simply fall to the GC when the
+	// callback drops the last reference.
+	c.Retire(old, func(v any) {
+		for i := range v.(*epartition).shards {
+			if r, ok := v.(*epartition).shards[i].set.(core.Reclaimer); ok {
+				r.ReclaimAll()
+			}
+		}
+	})
 	return nil
 }

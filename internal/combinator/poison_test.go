@@ -1,0 +1,48 @@
+package combinator
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The poisoning battery across the combinators (settest.RunPoison):
+// nodes recycled by one shard's churn may be handed to another shard —
+// or, after an elastic teardown sweep, to a replacement instance — so
+// the composite batteries prove the package-level pools and the eager
+// resize reclamation never leak a live mapping.
+
+func TestCombinatorsPoison(t *testing.T) {
+	specs := []string{
+		"sharded(4,list/lazy)",
+		"sharded(4,skiplist/herlihy)",
+		"striped(4,list/lazy)",
+		"striped(4,bst/tk)",
+		"readcache(8,list/lazy)",
+		"readcache(8,hashtable/lazy)",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) { settest.RunPoisonSpec(t, spec) })
+	}
+}
+
+// TestElasticPoison runs the battery under continuous resize: every
+// published width change eagerly retires a whole shard map whose nodes
+// are swept into the pools by ReclaimAll — while stragglers may still
+// be traversing them inside their brackets.
+func TestElasticPoison(t *testing.T) {
+	specs := []string{
+		"elastic(2,list/lazy)",
+		"elastic(2,hashtable/lazy)",
+		"elastic(2,bst/tk)",
+		"elastic(2,skiplist/herlihy)",
+	}
+	for _, spec := range specs {
+		f, err := core.NewFactory(spec)
+		if err != nil {
+			t.Fatalf("resolving %s: %v", spec, err)
+		}
+		t.Run(spec, func(t *testing.T) { settest.RunPoisonResizable(t, settest.Factory(f)) })
+	}
+}

@@ -1,0 +1,34 @@
+// ReclaimAll (core.Reclaimer) delegation for the composites: a
+// combinator can recycle exactly what its parts can. Elastic has no
+// ReclaimAll of its own — its resize path retires superseded shard maps
+// eagerly instead (see Resize), which is where whole-structure
+// reclamation actually pays.
+package combinator
+
+import "csds/internal/core"
+
+// ReclaimAll implements core.Reclaimer by delegation to every shard.
+func (s *Sharded) ReclaimAll() {
+	reclaimParts(s.shards)
+}
+
+// ReclaimAll implements core.Reclaimer by delegation to every stripe.
+func (s *Striped) ReclaimAll() {
+	reclaimParts(s.stripes)
+}
+
+// ReclaimAll implements core.Reclaimer by delegation to the inner
+// structure (cached rcEntry boxes are plain values; the GC takes them).
+func (r *ReadCache) ReclaimAll() {
+	if rec, ok := r.inner.(core.Reclaimer); ok {
+		rec.ReclaimAll()
+	}
+}
+
+func reclaimParts(parts []core.Set) {
+	for _, p := range parts {
+		if r, ok := p.(core.Reclaimer); ok {
+			r.ReclaimAll()
+		}
+	}
+}

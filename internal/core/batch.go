@@ -14,7 +14,10 @@
 // the previous key's position instead of restarting at the head.
 package core
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // KV is one key/value pair of a batched Put.
 type KV struct {
@@ -56,16 +59,105 @@ type Batcher interface {
 	MultiRemove(c *Ctx, keys []Key, f func(i int, removed bool))
 }
 
-// BatchOrder returns the batch indices 0..n-1 ordered by ascending
-// key, stably: duplicate keys keep their caller order, which is what
-// makes a sorted application sequentially equivalent to the index-order
-// loop of point operations (Batcher's duplicate-key contract).
-func BatchOrder(n int, key func(int) Key) []int {
-	ord := make([]int, n)
+// BatchScratch recycles the transient buffers of one batched call:
+// the order/grouping index arrays, the result-replay buffers, and the
+// per-destination sub-batches. All of them die when the Multi* call
+// returns, which under a batch-heavy workload left the allocator as
+// the dominant per-batch cost; carving them from a pooled arena makes
+// the steady-state batch path allocation-free. Take one scratch per
+// call and Release it on return — calls nest safely (a composite's
+// inner structure takes its own scratch from the pool).
+//
+// Every carve is zeroed, so a carved slice behaves exactly like a
+// fresh make. Release invalidates every slice carved from the scratch;
+// none of them may escape the call (the Batcher callback contract
+// already forbids retaining batch internals).
+type BatchScratch struct {
+	ints  []int
+	keys  []Key
+	kvs   []KV
+	vals  []Value
+	bools []bool
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
+
+// GetBatchScratch takes a scratch arena from the pool.
+func GetBatchScratch() *BatchScratch { return batchScratchPool.Get().(*BatchScratch) }
+
+// Release returns the scratch to the pool, invalidating every slice
+// carved from it.
+func (s *BatchScratch) Release() {
+	s.ints = s.ints[:0]
+	s.keys = s.keys[:0]
+	s.kvs = s.kvs[:0]
+	s.vals = s.vals[:0]
+	s.bools = s.bools[:0]
+	batchScratchPool.Put(s)
+}
+
+// carve extends arena a by a zeroed length-n slice and returns it
+// full-capacity-clipped, so successive carves are disjoint. When the
+// arena must grow, a fresh backing array is taken and earlier carves
+// simply keep the old one alive until Release.
+func carve[T any](a []T, n int) ([]T, []T) {
+	if cap(a)-len(a) < n {
+		a = make([]T, 0, 2*(len(a)+n))
+	}
+	used := len(a)
+	a = a[:used+n]
+	out := a[used : used+n : used+n]
+	clear(out)
+	return a, out
+}
+
+// Ints carves a zeroed length-n int slice from the scratch.
+func (s *BatchScratch) Ints(n int) (out []int) { s.ints, out = carve(s.ints, n); return }
+
+// Keys carves a zeroed length-n Key slice from the scratch.
+func (s *BatchScratch) Keys(n int) (out []Key) { s.keys, out = carve(s.keys, n); return }
+
+// KVs carves a zeroed length-n KV slice from the scratch.
+func (s *BatchScratch) KVs(n int) (out []KV) { s.kvs, out = carve(s.kvs, n); return }
+
+// Vals carves a zeroed length-n Value slice from the scratch.
+func (s *BatchScratch) Vals(n int) (out []Value) { s.vals, out = carve(s.vals, n); return }
+
+// Bools carves a zeroed length-n bool slice from the scratch.
+func (s *BatchScratch) Bools(n int) (out []bool) { s.bools, out = carve(s.bools, n); return }
+
+// OrderInto fills ord with the indices 0..len(ord)-1 ordered by
+// ascending key, stably: duplicate keys keep their caller order, which
+// is what makes a sorted application sequentially equivalent to the
+// index-order loop of point operations (Batcher's duplicate-key
+// contract). Small batches — the common case — use an in-place stable
+// insertion sort so ordering allocates nothing; larger ones fall back
+// to sort.SliceStable, whose O(n log n) beats the quadratic insertion
+// cost long before its two closure allocations matter.
+func OrderInto(ord []int, key func(int) Key) {
 	for i := range ord {
 		ord[i] = i
 	}
+	if len(ord) <= 128 {
+		for i := 1; i < len(ord); i++ {
+			v, kv := ord[i], key(ord[i])
+			j := i
+			for j > 0 && key(ord[j-1]) > kv {
+				ord[j] = ord[j-1]
+				j--
+			}
+			ord[j] = v
+		}
+		return
+	}
 	sort.SliceStable(ord, func(a, b int) bool { return key(ord[a]) < key(ord[b]) })
+}
+
+// BatchOrder returns the batch indices 0..n-1 ordered by ascending key
+// (see OrderInto), in a freshly allocated slice.
+func BatchOrder(n int, key func(int) Key) []int {
+	ord := make([]int, n)
+	OrderInto(ord, key)
 	return ord
 }
 
@@ -110,9 +202,12 @@ func LoopMultiRemove(c *Ctx, s Set, keys []Key, f func(i int, removed bool)) {
 // levels, so the sort buys branch and cache locality even without a
 // bespoke resumed traversal.
 func SortedMultiGet(c *Ctx, s Set, keys []Key, f func(i int, v Value, ok bool)) {
-	ord := KeyOrder(keys)
-	vals := make([]Value, len(keys))
-	oks := make([]bool, len(keys))
+	sc := GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	OrderInto(ord, func(i int) Key { return keys[i] })
+	vals := sc.Vals(len(keys))
+	oks := sc.Bools(len(keys))
 	for _, i := range ord {
 		vals[i], oks[i] = s.Get(c, keys[i])
 	}
@@ -125,8 +220,11 @@ func SortedMultiGet(c *Ctx, s Set, keys []Key, f func(i int, v Value, ok bool)) 
 // duplicate keys resolve in caller order) and replays results in caller
 // order.
 func SortedMultiPut(c *Ctx, s Set, pairs []KV, f func(i int, inserted bool)) {
-	ord := PairOrder(pairs)
-	res := make([]bool, len(pairs))
+	sc := GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(pairs))
+	OrderInto(ord, func(i int) Key { return pairs[i].K })
+	res := sc.Bools(len(pairs))
 	for _, i := range ord {
 		res[i] = s.Put(c, pairs[i].K, pairs[i].V)
 	}
@@ -138,8 +236,11 @@ func SortedMultiPut(c *Ctx, s Set, pairs []KV, f func(i int, inserted bool)) {
 // SortedMultiRemove applies point Removes in ascending key order and
 // replays results in caller order.
 func SortedMultiRemove(c *Ctx, s Set, keys []Key, f func(i int, removed bool)) {
-	ord := KeyOrder(keys)
-	res := make([]bool, len(keys))
+	sc := GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	OrderInto(ord, func(i int) Key { return keys[i] })
+	res := sc.Bools(len(keys))
 	for _, i := range ord {
 		res[i] = s.Remove(c, keys[i])
 	}

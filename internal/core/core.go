@@ -145,12 +145,25 @@ func (c *Ctx) EpochExit() {
 }
 
 // Retire hands an unlinked node to EBR (no-op without a record: the GC
-// reclaims it).
-func (c *Ctx) Retire(ptr any) {
+// reclaims it). fn, when non-nil, runs once the node's grace period has
+// elapsed — the structure's reclaim callback, which poisons the node and
+// returns it to its typed Pool. A nil fn leaves reclamation to the GC
+// (the deliberate mode for nodes that may still be referenced through
+// helping descriptors; see DESIGN.md).
+func (c *Ctx) Retire(ptr any, fn func(any)) {
 	if c != nil && c.Epoch != nil {
-		c.Epoch.Retire(ptr, nil)
+		c.Epoch.Retire(ptr, fn)
+		if c.Stats != nil {
+			c.Stats.Retires++
+		}
 	}
 }
+
+// Pooled reports whether this context runs in EBR + pooling mode:
+// structures consult it (via their own pooled flag or directly) before
+// recycling buffers whose safety does not depend on EBR, so the GC-only
+// ablation stays a true no-pooling baseline.
+func (c *Ctx) Pooled() bool { return c != nil && c.Epoch != nil }
 
 // Options configures a constructor. The zero value is a sensible default
 // (locking mode, no EBR, structure-specific defaults).

@@ -115,11 +115,11 @@ func TestNilCtxSafety(t *testing.T) {
 	if c.Stat() != nil {
 		t.Fatal("nil ctx Stat() not nil")
 	}
-	c.InCS()             // must not panic
-	c.RecordRestarts(3)  // must not panic
-	c.EpochEnter()       // must not panic
-	c.EpochExit()        // must not panic
-	c.Retire("whatever") // must not panic
+	c.InCS()                  // must not panic
+	c.RecordRestarts(3)       // must not panic
+	c.EpochEnter()            // must not panic
+	c.EpochExit()             // must not panic
+	c.Retire("whatever", nil) // must not panic
 }
 
 func TestCtxHelpers(t *testing.T) {
@@ -147,7 +147,7 @@ func TestCtxEpochIntegration(t *testing.T) {
 	if !c.Epoch.Active() {
 		t.Fatal("EpochEnter did not activate record")
 	}
-	c.Retire("x")
+	c.Retire("x", nil)
 	c.EpochExit()
 	if c.Epoch.Active() {
 		t.Fatal("EpochExit left record active")

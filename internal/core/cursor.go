@@ -268,7 +268,25 @@ func MergePage(buf []ScanPair, exhausted bool, hi Key, max int, f func(k Key, v 
 // the same brief per-instance writer barrier backstops churn.
 func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k Key, v Value) bool), f func(k Key, v Value) bool) (next Key, done bool) {
 	max = clampPageMax(max)
+	// In pooling mode the collect buffer (and its box) round-trips
+	// through the page-buffer free-list instead of growing fresh per
+	// page; GC-only mode keeps the per-page allocation, as the ablation
+	// contract requires.
 	var buf []ScanPair
+	var box *[]ScanPair
+	if c.Pooled() {
+		box, _ = pageBufPool.Get(c).(*[]ScanPair)
+		if box == nil {
+			box = new([]ScanPair)
+		}
+		buf = (*box)[:0]
+	}
+	putBack := func() {
+		if box != nil {
+			*box = buf[:0]
+			pageBufPool.Put(box)
+		}
+	}
 	full := false
 	visited := 0
 	emit := func(k Key, v Value) bool {
@@ -291,7 +309,9 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 		if g.validate(s) {
 			c.RecordCursorRetries(attempt)
 			c.RecordPagePull(visited)
-			return ReplayPage(buf, !full, hi, f)
+			next, done = ReplayPage(buf, !full, hi, f)
+			putBack()
+			return next, done
 		}
 	}
 	// Optimistic phase lost to churn: briefly park this instance's
@@ -302,7 +322,9 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 	g.unfreeze()
 	c.RecordCursorRetries(scanAttempts)
 	c.RecordPagePull(visited)
-	return ReplayPage(buf, !full, hi, f)
+	next, done = ReplayPage(buf, !full, hi, f)
+	putBack()
+	return next, done
 }
 
 // RecordCursorRetries forwards a cursor page's validation (or epoch)

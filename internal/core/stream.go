@@ -57,21 +57,47 @@ type PageStream struct {
 	hi      Key
 	chunk   int
 	buf     []ScanPair
+	box     *[]ScanPair // pool box the buffer travels in (pooling mode)
 	i       int
 	srcDone bool
 }
 
+// pageBufPool recycles PageStream refill buffers (as *[]ScanPair so the
+// interface boxing stays pointer-sized). Buffers are thread-owned for a
+// stream's whole life, so recycling needs no grace period — it is still
+// gated on pooling mode to keep the GC-only ablation honest.
+var pageBufPool Pool
+
 // NewPageStream opens a pull stream over src's window [pos, hi) with the
-// given refill chunk (clamped to at least 1).
+// given refill chunk (clamped to at least 1). In pooling mode the refill
+// buffer comes from a free-list; Release hands it back.
 func NewPageStream(c *Ctx, src Cursor, pos, hi Key, chunk int) *PageStream {
 	if chunk < 1 {
 		chunk = 1
 	}
 	s := &PageStream{c: c, src: src, pos: pos, hi: hi, chunk: chunk}
+	if c.Pooled() {
+		s.box, _ = pageBufPool.Get(c).(*[]ScanPair)
+		if s.box == nil {
+			s.box = new([]ScanPair)
+		}
+		s.buf = (*s.box)[:0]
+	}
 	if pos >= hi {
 		s.srcDone = true
 	}
 	return s
+}
+
+// Release returns the stream's refill buffer to the pool (pooling mode
+// only; otherwise a no-op). The stream must not be used afterwards.
+func (s *PageStream) Release() {
+	if s.box == nil {
+		return
+	}
+	*s.box = s.buf[:0]
+	pageBufPool.Put(s.box)
+	s.box, s.buf, s.i = nil, nil, 0
 }
 
 // Refill pulls the next chunk from the source. It is a no-op while
@@ -190,8 +216,15 @@ func StreamMergeNext(c *Ctx, parts []Set, pos, hi Key, max int, afterPull func(p
 	max = clampPageMax(max)
 	chunk := streamChunk(max, len(parts))
 	h := make(mergeHeap, 0, len(parts))
+	streams := make([]*PageStream, 0, len(parts))
+	defer func() {
+		for _, s := range streams {
+			s.Release()
+		}
+	}()
 	for i, p := range parts {
 		s := NewPageStream(c, p.(Cursor), pos, hi, chunk)
+		streams = append(streams, s)
 		s.Refill() // an empty result marks the stream drained
 		if afterPull != nil && !afterPull(i) {
 			return 0, false, true
@@ -276,12 +309,15 @@ func StreamDrainNext(c *Ctx, parts []Set, pos, hi Key, max int, f func(k Key, v 
 			}
 			pair, _ := s.Pop()
 			if !f(pair.K, pair.V) {
+				s.Release()
 				return pair.K + 1, false
 			}
 			remaining--
 			nextPos = pair.K + 1
 			if remaining == 0 {
-				if s.Drained() && i == len(parts)-1 {
+				drained := s.Drained()
+				s.Release()
+				if drained && i == len(parts)-1 {
 					// Budget filled exactly at the end of the last part.
 					return hi, true
 				}
@@ -289,6 +325,7 @@ func StreamDrainNext(c *Ctx, parts []Set, pos, hi Key, max int, f func(k Key, v 
 				return nextPos, false
 			}
 		}
+		s.Release()
 	}
 	return hi, true
 }

@@ -38,6 +38,13 @@ type Domain struct {
 	mu   sync.Mutex
 	recs []*Record
 
+	// orphans holds limbo handed over by unregistered records whose grace
+	// period had not yet elapsed; guarded by mu, flushed after successful
+	// epoch advances. orphanEpoch is the (conservative, newest) retirement
+	// epoch tag of each bucket's contents.
+	orphans     [buckets][]retiredNode
+	orphanEpoch [buckets]uint64
+
 	// Reclaimed counts nodes actually handed back (summed from records on
 	// demand).
 	reclaimed atomic.Uint64
@@ -58,6 +65,10 @@ type Record struct {
 	d *Domain
 	// state = epoch<<1 | active.
 	state atomic.Uint64
+
+	// depth tracks bracket nesting (owner-only): batch paths hold one
+	// bracket across many point operations that bracket themselves.
+	depth int
 
 	limbo      [buckets][]retiredNode
 	limboEpoch [buckets]uint64 // epoch each bucket's contents were retired in
@@ -93,14 +104,24 @@ func (d *Domain) Stats() (retired, reclaimed uint64) {
 }
 
 // Enter marks the start of a critical region: nodes the thread can observe
-// from now on will not be reclaimed until Exit. Nesting is not supported.
+// from now on will not be reclaimed until the matching Exit. Brackets nest
+// (a batch-level bracket may enclose self-bracketing point operations);
+// only the outermost pair touches the shared announcement word.
 func (r *Record) Enter() {
+	r.depth++
+	if r.depth > 1 {
+		return
+	}
 	e := r.d.epoch.Load()
 	r.state.Store(e<<1 | 1)
 }
 
-// Exit marks the end of the critical region.
+// Exit marks the end of the critical region (outermost bracket only).
 func (r *Record) Exit() {
+	r.depth--
+	if r.depth > 0 {
+		return
+	}
 	r.state.Store(r.state.Load() &^ 1)
 }
 
@@ -155,8 +176,76 @@ func (r *Record) Collect() {
 	}
 }
 
+// Unregister removes the record from its domain. The caller must not be
+// inside a critical region and must not use the record afterwards. Limbo
+// whose grace period has elapsed is reclaimed on the spot (counted in the
+// record's lifetime counters); the rest is handed to the domain's orphan
+// buckets and reclaimed after later epoch advances — without this, a
+// finished worker's record would linger in Domain.recs forever and, if
+// abandoned Active(), wedge epoch advancement for every other thread.
+func (r *Record) Unregister() {
+	d := r.d
+	if d == nil {
+		return
+	}
+	r.depth = 0
+	r.state.Store(0) // inactive: no longer blocks advancement
+	e := d.epoch.Load()
+	d.mu.Lock()
+	for i, rec := range d.recs {
+		if rec == r {
+			last := len(d.recs) - 1
+			d.recs[i] = d.recs[last]
+			d.recs[last] = nil
+			d.recs = d.recs[:last]
+			break
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		if len(r.limbo[b]) == 0 {
+			continue
+		}
+		if e >= r.limboEpoch[b]+2 {
+			r.flush(b)
+			continue
+		}
+		// Still in its grace period: orphan it. Tagging the merged bucket
+		// with the newest epoch of the two only delays reclamation, never
+		// makes it premature.
+		d.orphans[b] = append(d.orphans[b], r.limbo[b]...)
+		if r.limboEpoch[b] > d.orphanEpoch[b] {
+			d.orphanEpoch[b] = r.limboEpoch[b]
+		}
+		r.limbo[b] = nil
+	}
+	d.mu.Unlock()
+	r.d = nil
+	// A departing record may have been the one holding the epoch back;
+	// give the domain a chance to advance and drain the orphans.
+	if d.tryAdvance() {
+		d.tryAdvance()
+	}
+}
+
+// flushOrphansLocked reclaims every orphan bucket whose grace period has
+// elapsed. Callers hold d.mu.
+func (d *Domain) flushOrphansLocked(e uint64) {
+	for b := 0; b < buckets; b++ {
+		if len(d.orphans[b]) > 0 && e >= d.orphanEpoch[b]+2 {
+			for _, n := range d.orphans[b] {
+				if n.fn != nil {
+					n.fn(n.ptr)
+				}
+			}
+			d.reclaimed.Add(uint64(len(d.orphans[b])))
+			d.orphans[b] = d.orphans[b][:0]
+		}
+	}
+}
+
 // tryAdvance bumps the global epoch if every active record has been
 // observed in the current epoch. Inactive records do not block advancement.
+// A successful advance also drains any orphan buckets that became safe.
 func (d *Domain) tryAdvance() bool {
 	e := d.epoch.Load()
 	d.mu.Lock()
@@ -168,7 +257,13 @@ func (d *Domain) tryAdvance() bool {
 		}
 	}
 	d.mu.Unlock()
-	return d.epoch.CompareAndSwap(e, e+1)
+	if !d.epoch.CompareAndSwap(e, e+1) {
+		return false
+	}
+	d.mu.Lock()
+	d.flushOrphansLocked(e + 1)
+	d.mu.Unlock()
+	return true
 }
 
 // Advance exposes tryAdvance for tests and for quiescent-state callers.

@@ -212,8 +212,17 @@ type Result struct {
 	FallbackFrac float64 // critical sections that took the real lock
 	TxAborts     [4]uint64
 
-	// EBR bookkeeping.
+	// EBR bookkeeping and reclamation economics. Retired/Reclaimed are
+	// domain totals; PoolHits/PoolMisses count node allocations served
+	// from (or missed by) the typed free-lists, and GCPauseNs is the
+	// stop-the-world GC pause time that landed inside the measured
+	// window (runtime.MemStats PauseTotalNs delta) — the column that
+	// shows what real reclamation buys back from the collector.
 	Retired, Reclaimed uint64
+	PoolHits           uint64
+	PoolMisses         uint64
+	PoolHitFrac        float64 // PoolHits / (PoolHits + PoolMisses)
+	GCPauseNs          uint64
 
 	// Elastic resharding (set when ResizeSteps or an Elastic policy ran).
 	Resizes    int           // resizes published, summed over runs
@@ -299,6 +308,12 @@ func (a *Result) accumulate(r *Result, runs int) {
 	}
 	a.Retired += r.Retired
 	a.Reclaimed += r.Reclaimed
+	a.PoolHits += r.PoolHits
+	a.PoolMisses += r.PoolMisses
+	if draws := a.PoolHits + a.PoolMisses; draws > 0 {
+		a.PoolHitFrac = float64(a.PoolHits) / float64(draws)
+	}
+	a.GCPauseNs += r.GCPauseNs
 	a.Resizes += r.Resizes
 	a.FinalWidth = r.FinalWidth
 	if r.WidthTrace != nil {
@@ -498,6 +513,15 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 				inj.BetweenOps()
 			}
 			ths[w].ActiveNs = uint64(time.Since(t0))
+			if c.Epoch != nil {
+				// Release the record (it would otherwise linger in the
+				// domain's record list forever — one leaked record per
+				// run). Unregister flushes whatever limbo is already past
+				// its grace period, so snapshot the lifetime reclaim
+				// counter after it runs.
+				c.Epoch.Unregister()
+				ths[w].Reclaims = c.Epoch.Reclaimed
+			}
 		}(w)
 	}
 
@@ -512,6 +536,12 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			// migration is an administrative cost, not workload ops, so it
 			// stays out of the per-thread metrics.
 			cc := &core.Ctx{ID: cfg.Threads, Rng: xrand.New(cfg.Seed ^ 0xE1A57C), Stats: &stats.Thread{}}
+			if dom != nil {
+				// The controller retires superseded shard maps through
+				// its own record (eager resize reclamation).
+				cc.Epoch = dom.Register()
+				defer cc.Epoch.Unregister()
+			}
 			<-startGate
 			t0 := time.Now()
 			width := rz.Width()
@@ -586,12 +616,22 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 	stop.Store(true)
 	done.Wait()
 	ctrlWg.Wait()
+	if dom != nil {
+		// Quiesced drain: every record has unregistered, so each advance
+		// succeeds and ages the orphaned limbo out of its grace period —
+		// end-of-run bookkeeping should show reclaimed ~= retired, not a
+		// pile of nodes stranded one epoch short.
+		dom.Advance()
+		dom.Advance()
+		dom.Advance()
+	}
 	runtime.ReadMemStats(&mem1)
 
 	res := summarize(cfg, ths, dom)
 	if units := res.TotalOps + res.TotalBatchKeys + res.TotalScans + res.TotalPages; units > 0 {
 		res.AllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(units)
 	}
+	res.GCPauseNs = mem1.PauseTotalNs - mem0.PauseTotalNs
 	if runCtrl {
 		res.Resizes = resizes
 		res.FinalWidth = rz.Width()
@@ -740,6 +780,15 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 	}
 	if dom != nil {
 		res.Retired, res.Reclaimed = dom.Stats()
+	}
+	var hits, misses uint64
+	for i := range ths {
+		hits += ths[i].PoolHits
+		misses += ths[i].PoolMisses
+	}
+	res.PoolHits, res.PoolMisses = hits, misses
+	if draws := hits + misses; draws > 0 {
+		res.PoolHitFrac = float64(hits) / float64(draws)
 	}
 	return res
 }

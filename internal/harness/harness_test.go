@@ -284,25 +284,33 @@ func TestBatchWorkloadChecksSupport(t *testing.T) {
 // TestContendedBatchCombines drives a single-shard (maximally contended)
 // sharded composite with write batches from several threads and expects
 // the flat-combining path to engage: some batches must have traveled the
-// publication list. Budget-scaled by ops, not wall-clock — the assertion
-// holds on a 1-CPU host.
+// publication list. Whether TryAcquire ever fails inside one short
+// window is a scheduling accident on a 1-CPU host (the workers can
+// serialize perfectly), so the windows retry with growing durations and
+// the assertion is that combining engages in ANY of them.
 func TestContendedBatchCombines(t *testing.T) {
-	cfg := Config{
-		Algorithm: "sharded(1,list/lazy)",
-		Threads:   4,
-		Duration:  80 * time.Millisecond,
-		Workload:  workload.Config{Size: 128, UpdateRatio: 0.8, BatchRatio: 0.8, BatchLen: 8},
+	var batches, combined uint64
+	for attempt := 0; attempt < 5; attempt++ {
+		cfg := Config{
+			Algorithm: "sharded(1,list/lazy)",
+			Threads:   4,
+			Duration:  time.Duration(1+attempt) * 80 * time.Millisecond,
+			Workload:  workload.Config{Size: 128, UpdateRatio: 0.8, BatchRatio: 0.8, BatchLen: 8},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches += res.TotalBatches
+		combined += res.CombinedBatches
+		if batches > 0 && combined > 0 {
+			return
+		}
 	}
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
+	if batches == 0 {
+		t.Fatal("contended cell issued no batches across every window")
 	}
-	if res.TotalBatches == 0 {
-		t.Fatalf("contended cell issued no batches: %+v", res)
-	}
-	if res.CombinedBatches == 0 || res.CombineFrac <= 0 {
-		t.Fatalf("flat combining never engaged on a contended single shard: %d batches, %d combined", res.TotalBatches, res.CombinedBatches)
-	}
+	t.Fatalf("flat combining never engaged on a contended single shard: %d batches, %d combined across 5 windows", batches, combined)
 }
 
 func TestUnknownAlgorithm(t *testing.T) {

@@ -16,10 +16,15 @@
 // The skip list itself is the Fraser / Herlihy–Shavit design already
 // used by skiplist/lockfree (bottom level decides membership, towers
 // spliced bottom-up with CAS, deletion marks top-down), stripped to the
-// index role: no stats, no locks, no EBR (Go's GC reclaims unlinked
-// nodes), and a private level generator — index maintenance must never
-// pollute the paper's fine-grained lock-wait/restart metrics, and its
-// writers (concurrent bucket owners) must never serialize on it.
+// index role: no stats, no locks, and a private level generator — index
+// maintenance must never pollute the paper's fine-grained
+// lock-wait/restart metrics, and its writers (concurrent bucket owners)
+// must never serialize on it. Unlinked nodes are retired through the
+// caller's epoch record at the bottom-level snip (every table operation
+// that touches the index runs inside an epoch bracket), with a nil
+// reclaim callback: a same-key insert can hide a structure-resident
+// upper-level link to a marked victim (see pool.go), so ixNodes fall to
+// the GC rather than a free-list.
 package hashtable
 
 import (
@@ -119,9 +124,10 @@ func (ix *keyIndex) randomLevel() int {
 	return lvl
 }
 
-// find locates the window for k on every level, snipping marked nodes.
-// Reports whether k is present at the bottom level.
-func (ix *keyIndex) find(k core.Key, preds, succs []*ixNode) bool {
+// find locates the window for k on every level, snipping marked nodes
+// (each bottom-level snip retires the node through c). Reports whether k
+// is present at the bottom level.
+func (ix *keyIndex) find(c *core.Ctx, k core.Key, preds, succs []*ixNode) bool {
 retry:
 	for {
 		pred := ix.head
@@ -134,6 +140,9 @@ retry:
 					snip := &ixLink{next: currLink.next}
 					if !pred.next[lvl].CompareAndSwap(predLink, snip) {
 						continue retry
+					}
+					if lvl == 0 {
+						c.Retire(curr, nil) // nil: see pool.go
 					}
 					predLink = snip
 					curr = currLink.next
@@ -157,12 +166,12 @@ retry:
 // insert shadows a successful bucket insert. The caller's bucket lock
 // guarantees k is absent from the index (same-key operations serialize
 // on the bucket), so insert only contends with neighbors.
-func (ix *keyIndex) insert(k core.Key, v core.Value) {
+func (ix *keyIndex) insert(c *core.Ctx, k core.Key, v core.Value) {
 	topLevel := ix.randomLevel() - 1
-	preds := make([]*ixNode, ix.maxLevel)
-	succs := make([]*ixNode, ix.maxLevel)
+	var pa, sa [ixMaxMaxLevel]*ixNode
+	preds, succs := pa[:ix.maxLevel], sa[:ix.maxLevel]
 	for {
-		if ix.find(k, preds, succs) {
+		if ix.find(c, k, preds, succs) {
 			return // unreachable under the bucket-serialization invariant
 		}
 		n := newIxNode(k, v, topLevel+1)
@@ -196,7 +205,7 @@ func (ix *keyIndex) insert(k core.Key, v core.Value) {
 					break
 				}
 				// Window moved: recompute and retry this level.
-				ix.find(k, preds, succs)
+				ix.find(c, k, preds, succs)
 				if succs[0] != n {
 					// Node got deleted meanwhile; abandon upper splicing.
 					lvl = topLevel
@@ -211,10 +220,10 @@ func (ix *keyIndex) insert(k core.Key, v core.Value) {
 // remove shadows a successful bucket remove: mark from the top level
 // down; the bottom mark unshadows the key. Same-key serialization means
 // the victim is always present and nobody else removes it concurrently.
-func (ix *keyIndex) remove(k core.Key) {
-	preds := make([]*ixNode, ix.maxLevel)
-	succs := make([]*ixNode, ix.maxLevel)
-	if !ix.find(k, preds, succs) {
+func (ix *keyIndex) remove(c *core.Ctx, k core.Key) {
+	var pa, sa [ixMaxMaxLevel]*ixNode
+	preds, succs := pa[:ix.maxLevel], sa[:ix.maxLevel]
+	if !ix.find(c, k, preds, succs) {
 		return // unreachable under the bucket-serialization invariant
 	}
 	victim := succs[0]
@@ -235,7 +244,7 @@ func (ix *keyIndex) remove(k core.Key) {
 			return
 		}
 		if victim.next[0].CompareAndSwap(link, &ixLink{next: link.next, marked: true}) {
-			ix.find(k, preds, succs) // physical cleanup
+			ix.find(c, k, preds, succs) // physical cleanup
 			return
 		}
 	}

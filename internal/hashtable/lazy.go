@@ -146,15 +146,14 @@ func (b *lbucket) insertLocked(c *core.Ctx, g *core.ScanGuard, ix *keyIndex, k c
 	if curr != nil && curr.key == k {
 		return false
 	}
-	n := &lnode{key: k, val: v}
-	n.next.Store(curr)
+	n := newLNode(c, k, v, curr)
 	g.BeginWrite(c.Stat())
 	if pred == nil {
 		b.head.Store(n)
 	} else {
 		pred.next.Store(n)
 	}
-	ix.insert(k, v)
+	ix.insert(c, k, v)
 	g.EndWrite()
 	return true
 }
@@ -178,7 +177,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 			return htm.Committed
 		})
 		if removed {
-			c.Retire(victim)
+			c.Retire(victim, reclaimLNode)
 		}
 		c.RecordRestarts(0)
 		return removed
@@ -188,7 +187,7 @@ func (h *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 	ok, victim := b.removeLocked(c, &h.guard, h.index, k)
 	b.lock.Release()
 	if ok {
-		c.Retire(victim)
+		c.Retire(victim, reclaimLNode)
 	}
 	c.RecordRestarts(0)
 	return ok
@@ -211,7 +210,7 @@ func (b *lbucket) removeLocked(c *core.Ctx, g *core.ScanGuard, ix *keyIndex, k c
 	} else {
 		pred.next.Store(curr.next.Load())
 	}
-	ix.remove(k)
+	ix.remove(c, k)
 	g.EndWrite()
 	return true, curr
 }

@@ -1,0 +1,42 @@
+// Typed free-list and reclaim callback for the bucket-chain nodes
+// (DESIGN.md, "Pooling contract"). An lnode is removed by marking it and
+// unlinking it from its singly-linked bucket chain under the bucket (or
+// stripe) lock, so at retire time the only references left are
+// thread-private ones obtained inside epoch brackets — the grace period
+// waits those out and the node recycles safely.
+//
+// The ordered key index does NOT pool. Its nodes are retired at the
+// bottom-level snip, but an insert of the same key can publish an
+// upper-level link to the marked victim and then hide it behind the
+// equal-keyed new node (the helping walk stops at the first key >= k,
+// so nothing ever snips the hidden link) — a structure-resident
+// reference that outlives any bracket. ixNode retirements therefore
+// carry a nil callback and fall to the GC, like skiplist/lockfree (see
+// DESIGN.md).
+package hashtable
+
+import "csds/internal/core"
+
+var lnodePool core.Pool
+
+func newLNode(c *core.Ctx, k core.Key, v core.Value, next *lnode) *lnode {
+	if c.Pooled() {
+		if n, _ := lnodePool.Get(c).(*lnode); n != nil {
+			n.key, n.val = k, v
+			n.marked.Store(false)
+			n.next.Store(next)
+			return n
+		}
+	}
+	n := &lnode{key: k, val: v}
+	n.next.Store(next)
+	return n
+}
+
+func reclaimLNode(p any) {
+	n := p.(*lnode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.marked.Store(true)
+	n.next.Store(nil)
+	lnodePool.Put(n)
+}

@@ -113,13 +113,15 @@ func (b *Bucketed) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 //     structure's progress guarantee, and its waits surface in the
 //     lock-wait metrics like every lock in this module.
 func (b *Bucketed) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	bi := hash(k, b.mask)
 	l := &b.seq[bi%uint64(len(b.seq))].lock
 	b.guard.BeginWrite(c.Stat())
 	l.Acquire(c.Stat())
 	ok := b.buckets[bi].Put(c, k, v)
 	if ok {
-		b.index.insert(k, v)
+		b.index.insert(c, k, v)
 	}
 	l.Release()
 	b.guard.EndWrite()
@@ -128,13 +130,15 @@ func (b *Bucketed) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 
 // Remove implements core.Set (sequencing discipline as in Put).
 func (b *Bucketed) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	bi := hash(k, b.mask)
 	l := &b.seq[bi%uint64(len(b.seq))].lock
 	b.guard.BeginWrite(c.Stat())
 	l.Acquire(c.Stat())
 	ok := b.buckets[bi].Remove(c, k)
 	if ok {
-		b.index.remove(k)
+		b.index.remove(c, k)
 	}
 	l.Release()
 	b.guard.EndWrite()
@@ -175,6 +179,8 @@ func (b *Bucketed) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.
 	if lo >= hi {
 		return true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	return core.GuardedScan(c, &b.guard, func(emit func(k core.Key, v core.Value)) {
 		b.index.collect(lo, hi, func(k core.Key, v core.Value) bool {
 			emit(k, v)
@@ -191,6 +197,8 @@ func (b *Bucketed) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k c
 	if pos >= hi {
 		return hi, true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	return core.GuardedPage(c, &b.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
 		b.index.collect(pos, hi, emit)
 	}, f)
@@ -374,8 +382,12 @@ func (h *Striped) stripe(b uint64) *locks.TAS {
 	return &h.stripes[b%stripeCount].lock
 }
 
-// Get implements core.Set.
+// Get implements core.Set: lock-free bucket scan inside an epoch
+// bracket (bucket nodes are pooled, so unbracketed traversal could step
+// onto a recycled node).
 func (h *Striped) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	b := &h.buckets[hash(k, h.mask)]
 	for n := b.head.Load(); n != nil; n = n.next.Load() {
 		if n.key == k {
@@ -393,6 +405,8 @@ func (h *Striped) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 
 // Put implements core.Set.
 func (h *Striped) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	bi := hash(k, h.mask)
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
@@ -405,6 +419,8 @@ func (h *Striped) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 
 // Remove implements core.Set.
 func (h *Striped) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	bi := hash(k, h.mask)
 	l := h.stripe(bi)
 	l.Acquire(c.Stat())
@@ -412,7 +428,7 @@ func (h *Striped) Remove(c *core.Ctx, k core.Key) bool {
 	ok, victim := h.buckets[bi].removeLocked(c, &h.guard, h.index, k)
 	l.Release()
 	if ok {
-		c.Retire(victim)
+		c.Retire(victim, reclaimLNode)
 	}
 	c.RecordRestarts(0)
 	return ok
@@ -445,12 +461,13 @@ func (h *Striped) Range(f func(k core.Key, v core.Value) bool) {
 
 // Scan implements core.Scanner over the ordered key index, exactly like
 // the lazy table's — ascending, O(log n + range), atomic per call under
-// this table's own guard. (No epoch bracket, matching this table's own
-// Get path.)
+// this table's own guard, bracketed like every reader of the index.
 func (h *Striped) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value) bool) bool {
 	if lo >= hi {
 		return true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	return core.GuardedScan(c, &h.guard, func(emit func(k core.Key, v core.Value)) {
 		h.index.collect(lo, hi, func(k core.Key, v core.Value) bool {
 			emit(k, v)
@@ -466,6 +483,8 @@ func (h *Striped) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k co
 	if pos >= hi {
 		return hi, true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	return core.GuardedPage(c, &h.guard, hi, max, func(emit func(k core.Key, v core.Value) bool) {
 		h.index.collect(pos, hi, emit)
 	}, f)

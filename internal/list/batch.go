@@ -24,9 +24,12 @@ func (l *Lazy) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	vals := make([]core.Value, len(keys))
-	oks := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	vals := sc.Vals(len(keys))
+	oks := sc.Bools(len(keys))
 	c.EpochEnter()
 	pred := l.head
 	for _, i := range ord {
@@ -58,8 +61,11 @@ func (l *Lazy) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted boo
 	if len(pairs) == 0 {
 		return
 	}
-	ord := core.PairOrder(pairs)
-	res := make([]bool, len(pairs))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(pairs))
+	core.OrderInto(ord, func(i int) core.Key { return pairs[i].K })
+	res := sc.Bools(len(pairs))
 	c.EpochEnter()
 	l.guard.BeginWrite(c.Stat())
 	pred := l.head
@@ -92,7 +98,7 @@ func (l *Lazy) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted boo
 			if curr.key == k {
 				res[i] = false
 			} else {
-				n := &lazyNode{key: k, val: v}
+				n := newLazyNode(c, k, v)
 				n.next.Store(curr)
 				c.InCS()
 				pred.next.Store(n)
@@ -116,8 +122,11 @@ func (l *Lazy) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed b
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	res := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	res := sc.Bools(len(keys))
 	c.EpochEnter()
 	l.guard.BeginWrite(c.Stat())
 	pred := l.head
@@ -158,7 +167,7 @@ func (l *Lazy) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed b
 				res[i] = true
 				curr.lock.Release()
 				pred.lock.Release()
-				c.Retire(curr)
+				c.Retire(curr, reclaimLazyNode)
 			}
 			break
 		}
@@ -183,9 +192,12 @@ func (l *Harris) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Val
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	vals := make([]core.Value, len(keys))
-	oks := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	vals := sc.Vals(len(keys))
+	oks := sc.Bools(len(keys))
 	c.EpochEnter()
 	curr := l.head.link.Load().next
 	for _, i := range ord {
@@ -224,8 +236,11 @@ func (l *Harris) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed
 // ---------------------------------------------------------------------------
 
 // MultiGet implements core.Batcher: one atomic snapshot load serves
-// the whole batch (every element linearizes at that load).
+// the whole batch (every element linearizes at that load). The epoch
+// bracket pins the snapshot against recycling, as in Get.
 func (l *COW) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	s := l.snap.Load()
 	for i, k := range keys {
 		if j, ok := s.find(k); ok {
@@ -243,8 +258,11 @@ func (l *COW) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool
 	if len(pairs) == 0 {
 		return
 	}
-	ord := core.PairOrder(pairs)
-	res := make([]bool, len(pairs))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(pairs))
+	core.OrderInto(ord, func(i int) core.Key { return pairs[i].K })
+	res := sc.Bools(len(pairs))
 	l.mu.Acquire(c.Stat())
 	s := l.snap.Load()
 	nk := make([]core.Key, 0, len(s.keys)+len(pairs))
@@ -276,7 +294,7 @@ func (l *COW) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool
 	}
 	l.mu.Release()
 	if inserted > 0 {
-		c.Retire(s)
+		c.Retire(s, reclaimCowSnapshot)
 	}
 	for i := range res {
 		f(i, res[i])
@@ -289,8 +307,11 @@ func (l *COW) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bo
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	res := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	res := sc.Bools(len(keys))
 	l.mu.Acquire(c.Stat())
 	s := l.snap.Load()
 	nk := make([]core.Key, 0, len(s.keys))
@@ -318,7 +339,7 @@ func (l *COW) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bo
 	}
 	l.mu.Release()
 	if removed > 0 {
-		c.Retire(s)
+		c.Retire(s, reclaimCowSnapshot)
 	}
 	for i := range res {
 		f(i, res[i])
@@ -336,9 +357,12 @@ func (l *LockCoupling) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v co
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	vals := make([]core.Value, len(keys))
-	oks := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	vals := sc.Vals(len(keys))
+	oks := sc.Bools(len(keys))
 	pred := l.head
 	pred.lock.Acquire(c.Stat())
 	curr := pred.next
@@ -371,8 +395,11 @@ func (l *LockCoupling) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inse
 	if len(pairs) == 0 {
 		return
 	}
-	ord := core.PairOrder(pairs)
-	res := make([]bool, len(pairs))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(pairs))
+	core.OrderInto(ord, func(i int) core.Key { return pairs[i].K })
+	res := sc.Bools(len(pairs))
 	pred := l.head
 	pred.lock.Acquire(c.Stat())
 	curr := pred.next
@@ -394,7 +421,7 @@ func (l *LockCoupling) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inse
 		}
 		if curr.key != k {
 			c.InCS()
-			n := &lcNode{key: k, val: pairs[i].V, next: curr}
+			n := newLCNode(c, k, pairs[i].V, curr)
 			attach.next = n
 			attach = n
 			res[i] = true
@@ -415,8 +442,11 @@ func (l *LockCoupling) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, r
 	if len(keys) == 0 {
 		return
 	}
-	ord := core.KeyOrder(keys)
-	res := make([]bool, len(keys))
+	sc := core.GetBatchScratch()
+	defer sc.Release()
+	ord := sc.Ints(len(keys))
+	core.OrderInto(ord, func(i int) core.Key { return keys[i] })
+	res := sc.Bools(len(keys))
 	pred := l.head
 	pred.lock.Acquire(c.Stat())
 	curr := pred.next
@@ -440,7 +470,7 @@ func (l *LockCoupling) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, r
 			c.InCS()
 			pred.next = next
 			curr.lock.Release()
-			c.Retire(curr)
+			c.Retire(curr, reclaimLCNode)
 			curr = next
 			res[i] = true
 		}

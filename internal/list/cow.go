@@ -54,8 +54,11 @@ func (s *cowSnapshot) find(k core.Key) (int, bool) {
 }
 
 // Get implements core.Set; a single atomic load plus a scan of immutable
-// memory.
+// memory. The epoch bracket pins the loaded snapshot now that writers
+// retire superseded snapshots into the pool.
 func (l *COW) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	s := l.snap.Load()
 	if i, ok := s.find(k); ok {
 		return s.vals[i], true
@@ -65,6 +68,8 @@ func (l *COW) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 
 // Put implements core.Set.
 func (l *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	l.mu.Acquire(c.Stat())
 	s := l.snap.Load()
 	i, ok := s.find(k)
@@ -73,10 +78,7 @@ func (l *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		c.RecordRestarts(0)
 		return false
 	}
-	ns := &cowSnapshot{
-		keys: make([]core.Key, len(s.keys)+1),
-		vals: make([]core.Value, len(s.vals)+1),
-	}
+	ns := newCowSnapshot(c, len(s.keys)+1)
 	copy(ns.keys, s.keys[:i])
 	copy(ns.vals, s.vals[:i])
 	ns.keys[i] = k
@@ -86,12 +88,15 @@ func (l *COW) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	c.InCS()
 	l.snap.Store(ns)
 	l.mu.Release()
+	c.Retire(s, reclaimCowSnapshot)
 	c.RecordRestarts(0)
 	return true
 }
 
 // Remove implements core.Set.
 func (l *COW) Remove(c *core.Ctx, k core.Key) bool {
+	c.EpochEnter()
+	defer c.EpochExit()
 	l.mu.Acquire(c.Stat())
 	s := l.snap.Load()
 	i, ok := s.find(k)
@@ -100,10 +105,7 @@ func (l *COW) Remove(c *core.Ctx, k core.Key) bool {
 		c.RecordRestarts(0)
 		return false
 	}
-	ns := &cowSnapshot{
-		keys: make([]core.Key, len(s.keys)-1),
-		vals: make([]core.Value, len(s.vals)-1),
-	}
+	ns := newCowSnapshot(c, len(s.keys)-1)
 	copy(ns.keys, s.keys[:i])
 	copy(ns.vals, s.vals[:i])
 	copy(ns.keys[i:], s.keys[i+1:])
@@ -111,7 +113,7 @@ func (l *COW) Remove(c *core.Ctx, k core.Key) bool {
 	c.InCS()
 	l.snap.Store(ns)
 	l.mu.Release()
-	c.Retire(s)
+	c.Retire(s, reclaimCowSnapshot)
 	c.RecordRestarts(0)
 	return true
 }
@@ -137,6 +139,8 @@ func (l *COW) Scan(c *core.Ctx, lo, hi core.Key, f func(k core.Key, v core.Value
 	if lo >= hi {
 		return true
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	s := l.snap.Load()
 	i, _ := s.find(lo)
 	for ; i < len(s.keys) && s.keys[i] < hi; i++ {
@@ -159,6 +163,8 @@ func (l *COW) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k core.K
 	if max < 1 {
 		max = 1
 	}
+	c.EpochEnter()
+	defer c.EpochExit()
 	s := l.snap.Load()
 	i, _ := s.find(pos)
 	delivered := 0

@@ -67,7 +67,7 @@ retry:
 					restarts++
 					continue retry
 				}
-				c.Retire(curr)
+				c.Retire(curr, reclaimHNode)
 				predLink = snip
 				curr = currLink.next
 				currLink = curr.link.Load()
@@ -108,7 +108,7 @@ func (l *Harris) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			c.RecordRestarts(restarts)
 			return false
 		}
-		n := &hNode{key: k, val: v}
+		n := newHNode(c, k, v)
 		n.link.Store(&hLink{next: curr})
 		l.guard.BeginWrite(c.Stat())
 		linked := pred.link.CompareAndSwap(predLink, &hLink{next: n})
@@ -149,7 +149,7 @@ func (l *Harris) Remove(c *core.Ctx, k core.Key) bool {
 		}
 		// Best-effort physical unlink; traversals clean up on failure.
 		if pred.link.CompareAndSwap(predLink, &hLink{next: currLink.next}) {
-			c.Retire(curr)
+			c.Retire(curr, reclaimHNode)
 		}
 		c.RecordRestarts(restarts)
 		return true

@@ -98,7 +98,7 @@ func (l *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 				c.RecordRestarts(restarts)
 				return false
 			}
-			n := &lazyNode{key: k, val: v}
+			n := newLazyNode(c, k, v)
 			n.next.Store(curr)
 			c.InCS()
 			l.guard.BeginWrite(c.Stat())
@@ -117,7 +117,7 @@ func (l *Lazy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 
 func (l *Lazy) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 	restarts := 0
-	n := &lazyNode{key: k, val: v}
+	n := newLazyNode(c, k, v)
 	for {
 		pred, curr := l.search(k)
 		var inserted bool
@@ -177,7 +177,7 @@ func (l *Lazy) Remove(c *core.Ctx, k core.Key) bool {
 			l.guard.EndWrite()
 			curr.lock.Release()
 			pred.lock.Release()
-			c.Retire(curr)
+			c.Retire(curr, reclaimLazyNode)
 			c.RecordRestarts(restarts)
 			return true
 		}
@@ -215,7 +215,7 @@ func (l *Lazy) removeElided(c *core.Ctx, k core.Key) bool {
 		})
 		if st == htm.Committed {
 			if removed {
-				c.Retire(curr)
+				c.Retire(curr, reclaimLazyNode)
 			}
 			c.RecordRestarts(restarts)
 			return removed

@@ -75,7 +75,7 @@ func (l *LockCoupling) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		return false
 	}
 	c.InCS()
-	pred.next = &lcNode{key: k, val: v, next: curr}
+	pred.next = newLCNode(c, k, v, curr)
 	curr.lock.Release()
 	pred.lock.Release()
 	c.RecordRestarts(0)
@@ -95,7 +95,7 @@ func (l *LockCoupling) Remove(c *core.Ctx, k core.Key) bool {
 	pred.next = curr.next
 	curr.lock.Release()
 	pred.lock.Release()
-	c.Retire(curr)
+	c.Retire(curr, reclaimLCNode)
 	c.RecordRestarts(0)
 	return true
 }

@@ -1,0 +1,131 @@
+// Typed free-lists and reclaim callbacks for the list nodes (DESIGN.md,
+// "Pooling contract"). Each reclaim callback runs after the node's EBR
+// grace period: it poisons the node's mapping, severs its links, and hands
+// it to the package pool, where the next insert on any instance picks it
+// up. Pools are package-level so nodes from torn-down instances (elastic
+// shards retired by a resize) are not stranded.
+//
+// The wait-free list deliberately has no pool: its helping descriptors
+// keep node references (d.node, d.victim, d.win.pred) in the global state
+// array across epoch brackets, so a helper in a new bracket may still
+// dereference a node retired in an old one. Its retirements carry a nil
+// callback — counted, but left to the GC (the one structural exception,
+// documented in DESIGN.md).
+package list
+
+import "csds/internal/core"
+
+var (
+	lazyNodePool core.Pool
+	pughNodePool core.Pool
+	hNodePool    core.Pool
+	lcNodePool   core.Pool
+	cowSnapPool  core.Pool
+)
+
+func newLazyNode(c *core.Ctx, k core.Key, v core.Value) *lazyNode {
+	if c.Pooled() {
+		if n, _ := lazyNodePool.Get(c).(*lazyNode); n != nil {
+			n.key, n.val = k, v
+			n.marked.Store(false)
+			n.next.Store(nil)
+			return n
+		}
+	}
+	return &lazyNode{key: k, val: v}
+}
+
+func reclaimLazyNode(p any) {
+	n := p.(*lazyNode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.marked.Store(true)
+	n.next.Store(nil)
+	lazyNodePool.Put(n)
+}
+
+func newPughNode(c *core.Ctx, k core.Key, v core.Value) *pughNode {
+	if c.Pooled() {
+		if n, _ := pughNodePool.Get(c).(*pughNode); n != nil {
+			n.key, n.val = k, v
+			n.marked.Store(false)
+			n.next.Store(nil)
+			return n
+		}
+	}
+	return &pughNode{key: k, val: v}
+}
+
+func reclaimPughNode(p any) {
+	n := p.(*pughNode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.marked.Store(true)
+	n.next.Store(nil)
+	pughNodePool.Put(n)
+}
+
+// hLink boxes are never pooled — box identity is what makes the Harris
+// CASes ABA-free — only the nodes are.
+func newHNode(c *core.Ctx, k core.Key, v core.Value) *hNode {
+	if c.Pooled() {
+		if n, _ := hNodePool.Get(c).(*hNode); n != nil {
+			n.key, n.val = k, v
+			return n
+		}
+	}
+	return &hNode{key: k, val: v}
+}
+
+func reclaimHNode(p any) {
+	n := p.(*hNode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.link.Store(nil)
+	hNodePool.Put(n)
+}
+
+func newLCNode(c *core.Ctx, k core.Key, v core.Value, next *lcNode) *lcNode {
+	if c.Pooled() {
+		if n, _ := lcNodePool.Get(c).(*lcNode); n != nil {
+			n.key, n.val, n.next = k, v, next
+			return n
+		}
+	}
+	return &lcNode{key: k, val: v, next: next}
+}
+
+func reclaimLCNode(p any) {
+	n := p.(*lcNode)
+	n.key, n.val = core.PoisonKey, core.PoisonValue
+	n.next = nil
+	lcNodePool.Put(n)
+}
+
+// newCowSnapshot returns a snapshot with n-length slices, reusing a pooled
+// snapshot's backing arrays when they are big enough.
+func newCowSnapshot(c *core.Ctx, n int) *cowSnapshot {
+	if c.Pooled() {
+		if s, _ := cowSnapPool.Get(c).(*cowSnapshot); s != nil {
+			if cap(s.keys) >= n && cap(s.vals) >= n {
+				s.keys, s.vals = s.keys[:n], s.vals[:n]
+				return s
+			}
+			s.keys = make([]core.Key, n)
+			s.vals = make([]core.Value, n)
+			return s
+		}
+	}
+	return &cowSnapshot{keys: make([]core.Key, n), vals: make([]core.Value, n)}
+}
+
+// reclaimCowSnapshot poisons every entry — a reader still binary-searching
+// a prematurely recycled snapshot must see impossible mappings, not
+// plausible stale ones.
+func reclaimCowSnapshot(p any) {
+	s := p.(*cowSnapshot)
+	for i := range s.keys {
+		s.keys[i] = core.PoisonKey
+	}
+	for i := range s.vals {
+		s.vals[i] = core.PoisonValue
+	}
+	cowSnapPool.Put(s)
+}

@@ -109,7 +109,7 @@ func (l *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			c.RecordRestarts(restarts)
 			return false
 		}
-		n := &pughNode{key: k, val: v}
+		n := newPughNode(c, k, v)
 		n.next.Store(curr)
 		c.InCS()
 		l.guard.BeginWrite(c.Stat())
@@ -146,7 +146,7 @@ func (l *Pugh) Remove(c *core.Ctx, k core.Key) bool {
 		l.guard.EndWrite()
 		curr.lock.Release()
 		pred.lock.Release()
-		c.Retire(curr)
+		c.Retire(curr, reclaimPughNode)
 		c.RecordRestarts(restarts)
 		return true
 	}

@@ -1,0 +1,67 @@
+// ReclaimAll (core.Reclaimer) for the pooled lists: quiesced teardown
+// sweeps that hand every data node back to the package pool at once.
+// The caller must guarantee the instance is quiesced and will never be
+// operated on again — the elastic combinator's resize retires a
+// superseded shard map with exactly that guarantee (the retire's grace
+// period waits out every bracketed straggler). Sentinels are relinked so
+// a buggy late caller fails loudly on an empty structure rather than
+// walking poisoned memory.
+package list
+
+import "csds/internal/core"
+
+// ReclaimAll implements core.Reclaimer: recycle every data node.
+func (l *Lazy) ReclaimAll() {
+	curr := l.head.next.Load()
+	for curr.key != core.KeyMax {
+		next := curr.next.Load()
+		reclaimLazyNode(curr)
+		curr = next
+	}
+	l.head.next.Store(curr)
+}
+
+// ReclaimAll implements core.Reclaimer: recycle every data node.
+func (l *Pugh) ReclaimAll() {
+	curr := l.head.next.Load()
+	for curr.key != core.KeyMax {
+		next := curr.next.Load()
+		reclaimPughNode(curr)
+		curr = next
+	}
+	l.head.next.Store(curr)
+}
+
+// ReclaimAll implements core.Reclaimer: recycle every data node (the
+// hLink boxes stay with the GC — they are never pooled; see pool.go).
+func (l *Harris) ReclaimAll() {
+	curr := l.head.link.Load().next
+	for curr.key != core.KeyMax {
+		next := curr.link.Load().next
+		reclaimHNode(curr)
+		curr = next
+	}
+	l.head.link.Store(&hLink{next: curr})
+}
+
+// ReclaimAll implements core.Reclaimer: recycle every data node.
+func (l *LockCoupling) ReclaimAll() {
+	curr := l.head.next
+	for curr.key != core.KeyMax {
+		next := curr.next
+		reclaimLCNode(curr)
+		curr = next
+	}
+	l.head.next = curr
+}
+
+// ReclaimAll implements core.Reclaimer: recycle the current snapshot's
+// backing arrays.
+func (l *COW) ReclaimAll() {
+	s := l.snap.Load()
+	l.snap.Store(&cowSnapshot{})
+	reclaimCowSnapshot(s)
+}
+
+// The wait-free list implements no ReclaimAll: it has no pool (its
+// helping descriptors hold node references across brackets; pool.go).

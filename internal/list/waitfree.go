@@ -132,7 +132,10 @@ retry:
 				if !pred.link.CompareAndSwap(predLink, snip) {
 					continue retry
 				}
-				c.Retire(curr)
+				// nil reclaim: descriptors may still reference this node
+				// from the state array across brackets, so it is counted
+				// but left to the GC (see pool.go).
+				c.Retire(curr, nil)
 				predLink = snip
 				curr = currLink.next
 				currLink = curr.link.Load()
@@ -311,7 +314,7 @@ func (l *WaitFree) helpRemove(c *core.Ctx, tid int, d *wfDesc) {
 			l.finish(tid, d, wfSuccess)
 			// Best-effort physical unlink.
 			l.search(c, d.key)
-			c.Retire(v)
+			c.Retire(v, nil) // nil reclaim: see search's comment
 			return
 		}
 	}

@@ -1,0 +1,199 @@
+// The poisoning battery: the memory-reclamation overhaul's conformance
+// suite. With an EBR domain attached, every remove retires its node
+// through a reclaim callback that poisons the mapping (core.PoisonKey /
+// core.PoisonValue) and recycles the node into a package pool — so a
+// structure that lets a traversal reach a node past its grace period no
+// longer fails silently: the reader observes an impossible mapping and
+// the battery reports it (and under -race, the reclaim's poisoning
+// stores race the late reader's loads, which the race detector flags
+// even when the values happen to look plausible).
+//
+// The checks are value-shaped: every Put writes Value(k) for key k, so
+// any Get or scan that returns ok must return exactly Value(k) — a
+// poisoned value, a recycled node's new mapping, or a stale snapshot all
+// break that equation. The battery sizes itself through scale(), parks
+// with Gosched on a cadence, and bounds every loop, so it is safe on a
+// single-CPU host.
+package settest
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/ebr"
+	"csds/internal/xrand"
+)
+
+// poisonSpan is the key range of the battery: small, so removes
+// constantly recycle nodes that concurrent readers are traversing.
+const poisonSpan = 96
+
+// RunPoison executes the poisoning battery against the factory: churn
+// workers retire and recycle nodes while reader workers assert that no
+// traversal ever observes a poisoned or recycled mapping, and the final
+// quiesced drain must reclaim every retired node.
+func RunPoison(t *testing.T, f Factory) {
+	t.Helper()
+	dom := ebr.NewDomain()
+	s := f(core.Options{Domain: dom, ExpectedSize: poisonSpan})
+	runPoison(t, s, dom, nil)
+}
+
+// RunPoisonSpec runs the poisoning battery against an algorithm spec
+// resolved through the layered core factory.
+func RunPoisonSpec(t *testing.T, spec string) {
+	t.Helper()
+	f, err := core.NewFactory(spec)
+	if err != nil {
+		t.Fatalf("settest: resolving spec: %v", err)
+	}
+	RunPoison(t, Factory(f))
+}
+
+// RunPoisonResizable runs the poisoning battery while a dedicated
+// goroutine continuously resizes the composite — every published resize
+// eagerly retires a whole superseded shard map, so this is the battery
+// that proves teardown reclamation (ReclaimAll sweeps) never recycles a
+// node out from under a straggling reader.
+func RunPoisonResizable(t *testing.T, f Factory) {
+	t.Helper()
+	dom := ebr.NewDomain()
+	s := f(core.Options{Domain: dom, ExpectedSize: poisonSpan})
+	rz, ok := s.(core.Resizable)
+	if !ok {
+		t.Fatalf("settest: factory built %T, which is not core.Resizable", s)
+	}
+	runPoison(t, s, dom, rz)
+}
+
+func runPoison(t *testing.T, s core.Set, dom *ebr.Domain, rz core.Resizable) {
+	scanner, _ := s.(core.Scanner)
+	cursor, _ := s.(core.Cursor)
+	iters := scale(4000)
+
+	var wg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+	var resizeErr error
+	if rz != nil {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			// The resizer retires superseded shard maps through its own
+			// record, exactly like the harness's elastic controller.
+			c := core.NewCtx(999)
+			c.Epoch = dom.Register()
+			defer c.Epoch.Unregister()
+			widths := []int{2, 8, 1, 4, 16, 3}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := rz.Resize(c, widths[i%len(widths)]); err != nil {
+					resizeErr = err
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	// Churners: small key range, update-heavy — nodes retire, age through
+	// their grace period, and recycle while the readers below traverse.
+	const churners, readers = 2, 2
+	for w := 0; w < churners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := core.NewCtx(w)
+			c.Epoch = dom.Register()
+			defer c.Epoch.Unregister()
+			rng := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
+			for i := 0; i < iters; i++ {
+				k := core.Key(rng.Int63n(poisonSpan))
+				if rng.Uint64n(2) == 0 {
+					s.Put(c, k, core.Value(k))
+				} else {
+					s.Remove(c, k)
+				}
+				if i&63 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	// Readers: every observation must be the one mapping a live key can
+	// have. The structures open their own epoch brackets — that discipline
+	// is precisely what this battery verifies.
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := core.NewCtx(churners + w)
+			c.Epoch = dom.Register()
+			defer c.Epoch.Unregister()
+			rng := xrand.New(uint64(w)*0x51af3c1d + 7)
+			check := func(where string, k core.Key, v core.Value) bool {
+				if k == core.PoisonKey || v == core.PoisonValue {
+					t.Errorf("%s observed a poisoned node: key %d value %d", where, k, v)
+					return false
+				}
+				if v != core.Value(k) {
+					t.Errorf("%s observed impossible mapping %d -> %d (want %d): recycled or stale node", where, k, v, core.Value(k))
+					return false
+				}
+				return true
+			}
+			for i := 0; i < iters; i++ {
+				k := core.Key(rng.Int63n(poisonSpan))
+				switch {
+				case scanner != nil && i%16 == 5:
+					scanner.Scan(c, 0, poisonSpan, func(k core.Key, v core.Value) bool {
+						return check("Scan", k, v)
+					})
+				case cursor != nil && i%16 == 11:
+					pos := core.Key(0)
+					for done := false; !done; {
+						pos, done = cursor.CursorNext(c, pos, poisonSpan, 8, func(k core.Key, v core.Value) bool {
+							return check("CursorNext", k, v)
+						})
+					}
+				default:
+					if v, ok := s.Get(c, k); ok {
+						check("Get", k, v)
+					}
+				}
+				if i&63 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	// The workload decides the duration: once churners and readers are
+	// done, stop the resizer and wait it out.
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if resizeErr != nil {
+		t.Fatalf("settest: Resize failed during the poison battery: %v", resizeErr)
+	}
+
+	// Quiesced drain: all records unregistered; every advance now
+	// succeeds, aging all orphaned limbo out of its grace period. Real
+	// reclamation means nothing may stay stranded.
+	dom.Advance()
+	dom.Advance()
+	dom.Advance()
+	retired, reclaimed := dom.Stats()
+	if reclaimed > retired {
+		t.Fatalf("EBR reclaimed %d > retired %d", reclaimed, retired)
+	}
+	if reclaimed != retired {
+		t.Errorf("quiesced drain left %d of %d retired nodes unreclaimed", retired-reclaimed, retired)
+	}
+}

@@ -5,52 +5,71 @@
 // win here is the ascending application order: consecutive sorted keys
 // descend through largely the same upper-level towers, so the sort
 // buys branch and cache locality without touching the per-variant
-// synchronization.
+// synchronization. Each Multi* opens one epoch bracket for the whole
+// batch (brackets nest), amortizing the per-op epoch announcement.
 package skiplist
 
 import "csds/internal/core"
 
 // MultiGet implements core.Batcher by sorted point lookups.
 func (s *Herlihy) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiGet(c, s, keys, f)
 }
 
 // MultiPut implements core.Batcher by sorted point inserts.
 func (s *Herlihy) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiPut(c, s, pairs, f)
 }
 
 // MultiRemove implements core.Batcher by sorted point removes.
 func (s *Herlihy) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiRemove(c, s, keys, f)
 }
 
 // MultiGet implements core.Batcher by sorted point lookups.
 func (s *LockFree) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiGet(c, s, keys, f)
 }
 
 // MultiPut implements core.Batcher by sorted point inserts.
 func (s *LockFree) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiPut(c, s, pairs, f)
 }
 
 // MultiRemove implements core.Batcher by sorted point removes.
 func (s *LockFree) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiRemove(c, s, keys, f)
 }
 
 // MultiGet implements core.Batcher by sorted point lookups.
 func (s *Pugh) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.Value, ok bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiGet(c, s, keys, f)
 }
 
 // MultiPut implements core.Batcher by sorted point inserts.
 func (s *Pugh) MultiPut(c *core.Ctx, pairs []core.KV, f func(i int, inserted bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiPut(c, s, pairs, f)
 }
 
 // MultiRemove implements core.Batcher by sorted point removes.
 func (s *Pugh) MultiRemove(c *core.Ctx, keys []core.Key, f func(i int, removed bool)) {
+	c.EpochEnter()
+	defer c.EpochExit()
 	core.SortedMultiRemove(c, s, keys, f)
 }

@@ -203,7 +203,7 @@ func (s *Herlihy) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 			restarts++
 			continue
 		}
-		n := newHNode(k, v, topLevel+1)
+		n := newHNodePooled(c, k, v, topLevel+1)
 		for lvl := 0; lvl <= topLevel; lvl++ {
 			n.next[lvl].Store(succs[lvl])
 		}
@@ -237,7 +237,7 @@ func (s *Herlihy) putElided(c *core.Ctx, k core.Key, v core.Value) bool {
 			restarts++
 			continue
 		}
-		n := newHNode(k, v, topLevel+1)
+		n := newHNodePooled(c, k, v, topLevel+1)
 		st := s.region.Run(c.Stat(), ctxDoom(c), func(a *htm.Acq) htm.Status {
 			var last *hNode
 			for lvl := 0; lvl <= topLevel; lvl++ {
@@ -329,7 +329,7 @@ func (s *Herlihy) Remove(c *core.Ctx, k core.Key) bool {
 			}
 			victim.lock.Release()
 			ls.releaseAll()
-			c.Retire(victim)
+			c.Retire(victim, reclaimHNode)
 			c.RecordRestarts(restarts)
 			return true
 		}
@@ -388,7 +388,7 @@ func (s *Herlihy) removeElided(c *core.Ctx, k core.Key) bool {
 		})
 		if st == htm.Committed {
 			if removed {
-				c.Retire(victim)
+				c.Retire(victim, reclaimHNode)
 			}
 			c.RecordRestarts(restarts)
 			return removed

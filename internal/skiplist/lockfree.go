@@ -82,7 +82,10 @@ retry:
 						continue retry
 					}
 					if lvl == 0 {
-						c.Retire(curr)
+						// nil callback: a same-key insert can hide a
+						// structure-resident link to curr (see pool.go),
+						// so lfNodes fall back to the GC.
+						c.Retire(curr, nil)
 					}
 					predLink = snip
 					curr = currLink.next
@@ -139,8 +142,8 @@ func (s *LockFree) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	c.EpochEnter()
 	defer c.EpochExit()
 	topLevel := randomLevelLF(c.Rng, s.maxLevel) - 1
-	preds := make([]*lfNode, s.maxLevel)
-	succs := make([]*lfNode, s.maxLevel)
+	var pa, sa [maxMaxLevel]*lfNode
+	preds, succs := pa[:s.maxLevel], sa[:s.maxLevel]
 	restarts := 0
 	for {
 		if s.find(c, k, preds, succs) {
@@ -201,8 +204,8 @@ func (s *LockFree) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 func (s *LockFree) Remove(c *core.Ctx, k core.Key) bool {
 	c.EpochEnter()
 	defer c.EpochExit()
-	preds := make([]*lfNode, s.maxLevel)
-	succs := make([]*lfNode, s.maxLevel)
+	var pa, sa [maxMaxLevel]*lfNode
+	preds, succs := pa[:s.maxLevel], sa[:s.maxLevel]
 	restarts := 0
 	if !s.find(c, k, preds, succs) {
 		c.RecordRestarts(restarts)

@@ -1,0 +1,27 @@
+package skiplist
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The poisoning battery (settest.RunPoison): EBR on, reclaim callbacks
+// poisoning and recycling every retired tower, concurrent readers
+// asserting no traversal ever observes a poisoned or recycled mapping.
+
+func TestHerlihyPoison(t *testing.T) {
+	settest.RunPoison(t, func(o core.Options) core.Set { return NewHerlihy(o) })
+}
+
+func TestPughPoison(t *testing.T) {
+	settest.RunPoison(t, func(o core.Options) core.Set { return NewPugh(o) })
+}
+
+func TestLockFreePoison(t *testing.T) {
+	// The lock-free skip list retires with a nil callback (no pool; see
+	// pool.go) — the battery still verifies its brackets and that the
+	// domain drains fully.
+	settest.RunPoison(t, func(o core.Options) core.Set { return NewLockFree(o) })
+}

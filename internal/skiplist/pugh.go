@@ -143,7 +143,8 @@ func (s *Pugh) lockLevelFrom(c *core.Ctx, start *pNode, k core.Key, lvl int, res
 func (s *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 	c.EpochEnter()
 	defer c.EpochExit()
-	preds := make([]*pNode, s.maxLevel)
+	var pa [maxMaxLevel]*pNode
+	preds := pa[:s.maxLevel]
 	topLevel := randomLevel(c.Rng, s.maxLevel) - 1
 	s.find(k, preds)
 	restarts := 0
@@ -156,7 +157,7 @@ func (s *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 		c.RecordRestarts(restarts)
 		return false
 	}
-	n := newPNode(k, v, topLevel+1)
+	n := newPNodePooled(c, k, v, topLevel+1)
 	n.next[0].Store(curr)
 	c.InCS()
 	s.guard.BeginWrite(c.Stat())
@@ -192,7 +193,8 @@ func (s *Pugh) Put(c *core.Ctx, k core.Key, v core.Value) bool {
 func (s *Pugh) Remove(c *core.Ctx, k core.Key) bool {
 	c.EpochEnter()
 	defer c.EpochExit()
-	preds := make([]*pNode, s.maxLevel)
+	var pa [maxMaxLevel]*pNode
+	preds := pa[:s.maxLevel]
 	victim := s.find(k, preds)
 	restarts := 0
 	if victim.key != k {
@@ -218,7 +220,7 @@ func (s *Pugh) Remove(c *core.Ctx, k core.Key) bool {
 		p := s.lockLevelFrom(c, preds[lvl], k, lvl, &restarts)
 		p.lock.Release()
 	}
-	c.Retire(victim)
+	c.Retire(victim, reclaimPNode)
 	c.RecordRestarts(restarts)
 	return true
 }

@@ -122,6 +122,18 @@ type Thread struct {
 	MaxBatchNs      uint64 // worst single batch (tail latency)
 	CombinedBatches uint64 // batches applied via a flat-combining list
 
+	// Memory reclamation (the EBR + pooling path). Retires counts nodes
+	// this worker handed to EBR; Reclaims counts nodes whose grace period
+	// elapsed on this worker's record (copied from the ebr.Record at
+	// teardown, so late flushes are included). PoolHits/PoolMisses count
+	// node and page-buffer allocations served from a typed free-list vs
+	// fallen through to make/new — their ratio is the pool_hit_frac bench
+	// column.
+	Retires    uint64
+	Reclaims   uint64
+	PoolHits   uint64
+	PoolMisses uint64
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -314,8 +326,22 @@ func (t *Thread) Merge(o *Thread) {
 		t.MaxBatchNs = o.MaxBatchNs
 	}
 	t.CombinedBatches += o.CombinedBatches
+	t.Retires += o.Retires
+	t.Reclaims += o.Reclaims
+	t.PoolHits += o.PoolHits
+	t.PoolMisses += o.PoolMisses
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
+}
+
+// PoolHitFraction returns PoolHits / (PoolHits + PoolMisses) — the
+// fraction of node/buffer allocations served by recycling.
+func (t *Thread) PoolHitFraction() float64 {
+	total := t.PoolHits + t.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.PoolHits) / float64(total)
 }
 
 // WaitFraction returns the fraction of the thread's active time spent

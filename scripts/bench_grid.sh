@@ -62,11 +62,29 @@ run_batch_cell() {
         -dur 300ms -runs 2 -csv)"
 }
 
+# The ebr=on cells re-run the wide composites with epoch-based
+# reclamation and node pooling attached (the ebr column in the artifact
+# distinguishes them from their GC-only twins). They carry the
+# reclamation economics into the trajectory: pool_hit_frac and the
+# allocs_op delta against the ebr=off cell show what recycling buys,
+# and gc_pause_ns shows what the collector stops paying.
+run_ebr_cell() {
+    alg=$1
+    zipf=$2
+    emit "$("$BIN" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf "$zipf" \
+        -scan-frac 0.05 -scan-len 64 \
+        -cursor-frac 0.05 -page-len 16 \
+        -ebr \
+        -dur 300ms -runs 2 -csv)"
+}
+
 run_cell 'list/lazy' 0
 run_cell 'sharded(8,list/lazy)' 0
 run_cell 'elastic(8,list/lazy)' 0
 run_cell 'sharded(32,list/lazy)' 0
 run_cell 'elastic(32,list/lazy)' 0
+run_ebr_cell 'sharded(32,list/lazy)' 0
+run_ebr_cell 'elastic(32,list/lazy)' 0
 run_cell 'readcache(1024,list/lazy)' 0.9
 run_batch_cell 'sharded(32,list/lazy)' 0
 run_batch_cell 'sharded(32,list/lazy)' 0.9
