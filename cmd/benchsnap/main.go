@@ -39,13 +39,15 @@ import (
 // batch_mean_keys,batch_mean_ns,combine_frac plus allocs_op.
 // v4: the reclamation columns gc_pause_ns,pool_hit_frac plus the ebr
 // configuration axis, so ebr-on and ebr-off runs of the same spec are
-// distinct grid cells.)
-const schemaID = "csds-bench-v4"
+// distinct grid cells. v5: the net configuration axis — closed-loop
+// csdsbench -net cells that measure a csdsd server over loopback are
+// distinct from in-process cells of the same spec.)
+const schemaID = "csds-bench-v5"
 
 // gridAxes are the configuration columns that define a cell's identity:
 // two snapshots describe the same grid iff their cells agree on these
 // (measurements may differ).
-var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "ebr", "scanfrac", "cursorfrac", "batchfrac"}
+var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "ebr", "net", "scanfrac", "cursorfrac", "batchfrac"}
 
 // Snapshot is the JSON artifact: the column schema plus one entry per
 // grid cell, numbers parsed where the column is numeric.

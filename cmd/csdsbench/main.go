@@ -64,7 +64,7 @@ func main() {
 // and the committed BENCH_baseline.json are derived from these columns),
 // so changes here must be deliberate: update the smoke test, the
 // benchsnap tool's expectations, and regenerate the baseline together.
-const csvHeader = "alg,threads,size,updates,zipf,ebr,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac"
+const csvHeader = "alg,threads,size,updates,zipf,ebr,net,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac"
 
 // benchOpts holds every flag's destination. The FlagSet they register on
 // (newFlags) is the single source of flag documentation: -list prints
@@ -97,6 +97,7 @@ type benchOpts struct {
 	emin       *int
 	emax       *int
 	einterval  *time.Duration
+	net        *string
 	csv        *bool
 	listAlgs   *bool
 }
@@ -132,6 +133,7 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *benchOpts) {
 		emin:       fs.Int("elastic-min", 1, "adaptive policy width floor"),
 		emax:       fs.Int("elastic-max", 64, "adaptive policy width ceiling"),
 		einterval:  fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence"),
+		net:        fs.String("net", "", "drive a remote csdsd at host:port as a closed-loop client instead of running in-process"),
 		csv:        fs.Bool("csv", false, "CSV output"),
 		listAlgs:   fs.Bool("list", false, "list registered algorithms, combinators and flags, then exit"),
 	}
@@ -285,7 +287,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	res, err := harness.Run(cfg)
+	var res harness.Result
+	var err error
+	if *o.net != "" {
+		// Networked mode measures a remote csdsd; flags that configure
+		// the in-process structure or harness would be silently ignored,
+		// so explicitly setting one is an error, not a no-op.
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "elide", "ebr", "delayed", "resize-at",
+				"elastic-grow", "elastic-shrink", "elastic-growwait",
+				"elastic-min", "elastic-max", "elastic-interval":
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			fmt.Fprintf(stderr, "csdsbench: %s configure the in-process harness and have no effect with -net; set them on the csdsd server instead\n",
+				strings.Join(rejected, " "))
+			return 1
+		}
+		res, err = netRun(*o.net, cfg)
+	} else {
+		res, err = harness.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "csdsbench: %v\n", err)
 		fmt.Fprintf(stderr, "hint: run 'csdsbench -list' for registered algorithms, combinators and flags;\n")
@@ -298,9 +323,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *o.ebrOn {
 			ebr = 1
 		}
+		netCol := 0
+		if *o.net != "" {
+			netCol = 1
+		}
 		fmt.Fprintln(stdout, csvHeader)
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%d,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f,%d,%.4f\n",
-			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf, ebr,
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%d,%d,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f,%d,%.4f\n",
+			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf, ebr, netCol,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
@@ -312,6 +341,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	fmt.Fprintf(stdout, "algorithm          %s\n", *o.alg)
+	if *o.net != "" {
+		fmt.Fprintf(stdout, "networked          closed-loop client of csdsd at %s\n", *o.net)
+	}
 	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *o.threads, *o.size, *o.updates*100, *o.zipf)
 	fmt.Fprintf(stdout, "window x runs      %v x %d\n", *o.dur, *o.runs)
 	fmt.Fprintf(stdout, "throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)

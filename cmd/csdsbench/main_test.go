@@ -71,11 +71,61 @@ func TestListShowsEveryFlag(t *testing.T) {
 			t.Fatalf("-list output missing flag %q:\n%s", name, out.String())
 		}
 	}
-	// The scan, cursor and batch flags in particular — the ones the old
-	// hand-written help text forgot.
-	for _, name := range []string{"-scan-frac", "-cursor-frac", "-batch-frac", "-batch-len", "-batch-dist"} {
+	// The scan, cursor, batch and networked flags in particular — the
+	// ones the old hand-written help text forgot.
+	for _, name := range []string{"-scan-frac", "-cursor-frac", "-batch-frac", "-batch-len", "-batch-dist", "-net"} {
 		if !strings.Contains(out.String(), name+" ") {
 			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestFlagRosterPinned pins the complete flag table verbatim. The older
+// checks above only prove that whatever is registered shows up in -list
+// — a flag deleted by mistake (or added with a colliding name) slipped
+// straight through them. Any roster change must be deliberate: edit this
+// list together with newFlags and the README flag table.
+func TestFlagRosterPinned(t *testing.T) {
+	want := []string{
+		"-alg", "-batch-dist", "-batch-frac", "-batch-len", "-csv",
+		"-cursor-frac", "-delayed", "-dur", "-ebr",
+		"-elastic-grow", "-elastic-growwait", "-elastic-interval",
+		"-elastic-max", "-elastic-min", "-elastic-shrink",
+		"-elide", "-list", "-net", "-page-dist", "-page-len",
+		"-resize-at", "-runs", "-scan-dist", "-scan-frac", "-scan-len",
+		"-size", "-threads", "-updates", "-zipf",
+	}
+	var errOut strings.Builder
+	fs, _ := newFlags(&errOut)
+	got := flagRoster(fs) // lexically sorted by flag.VisitAll
+	if len(got) != len(want) {
+		t.Fatalf("flag roster drifted:\n got %v\nwant %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flag roster drifted at %d: got %q, want %q\nfull roster: %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestNetRejectsLocalFlags: flags that configure the in-process
+// structure or harness must be refused in networked mode, not silently
+// ignored (the server was configured elsewhere; pretending -ebr applies
+// would make the CSV row lie).
+func TestNetRejectsLocalFlags(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-ebr"},
+		{"-elide", "3"},
+		{"-delayed", "1"},
+		{"-resize-at", "10ms:4"},
+		{"-elastic-grow", "100"},
+	} {
+		args := append([]string{"-net", "127.0.0.1:1", "-dur", "10ms", "-runs", "1", "-threads", "1"}, extra...)
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("%v accepted in -net mode", extra)
+		} else if !strings.Contains(errOut.String(), "-net") {
+			t.Fatalf("%v: stderr does not explain the -net conflict:\n%s", extra, errOut.String())
 		}
 	}
 }
@@ -291,7 +341,7 @@ func TestBatchFlagValidation(t *testing.T) {
 // BENCH_baseline.json are derived from exactly these columns, so any
 // drift must show up here first.
 func TestCSVSchemaPinned(t *testing.T) {
-	const wantHeader = "alg,threads,size,updates,zipf,ebr,mops,perthread_mean,perthread_stddev," +
+	const wantHeader = "alg,threads,size,updates,zipf,ebr,net,mops,perthread_mean,perthread_stddev," +
 		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
 		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
 		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac," +

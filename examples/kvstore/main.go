@@ -1,209 +1,218 @@
-// KVStore example: an LSM-style storage engine front end, the pattern the
-// paper cites from LevelDB/RocksDB — writes land in a concurrent in-memory
-// index (the memtable, here the featured Herlihy skip list, which is what
-// LevelDB actually uses), and when it fills up it is atomically rotated
-// out and replaced. Readers consult the active memtable first and then the
-// frozen generations, all without blocking writers.
+// KVStore example: an ordered key-value store served over the wire —
+// the LevelDB-flavored half of the paper's motivation (its memtable is
+// a concurrent skip list). Since PR 8 the module fronts real
+// connections, so this example is a thin client of internal/server: it
+// boots the server over a striped Herlihy skip list, runs a write-heavy
+// ingest with pipelined multi-key reads, and then takes ordered,
+// paginated backup scans through the range/page cursor extension —
+// holding only the opaque token between pages, the contract that lets a
+// scan survive reconnects and even server restarts. The paper's
+// practical-wait-freedom SLA is audited from the server's own stats,
+// and the drain must quiesce reclamation completely.
 //
-// The example demonstrates that the paper's practical-wait-freedom
-// property holds inside a realistic storage-engine write path: even while
-// rotations happen, no request is meaningfully delayed by concurrency.
+// -short runs a reduced-ops smoke version (the CI examples job).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"net"
+	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"csds"
+	"csds/internal/server"
 	"csds/internal/xrand"
+
+	_ "csds/internal/combinator"
+	_ "csds/internal/skiplist"
 )
 
 const (
-	memtableLimit = 8192
+	spec          = "striped(8,skiplist/herlihy)"
+	keySpace      = 32768
 	workers       = 6
-	opsPerWorker  = 120_000
 	writeFraction = 0.5 // write-heavy ingest, LSM style
 	batchSize     = 8   // keys per multi-key read request
 	batchEvery    = 32  // every Nth read is a multi-key request
+	scanPageLen   = 64  // backup scan page budget
 )
 
-// batchReads counts the multi-key read requests served batched.
-var batchReads atomic.Int64
-
-// store is the two-level engine: one active memtable plus frozen ones.
-type store struct {
-	active    atomic.Pointer[csds.Set]
-	mu        sync.Mutex // guards rotation and the frozen list
-	frozen    []csds.Set
-	writes    atomic.Int64
-	rotations atomic.Int64
-}
-
-func newStore() *store {
-	st := &store{}
-	s := csds.NewHerlihySkipList(memtableLimit)
-	st.active.Store(&s)
-	return st
-}
-
-// put writes into the active memtable and triggers rotation past the
-// limit. Rotation swaps in a fresh memtable; concurrent writers keep going
-// against whichever table they loaded — exactly the transient LevelDB
-// tolerates (a late write to a just-frozen memtable is still visible to
-// readers via the frozen list).
-func (st *store) put(c *csds.Ctx, k csds.Key, v csds.Value) {
-	s := *st.active.Load()
-	s.Put(c, k, v)
-	c.Stats.RecordInsert(true)
-	if n := st.writes.Add(1); n%memtableLimit == 0 {
-		st.rotate()
-	}
-}
-
-func (st *store) rotate() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	old := st.active.Load()
-	fresh := csds.NewHerlihySkipList(memtableLimit)
-	st.active.Store(&fresh)
-	st.frozen = append(st.frozen, *old)
-	st.rotations.Add(1)
-}
-
-// get searches the active memtable, then frozen generations newest-first.
-func (st *store) get(c *csds.Ctx, k csds.Key) (csds.Value, bool) {
-	s := *st.active.Load()
-	if v, ok := s.Get(c, k); ok {
-		c.Stats.RecordRead(true)
-		return v, true
-	}
-	st.mu.Lock()
-	gens := make([]csds.Set, len(st.frozen))
-	copy(gens, st.frozen)
-	st.mu.Unlock()
-	for i := len(gens) - 1; i >= 0; i-- {
-		if v, ok := gens[i].Get(c, k); ok {
-			c.Stats.RecordRead(true)
-			return v, true
-		}
-	}
-	c.Stats.RecordRead(false)
-	return 0, false
-}
-
-// multiGet is the multi-key read endpoint (the MultiGet of the LevelDB
-// API): one batched probe per generation instead of one point Get per
-// key. The active memtable answers the whole batch in a single
-// MultiGet — one sorted traversal, one synchronization bracket — and
-// only the residue of misses is forwarded, again as one batch, to the
-// frozen generations newest-first, so a request for 50 keys crosses
-// each table once rather than 50 times. Results arrive through f in
-// the caller's index order, like every Batcher.
-func (st *store) multiGet(c *csds.Ctx, keys []csds.Key, f func(i int, v csds.Value, ok bool)) {
-	vals := make([]csds.Value, len(keys))
-	oks := make([]bool, len(keys))
-	var pending []int // indices not yet resolved, in ascending order
-	active := *st.active.Load()
-	active.(csds.Batcher).MultiGet(c, keys, func(i int, v csds.Value, ok bool) {
-		if ok {
-			vals[i], oks[i] = v, true
-		} else {
-			pending = append(pending, i)
-		}
-	})
-	if len(pending) > 0 {
-		st.mu.Lock()
-		gens := make([]csds.Set, len(st.frozen))
-		copy(gens, st.frozen)
-		st.mu.Unlock()
-		sub := make([]csds.Key, 0, len(pending))
-		for g := len(gens) - 1; g >= 0 && len(pending) > 0; g-- {
-			sub = sub[:0]
-			for _, i := range pending {
-				sub = append(sub, keys[i])
-			}
-			src := pending
-			next := pending[:0] // consumed positions only; safe reuse
-			gens[g].(csds.Batcher).MultiGet(c, sub, func(j int, v csds.Value, ok bool) {
-				if ok {
-					vals[src[j]], oks[src[j]] = v, true
-				} else {
-					next = append(next, src[j])
-				}
-			})
-			pending = next
-		}
-	}
-	for i := range keys {
-		c.Stats.RecordRead(oks[i])
-		f(i, vals[i], oks[i])
-	}
-}
-
 func main() {
-	fmt.Println("== LSM-memtable kv-store on the featured skip list ==")
-	st := newStore()
-	ctxs := make([]*csds.Ctx, workers)
-	var wg sync.WaitGroup
+	short := flag.Bool("short", false, "reduced-ops smoke mode (CI)")
+	flag.Parse()
+	opsPerWorker := 120_000
+	slaLimit := 0.01
+	if *short {
+		opsPerWorker /= 20
+		slaLimit = 0.05
+	}
+	os.Exit(run(opsPerWorker, slaLimit))
+}
+
+func run(opsPerWorker int, slaLimit float64) int {
+	fmt.Println("== ordered kv-store served over the wire (" + spec + ") ==")
+
+	srv, err := server.New(server.Config{Spec: spec, Size: keySpace / 2, UseEBR: true, MaxInflight: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		return 1
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		return 1
+	}
+	addr := l.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	// Ingest phase: a write-heavy mix with pipelined multi-key reads.
+	var ingested, batchReads, pointReads uint64
+	var mu sync.Mutex
+	errs := make([]error, workers)
 	start := time.Now()
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c := csds.NewCtx(w)
-			ctxs[w] = c
+			c, err := server.DialRetry(addr, 5*time.Second)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer c.Close()
 			rng := xrand.New(uint64(w)*31 + 7)
-			batch := make([]csds.Key, batchSize)
+			keys := make([]csds.Key, batchSize)
+			vals := make([]csds.Value, batchSize)
+			oks := make([]bool, batchSize)
+			var writes, batches, points uint64
 			for i := 0; i < opsPerWorker; i++ {
-				k := csds.Key(1 + rng.Int63n(4*memtableLimit))
+				k := csds.Key(1 + rng.Int63n(keySpace))
 				switch {
 				case rng.Bool(writeFraction):
-					st.put(c, k, csds.Value(i))
-				case i%batchEvery == 0:
-					// A multi-key request: one MultiGet per generation
-					// instead of batchSize point Gets.
-					for j := range batch {
-						batch[j] = csds.Key(1 + rng.Int63n(4*memtableLimit))
+					if _, err := c.Set(k, csds.Value(i)); err != nil {
+						errs[w] = err
+						return
 					}
-					st.multiGet(c, batch, func(int, csds.Value, bool) {})
-					batchReads.Add(1)
+					writes++
+				case i%batchEvery == 0:
+					for j := range keys {
+						keys[j] = csds.Key(1 + rng.Int63n(keySpace))
+					}
+					if err := c.MultiGet(keys, vals, oks); err != nil {
+						errs[w] = err
+						return
+					}
+					batches++
 				default:
-					st.get(c, k)
+					if _, _, err := c.Get(k); err != nil {
+						errs[w] = err
+						return
+					}
+					points++
 				}
 			}
+			mu.Lock()
+			ingested += writes
+			batchReads += batches
+			pointReads += points
+			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-
-	totalOps := workers * opsPerWorker
-	fmt.Printf("workload        %d workers x %d ops, %.0f%% writes\n", workers, opsPerWorker, writeFraction*100)
-	fmt.Printf("throughput      %.2f Mops/s in %v\n", float64(totalOps)/elapsed.Seconds()/1e6, elapsed.Round(time.Millisecond))
-	fmt.Printf("rotations       %d memtables frozen (limit %d writes each)\n", st.rotations.Load(), memtableLimit)
-	active := *st.active.Load()
-	fmt.Printf("active memtable %d entries; frozen generations: %d\n", active.Len(), len(st.frozen))
-	fmt.Printf("multi-key reads %d requests x %d keys, batched (one MultiGet per generation)\n",
-		batchReads.Load(), batchSize)
-
-	var waits, restarts, ops uint64
-	var maxWait uint64
-	for _, c := range ctxs {
-		waits += c.Stats.LockWaits
-		restarts += c.Stats.Restarts
-		ops += c.Stats.Ops
-		if c.Stats.MaxWaitNs > maxWait {
-			maxWait = c.Stats.MaxWaitNs
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			return 1
 		}
 	}
-	fmt.Printf("\npractical wait-freedom audit under rotation churn\n")
-	fmt.Printf("  delayed requests: %.4f%% (waits %d + restarts %d of %d ops)\n",
-		100*float64(waits+restarts)/float64(ops), waits, restarts, ops)
-	fmt.Printf("  worst lock wait:  %v\n", time.Duration(maxWait))
-	if frac := float64(waits+restarts) / float64(ops); frac < 0.01 {
-		fmt.Println("  VERDICT: practically wait-free ✓")
-	} else {
-		fmt.Println("  VERDICT: SLA violated")
+
+	// Backup scan phase: page through the whole keyspace in order. The
+	// client holds nothing between pages except the opaque token — it
+	// even reconnects mid-scan to prove the token is the only state.
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		return 1
 	}
+	var scanned, pages uint64
+	lastKey := csds.Key(-1 << 62)
+	ordered := true
+	count := func(k csds.Key, v csds.Value) {
+		if k <= lastKey {
+			ordered = false
+		}
+		lastKey = k
+		scanned++
+	}
+	scanStart := time.Now()
+	token, done, err := c.Range(1, keySpace+1, scanPageLen, count)
+	for err == nil && !done {
+		pages++
+		if pages%16 == 0 {
+			// Reconnect mid-scan: the token resumes on a fresh
+			// connection because it pins no server state.
+			c.Close()
+			if c, err = server.Dial(addr); err != nil {
+				break
+			}
+		}
+		token, done, err = c.Page(token, scanPageLen, count)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scan:", err)
+		return 1
+	}
+	pages++
+	scanElapsed := time.Since(scanStart)
+	if !ordered {
+		fmt.Fprintln(os.Stderr, "backup scan returned keys out of order")
+		return 1
+	}
+
+	m, err := c.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		return 1
+	}
+	c.Close()
+
+	totalOps := uint64(workers * opsPerWorker)
+	fmt.Printf("ingest          %d workers x %d ops over TCP, %.0f%% writes\n", workers, opsPerWorker, writeFraction*100)
+	fmt.Printf("throughput      %.3f Mops/s in %v (closed loop)\n", float64(totalOps)/elapsed.Seconds()/1e6, elapsed.Round(time.Millisecond))
+	fmt.Printf("multi-key reads %d requests x %d keys (server-side batched); %d point reads\n", batchReads, batchSize, pointReads)
+	fmt.Printf("backup scan     %d keys in order over %d pages of <=%d (%v), token-resumed across reconnects\n",
+		scanned, pages, scanPageLen, scanElapsed.Round(time.Millisecond))
+	fmt.Printf("final size      %d entries\n", srv.Set().Len())
+
+	delayedFrac := float64(m["lock_waits"]+m["restarts"]) / float64(m["ops"])
+	fmt.Printf("\npractical wait-freedom audit (SLA: <%.0f%% of requests delayed)\n", slaLimit*100)
+	fmt.Printf("  server-side ops:   %d\n", m["ops"])
+	fmt.Printf("  delayed requests:  %.4f%%\n", 100*delayedFrac)
+	fmt.Printf("  worst lock wait:   %v\n", time.Duration(m["max_wait_ns"]))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+		return 1
+	}
+	<-serveDone
+	a := srv.Audit()
+	fmt.Printf("  drain: %d conns, retired %d == reclaimed %d\n", a.Conns, a.Retired, a.Reclaimed)
+	if a.Retired != a.Reclaimed {
+		fmt.Fprintln(os.Stderr, "drain left unreclaimed garbage")
+		return 1
+	}
+	if delayedFrac >= slaLimit {
+		fmt.Println("  VERDICT: SLA violated")
+		return 1
+	}
+	fmt.Println("  VERDICT: practically wait-free ✓")
+	return 0
 }

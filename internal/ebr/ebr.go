@@ -176,8 +176,11 @@ func (r *Record) Collect() {
 	}
 }
 
-// Unregister removes the record from its domain. The caller must not be
-// inside a critical region and must not use the record afterwards. Limbo
+// Unregister removes the record from its domain. It is safe to call from
+// inside a critical region — the open bracket is force-exited first — so
+// a deferred Unregister is the correct way to guarantee a worker that
+// panics or returns early mid-bracket cannot wedge epoch advancement for
+// the whole domain. The record must not be used afterwards. Limbo
 // whose grace period has elapsed is reclaimed on the spot (counted in the
 // record's lifetime counters); the rest is handed to the domain's orphan
 // buckets and reclaimed after later epoch advances — without this, a

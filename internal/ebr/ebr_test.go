@@ -239,6 +239,51 @@ func TestEpochMonotone(t *testing.T) {
 	}
 }
 
+// TestPanickedWorkerDoesNotWedgeDomain is the regression test for the
+// defer-based unregister contract: a worker that dies mid-bracket (after
+// Enter and Retire, before Exit) used to leave its record pinned at a
+// stale epoch, blocking Advance for every other thread forever. With
+// Unregister deferred — and documented safe to call inside a critical
+// region — the domain must keep advancing and quiesce to
+// reclaimed == retired.
+func TestPanickedWorkerDoesNotWedgeDomain(t *testing.T) {
+	d := NewDomain()
+	survivor := d.Register()
+	defer survivor.Unregister()
+
+	var freed atomic.Int64
+	died := make(chan struct{})
+	go func() {
+		r := d.Register()
+		defer close(died)
+		defer r.Unregister() // the fix under test: runs mid-bracket
+		defer func() { recover() }()
+		r.Enter()
+		r.Retire("victim", func(any) { freed.Add(1) })
+		panic("worker killed mid-bracket")
+	}()
+	<-died
+
+	// The survivor must still observe epoch progress...
+	before := d.Epoch()
+	for i := 0; i < 4; i++ {
+		if !d.Advance() {
+			t.Fatalf("advance %d blocked after worker death", i)
+		}
+	}
+	if d.Epoch() <= before {
+		t.Fatalf("epoch did not advance past %d", before)
+	}
+	// ...and the dead worker's orphaned limbo must drain completely.
+	ret, rec := d.Stats()
+	if ret != 1 || rec != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1): orphaned limbo not reclaimed", ret, rec)
+	}
+	if freed.Load() != 1 {
+		t.Fatalf("victim callback ran %d times, want 1", freed.Load())
+	}
+}
+
 func BenchmarkEnterExit(b *testing.B) {
 	d := NewDomain()
 	r := d.Register()

@@ -254,6 +254,12 @@ func Run(cfg Config) (Result, error) {
 	return agg, nil
 }
 
+// Accumulate folds one run's Result into the receiver as 1/runs of the
+// average — the same aggregation Run applies across its own repetitions,
+// exported for external drivers (csdsbench -net) that collect runs
+// themselves.
+func (a *Result) Accumulate(r *Result, runs int) { a.accumulate(r, runs) }
+
 // accumulate folds one run into the average.
 func (a *Result) accumulate(r *Result, runs int) {
 	f := 1 / float64(runs)
@@ -390,6 +396,17 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			c := &core.Ctx{ID: w, Rng: rng, Stats: &ths[w], Doom: &htm.Doom{}}
 			if dom != nil {
 				c.Epoch = dom.Register()
+				// Deferred, not tail-called: a worker that panics (or
+				// returns early) mid-bracket would otherwise leave its
+				// record registered at a stale epoch and wedge advancement
+				// for the whole domain. Unregister force-exits any open
+				// bracket, flushes limbo already past its grace period,
+				// and orphans the rest to the domain, so the snapshot of
+				// the lifetime reclaim counter comes after it runs.
+				defer func() {
+					c.Epoch.Unregister()
+					ths[w].Reclaims = c.Epoch.Reclaimed
+				}()
 			}
 			inj := interrupt.NewInjector(cfg.Seed + uint64(w) + round)
 			if w < cfg.DelayedThreads {
@@ -513,15 +530,6 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 				inj.BetweenOps()
 			}
 			ths[w].ActiveNs = uint64(time.Since(t0))
-			if c.Epoch != nil {
-				// Release the record (it would otherwise linger in the
-				// domain's record list forever — one leaked record per
-				// run). Unregister flushes whatever limbo is already past
-				// its grace period, so snapshot the lifetime reclaim
-				// counter after it runs.
-				c.Epoch.Unregister()
-				ths[w].Reclaims = c.Epoch.Reclaimed
-			}
 		}(w)
 	}
 
@@ -650,6 +658,15 @@ type liveCell struct {
 	ops    atomic.Uint64
 	waitNs atomic.Uint64
 	_      [48]byte
+}
+
+// SummarizeThreads folds externally collected per-worker counters into a
+// Result exactly the way Run does for its own workers. csdsbench's
+// networked mode uses it: the closed-loop client threads fill
+// stats.Thread slots while driving a remote csdsd, then reuse the whole
+// local reporting path (throughput, wait fractions, scan/batch rates).
+func SummarizeThreads(cfg Config, ths []stats.Thread) Result {
+	return summarize(cfg.withDefaults(), ths, nil)
 }
 
 func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {

@@ -1,0 +1,362 @@
+// Client is a minimal pipelined memcache-text client for the csdsd
+// dialect: csdsbench -net drives its closed-loop workload through it,
+// the examples are thin wrappers around it, and the socket tests speak
+// through it. It is deliberately synchronous per method — pipelining is
+// explicit (Pipe* to buffer requests, Flush to send, Recv* to collect
+// responses in order), which is exactly the shape a closed-loop load
+// generator wants.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"csds/internal/core"
+)
+
+// Client is one connection. Not safe for concurrent use; a load
+// generator opens one per worker.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a csdsd server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, br: bufio.NewReaderSize(nc, 1<<16), bw: bufio.NewWriterSize(nc, 1<<16)}, nil
+}
+
+// DialRetry dials with retries over the patience window — the handshake
+// of scripts that start a server and a client together.
+func DialRetry(addr string, patience time.Duration) (*Client, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: dial %s: gave up after %v: %w", addr, patience, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Close sends quit (best-effort) and closes the connection.
+func (c *Client) Close() error {
+	c.bw.WriteString("quit\r\n")
+	c.bw.Flush()
+	return c.nc.Close()
+}
+
+// readLine returns the next response line without its CRLF.
+func (c *Client) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	return trimCRLF(line), nil
+}
+
+// errorLine converts a server error response into a Go error.
+func errorLine(line []byte) error {
+	return fmt.Errorf("server: %s", line)
+}
+
+// isErrorLine reports whether line is one of the protocol error replies.
+func isErrorLine(line []byte) bool {
+	return bytes.Equal(line, []byte("ERROR")) ||
+		bytes.HasPrefix(line, []byte("CLIENT_ERROR")) ||
+		bytes.HasPrefix(line, []byte("SERVER_ERROR"))
+}
+
+// --- pipelined request writers -------------------------------------------
+
+// PipeGet buffers one single-key get (pair with RecvGet).
+func (c *Client) PipeGet(k core.Key) error {
+	c.bw.WriteString("get ")
+	writeInt(c.bw, int64(k))
+	_, err := c.bw.WriteString("\r\n")
+	return err
+}
+
+// PipeSet buffers one set (pair with RecvStored).
+func (c *Client) PipeSet(k core.Key, v core.Value) error {
+	var num [24]byte
+	data := strconv.AppendInt(num[:0], int64(v), 10)
+	c.bw.WriteString("set ")
+	writeInt(c.bw, int64(k))
+	c.bw.WriteString(" 0 0 ")
+	writeInt(c.bw, int64(len(data)))
+	c.bw.WriteString("\r\n")
+	c.bw.Write(data)
+	_, err := c.bw.WriteString("\r\n")
+	return err
+}
+
+// PipeDelete buffers one delete (pair with RecvDeleted).
+func (c *Client) PipeDelete(k core.Key) error {
+	c.bw.WriteString("delete ")
+	writeInt(c.bw, int64(k))
+	_, err := c.bw.WriteString("\r\n")
+	return err
+}
+
+// Flush sends everything buffered.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// RecvStored reads one set response.
+func (c *Client) RecvStored() (stored bool, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("STORED")):
+		return true, nil
+	case bytes.Equal(line, []byte("NOT_STORED")):
+		return false, nil
+	}
+	return false, errorLine(line)
+}
+
+// RecvDeleted reads one delete response.
+func (c *Client) RecvDeleted() (deleted bool, err error) {
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("DELETED")):
+		return true, nil
+	case bytes.Equal(line, []byte("NOT_FOUND")):
+		return false, nil
+	}
+	return false, errorLine(line)
+}
+
+// RecvGet reads one single-key get response block.
+func (c *Client) RecvGet() (v core.Value, ok bool, err error) {
+	found := false
+	var val core.Value
+	err = c.readValues(func(_ core.Key, v core.Value) {
+		found, val = true, v
+	})
+	return val, found, err
+}
+
+// readValues consumes VALUE blocks up to END (or an error line),
+// delivering each (key, value) to f. The optional CURSOR trailer line of
+// range/page responses is delivered to the caller via lastCursor.
+func (c *Client) readValues(f func(k core.Key, v core.Value)) error {
+	_, _, err := c.readValuesCursor(f)
+	return err
+}
+
+func (c *Client) readValuesCursor(f func(k core.Key, v core.Value)) (token string, done bool, err error) {
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return "", false, err
+		}
+		switch {
+		case bytes.Equal(line, []byte("END")):
+			return token, done, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			fields, _ := splitFields(line[len("VALUE "):], 4)
+			if len(fields) < 3 {
+				return "", false, fmt.Errorf("server: malformed VALUE line %q", line)
+			}
+			k, okK := parseInt(fields[0])
+			n, okN := parseInt(fields[2])
+			if !okK || !okN || n < 0 || n > maxDataLen {
+				return "", false, fmt.Errorf("server: malformed VALUE line %q", line)
+			}
+			data := make([]byte, n+2)
+			if _, err := readFull(c.br, data); err != nil {
+				return "", false, err
+			}
+			v, okV := parseInt(trimCRLF(data))
+			if !okV {
+				return "", false, fmt.Errorf("server: non-numeric data block %q", data)
+			}
+			f(core.Key(k), core.Value(v))
+		case bytes.HasPrefix(line, []byte("CURSOR ")):
+			fields, _ := splitFields(line[len("CURSOR "):], 2)
+			if len(fields) != 2 {
+				return "", false, fmt.Errorf("server: malformed CURSOR line %q", line)
+			}
+			token = string(fields[0])
+			done = string(fields[1]) == "1"
+		default:
+			if isErrorLine(line) {
+				return "", false, errorLine(line)
+			}
+			return "", false, fmt.Errorf("server: unexpected response line %q", line)
+		}
+	}
+}
+
+// --- one-shot requests ----------------------------------------------------
+
+// Get looks up one key.
+func (c *Client) Get(k core.Key) (core.Value, bool, error) {
+	if err := c.PipeGet(k); err != nil {
+		return 0, false, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, false, err
+	}
+	return c.RecvGet()
+}
+
+// Set stores k -> v if absent (the library's put semantics; NOT_STORED
+// reports a present key).
+func (c *Client) Set(k core.Key, v core.Value) (stored bool, err error) {
+	if err := c.PipeSet(k, v); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvStored()
+}
+
+// Delete removes one key.
+func (c *Client) Delete(k core.Key) (deleted bool, err error) {
+	if err := c.PipeDelete(k); err != nil {
+		return false, err
+	}
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	return c.RecvDeleted()
+}
+
+// MultiGet looks up keys in one mget request (one server-side batch).
+// oks[i] reports whether keys[i] was present and vals[i] its value. The
+// response omits misses, so hits are matched back to request indices by
+// walking the response keys as an in-order subsequence of the request
+// keys (duplicates resolve to the same value, like the Batcher
+// contract).
+func (c *Client) MultiGet(keys []core.Key, vals []core.Value, oks []bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if len(vals) != len(keys) || len(oks) != len(keys) {
+		return fmt.Errorf("server: MultiGet result slices must match len(keys)")
+	}
+	for i := range oks {
+		oks[i] = false
+	}
+	c.bw.WriteString("mget")
+	for _, k := range keys {
+		c.bw.WriteByte(' ')
+		writeInt(c.bw, int64(k))
+	}
+	c.bw.WriteString("\r\n")
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	i := 0
+	return c.readValues(func(k core.Key, v core.Value) {
+		for i < len(keys) && keys[i] != k {
+			i++
+		}
+		if i < len(keys) {
+			vals[i], oks[i] = v, true
+			i++
+		}
+	})
+}
+
+// Range requests the first page of the window [lo, hi): up to max
+// mappings in ascending key order, the resume token, and whether the
+// window is already exhausted.
+func (c *Client) Range(lo, hi core.Key, max int, f func(k core.Key, v core.Value)) (token string, done bool, err error) {
+	c.bw.WriteString("range ")
+	writeInt(c.bw, int64(lo))
+	c.bw.WriteByte(' ')
+	writeInt(c.bw, int64(hi))
+	c.bw.WriteByte(' ')
+	writeInt(c.bw, int64(max))
+	c.bw.WriteString("\r\n")
+	if err := c.Flush(); err != nil {
+		return "", false, err
+	}
+	return c.readValuesCursor(f)
+}
+
+// Page resumes a paginated iteration from a token returned by Range or
+// a previous Page — against this server or any other serving an
+// equivalent spec (tokens pin no server state).
+func (c *Client) Page(token string, max int, f func(k core.Key, v core.Value)) (next string, done bool, err error) {
+	c.bw.WriteString("page ")
+	c.bw.WriteString(token)
+	c.bw.WriteByte(' ')
+	writeInt(c.bw, int64(max))
+	c.bw.WriteString("\r\n")
+	if err := c.Flush(); err != nil {
+		return "", false, err
+	}
+	return c.readValuesCursor(f)
+}
+
+// Stats fetches the server audit counters as a name -> value map.
+func (c *Client) Stats() (map[string]uint64, error) {
+	c.bw.WriteString("stats\r\n")
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(line, []byte("END")) {
+			return m, nil
+		}
+		fields, _ := splitFields(line, 3)
+		if len(fields) != 3 || string(fields[0]) != "STAT" {
+			if isErrorLine(line) {
+				return nil, errorLine(line)
+			}
+			return nil, fmt.Errorf("server: unexpected stats line %q", line)
+		}
+		v, ok := parseInt(fields[2])
+		if !ok {
+			return nil, fmt.Errorf("server: unexpected stats line %q", line)
+		}
+		m[string(fields[1])] = uint64(v)
+	}
+}
+
+// writeInt writes a decimal int64 without allocating.
+func writeInt(bw *bufio.Writer, n int64) {
+	var num [24]byte
+	bw.Write(strconv.AppendInt(num[:0], n, 10))
+}
+
+// readFull is io.ReadFull over the client's buffered reader (local so
+// the hot VALUE path avoids the io import dance).
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

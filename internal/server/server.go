@@ -1,0 +1,457 @@
+// Connection machinery: the Server owns one structure instance built
+// from a composite spec, an accept loop, per-connection worker
+// goroutines with bounded write queues, a global in-flight limit, and
+// the graceful drain protocol.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/ebr"
+	"csds/internal/stats"
+	"csds/internal/xrand"
+)
+
+// Config configures a Server. The zero value of every limit picks the
+// documented default.
+type Config struct {
+	// Spec is the algorithm specification served — any registry name or
+	// composite ("sharded(32,hashtable/lazy)"). Required.
+	Spec string
+	// Size hints the steady-state element count (hash sizing, skip-list
+	// height); 0 defaults to 1<<16.
+	Size int
+	// UseEBR attaches an epoch-based reclamation domain: every
+	// connection worker carries a Record, released on close (defer-based
+	// — a panicking handler cannot wedge epoch advancement), and drain
+	// quiesces the domain to reclaimed == retired.
+	UseEBR bool
+	// MaxInflight caps requests executing concurrently across all
+	// connections; excess load is shed with SERVER_ERROR busy instead of
+	// queueing without bound. 0 defaults to 128; negative means no limit.
+	MaxInflight int
+	// WriteQueue bounds each connection's queued response buffers; a
+	// full queue blocks that connection's read loop (backpressure to the
+	// socket) instead of buffering without bound. 0 defaults to 32.
+	WriteQueue int
+	// MaxBurst bounds how many pipelined requests one read-loop turn
+	// parses and answers with a single write; get runs inside a burst
+	// merge into one MultiGet. 0 defaults to 64.
+	MaxBurst int
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 1 << 16
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 128
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 32
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = 64
+	}
+	return c
+}
+
+// Audit is the server's lifetime counter snapshot: closed connections'
+// worker metrics merged with the reclamation domain totals.
+type Audit struct {
+	Conns     uint64 // connections served to completion
+	Ops       uint64 // point operations executed
+	LockWaits uint64 // operations that waited for a lock
+	Restarts  uint64 // operation restart events
+	MaxWaitNs uint64 // worst single lock wait
+	Shed      uint64 // requests answered SERVER_ERROR busy
+	Retired   uint64 // EBR nodes retired (0 without EBR)
+	Reclaimed uint64 // EBR nodes reclaimed
+}
+
+// Server serves the memcache-text dialect over one structure instance.
+type Server struct {
+	cfg      Config
+	set      core.Set
+	batcher  core.Batcher // nil when the spec's structure cannot batch
+	dom      *ebr.Domain  // nil without EBR
+	inflight chan struct{}
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	nextID   atomic.Int64
+
+	audit auditCounters
+}
+
+// auditCounters accumulates closed connections' metrics atomically so
+// any session's stats request can snapshot them without a lock.
+type auditCounters struct {
+	conns     atomic.Uint64
+	ops       atomic.Uint64
+	lockWaits atomic.Uint64
+	restarts  atomic.Uint64
+	maxWaitNs atomic.Uint64
+	shed      atomic.Uint64
+}
+
+// New builds a server over cfg.Spec. The structure is built once; every
+// connection operates on it through its own core.Ctx.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Spec == "" {
+		return nil, errors.New("server: Config.Spec is required")
+	}
+	opts := core.Options{ExpectedSize: cfg.Size, KeySpan: 2 * core.Key(cfg.Size)}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.UseEBR {
+		s.dom = ebr.NewDomain()
+		opts.Domain = s.dom
+	}
+	set, err := core.Build(cfg.Spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.set = set
+	s.batcher, _ = set.(core.Batcher)
+	if _, ok := set.(core.Cursor); !ok {
+		return nil, fmt.Errorf("server: spec %q does not implement core.Cursor (range/page need it)", cfg.Spec)
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s, nil
+}
+
+// Set exposes the served structure (examples prefill through it only in
+// tests; clients normally fill over the wire).
+func (s *Server) Set() core.Set { return s.set }
+
+// acquire claims one in-flight execution slot, shedding instead of
+// blocking: a saturated server answers busy now rather than queueing the
+// request behind an unbounded backlog it may never drain.
+func (s *Server) acquire() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Shutdown (or a permanent accept
+// error). It owns l and closes it on return.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.lis != nil {
+		s.mu.Unlock()
+		return errors.New("server: Serve called twice")
+	}
+	s.lis = l
+	s.mu.Unlock()
+	defer l.Close()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if s.draining.Load() {
+			nc.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.Serve(l)
+}
+
+// session is one connection's execution state: the per-worker context
+// (own RNG stream, stats slot, EBR record), the parsed-request burst
+// buffer, and the merged-batch scratch. It reads from br and enqueues
+// response buffers on q; it never touches the socket directly, which is
+// what lets the fuzzer and the protocol tests drive it over byte
+// readers.
+type session struct {
+	srv        *Server
+	ctx        *core.Ctx
+	br         *bufio.Reader
+	q          *writeQueue
+	reqs       []Request
+	keyScratch []core.Key
+	valScratch []core.Value
+	okScratch  []bool
+}
+
+// serveConn runs one connection to completion. The deferred block is
+// the robustness contract of the satellite bugfix: whatever happens in
+// the handler — a clean quit, a protocol error, an io error, or a panic
+// — the EBR record is unregistered (mid-bracket included; Unregister
+// force-exits the bracket) so a dying worker can never wedge epoch
+// advancement for the whole domain, the write queue is flushed so every
+// response already produced still reaches the client, and the worker's
+// metrics fold into the audit aggregate.
+func (s *Server) serveConn(nc net.Conn) {
+	th := &stats.Thread{}
+	id := s.nextID.Add(1)
+	ctx := &core.Ctx{ID: int(id), Rng: xrand.New(uint64(id)*0x9e3779b97f4a7c15 + 0xC5D5), Stats: th}
+	if s.dom != nil {
+		ctx.Epoch = s.dom.Register()
+	}
+	q := newWriteQueue(nc, s.cfg.WriteQueue)
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: panic in connection handler: %v", r)
+		}
+		if ctx.Epoch != nil {
+			ctx.Epoch.Unregister()
+		}
+		q.Close() // flush everything enqueued, then stop the writer
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.mergeAudit(th)
+		s.wg.Done()
+	}()
+	sess := &session{
+		srv:  s,
+		ctx:  ctx,
+		br:   bufio.NewReaderSize(nc, maxLineLen),
+		q:    q,
+		reqs: make([]Request, s.cfg.MaxBurst),
+	}
+	sess.run()
+}
+
+// run is the read/execute/write loop: block on one request, opportunistically
+// drain the rest of the pipeline burst that is already buffered, execute
+// the burst, enqueue one response buffer. Bounded on every axis — burst
+// length, merged keys, queue depth — so a fast pipelining client is
+// amortized and a slow reading client is back-pressured, never buffered
+// without limit.
+func (s *session) run() {
+	for {
+		if s.srv.draining.Load() {
+			return
+		}
+		if err := ReadRequest(s.br, &s.reqs[0]); err != nil {
+			// io.EOF is the clean end; drain interrupts surface as read
+			// deadline errors; everything else is a dead peer.
+			return
+		}
+		n := 1
+		for n < len(s.reqs) && s.reqs[n-1].Op != OpQuit && !s.srv.draining.Load() {
+			if !s.fullRequestBuffered() {
+				break
+			}
+			if err := ReadRequest(s.br, &s.reqs[n]); err != nil {
+				break
+			}
+			n++
+		}
+		buf, closeAfter := s.execBurst(s.reqs[:n], getBuf())
+		if len(buf) > 0 {
+			s.q.Enqueue(buf) // blocks when the queue is full: backpressure
+		} else {
+			putBuf(buf)
+		}
+		if closeAfter {
+			return
+		}
+	}
+}
+
+// fullRequestBuffered reports whether at least one complete command line
+// is already buffered, i.e. another request can be parsed without
+// blocking the burst on the network. (A set whose data block is split
+// across segments can still block briefly in its body read; command and
+// block almost always travel in one segment.)
+func (s *session) fullRequestBuffered() bool {
+	n := s.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, _ := s.br.Peek(n)
+	for _, b := range peek {
+		if b == '\n' {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeAudit folds one finished connection's worker slot into the
+// atomic aggregate.
+func (s *Server) mergeAudit(th *stats.Thread) {
+	s.audit.conns.Add(1)
+	s.audit.ops.Add(th.Ops)
+	s.audit.lockWaits.Add(th.LockWaits)
+	s.audit.restarts.Add(th.Restarts)
+	for {
+		cur := s.audit.maxWaitNs.Load()
+		if th.MaxWaitNs <= cur || s.audit.maxWaitNs.CompareAndSwap(cur, th.MaxWaitNs) {
+			break
+		}
+	}
+}
+
+// auditSnapshot returns the closed-connection aggregate plus domain
+// reclamation totals.
+func (s *Server) auditSnapshot() Audit {
+	a := Audit{
+		Conns:     s.audit.conns.Load(),
+		Ops:       s.audit.ops.Load(),
+		LockWaits: s.audit.lockWaits.Load(),
+		Restarts:  s.audit.restarts.Load(),
+		MaxWaitNs: s.audit.maxWaitNs.Load(),
+		Shed:      s.audit.shed.Load(),
+	}
+	if s.dom != nil {
+		a.Retired, a.Reclaimed = s.dom.Stats()
+	}
+	return a
+}
+
+// Audit returns the current audit snapshot (closed connections only;
+// live connections fold in as they close).
+func (s *Server) Audit() Audit { return s.auditSnapshot() }
+
+// Shutdown gracefully drains the server: stop accepting, interrupt every
+// connection's blocked read (in-flight bursts still execute and their
+// responses still flush — the write queues close only after their
+// connection's loop exits), wait for all workers, then quiesce the
+// reclamation domain so every retired node is reclaimed. It returns
+// ctx's error if the drain outlives it, and an error if the domain
+// cannot quiesce.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already shut down")
+	}
+	s.mu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for nc := range s.conns {
+		// Unblock reads only: pending writes (response flushes) proceed.
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.dom != nil {
+		// Every record has unregistered, so each advance succeeds; three
+		// advances age any limbo out of its grace period. Loop a few
+		// extra in case orphan buckets were tagged ahead.
+		for i := 0; i < 8; i++ {
+			if ret, rec := s.dom.Stats(); ret == rec {
+				return nil
+			}
+			s.dom.Advance()
+		}
+		if ret, rec := s.dom.Stats(); ret != rec {
+			return fmt.Errorf("server: domain did not quiesce: retired %d, reclaimed %d", ret, rec)
+		}
+	}
+	return nil
+}
+
+// writeQueue is the bounded per-connection response pipe: the read loop
+// enqueues finished response buffers, a dedicated writer goroutine
+// drains them to the socket. A full queue blocks Enqueue — that stalls
+// the connection's read loop, which stops consuming the socket, which
+// backpressures the client through TCP; memory per connection stays
+// bounded by depth × buffer. Close flushes everything already enqueued
+// before the writer exits, so a drain never drops a produced response.
+type writeQueue struct {
+	ch   chan []byte
+	done chan struct{}
+}
+
+func newWriteQueue(w io.Writer, depth int) *writeQueue {
+	q := &writeQueue{ch: make(chan []byte, depth), done: make(chan struct{})}
+	go func() {
+		defer close(q.done)
+		for buf := range q.ch {
+			if w != nil {
+				if _, err := w.Write(buf); err != nil {
+					w = nil // peer gone: keep draining so Enqueue never sticks
+				}
+			}
+			putBuf(buf)
+		}
+	}()
+	return q
+}
+
+// Enqueue hands one response buffer to the writer (ownership moves; the
+// writer returns it to the pool).
+func (q *writeQueue) Enqueue(buf []byte) { q.ch <- buf }
+
+// Close stops the writer after the queued responses are written.
+func (q *writeQueue) Close() {
+	close(q.ch)
+	<-q.done
+}
+
+// bufPool recycles response buffers across bursts and connections.
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 2048) }}
+
+func getBuf() []byte  { return bufPool.Get().([]byte)[:0] }
+func putBuf(b []byte) { bufPool.Put(b[:0]) }

@@ -9,7 +9,8 @@
 # regenerating the baseline (and benchsnap's sample expectations):
 #
 #   go build -o csdsbench ./cmd/csdsbench
-#   sh scripts/bench_grid.sh ./csdsbench > bench.csv
+#   go build -o csdsd ./cmd/csdsd
+#   sh scripts/bench_grid.sh ./csdsbench ./csdsd > bench.csv
 #   go run ./cmd/benchsnap -out BENCH_baseline.json bench.csv
 #
 # The grid is deliberately small — one plain structure against its
@@ -32,7 +33,8 @@
 # engages in the trajectory (and stays near zero in the wide cells).
 set -eu
 
-BIN=${1:?usage: bench_grid.sh /path/to/csdsbench}
+BIN=${1:?usage: bench_grid.sh /path/to/csdsbench [/path/to/csdsd]}
+CSDSD=${2:-}
 
 first=1
 emit() {
@@ -78,6 +80,31 @@ run_ebr_cell() {
         -dur 300ms -runs 2 -csv)"
 }
 
+# The networked cell (net=1 in the artifact) measures the whole serving
+# stack: a real csdsd on loopback, csdsbench as a closed-loop -net
+# client driving the same point+scan+cursor mix through the memcache
+# text protocol, pipelined bursts and all. Budgets match the in-process
+# cells — throughput is dominated by loopback round-trips, which is the
+# point: the cell tracks the wire stack's overhead in the trajectory,
+# never a wall-clock assertion. The server is SIGTERMed afterward and
+# its graceful drain must exit clean (retired == reclaimed), so every
+# bench run is also a drain test. The -alg flag only labels the CSV row
+# here; the structure actually measured is the one csdsd serves.
+run_net_cell() {
+    alg=$1
+    addr=$2
+    # The server's drain-audit line goes to stderr: the script's stdout
+    # is the CSV and must stay pure.
+    "$CSDSD" -addr "$addr" -alg "$alg" -size 2048 -quiet >&2 &
+    srv=$!
+    emit "$("$BIN" -net "$addr" -alg "$alg" -threads 4 -size 2048 -updates 0.1 -zipf 0 \
+        -scan-frac 0.05 -scan-len 64 \
+        -cursor-frac 0.05 -page-len 16 \
+        -dur 300ms -runs 2 -csv)"
+    kill -TERM "$srv"
+    wait "$srv"
+}
+
 run_cell 'list/lazy' 0
 run_cell 'sharded(8,list/lazy)' 0
 run_cell 'elastic(8,list/lazy)' 0
@@ -91,3 +118,8 @@ run_batch_cell 'sharded(32,list/lazy)' 0.9
 run_batch_cell 'elastic(32,list/lazy)' 0
 run_batch_cell 'elastic(32,list/lazy)' 0.9
 run_batch_cell 'sharded(1,list/lazy)' 0.9
+if [ -n "$CSDSD" ]; then
+    run_net_cell 'sharded(8,list/lazy)' 127.0.0.1:21311
+else
+    echo "bench_grid.sh: no csdsd binary given; skipping the networked cell (CSV will not match the committed baseline)" >&2
+fi
