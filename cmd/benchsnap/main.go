@@ -41,13 +41,16 @@ import (
 // configuration axis, so ebr-on and ebr-off runs of the same spec are
 // distinct grid cells. v5: the net configuration axis — closed-loop
 // csdsbench -net cells that measure a csdsd server over loopback are
-// distinct from in-process cells of the same spec.)
-const schemaID = "csds-bench-v5"
+// distinct from in-process cells of the same spec. v6: the workload
+// configuration axis — the csdsbench -workload mix spec, "-" when the
+// cell was configured by bare flags — plus the readcache measurement
+// columns cache_hit_frac,cache_expiries.)
+const schemaID = "csds-bench-v6"
 
 // gridAxes are the configuration columns that define a cell's identity:
 // two snapshots describe the same grid iff their cells agree on these
 // (measurements may differ).
-var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "ebr", "net", "scanfrac", "cursorfrac", "batchfrac"}
+var gridAxes = []string{"alg", "threads", "size", "updates", "zipf", "ebr", "net", "workload", "scanfrac", "cursorfrac", "batchfrac"}
 
 // Snapshot is the JSON artifact: the column schema plus one entry per
 // grid cell, numbers parsed where the column is numeric.
@@ -196,7 +199,7 @@ func Parse(csv string) (Snapshot, error) {
 // diffMetrics are the throughput columns the trend report renders; any
 // that a snapshot lacks are skipped (old snapshots survive schema
 // growth).
-var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys", "batches_per_s", "allocs_op", "gc_pause_ns", "pool_hit_frac"}
+var diffMetrics = []string{"mops", "scans_per_s", "pages_per_s", "page_pull_keys", "batches_per_s", "allocs_op", "gc_pause_ns", "pool_hit_frac", "cache_hit_frac"}
 
 // runDiff loads two snapshots and prints their per-cell delta report.
 func runDiff(oldPath, newPath string, stdout, stderr io.Writer) int {

@@ -10,21 +10,23 @@ import (
 
 // sampleCSV mimics the grid script's output: one header, then one row
 // per cell, with composite specs carrying commas inside the alg column.
-const sampleCSV = `alg,threads,size,updates,zipf,ebr,net,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac
-list/lazy,4,2048,0.1,0,0,0,1.2345,300000.0,1000.0,0.000100,0.000200,0.000000,1234,0.000000,0,0,0.05,100.0,30.0,2000,9000,0.05,400.0,15.0,500,4000,0.001000,1.0,15.2,0,0.0,0.0,0,0.000000,1.50,85000,0.0000
-sharded(8,list/lazy),4,2048,0.1,0,0,0,2.3456,600000.0,2000.0,0.000050,0.000100,0.000000,999,0.000000,0,0,0.05,120.0,30.0,1500,8000,0.05,500.0,15.0,400,3000,0.000500,8.4,67.0,0,0.0,0.0,0,0.000000,1.40,85000,0.0000
-elastic(8,list/lazy),4,2048,0.1,0,0,0,2.2222,550000.0,2100.0,0.000060,0.000110,0.000000,1111,0.000000,0,8,0.05,110.0,30.0,1600,8500,0.05,480.0,15.0,420,3100,0.000600,8.5,68.0,0,0.0,0.0,0,0.000000,1.45,85000,0.0000
-sharded(32,list/lazy),4,2048,0.1,0,0,0,2.4567,620000.0,2200.0,0.000040,0.000090,0.000000,950,0.000000,0,0,0.05,125.0,30.0,1400,7800,0.05,520.0,15.0,380,2900,0.000400,32.6,258.0,0,0.0,0.0,0,0.000000,1.35,85000,0.0000
-elastic(32,list/lazy),4,2048,0.1,0,0,0,2.3333,580000.0,2300.0,0.000055,0.000105,0.000000,1050,0.000000,0,32,0.05,115.0,30.0,1550,8200,0.05,490.0,15.0,410,3000,0.000550,32.8,260.0,0,0.0,0.0,0,0.000000,1.42,85000,0.0000
-sharded(32,list/lazy),4,2048,0.1,0,1,0,2.6100,620000.0,2200.0,0.000040,0.000090,0.000000,950,0.000000,0,0,0.05,125.0,30.0,1400,7800,0.05,520.0,15.0,380,2900,0.000400,32.6,258.0,0,0.0,0.0,0,0.000000,0.55,30000,0.9312
-elastic(32,list/lazy),4,2048,0.1,0,1,0,2.4800,580000.0,2300.0,0.000055,0.000105,0.000000,1050,0.000000,0,32,0.05,115.0,30.0,1550,8200,0.05,490.0,15.0,410,3000,0.000550,32.8,260.0,0,0.0,0.0,0,0.000000,0.60,30000,0.9105
-readcache(1024,list/lazy),4,2048,0.1,0.9,0,0,3.1111,780000.0,2500.0,0.000030,0.000080,0.000000,800,0.000000,0,0,0.05,130.0,30.0,1300,7500,0.05,540.0,15.0,360,2800,0.000300,1.0,15.1,0,0.0,0.0,0,0.000000,1.20,85000,0.0000
-sharded(32,list/lazy),4,2048,0.1,0,0,0,2.6000,650000.0,2100.0,0.000030,0.000080,0.000000,900,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9000.0,64.0,30000,0.000000,0.80,85000,0.0000
-sharded(32,list/lazy),4,2048,0.1,0.9,0,0,2.9000,720000.0,2400.0,0.000045,0.000120,0.000000,1100,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9500.0,64.0,28000,0.010000,0.75,85000,0.0000
-elastic(32,list/lazy),4,2048,0.1,0,0,0,2.5000,630000.0,2200.0,0.000035,0.000085,0.000000,950,0.000000,0,32,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,8800.0,64.0,31000,0.000000,0.85,85000,0.0000
-elastic(32,list/lazy),4,2048,0.1,0.9,0,0,2.8000,700000.0,2500.0,0.000050,0.000125,0.000000,1150,0.000000,0,32,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9200.0,64.0,29000,0.012000,0.78,85000,0.0000
-sharded(1,list/lazy),4,2048,0.1,0.9,0,0,0.9000,230000.0,3000.0,0.010000,0.002000,0.000100,9000,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,4000.0,64.0,90000,0.350000,0.90,85000,0.0000
-sharded(8,list/lazy),4,2048,0.1,0,0,1,0.0850,21000.0,800.0,0.000000,0.000000,0.000000,0,0.000000,0,0,0.05,40.0,30.0,60000,200000,0.05,80.0,15.0,30000,90000,0.000000,1.0,15.0,0,0.0,0.0,0,0.000000,4.50,85000,0.0000
+const sampleCSV = `alg,threads,size,updates,zipf,ebr,net,workload,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac,cache_hit_frac,cache_expiries
+list/lazy,4,2048,0.1,0,0,0,-,1.2345,300000.0,1000.0,0.000100,0.000200,0.000000,1234,0.000000,0,0,0.05,100.0,30.0,2000,9000,0.05,400.0,15.0,500,4000,0.001000,1.0,15.2,0,0.0,0.0,0,0.000000,1.50,85000,0.0000,0.0000,0
+sharded(8,list/lazy),4,2048,0.1,0,0,0,-,2.3456,600000.0,2000.0,0.000050,0.000100,0.000000,999,0.000000,0,0,0.05,120.0,30.0,1500,8000,0.05,500.0,15.0,400,3000,0.000500,8.4,67.0,0,0.0,0.0,0,0.000000,1.40,85000,0.0000,0.0000,0
+elastic(8,list/lazy),4,2048,0.1,0,0,0,-,2.2222,550000.0,2100.0,0.000060,0.000110,0.000000,1111,0.000000,0,8,0.05,110.0,30.0,1600,8500,0.05,480.0,15.0,420,3100,0.000600,8.5,68.0,0,0.0,0.0,0,0.000000,1.45,85000,0.0000,0.0000,0
+sharded(32,list/lazy),4,2048,0.1,0,0,0,-,2.4567,620000.0,2200.0,0.000040,0.000090,0.000000,950,0.000000,0,0,0.05,125.0,30.0,1400,7800,0.05,520.0,15.0,380,2900,0.000400,32.6,258.0,0,0.0,0.0,0,0.000000,1.35,85000,0.0000,0.0000,0
+elastic(32,list/lazy),4,2048,0.1,0,0,0,-,2.3333,580000.0,2300.0,0.000055,0.000105,0.000000,1050,0.000000,0,32,0.05,115.0,30.0,1550,8200,0.05,490.0,15.0,410,3000,0.000550,32.8,260.0,0,0.0,0.0,0,0.000000,1.42,85000,0.0000,0.0000,0
+sharded(32,list/lazy),4,2048,0.1,0,1,0,-,2.6100,620000.0,2200.0,0.000040,0.000090,0.000000,950,0.000000,0,0,0.05,125.0,30.0,1400,7800,0.05,520.0,15.0,380,2900,0.000400,32.6,258.0,0,0.0,0.0,0,0.000000,0.55,30000,0.9312,0.0000,0
+elastic(32,list/lazy),4,2048,0.1,0,1,0,-,2.4800,580000.0,2300.0,0.000055,0.000105,0.000000,1050,0.000000,0,32,0.05,115.0,30.0,1550,8200,0.05,490.0,15.0,410,3000,0.000550,32.8,260.0,0,0.0,0.0,0,0.000000,0.60,30000,0.9105,0.0000,0
+readcache(1024,list/lazy),4,2048,0.1,0.9,0,0,-,3.1111,780000.0,2500.0,0.000030,0.000080,0.000000,800,0.000000,0,0,0.05,130.0,30.0,1300,7500,0.05,540.0,15.0,360,2800,0.000300,1.0,15.1,0,0.0,0.0,0,0.000000,1.20,85000,0.0000,0.7123,0
+sharded(32,list/lazy),4,2048,0.1,0,0,0,-,2.6000,650000.0,2100.0,0.000030,0.000080,0.000000,900,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9000.0,64.0,30000,0.000000,0.80,85000,0.0000,0.0000,0
+sharded(32,list/lazy),4,2048,0.1,0.9,0,0,-,2.9000,720000.0,2400.0,0.000045,0.000120,0.000000,1100,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9500.0,64.0,28000,0.010000,0.75,85000,0.0000,0.0000,0
+elastic(32,list/lazy),4,2048,0.1,0,0,0,-,2.5000,630000.0,2200.0,0.000035,0.000085,0.000000,950,0.000000,0,32,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,8800.0,64.0,31000,0.000000,0.85,85000,0.0000,0.0000,0
+elastic(32,list/lazy),4,2048,0.1,0.9,0,0,-,2.8000,700000.0,2500.0,0.000050,0.000125,0.000000,1150,0.000000,0,32,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,9200.0,64.0,29000,0.012000,0.78,85000,0.0000,0.0000,0
+sharded(1,list/lazy),4,2048,0.1,0.9,0,0,-,0.9000,230000.0,3000.0,0.010000,0.002000,0.000100,9000,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0.25,4000.0,64.0,90000,0.350000,0.90,85000,0.0000,0.0000,0
+sharded(32,list/lazy),4,2048,0.05,0.99,0,0,ycsb-b,2.9500,740000.0,2300.0,0.000035,0.000090,0.000000,980,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0,0.0,0.0,0,0.000000,1.30,85000,0.0000,0.0000,0
+readcache(1024,sharded(32,list/lazy)),4,2048,0.05,0.99,0,0,ycsb-b,3.4200,860000.0,2600.0,0.000025,0.000070,0.000000,850,0.000000,0,0,0,0.0,0.0,0,0,0,0.0,0.0,0,0,0.000000,0.0,0.0,0,0.0,0.0,0,0.000000,1.10,85000,0.0000,0.4812,0
+sharded(8,list/lazy),4,2048,0.1,0,0,1,-,0.0850,21000.0,800.0,0.000000,0.000000,0.000000,0,0.000000,0,0,0.05,40.0,30.0,60000,200000,0.05,80.0,15.0,30000,90000,0.000000,1.0,15.0,0,0.0,0.0,0,0.000000,4.50,85000,0.0000,0.0000,0
 `
 
 func TestParseSample(t *testing.T) {
@@ -35,11 +37,11 @@ func TestParseSample(t *testing.T) {
 	if snap.Schema != schemaID {
 		t.Fatalf("schema %q", snap.Schema)
 	}
-	if len(snap.Columns) != 38 {
-		t.Fatalf("parsed %d columns, want 38", len(snap.Columns))
+	if len(snap.Columns) != 41 {
+		t.Fatalf("parsed %d columns, want 41", len(snap.Columns))
 	}
-	if len(snap.Cells) != 14 {
-		t.Fatalf("parsed %d cells, want 14", len(snap.Cells))
+	if len(snap.Cells) != 16 {
+		t.Fatalf("parsed %d cells, want 16", len(snap.Cells))
 	}
 	// Composite specs keep their inner commas intact.
 	if got := snap.Cells[1]["alg"]; got != "sharded(8,list/lazy)" {
@@ -50,6 +52,20 @@ func TestParseSample(t *testing.T) {
 	}
 	if got := snap.Cells[2]["final_width"]; got != 8.0 {
 		t.Fatalf("cell 2 final_width = %v", got)
+	}
+	// The workload axis distinguishes named-mix cells from bare-flag
+	// cells; the auto-tuned ycsb-b cell records the derived spec as alg.
+	if got := snap.Cells[0]["workload"]; got != "-" {
+		t.Fatalf("cell 0 workload = %v, want -", got)
+	}
+	if got := snap.Cells[14]["workload"]; got != "ycsb-b" {
+		t.Fatalf("cell 14 workload = %v, want ycsb-b", got)
+	}
+	if got := snap.Cells[14]["alg"]; got != "readcache(1024,sharded(32,list/lazy))" {
+		t.Fatalf("cell 14 alg = %v (the tuner-derived spec is the cell identity)", got)
+	}
+	if got := snap.Cells[14]["cache_hit_frac"]; got != 0.4812 {
+		t.Fatalf("cell 14 cache_hit_frac = %v", got)
 	}
 }
 
@@ -142,7 +158,7 @@ func TestDiffReport(t *testing.T) {
 	if !strings.Contains(report, "mops") || !strings.Contains(report, "(+100.0%)") {
 		t.Fatalf("doubled mops not reported as +100%%:\n%s", report)
 	}
-	if !strings.Contains(report, "14 cells matched, 0 new, 0 dropped") {
+	if !strings.Contains(report, "16 cells matched, 0 new, 0 dropped") {
 		t.Fatalf("matched-cell summary missing:\n%s", report)
 	}
 	// A cell present on only one side is reported, not fatal.

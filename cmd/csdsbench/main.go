@@ -17,7 +17,21 @@
 //	csdsbench -alg 'elastic(1,list/lazy)' -resize-at '100ms:8,300ms:2'
 //	csdsbench -alg 'elastic(1,list/lazy)' -elastic-growwait 0.05 -elastic-max 32
 //	csdsbench -alg hashtable/lazy -elide 5 -threads 32
+//	csdsbench -workload ycsb-b -threads 4 -size 2048
+//	csdsbench -workload 'flash:updates=0.2' -alg 'sharded(8,list/lazy)'
+//	csdsbench -workload ycsb-b -auto-spec -alg list/lazy -threads 4
+//	csdsbench -alg 'readcache(512,list/lazy)' -cache-ttl 50ms -cache-admit tinylfu
 //	csdsbench -list
+//
+// -workload selects a named operation mix (the catalog is in -list and
+// README "Production workloads"): the mix sets the update ratio, skew,
+// scan/cursor/batch tails and any time-varying dynamics (flash crowds,
+// working-set drift, diurnal think time), and explicitly-set flags
+// override the mix field by field. -auto-spec derives the composite
+// structure from the workload instead of taking it from -alg: the tuner
+// (cmd/csdsmodel, internal/tuner) picks the shard width, cache capacity
+// and page-size hint, and the derived spec becomes the CSV alg column,
+// so auto-tuned cells are honest about what was measured.
 //
 // A -scan-frac above 0 dedicates that fraction of operations to
 // linearizable range scans (every structure and combinator implements
@@ -44,13 +58,14 @@ import (
 	"strings"
 	"time"
 
+	"csds/internal/combinator"
 	"csds/internal/core"
 	"csds/internal/harness"
 	"csds/internal/interrupt"
+	"csds/internal/tuner"
 	"csds/internal/workload"
 
 	_ "csds/internal/bst"
-	_ "csds/internal/combinator"
 	_ "csds/internal/hashtable"
 	_ "csds/internal/list"
 	_ "csds/internal/skiplist"
@@ -64,7 +79,7 @@ func main() {
 // and the committed BENCH_baseline.json are derived from these columns),
 // so changes here must be deliberate: update the smoke test, the
 // benchsnap tool's expectations, and regenerate the baseline together.
-const csvHeader = "alg,threads,size,updates,zipf,ebr,net,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac"
+const csvHeader = "alg,threads,size,updates,zipf,ebr,net,workload,mops,perthread_mean,perthread_stddev,waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width,scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns,cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac,page_pulls,page_pull_keys,batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op,gc_pause_ns,pool_hit_frac,cache_hit_frac,cache_expiries"
 
 // benchOpts holds every flag's destination. The FlagSet they register on
 // (newFlags) is the single source of flag documentation: -list prints
@@ -98,6 +113,10 @@ type benchOpts struct {
 	emax       *int
 	einterval  *time.Duration
 	net        *string
+	wl         *string
+	autoSpec   *bool
+	cacheTTL   *time.Duration
+	cacheAdmit *string
 	csv        *bool
 	listAlgs   *bool
 }
@@ -134,6 +153,10 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *benchOpts) {
 		emax:       fs.Int("elastic-max", 64, "adaptive policy width ceiling"),
 		einterval:  fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence"),
 		net:        fs.String("net", "", "drive a remote csdsd at host:port as a closed-loop client instead of running in-process"),
+		wl:         fs.String("workload", "", "named workload mix with optional modifiers, e.g. 'ycsb-b' or 'flash:updates=0.2' (see -list; explicitly-set flags override the mix)"),
+		autoSpec:   fs.Bool("auto-spec", false, "derive the composite spec from the workload via the tuner; -alg must then name a plain leaf algorithm"),
+		cacheTTL:   fs.Duration("cache-ttl", 0, "readcache entry TTL: expired entries are never served and re-read through (0 = no expiry)"),
+		cacheAdmit: fs.String("cache-admit", "", "readcache admission policy on miss fills: always, tinylfu or window (empty = always)"),
 		csv:        fs.Bool("csv", false, "CSV output"),
 		listAlgs:   fs.Bool("list", false, "list registered algorithms, combinators and flags, then exit"),
 	}
@@ -196,6 +219,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, c := range core.Combinators() {
 			fmt.Fprintf(stdout, "  %-26s %s\n", fmt.Sprintf("%s(%s,spec)", c.Name, c.ArgDesc), c.Desc)
 		}
+		// Like the flag section below, the mix catalog is generated from
+		// the live registry (workload.Mixes), so -list shows every named
+		// mix without a hand-maintained copy that could drift.
+		fmt.Fprintln(stdout, "\nworkload mixes (-workload name[:key=value...], e.g. 'ycsb-a:zipf=0.8'):")
+		for _, m := range workload.Mixes() {
+			fmt.Fprintf(stdout, "  %-10s %s\n", m.Name, m.Desc)
+		}
 		// The flag section is generated straight from the FlagSet, so it
 		// lists every flag — scan, cursor, batch, elastic — without a
 		// hand-maintained copy that could drift.
@@ -245,15 +275,94 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "csdsbench: -batch-len %d: the mean batch length must be at least 1\n", *o.batchLen)
 		return 1
 	}
+	if !combinator.ValidAdmission(*o.cacheAdmit) {
+		fmt.Fprintf(stderr, "csdsbench: -cache-admit %q: want always, tinylfu or window\n", *o.cacheAdmit)
+		return 1
+	}
+	if *o.cacheTTL < 0 {
+		fmt.Fprintf(stderr, "csdsbench: -cache-ttl %v: a freshness bound cannot be negative\n", *o.cacheTTL)
+		return 1
+	}
+
+	// The workload: flags alone, or a named mix overridden field by field
+	// by whichever flags were explicitly set (-size always governs the
+	// structure size — mixes describe shape, not scale).
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	wcfg := workload.Config{
+		Size: *o.size, UpdateRatio: *o.updates, ZipfS: *o.zipf,
+		ScanRatio: *o.scanFrac, ScanLen: *o.scanLen, ScanLenDist: *o.scanDist,
+		CursorRatio: *o.cursorFrac, PageLen: *o.pageLen, PageLenDist: *o.pageDist,
+		BatchRatio: *o.batchFrac, BatchLen: *o.batchLen, BatchLenDist: *o.batchDist,
+	}
+	if *o.wl != "" {
+		mix, err := workload.ParseMix(*o.wl)
+		if err != nil {
+			fmt.Fprintf(stderr, "csdsbench: -workload: %v\n", err)
+			return 1
+		}
+		mix.Size = *o.size
+		mix.ScanLenDist, mix.PageLenDist, mix.BatchLenDist = *o.scanDist, *o.pageDist, *o.batchDist
+		for name := range explicit {
+			switch name {
+			case "updates":
+				mix.UpdateRatio = *o.updates
+			case "zipf":
+				mix.ZipfS = *o.zipf
+			case "scan-frac":
+				mix.ScanRatio = *o.scanFrac
+			case "scan-len":
+				mix.ScanLen = *o.scanLen
+			case "cursor-frac":
+				mix.CursorRatio = *o.cursorFrac
+			case "page-len":
+				mix.PageLen = *o.pageLen
+			case "batch-frac":
+				mix.BatchRatio = *o.batchFrac
+			case "batch-len":
+				mix.BatchLen = *o.batchLen
+			}
+		}
+		// Length fields the mix leaves unset fall back to the flag
+		// defaults rather than the zero value.
+		if mix.ScanLen == 0 {
+			mix.ScanLen = *o.scanLen
+		}
+		if mix.PageLen == 0 {
+			mix.PageLen = *o.pageLen
+		}
+		if mix.BatchLen == 0 {
+			mix.BatchLen = *o.batchLen
+		}
+		wcfg = mix
+	}
+
+	// -auto-spec: the tuner derives the composite around the -alg leaf.
+	// The derived spec replaces the algorithm everywhere — including the
+	// CSV alg column, so auto-tuned cells record what was actually built.
+	alg := *o.alg
+	cacheAdmit := *o.cacheAdmit
+	if *o.autoSpec {
+		d, err := tuner.Derive(tuner.Inputs{Leaf: *o.alg, Threads: *o.threads, Size: *o.size, Workload: wcfg})
+		if err != nil {
+			fmt.Fprintf(stderr, "csdsbench: -auto-spec: %v\n", err)
+			fmt.Fprintf(stderr, "hint: csdsmodel -auto-spec -workload <mix> -leaf <alg> explains the derivation\n")
+			return 1
+		}
+		alg = d.Spec
+		if d.CacheSlots > 0 && cacheAdmit == "" {
+			cacheAdmit = d.CacheAdmission
+		}
+		if d.PageLen > 0 && !explicit["page-len"] {
+			wcfg.PageLen = d.PageLen
+		}
+	}
+
 	cfg := harness.Config{
-		Algorithm: *o.alg, Threads: *o.threads, Duration: *o.dur, Runs: *o.runs,
+		Algorithm: alg, Threads: *o.threads, Duration: *o.dur, Runs: *o.runs,
 		ElideAttempts: *o.elide, UseEBR: *o.ebrOn,
-		Workload: workload.Config{
-			Size: *o.size, UpdateRatio: *o.updates, ZipfS: *o.zipf,
-			ScanRatio: *o.scanFrac, ScanLen: *o.scanLen, ScanLenDist: *o.scanDist,
-			CursorRatio: *o.cursorFrac, PageLen: *o.pageLen, PageLenDist: *o.pageDist,
-			BatchRatio: *o.batchFrac, BatchLen: *o.batchLen, BatchLenDist: *o.batchDist,
-		},
+		CacheTTL: *o.cacheTTL, CacheAdmission: cacheAdmit,
+		Workload: wcfg,
 	}
 	if *o.delayed > 0 {
 		cfg.DelayedThreads = *o.delayed
@@ -298,7 +407,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			switch f.Name {
 			case "elide", "ebr", "delayed", "resize-at",
 				"elastic-grow", "elastic-shrink", "elastic-growwait",
-				"elastic-min", "elastic-max", "elastic-interval":
+				"elastic-min", "elastic-max", "elastic-interval",
+				"auto-spec", "cache-ttl", "cache-admit":
 				rejected = append(rejected, "-"+f.Name)
 			}
 		})
@@ -327,24 +437,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *o.net != "" {
 			netCol = 1
 		}
+		// The workload axis carries the -workload spec verbatim ("-" when
+		// unset). The spec grammar separates modifiers with colons, never
+		// commas, so the value survives as one CSV field.
+		wlCol := *o.wl
+		if wlCol == "" {
+			wlCol = "-"
+		}
 		fmt.Fprintln(stdout, csvHeader)
-		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%d,%d,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f,%d,%.4f\n",
-			*o.alg, *o.threads, *o.size, *o.updates, *o.zipf, ebr, netCol,
+		fmt.Fprintf(stdout, "%s,%d,%d,%g,%g,%d,%d,%s,%.4f,%.1f,%.1f,%.6f,%.6f,%.6f,%d,%.6f,%d,%d,%g,%.1f,%.1f,%.0f,%d,%g,%.1f,%.1f,%.0f,%d,%.6f,%.1f,%.1f,%g,%.1f,%.1f,%.0f,%.6f,%.2f,%d,%.4f,%.4f,%d\n",
+			alg, *o.threads, *o.size, wcfg.UpdateRatio, wcfg.ZipfS, ebr, netCol, wlCol,
 			res.Throughput/1e6, res.PerThreadMean, res.PerThreadStddev,
 			res.WaitFraction, res.RestartedFrac, res.RestartedFrac3,
 			res.MaxWaitNs, res.FallbackFrac, res.Resizes, res.FinalWidth,
-			*o.scanFrac, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
-			*o.cursorFrac, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
+			wcfg.ScanRatio, res.ScanThroughput, res.ScanKeysMean, res.ScanMeanNs, res.ScanMaxNs,
+			wcfg.CursorRatio, res.PageThroughput, res.PageKeysMean, res.PageMeanNs, res.PageMaxNs, res.CursorRetryFrac,
 			res.PagePullsMean, res.PagePullKeysMean,
-			*o.batchFrac, res.BatchThroughput, res.BatchKeysMean, res.BatchMeanNs,
-			res.CombineFrac, res.AllocsPerOp, res.GCPauseNs, res.PoolHitFrac)
+			wcfg.BatchRatio, res.BatchThroughput, res.BatchKeysMean, res.BatchMeanNs,
+			res.CombineFrac, res.AllocsPerOp, res.GCPauseNs, res.PoolHitFrac,
+			res.CacheHitFrac, res.CacheExpiries)
 		return 0
 	}
-	fmt.Fprintf(stdout, "algorithm          %s\n", *o.alg)
+	fmt.Fprintf(stdout, "algorithm          %s\n", alg)
+	if *o.autoSpec {
+		fmt.Fprintf(stdout, "auto-tuned         derived from -alg %s by the tuner (csdsmodel -auto-spec explains it)\n", *o.alg)
+	}
+	if *o.wl != "" {
+		fmt.Fprintf(stdout, "workload           %s\n", *o.wl)
+	}
 	if *o.net != "" {
 		fmt.Fprintf(stdout, "networked          closed-loop client of csdsd at %s\n", *o.net)
 	}
-	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *o.threads, *o.size, *o.updates*100, *o.zipf)
+	fmt.Fprintf(stdout, "threads/size/upd   %d / %d / %.0f%%  (zipf %g)\n", *o.threads, *o.size, wcfg.UpdateRatio*100, wcfg.ZipfS)
 	fmt.Fprintf(stdout, "window x runs      %v x %d\n", *o.dur, *o.runs)
 	fmt.Fprintf(stdout, "throughput         %.3f Mops/s (%d ops total)\n", res.Throughput/1e6, res.TotalOps)
 	fmt.Fprintf(stdout, "per-thread         mean %.0f ops/s, stddev %.0f\n", res.PerThreadMean, res.PerThreadStddev)
@@ -384,6 +508,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res.AllocsPerOp > 0 {
 		fmt.Fprintf(stdout, "allocations        %.2f allocs/op (point + batch keys + scans + pages)\n", res.AllocsPerOp)
+	}
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Fprintf(stdout, "cache              %.4f hit frac (%d hits / %d misses), %d fills, %d expiries, %d rejected fills\n",
+			res.CacheHitFrac, res.CacheHits, res.CacheMisses, res.CacheFills, res.CacheExpiries, res.CacheRejects)
 	}
 	if res.FallbackFrac > 0 || *o.elide > 0 {
 		fmt.Fprintf(stdout, "HTM fallback frac  %.6f (aborts: conflict=%d interrupt=%d fallback-held=%d capacity=%d)\n",

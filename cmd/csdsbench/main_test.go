@@ -1,11 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"csds/internal/harness"
+	"csds/internal/workload"
 )
 
 // TestListOutput smoke-tests -list: every registered combinator —
@@ -71,11 +74,32 @@ func TestListShowsEveryFlag(t *testing.T) {
 			t.Fatalf("-list output missing flag %q:\n%s", name, out.String())
 		}
 	}
-	// The scan, cursor, batch and networked flags in particular — the
-	// ones the old hand-written help text forgot.
-	for _, name := range []string{"-scan-frac", "-cursor-frac", "-batch-frac", "-batch-len", "-batch-dist", "-net"} {
+	// The scan, cursor, batch, networked, workload and cache flags in
+	// particular — the ones a hand-written help text forgets first.
+	for _, name := range []string{
+		"-scan-frac", "-cursor-frac", "-batch-frac", "-batch-len", "-batch-dist", "-net",
+		"-workload", "-auto-spec", "-cache-ttl", "-cache-admit",
+	} {
 		if !strings.Contains(out.String(), name+" ") {
 			t.Fatalf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestListShowsEveryMix asserts the -list workload catalog is complete:
+// it is generated from workload.Mixes(), so every registered named mix
+// must appear with its description.
+func TestListShowsEveryMix(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "workload mixes") {
+		t.Fatalf("-list output missing the workload-mixes section:\n%s", out.String())
+	}
+	for _, m := range workload.Mixes() {
+		if !strings.Contains(out.String(), m.Name+" ") {
+			t.Fatalf("-list output missing workload mix %q:\n%s", m.Name, out.String())
 		}
 	}
 }
@@ -87,13 +111,14 @@ func TestListShowsEveryFlag(t *testing.T) {
 // list together with newFlags and the README flag table.
 func TestFlagRosterPinned(t *testing.T) {
 	want := []string{
-		"-alg", "-batch-dist", "-batch-frac", "-batch-len", "-csv",
+		"-alg", "-auto-spec", "-batch-dist", "-batch-frac", "-batch-len",
+		"-cache-admit", "-cache-ttl", "-csv",
 		"-cursor-frac", "-delayed", "-dur", "-ebr",
 		"-elastic-grow", "-elastic-growwait", "-elastic-interval",
 		"-elastic-max", "-elastic-min", "-elastic-shrink",
 		"-elide", "-list", "-net", "-page-dist", "-page-len",
 		"-resize-at", "-runs", "-scan-dist", "-scan-frac", "-scan-len",
-		"-size", "-threads", "-updates", "-zipf",
+		"-size", "-threads", "-updates", "-workload", "-zipf",
 	}
 	var errOut strings.Builder
 	fs, _ := newFlags(&errOut)
@@ -119,6 +144,9 @@ func TestNetRejectsLocalFlags(t *testing.T) {
 		{"-delayed", "1"},
 		{"-resize-at", "10ms:4"},
 		{"-elastic-grow", "100"},
+		{"-cache-ttl", "50ms"},
+		{"-cache-admit", "tinylfu"},
+		{"-auto-spec"},
 	} {
 		args := append([]string{"-net", "127.0.0.1:1", "-dur", "10ms", "-runs", "1", "-threads", "1"}, extra...)
 		var out, errOut strings.Builder
@@ -341,13 +369,13 @@ func TestBatchFlagValidation(t *testing.T) {
 // BENCH_baseline.json are derived from exactly these columns, so any
 // drift must show up here first.
 func TestCSVSchemaPinned(t *testing.T) {
-	const wantHeader = "alg,threads,size,updates,zipf,ebr,net,mops,perthread_mean,perthread_stddev," +
+	const wantHeader = "alg,threads,size,updates,zipf,ebr,net,workload,mops,perthread_mean,perthread_stddev," +
 		"waitfrac,restartfrac,restart3frac,maxwait_ns,fallbackfrac,resizes,final_width," +
 		"scanfrac,scans_per_s,scan_mean_keys,scan_mean_ns,scan_max_ns," +
 		"cursorfrac,pages_per_s,page_mean_keys,page_mean_ns,page_max_ns,cursor_retry_frac," +
 		"page_pulls,page_pull_keys," +
 		"batchfrac,batches_per_s,batch_mean_keys,batch_mean_ns,combine_frac,allocs_op," +
-		"gc_pause_ns,pool_hit_frac"
+		"gc_pause_ns,pool_hit_frac,cache_hit_frac,cache_expiries"
 	var out, errOut strings.Builder
 	code := run([]string{
 		"-alg", "list/lazy", "-threads", "2", "-size", "128",
@@ -410,6 +438,234 @@ func TestBenchRunSmoke(t *testing.T) {
 	for _, want := range []string{"throughput", "lock wait frac", "elastic width"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestWorkloadFlagSmoke runs a named mix end to end: the report labels
+// the workload, and a dynamic mix (flash) runs without error.
+func TestWorkloadFlagSmoke(t *testing.T) {
+	for _, mix := range []string{"ycsb-b", "flash"} {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-workload", mix, "-alg", "list/lazy",
+			"-threads", "2", "-size", "128", "-dur", "30ms", "-runs", "1",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: workload run exited %d (stderr: %s)", mix, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "workload           "+mix) {
+			t.Fatalf("%s: report does not label the workload:\n%s", mix, out.String())
+		}
+	}
+}
+
+// TestWorkloadFlagOverride: an explicitly-set flag beats the mix field
+// it names — ycsb-c is 100% reads, so forcing -updates 1 onto it must
+// show 100% updates in the report.
+func TestWorkloadFlagOverride(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-workload", "ycsb-c", "-updates", "1", "-alg", "list/lazy",
+		"-threads", "1", "-size", "64", "-dur", "20ms", "-runs", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("override run exited %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "/ 100%") {
+		t.Fatalf("-updates 1 did not override the ycsb-c mix:\n%s", out.String())
+	}
+}
+
+// TestWorkloadFlagRejectsUnknown: an unknown mix or modifier fails up
+// front with the vocabulary in the message.
+func TestWorkloadFlagRejectsUnknown(t *testing.T) {
+	for _, wl := range []string{"nosuch-mix", "ycsb-a:nosuch=1", "ycsb-a:updates=2"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-workload", wl}, &out, &errOut); code == 0 {
+			t.Fatalf("-workload %q accepted", wl)
+		} else if !strings.Contains(errOut.String(), "-workload") {
+			t.Fatalf("-workload %q: stderr does not point at the flag:\n%s", wl, errOut.String())
+		}
+	}
+}
+
+// TestWorkloadCSVColumn: the workload axis lands in the CSV between net
+// and mops, verbatim for named mixes and "-" when unset.
+func TestWorkloadCSVColumn(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-workload", "ycsb-b", "-alg", "list/lazy",
+		"-threads", "1", "-size", "64", "-dur", "20ms", "-runs", "1", "-csv",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("csv workload run exited %d (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	hdr, row := strings.Split(lines[0], ","), strings.Split(lines[1], ",")
+	col := -1
+	for i, c := range hdr {
+		if c == "workload" {
+			col = i
+		}
+	}
+	if col == -1 || hdr[col-1] != "net" {
+		t.Fatalf("workload column misplaced in header: %s", lines[0])
+	}
+	if row[col] != "ycsb-b" {
+		t.Fatalf("workload cell %q, want ycsb-b (row: %s)", row[col], lines[1])
+	}
+	// ycsb-b's mix values flow into the updates/zipf identity columns.
+	if row[3] != "0.05" || row[4] != "0.99" {
+		t.Fatalf("mix updates/zipf not reflected in CSV identity: %s", lines[1])
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-alg", "list/lazy", "-threads", "1", "-size", "64", "-dur", "20ms", "-runs", "1", "-csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain csv run exited %d", code)
+	}
+	row = strings.Split(strings.Split(strings.TrimSpace(out.String()), "\n")[1], ",")
+	if row[col] != "-" {
+		t.Fatalf("unset workload cell %q, want -", row[col])
+	}
+}
+
+// TestAutoSpecSmoke: -auto-spec swaps the derived composite in for the
+// leaf, reports the derivation, and records the composite in the CSV
+// alg column (the cell identity must describe what was measured).
+func TestAutoSpecSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-workload", "ycsb-b", "-auto-spec", "-alg", "list/lazy",
+		"-threads", "2", "-size", "2048", "-dur", "30ms", "-runs", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("auto-spec run exited %d (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{"auto-tuned", "readcache(", "sharded(", "cache    "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("auto-spec report missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{
+		"-workload", "ycsb-b", "-auto-spec", "-alg", "list/lazy",
+		"-threads", "2", "-size", "2048", "-dur", "30ms", "-runs", "1", "-csv",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("auto-spec csv run exited %d (stderr: %s)", code, errOut.String())
+	}
+	row := strings.Split(strings.TrimSpace(out.String()), "\n")[1]
+	if !strings.HasPrefix(row, "readcache(") {
+		t.Fatalf("csv alg column does not carry the derived spec: %s", row)
+	}
+}
+
+// TestAutoSpecRejectsComposite: -auto-spec derives the composite
+// itself, so handing it one is an error with the csdsmodel hint.
+func TestAutoSpecRejectsComposite(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-auto-spec", "-alg", "sharded(8,list/lazy)", "-threads", "2"}, &out, &errOut); code == 0 {
+		t.Fatal("-auto-spec accepted a composite -alg")
+	}
+	if !strings.Contains(errOut.String(), "csdsmodel -auto-spec") {
+		t.Fatalf("stderr missing the csdsmodel hint:\n%s", errOut.String())
+	}
+}
+
+// TestCacheFlagsSmoke: TTL + admission flags drive a readcache cell and
+// the cache stats line reports hits and fills.
+func TestCacheFlagsSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-alg", "readcache(128,list/lazy)", "-threads", "2", "-size", "256",
+		"-zipf", "0.9", "-cache-ttl", "5ms", "-cache-admit", "tinylfu",
+		"-dur", "40ms", "-runs", "1",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("cache run exited %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "hit frac") || !strings.Contains(out.String(), "expiries") {
+		t.Fatalf("report missing the cache stats line:\n%s", out.String())
+	}
+}
+
+// TestCacheFlagValidation rejects malformed cache flags up front.
+func TestCacheFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "readcache(64,list/lazy)", "-cache-admit", "lru"},
+		{"-alg", "readcache(64,list/lazy)", "-cache-ttl", "-5ms"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestDocsPinnedToLiveRoster holds the operator-facing docs to the live
+// tool surface: the README and DESIGN sections PR 9 added must exist,
+// every catalog mix name must appear in the README's workload table,
+// and every csdsbench flag the docs mention must exist in the real flag
+// set — renaming or dropping a flag without updating the manual fails
+// here, not in a user's terminal.
+func TestDocsPinnedToLiveRoster(t *testing.T) {
+	readDoc := func(name string) string {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return string(data)
+	}
+	readme := readDoc("README.md")
+	design := readDoc("DESIGN.md")
+
+	for doc, heading := range map[string]string{
+		"README.md": "## Production workloads & auto-tuning",
+		"DESIGN.md": "## §7 Workloads & the tuning loop",
+	} {
+		body := readme
+		if doc == "DESIGN.md" {
+			body = design
+		}
+		if !strings.Contains(body, heading) {
+			t.Errorf("%s lacks the %q section", doc, heading)
+		}
+	}
+
+	for _, mix := range workload.Names() {
+		if !strings.Contains(readme, "`"+mix+"`") {
+			t.Errorf("README.md workload catalog lacks mix `%s`", mix)
+		}
+	}
+
+	var errOut strings.Builder
+	fs, _ := newFlags(&errOut)
+	live := map[string]bool{
+		// Not csdsbench flags, but legitimately shared lines with it in
+		// the README: the examples' smoke flag.
+		"-short": true,
+	}
+	for _, f := range flagRoster(fs) {
+		live[f] = true
+	}
+	for _, doc := range []struct{ name, body string }{
+		{"README.md", readme}, {"DESIGN.md", design},
+	} {
+		for ln, line := range strings.Split(doc.body, "\n") {
+			if !strings.Contains(line, "csdsbench") {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				tok = strings.Trim(tok, "`'\"();,.:*")
+				if len(tok) < 2 || tok[0] != '-' || tok[1] == '-' {
+					continue
+				}
+				if !live[tok] {
+					t.Errorf("%s:%d mentions csdsbench flag %q, not in the live roster", doc.name, ln+1, tok)
+				}
+			}
 		}
 	}
 }

@@ -1,37 +1,87 @@
-// Command csdsmodel evaluates the Section 6 birthday-paradox conflict
-// model: the paper's four numeric examples by default, or a custom
-// scenario from flags.
+// Command csdsmodel is the analytic side of the tuning loop: it
+// evaluates the Section 6 birthday-paradox conflict model (the paper's
+// four numeric examples by default, or a custom scenario from flags),
+// validates the internal/sim cost model against measured bench-grid
+// cells, and derives auto-tuned composite specifications from a named
+// workload (the same derivation csdsbench -auto-spec runs).
 //
 // Usage:
 //
 //	csdsmodel                 # reproduce §6.1–§6.4 numbers
 //	csdsmodel -threads 40 -size 512 -updates 0.2 -writefrac 0.1 -kind list
+//	csdsmodel -validate BENCH_baseline.json
+//	csdsmodel -auto-spec -workload ycsb-b -leaf list/lazy -threads 4 -size 2048
+//
+// -validate loads a benchsnap JSON snapshot, predicts every in-process
+// cell's point throughput with the composite-aware simulator bridge
+// (internal/tuner.PredictCell), fits one global scale factor — the
+// simulator predicts shape, the factor absorbs the host's absolute
+// speed — and reports the per-cell residual error plus the grid MAE.
+// Networked cells (net=1) are skipped: loopback round-trips dominate
+// them and the simulator does not model the wire.
+//
+// -auto-spec runs the tuner derivation and prints the composite spec
+// with one note per derived parameter; -threads 0 defaults to
+// GOMAXPROCS here (and only here — the derivation itself is a pure
+// function of its inputs, so CI can pin derived specs as grid-cell
+// identities).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
 
 	"csds/internal/birthday"
+	"csds/internal/tuner"
+	"csds/internal/workload"
 	"csds/internal/xrand"
 )
 
 func main() {
-	threads := flag.Int("threads", 0, "thread count (0 = print the paper's examples)")
-	size := flag.Int("size", 512, "structure size (elements or buckets)")
-	updates := flag.Float64("updates", 0.2, "update ratio u")
-	durUpd := flag.Float64("durupdate", 1.1, "relative update duration")
-	durRead := flag.Float64("durread", 1.0, "relative read duration")
-	writeFrac := flag.Float64("writefrac", 0.1, "write-phase share of an update (dw/(dw+dp))")
-	kind := flag.String("kind", "list", "structure kind: list | hash")
-	zipf := flag.Float64("zipf", 0, "Zipfian exponent for the non-uniform term (0 = uniform)")
-	retries := flag.Int("retries", 5, "TSX speculation budget")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("csdsmodel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threads := fs.Int("threads", 0, "thread count (0 = print the paper's examples; with -auto-spec, 0 = GOMAXPROCS)")
+	size := fs.Int("size", 512, "structure size (elements or buckets)")
+	updates := fs.Float64("updates", 0.2, "update ratio u")
+	durUpd := fs.Float64("durupdate", 1.1, "relative update duration")
+	durRead := fs.Float64("durread", 1.0, "relative read duration")
+	writeFrac := fs.Float64("writefrac", 0.1, "write-phase share of an update (dw/(dw+dp))")
+	kind := fs.String("kind", "list", "structure kind: list | hash")
+	zipf := fs.Float64("zipf", 0, "Zipfian exponent for the non-uniform term (0 = uniform)")
+	retries := fs.Int("retries", 5, "TSX speculation budget")
+	validate := fs.String("validate", "", "benchsnap JSON snapshot to validate the simulator against")
+	autoSpec := fs.Bool("auto-spec", false, "derive an auto-tuned composite spec for -workload over -leaf")
+	mix := fs.String("workload", "paper", "named workload mix for -auto-spec (see csdsbench -list)")
+	leaf := fs.String("leaf", "list/lazy", "leaf algorithm for -auto-spec to wrap")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *validate != "" {
+		return runValidate(*validate, stdout, stderr)
+	}
+	if *autoSpec {
+		t := *threads
+		if t == 0 {
+			t = runtime.GOMAXPROCS(0)
+		}
+		return runAutoSpec(*mix, *leaf, t, *size, stdout, stderr)
+	}
 	if *threads == 0 {
-		paperExamples()
-		return
+		paperExamples(stdout)
+		return 0
 	}
 	s := birthday.Scenario{
 		Threads: *threads, Size: *size, UpdateRatio: *updates,
@@ -41,45 +91,159 @@ func main() {
 	if *zipf > 0 {
 		s.SumP2 = xrand.NewZipf(int64(*size), *zipf).SumPSquared()
 	}
-	fmt.Printf("scenario: t=%d n=%d u=%.2f writefrac=%.2f kind=%s zipf=%.2f\n",
+	fmt.Fprintf(stdout, "scenario: t=%d n=%d u=%.2f writefrac=%.2f kind=%s zipf=%.2f\n",
 		s.Threads, s.Size, s.UpdateRatio, s.WriteFrac, *kind, *zipf)
-	fmt.Printf("  f_w (Eq.2)           = %.4f\n", s.FW())
+	fmt.Fprintf(stdout, "  f_w (Eq.2)           = %.4f\n", s.FW())
 	switch *kind {
 	case "hash":
-		fmt.Printf("  p_conflict (Eq.3+4)  = %.4f (%.2f%%)\n", s.HashConflict(), 100*s.HashConflict())
-		fmt.Printf("  p_lock TSX (Eq.7)    = %.3e\n", s.HashTSXFallback())
+		fmt.Fprintf(stdout, "  p_conflict (Eq.3+4)  = %.4f (%.2f%%)\n", s.HashConflict(), 100*s.HashConflict())
+		fmt.Fprintf(stdout, "  p_lock TSX (Eq.7)    = %.3e\n", s.HashTSXFallback())
 	case "list":
-		fmt.Printf("  p_conflict (Eq.3+5)  = %.4f (%.2f%%)\n", s.ListConflict(), 100*s.ListConflict())
-		fmt.Printf("  TSX attempt conflict = %.4f\n", s.ListTSXConflict())
-		fmt.Printf("  p_lock TSX (Eq.8)    = %.3e\n", s.ListTSXFallback())
+		fmt.Fprintf(stdout, "  p_conflict (Eq.3+5)  = %.4f (%.2f%%)\n", s.ListConflict(), 100*s.ListConflict())
+		fmt.Fprintf(stdout, "  TSX attempt conflict = %.4f\n", s.ListTSXConflict())
+		fmt.Fprintf(stdout, "  p_lock TSX (Eq.8)    = %.3e\n", s.ListTSXFallback())
 	default:
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown kind %q\n", *kind)
+		return 2
 	}
 	if s.SumP2 > 0 {
-		fmt.Printf("  p_conflict zipf (Eq.6)= %.4f (%.2f%%)\n", s.NonUniformConflict(), 100*s.NonUniformConflict())
+		fmt.Fprintf(stdout, "  p_conflict zipf (Eq.6)= %.4f (%.2f%%)\n", s.NonUniformConflict(), 100*s.NonUniformConflict())
 	}
+	return 0
 }
 
-func paperExamples() {
-	fmt.Println("Section 6 numeric examples (paper value in brackets)")
+// runAutoSpec derives and explains the composite spec for one workload.
+// The first output line is machine-readable ("spec: <spec>"); the notes
+// after it explain each parameter.
+func runAutoSpec(mix, leaf string, threads, size int, stdout, stderr io.Writer) int {
+	cfg, err := workload.ParseMix(mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "csdsmodel: %v\n", err)
+		return 1
+	}
+	d, err := tuner.Derive(tuner.Inputs{Leaf: leaf, Threads: threads, Size: size, Workload: cfg})
+	if err != nil {
+		fmt.Fprintf(stderr, "csdsmodel: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "spec: %s\n", d.Spec)
+	fmt.Fprintf(stdout, "workload %s, leaf %s, %d threads, %d elements\n", mix, leaf, threads, size)
+	for _, n := range d.Notes {
+		fmt.Fprintf(stdout, "  - %s\n", n)
+	}
+	if d.CacheSlots > 0 {
+		fmt.Fprintf(stdout, "run it: csdsbench -workload %s -auto-spec -threads %d -size %d   (admission: -cache-admit %s)\n",
+			mix, threads, size, d.CacheAdmission)
+	} else {
+		fmt.Fprintf(stdout, "run it: csdsbench -workload %s -auto-spec -threads %d -size %d\n", mix, threads, size)
+	}
+	return 0
+}
+
+// snapshot mirrors the benchsnap JSON artifact (cmd/benchsnap is a main
+// package, so the three fields are re-declared here; the format is
+// pinned by benchsnap's own tests).
+type snapshot struct {
+	Schema  string           `json:"schema"`
+	Columns []string         `json:"columns"`
+	Cells   []map[string]any `json:"cells"`
+}
+
+func cellNum(cell map[string]any, col string) float64 {
+	v, _ := cell[col].(float64)
+	return v
+}
+
+// runValidate loads a benchsnap snapshot and reports the sim-vs-live
+// error per cell after a global scale fit.
+func runValidate(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "csdsmodel: %v\n", err)
+		return 1
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintf(stderr, "csdsmodel: %s: %v\n", path, err)
+		return 1
+	}
+	var cells []tuner.Cell
+	var keys []string
+	var live []float64
+	skippedNet := 0
+	for _, cell := range snap.Cells {
+		alg, _ := cell["alg"].(string)
+		if cellNum(cell, "net") != 0 {
+			skippedNet++ // loopback RTT dominates; the simulator has no wire model
+			continue
+		}
+		cells = append(cells, tuner.Cell{
+			Alg:        alg,
+			Threads:    int(cellNum(cell, "threads")),
+			Size:       int(cellNum(cell, "size")),
+			Updates:    cellNum(cell, "updates"),
+			Zipf:       cellNum(cell, "zipf"),
+			ScanFrac:   cellNum(cell, "scanfrac"),
+			CursorFrac: cellNum(cell, "cursorfrac"),
+			BatchFrac:  cellNum(cell, "batchfrac"),
+		})
+		key := fmt.Sprintf("%s zipf=%g", alg, cellNum(cell, "zipf"))
+		if cellNum(cell, "ebr") != 0 {
+			key += " ebr=1"
+		}
+		if cellNum(cell, "batchfrac") != 0 {
+			key += fmt.Sprintf(" batchfrac=%g", cellNum(cell, "batchfrac"))
+		}
+		if w, _ := cell["workload"].(string); w != "" && w != "-" {
+			key += " workload=" + w
+		}
+		keys = append(keys, key)
+		live = append(live, cellNum(cell, "mops")*1e6)
+	}
+	v, err := tuner.Validate(cells, keys, live)
+	if err != nil {
+		fmt.Fprintf(stderr, "csdsmodel: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sim-vs-live validation of %s (%s)\n", path, snap.Schema)
+	fmt.Fprintf(stdout, "global scale factor %.3g (geometric mean live/predicted; the simulator predicts shape, not nanoseconds)\n", v.Scale)
+	sorted := append([]tuner.CellError(nil), v.Cells...)
+	sort.Slice(sorted, func(i, j int) bool { return abs(sorted[i].ResidFrac) < abs(sorted[j].ResidFrac) })
+	for _, c := range sorted {
+		fmt.Fprintf(stdout, "  %-60s live %8.3f Mops  pred %8.3f Mops  error %+6.1f%%\n",
+			c.Key, c.LiveMops, c.PredMops, 100*c.ResidFrac)
+	}
+	fmt.Fprintf(stdout, "%d cells validated (%d networked skipped), mean |error| %.1f%%\n",
+		len(v.Cells), skippedNet, 100*v.MAEFrac)
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func paperExamples(w io.Writer) {
+	fmt.Fprintln(w, "Section 6 numeric examples (paper value in brackets)")
 	h := birthday.PaperHashExample()
-	fmt.Println("\n§6.1 hash table: 1024 buckets, 20 threads, 10% updates, d_p = 0")
-	fmt.Printf("  f_u = f_w            = %.4f   [0.18]\n", h.FW())
-	fmt.Printf("  p_conflict           = %.4f   [0.0058]\n", h.HashConflict())
+	fmt.Fprintln(w, "\n§6.1 hash table: 1024 buckets, 20 threads, 10% updates, d_p = 0")
+	fmt.Fprintf(w, "  f_u = f_w            = %.4f   [0.18]\n", h.FW())
+	fmt.Fprintf(w, "  p_conflict           = %.4f   [0.0058]\n", h.HashConflict())
 
 	l := birthday.PaperListExample()
-	fmt.Println("\n§6.2 linked list: 512 elements, 40 threads, 20% updates, write ~10% of update")
-	fmt.Printf("  f_w                  = %.4f   [0.0215]\n", l.FW())
-	fmt.Printf("  p_conflict           = %.4f   [0.0021]\n", l.ListConflict())
+	fmt.Fprintln(w, "\n§6.2 linked list: 512 elements, 40 threads, 20% updates, write ~10% of update")
+	fmt.Fprintf(w, "  f_w                  = %.4f   [0.0215]\n", l.FW())
+	fmt.Fprintf(w, "  p_conflict           = %.4f   [0.0021]\n", l.ListConflict())
 
 	z := l
 	z.SumP2 = xrand.NewZipf(int64(z.Size), 0.8).SumPSquared()
-	fmt.Println("\n§6.3 non-uniform: same list, Zipf s = 0.8 (Poisson approximation)")
-	fmt.Printf("  p_conflict           = %.4f   [0.0047]\n", z.NonUniformConflict())
+	fmt.Fprintln(w, "\n§6.3 non-uniform: same list, Zipf s = 0.8 (Poisson approximation)")
+	fmt.Fprintf(w, "  p_conflict           = %.4f   [0.0047]\n", z.NonUniformConflict())
 
-	fmt.Println("\n§6.4 TSX-based versions (5 retries before locking)")
-	fmt.Printf("  hash p_lock          = %.3e   [5e-6]\n", h.HashTSXFallback())
-	fmt.Printf("  list attempt conflict= %.4f   [0.16]\n", l.ListTSXConflict())
-	fmt.Printf("  list p_lock          = %.3e   [1e-5]\n", l.ListTSXFallback())
+	fmt.Fprintln(w, "\n§6.4 TSX-based versions (5 retries before locking)")
+	fmt.Fprintf(w, "  hash p_lock          = %.3e   [5e-6]\n", h.HashTSXFallback())
+	fmt.Fprintf(w, "  list attempt conflict= %.4f   [0.16]\n", l.ListTSXConflict())
+	fmt.Fprintf(w, "  list p_lock          = %.3e   [1e-5]\n", l.ListTSXFallback())
 }

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPaperExamplesDefault: no flags still reproduces the §6 numbers.
+func TestPaperExamplesDefault(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	for _, want := range []string{"§6.1", "§6.2", "§6.3", "§6.4", "[0.0058]", "[0.16]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("paper-examples output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAutoSpecDerivesGridCell: the -auto-spec mode prints the same spec
+// the tuner derives for the CI grid's auto-tuned cell, machine-readably
+// on the first line, with a note per parameter and a csdsbench recipe.
+func TestAutoSpecDerivesGridCell(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-auto-spec", "-workload", "ycsb-b", "-leaf", "list/lazy", "-threads", "4", "-size", "2048"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	lines := strings.Split(out.String(), "\n")
+	if want := "spec: readcache(1024,sharded(32,list/lazy))"; lines[0] != want {
+		t.Fatalf("first line %q, want %q (the committed grid-cell identity)", lines[0], want)
+	}
+	for _, want := range []string{"width 32", "cache 1024 slots", "csdsbench -workload ycsb-b -auto-spec", "-cache-admit tinylfu"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("auto-spec output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAutoSpecRejectsBadInputs: unknown mixes and composite leaves fail
+// with a diagnostic, not a zero exit.
+func TestAutoSpecRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-auto-spec", "-workload", "nosuch-mix", "-threads", "4"},
+		{"-auto-spec", "-leaf", "sharded(8,list/lazy)", "-threads", "4"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code == 0 {
+			t.Fatalf("%v exited 0; stderr %q", args, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Fatalf("%v failed silently", args)
+		}
+	}
+}
+
+// TestValidateReportsPerCellError feeds a synthetic two-cell snapshot
+// whose "measurements" are a known multiple of the predictions: the
+// report must carry both cells, the fitted factor and a near-zero MAE,
+// and must skip the networked cell.
+func TestValidateReportsPerCellError(t *testing.T) {
+	const snap = `{
+  "schema": "csds-bench-v6",
+  "columns": ["alg", "threads", "size", "updates", "zipf", "ebr", "net", "mops"],
+  "cells": [
+    {"alg": "list/lazy", "threads": 4, "size": 2048, "updates": 0.1, "zipf": 0, "ebr": 0, "net": 0, "mops": 0.35},
+    {"alg": "sharded(8,list/lazy)", "threads": 4, "size": 2048, "updates": 0.1, "zipf": 0, "ebr": 0, "net": 0, "mops": 2.3},
+    {"alg": "sharded(8,list/lazy)", "threads": 4, "size": 2048, "updates": 0.1, "zipf": 0, "ebr": 0, "net": 1, "mops": 0.09}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-validate", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"global scale factor",
+		"2 cells validated (1 networked skipped)",
+		"mean |error|",
+		"list/lazy zipf=0",
+		"sharded(8,list/lazy) zipf=0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("validate output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestValidateRejectsGarbage: a missing file and a non-JSON file both
+// error out.
+func TestValidateRejectsGarbage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-validate", filepath.Join(t.TempDir(), "absent.json")}, &out, &errb); code == 0 {
+		t.Fatal("missing snapshot accepted")
+	}
+	path := filepath.Join(t.TempDir(), "junk.json")
+	os.WriteFile(path, []byte("not json"), 0o644)
+	errb.Reset()
+	if code := run([]string{"-validate", path}, &out, &errb); code == 0 {
+		t.Fatal("non-JSON snapshot accepted")
+	}
+}
+
+// TestDocsMentionLiveFlags: every csdsmodel flag the README or DESIGN
+// mention must exist in the live flag set (the roster is recovered from
+// the -h usage text, so this survives flag additions without a mirror
+// list).
+func TestDocsMentionLiveFlags(t *testing.T) {
+	var out, usage strings.Builder
+	if code := run([]string{"-h"}, &out, &usage); code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+	live := map[string]bool{}
+	for _, line := range strings.Split(usage.String(), "\n") {
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) > 0 && strings.HasPrefix(f[0], "-") {
+			live[f[0]] = true
+		}
+	}
+	if len(live) < 5 {
+		t.Fatalf("usage text yielded only %d flags:\n%s", len(live), usage.String())
+	}
+	for _, name := range []string{"README.md", "DESIGN.md"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for ln, line := range strings.Split(string(data), "\n") {
+			if !strings.Contains(line, "csdsmodel") {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				tok = strings.Trim(tok, "`'\"();,.:*")
+				if len(tok) < 2 || tok[0] != '-' || tok[1] == '-' {
+					continue
+				}
+				if !live[tok] {
+					t.Errorf("%s:%d mentions csdsmodel flag %q, not in the live flag set", name, ln+1, tok)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioModeStillWorks: the original flag-driven Section 6
+// calculator is unchanged by the tuner growth.
+func TestScenarioModeStillWorks(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-threads", "40", "-size", "512", "-updates", "0.2", "-kind", "list", "-zipf", "0.8"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	for _, want := range []string{"p_conflict (Eq.3+5)", "p_conflict zipf (Eq.6)", "p_lock TSX (Eq.8)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("scenario output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

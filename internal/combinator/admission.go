@@ -1,0 +1,149 @@
+package combinator
+
+import (
+	"sync/atomic"
+)
+
+// Cache admission policies (core.Options.CacheAdmission). A direct-mapped
+// read-through cache has no eviction queue to protect — admission is the
+// whole game: on a miss, does the fresh key displace whatever the slot
+// holds? "always" says yes; the two policies below say yes only when the
+// newcomer has demonstrated it is worth keeping, which is what protects a
+// hot working set from one-touch traffic (large scans, key-space drift,
+// crawlers).
+const (
+	// AdmitAlways fills on every miss — the classic read-through cache.
+	AdmitAlways = "always"
+	// AdmitTinyLFU keeps an approximate frequency sketch of recently
+	// missed keys (a 4-probe count-min with periodic halving, after
+	// Einziger et al.'s TinyLFU) and admits a newcomer only if its
+	// estimated frequency is at least the cached victim's.
+	AdmitTinyLFU = "tinylfu"
+	// AdmitWindow is a doorkeeper: a newcomer is admitted only on its
+	// second miss within the current window, so keys touched once — a
+	// scan's page pulls, drift tails — never displace a resident entry.
+	AdmitWindow = "window"
+)
+
+// ValidAdmission reports whether name is a known admission policy ("" is
+// AdmitAlways).
+func ValidAdmission(name string) bool {
+	switch name {
+	case "", AdmitAlways, AdmitTinyLFU, AdmitWindow:
+		return true
+	}
+	return false
+}
+
+// sketchMax saturates the frequency counters; with halving every window
+// the estimates stay small and recent.
+const sketchMax = 255
+
+// freqSketch is a 4-probe count-min sketch with saturating counters and
+// periodic halving (the "reset" that makes TinyLFU's window sliding).
+// It is touched only on the cache's miss path — the hit path stays one
+// atomic load — and every operation is a few relaxed atomics; the counts
+// are approximate by design, and the occasional racy halving only makes
+// them more conservative.
+type freqSketch struct {
+	cnt    []atomic.Uint32
+	mask   uint64
+	adds   atomic.Uint64
+	window uint64 // halve all counters every window touches
+}
+
+func newFreqSketch(slots int) *freqSketch {
+	n := 4 * slots
+	if n < 1024 {
+		n = 1024
+	}
+	// slots is a power of two, so n is as well.
+	return &freqSketch{
+		cnt:    make([]atomic.Uint32, n),
+		mask:   uint64(n - 1),
+		window: uint64(16 * n),
+	}
+}
+
+// probe returns the i-th counter index for hash h (double hashing).
+func (s *freqSketch) probe(h uint64, i uint64) uint64 {
+	h2 := h*0x9E3779B97F4A7C15 | 1
+	return (h + i*h2) & s.mask
+}
+
+// touch increments the key's counters and returns the pre-increment
+// estimate; it also drives the halving window.
+func (s *freqSketch) touch(h uint64) uint32 {
+	if s.adds.Add(1)%s.window == 0 {
+		for i := range s.cnt {
+			c := &s.cnt[i]
+			c.Store(c.Load() >> 1)
+		}
+	}
+	est := uint32(sketchMax)
+	for i := uint64(0); i < 4; i++ {
+		c := &s.cnt[s.probe(h, i)]
+		v := c.Load()
+		if v < est {
+			est = v
+		}
+		if v < sketchMax {
+			c.Add(1)
+		}
+	}
+	return est
+}
+
+// estimate returns the key's approximate recent frequency without
+// incrementing.
+func (s *freqSketch) estimate(h uint64) uint32 {
+	est := uint32(sketchMax)
+	for i := uint64(0); i < 4; i++ {
+		if v := s.cnt[s.probe(h, i)].Load(); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// doorkeeper is the scan-window admission filter: a bitset of key
+// fingerprints missed in the current window. A key passes only when its
+// bit is already set — i.e. on its second miss within the window — and
+// the whole set clears every window misses, so the memory of one-touch
+// traffic fades before it can accumulate into admission.
+type doorkeeper struct {
+	bits   []atomic.Uint64
+	mask   uint64 // over bit positions
+	misses atomic.Uint64
+	window uint64
+}
+
+func newDoorkeeper(slots int) *doorkeeper {
+	bits := 8 * slots
+	if bits < 1024 {
+		bits = 1024
+	}
+	return &doorkeeper{
+		bits:   make([]atomic.Uint64, bits/64),
+		mask:   uint64(bits - 1),
+		window: uint64(bits),
+	}
+}
+
+// secondTouch records a miss for hash h and reports whether the key had
+// already missed within the current window.
+func (d *doorkeeper) secondTouch(h uint64) bool {
+	if d.misses.Add(1)%d.window == 0 {
+		for i := range d.bits {
+			d.bits[i].Store(0)
+		}
+	}
+	pos := h & d.mask
+	w := &d.bits[pos>>6]
+	bit := uint64(1) << (pos & 63)
+	if w.Load()&bit != 0 {
+		return true
+	}
+	w.Or(bit)
+	return false
+}

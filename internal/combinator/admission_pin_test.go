@@ -1,0 +1,57 @@
+package combinator_test
+
+import (
+	"testing"
+
+	"csds/internal/combinator"
+	"csds/internal/tuner"
+	"csds/internal/workload"
+)
+
+// TestTunerAdmissionNamesMatch pins the admission-policy names the tuner
+// emits against the combinator's registry. The tuner cannot import this
+// package (csdsd links combinator without the tuner), so it mirrors the
+// name strings as private constants; this test is the referee. If a
+// policy is renamed here, the tuner's mirror — and this test — must move
+// with it, or csdsbench -auto-spec would derive a cache it cannot build.
+func TestTunerAdmissionNamesMatch(t *testing.T) {
+	// A skewed read-mostly point workload derives a cache with TinyLFU
+	// admission.
+	mix, err := workload.ParseMix("ycsb-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tuner.Derive(tuner.Inputs{Leaf: "list/lazy", Threads: 4, Size: 2048, Workload: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CacheSlots == 0 {
+		t.Fatal("ycsb-b derived no cache; the admission pin has nothing to check")
+	}
+	if d.CacheAdmission != combinator.AdmitTinyLFU {
+		t.Fatalf("tuner admission %q, want combinator.AdmitTinyLFU %q", d.CacheAdmission, combinator.AdmitTinyLFU)
+	}
+
+	// The same mix with a scan tail flips the derivation to the
+	// scan-resistant window policy.
+	scanning := mix
+	scanning.ScanRatio = 0.1
+	scanning.ScanLen = 64
+	d, err = tuner.Derive(tuner.Inputs{Leaf: "list/lazy", Threads: 4, Size: 2048, Workload: scanning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CacheSlots == 0 {
+		t.Fatal("scan-tailed ycsb-b derived no cache")
+	}
+	if d.CacheAdmission != combinator.AdmitWindow {
+		t.Fatalf("tuner admission %q, want combinator.AdmitWindow %q", d.CacheAdmission, combinator.AdmitWindow)
+	}
+
+	// Whatever the tuner emits must be buildable.
+	for _, name := range []string{d.CacheAdmission, combinator.AdmitTinyLFU, combinator.AdmitWindow} {
+		if !combinator.ValidAdmission(name) {
+			t.Fatalf("admission %q not accepted by ValidAdmission", name)
+		}
+	}
+}

@@ -501,16 +501,32 @@ func (r *ReadCache) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.
 	missIdx := sc.Ints(n)[:0]
 	missKeys := sc.Keys(n)[:0]
 	var missVers []uint64
+	var missEnts []*rcEntry // probe-time residents (admission victims)
+	var missExp []bool      // resident was this key, past its TTL
+	st := c.Stat()
 	for i, k := range keys {
 		sl := r.slot(k)
-		if e := sl.entry.Load(); e != nil && e.key == k {
-			vals[i], oks[i] = e.val, true
-			continue
+		e := sl.entry.Load()
+		expired := false
+		if e != nil && e.key == k {
+			if !r.expired(e) {
+				vals[i], oks[i] = e.val, true
+				if st != nil {
+					st.RecordCacheHit()
+				}
+				continue
+			}
+			expired = true
+		}
+		if st != nil {
+			st.RecordCacheMiss(expired)
 		}
 		// Version snapshot BEFORE the inner read, per the fill protocol.
 		missIdx = append(missIdx, i)
 		missKeys = append(missKeys, k)
 		missVers = append(missVers, sl.ver.Load())
+		missEnts = append(missEnts, e)
+		missExp = append(missExp, expired)
 	}
 	if len(missIdx) > 0 {
 		core.AsBatcher(r.inner).MultiGet(c, missKeys, func(j int, v core.Value, ok bool) {
@@ -520,13 +536,11 @@ func (r *ReadCache) MultiGet(c *core.Ctx, keys []core.Key, f func(i int, v core.
 			if !oks[i] || missVers[j]&1 != 0 {
 				continue
 			}
-			sl := r.slot(keys[i])
-			sl.mu.Acquire(c.Stat())
-			if sl.ver.Load() == missVers[j] {
-				sl.entry.Store(&rcEntry{key: keys[i], val: vals[i]})
-				r.fills.Add(1)
+			if missExp[j] || r.admit(keys[i], missEnts[j]) {
+				r.fill(c, r.slot(keys[i]), keys[i], vals[i], missVers[j])
+			} else if st != nil {
+				st.RecordCacheReject()
 			}
-			sl.mu.Release()
 		}
 	}
 	for i := 0; i < n; i++ {

@@ -68,10 +68,10 @@ func init() {
 	core.RegisterCombinator(core.Combinator{
 		Name: "readcache",
 		New: func(arg int, inner func(core.Options) core.Set, o core.Options) core.Set {
-			return NewReadCache(arg, inner(o))
+			return NewReadCacheOpts(arg, inner(o), o)
 		},
 		ArgDesc: "capacity",
-		Desc:    "bounded read-through cache with invalidate-on-update over one inner instance",
+		Desc:    "bounded read-through cache (TTL expiry + admission via Options) with invalidate-on-update over one inner instance",
 		// No Validate hook: the grammar already confines arg to
 		// [1, 1<<24], which is exactly the slot-table bound
 		// (maxSpecCapacity), so every capacity that parses is legal and

@@ -1,7 +1,9 @@
 package combinator
 
 import (
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"csds/internal/core"
 	"csds/internal/locks"
@@ -35,17 +37,38 @@ import (
 // mapping, so a hit linearizes at its load instruction. The price is that
 // updates to keys sharing a slot serialize on the slot lock; the cache
 // targets read-dominated workloads where that path is cold.
+// Two production-shaped extensions ride on the same protocol:
+//
+//   - TTL (core.Options.CacheTTL): entries carry their fill time and a
+//     get never serves one older than the TTL — it re-reads the inner
+//     structure and refreshes the entry in place (bypassing admission:
+//     the key just proved it is still read). Updates through the cache
+//     invalidate immediately regardless; the TTL bounds staleness when
+//     the inner structure is ALSO mutated out of band, e.g. a replica
+//     applying remote writes underneath the cache. The settest battery
+//     (RunCacheTTL) pins exactly that contract.
+//   - Admission (core.Options.CacheAdmission): on a miss, AdmitTinyLFU /
+//     AdmitWindow decide whether the newcomer may displace the resident
+//     entry (see admission.go). Both are consulted and maintained on the
+//     miss path only — the hit path stays one atomic load.
 type ReadCache struct {
 	inner core.Set
 	slots []rcSlot
 	mask  uint64
 	fills atomic.Uint64
+
+	ttl    int64        // ns; 0 = no expiry
+	now    func() int64 // injectable clock (tests); time.Now().UnixNano()
+	sketch *freqSketch  // AdmitTinyLFU state, nil otherwise
+	door   *doorkeeper  // AdmitWindow state, nil otherwise
 }
 
-// rcEntry is an immutable cached mapping, swapped atomically.
+// rcEntry is an immutable cached mapping, swapped atomically. fillNs is
+// the clock reading at fill time; only meaningful when a TTL is set.
 type rcEntry struct {
-	key core.Key
-	val core.Value
+	key    core.Key
+	val    core.Value
+	fillNs int64
 }
 
 // rcSlot is one direct-mapped cache line. The writer lock is the
@@ -77,6 +100,83 @@ func NewReadCache(capacity int, inner core.Set) *ReadCache {
 	return &ReadCache{inner: inner, slots: make([]rcSlot, n), mask: uint64(n - 1)}
 }
 
+// NewReadCacheOpts is NewReadCache plus the Options-borne cache knobs:
+// CacheTTL enables entry expiry and CacheAdmission selects the admission
+// policy. It panics on an unknown admission name — csdsbench and the spec
+// layer validate the name first, so a panic here is a programming error in
+// the caller, not user input. This is the constructor the registry uses.
+func NewReadCacheOpts(capacity int, inner core.Set, o core.Options) *ReadCache {
+	r := NewReadCache(capacity, inner)
+	if o.CacheTTL > 0 {
+		r.ttl = int64(o.CacheTTL)
+		r.now = func() int64 { return time.Now().UnixNano() }
+	}
+	switch o.CacheAdmission {
+	case "", AdmitAlways:
+	case AdmitTinyLFU:
+		r.sketch = newFreqSketch(len(r.slots))
+	case AdmitWindow:
+		r.door = newDoorkeeper(len(r.slots))
+	default:
+		panic(fmt.Sprintf("readcache: unknown admission policy %q (have %s, %s, %s)",
+			o.CacheAdmission, AdmitAlways, AdmitTinyLFU, AdmitWindow))
+	}
+	return r
+}
+
+// SetClock replaces the TTL clock — a test hook (the settest TTL battery
+// drives expiry deterministically with a fake clock). Call before any
+// traffic; the clock must be monotone non-decreasing.
+func (r *ReadCache) SetClock(now func() int64) {
+	if r.ttl > 0 {
+		r.now = now
+	}
+}
+
+// expired reports whether e has outlived the TTL.
+func (r *ReadCache) expired(e *rcEntry) bool {
+	return r.ttl > 0 && r.now()-e.fillNs >= r.ttl
+}
+
+// admit decides whether key k may displace the probe-time resident entry
+// (nil, expired, or k itself always admit). Consulted and maintained on
+// the miss path only.
+func (r *ReadCache) admit(k core.Key, victim *rcEntry) bool {
+	switch {
+	case r.sketch != nil:
+		freq := r.sketch.touch(mix64(uint64(k)))
+		if victim == nil || victim.key == k || r.expired(victim) {
+			return true
+		}
+		return freq >= r.sketch.estimate(mix64(uint64(victim.key)))
+	case r.door != nil:
+		second := r.door.secondTouch(mix64(uint64(k)))
+		if victim == nil || victim.key == k || r.expired(victim) {
+			return true
+		}
+		return second
+	}
+	return true
+}
+
+// fill installs a fresh entry under the version guard (see the protocol
+// comment above); v0 is the version snapshot taken before the inner read.
+func (r *ReadCache) fill(c *core.Ctx, sl *rcSlot, k core.Key, v core.Value, v0 uint64) {
+	sl.mu.Acquire(c.Stat())
+	if sl.ver.Load() == v0 {
+		e := &rcEntry{key: k, val: v}
+		if r.ttl > 0 {
+			e.fillNs = r.now()
+		}
+		sl.entry.Store(e)
+		r.fills.Add(1)
+		if st := c.Stat(); st != nil {
+			st.RecordCacheFill()
+		}
+	}
+	sl.mu.Release()
+}
+
 func (r *ReadCache) slot(k core.Key) *rcSlot {
 	return &r.slots[mix64(uint64(k))&r.mask]
 }
@@ -85,18 +185,31 @@ func (r *ReadCache) slot(k core.Key) *rcSlot {
 // is a version-guarded read-through fill.
 func (r *ReadCache) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 	sl := r.slot(k)
-	if e := sl.entry.Load(); e != nil && e.key == k {
-		return e.val, true
+	e := sl.entry.Load()
+	expired := false
+	if e != nil && e.key == k {
+		if !r.expired(e) {
+			if st := c.Stat(); st != nil {
+				st.RecordCacheHit()
+			}
+			return e.val, true
+		}
+		// Past the TTL: never served. Fall through to a re-read that
+		// refreshes the entry in place (no admission check — the key just
+		// proved it is still being read).
+		expired = true
+	}
+	if st := c.Stat(); st != nil {
+		st.RecordCacheMiss(expired)
 	}
 	v0 := sl.ver.Load()
 	v, ok := r.inner.Get(c, k)
 	if ok && v0&1 == 0 {
-		sl.mu.Acquire(c.Stat())
-		if sl.ver.Load() == v0 {
-			sl.entry.Store(&rcEntry{key: k, val: v})
-			r.fills.Add(1)
+		if expired || r.admit(k, e) {
+			r.fill(c, sl, k, v, v0)
+		} else if st := c.Stat(); st != nil {
+			st.RecordCacheReject()
 		}
-		sl.mu.Release()
 	}
 	return v, ok
 }
@@ -157,9 +270,10 @@ func (r *ReadCache) CursorNext(c *core.Ctx, pos, hi core.Key, max int, f func(k 
 	return r.inner.(core.Cursor).CursorNext(c, pos, hi, max, f)
 }
 
-// Fills returns how many Get misses filled a slot. It is maintained on
-// the miss path only: the hit path stays a bare atomic load — a hit
-// counter would put shared RMW traffic on the one path the cache exists
-// to keep contention-free. Count hits by differencing against the inner
-// structure's observed reads if needed.
+// Fills returns how many Get misses filled a slot. Like everything else
+// the cache maintains about itself, this shared counter lives on the miss
+// path only: the hit path stays a bare atomic load. Per-operation hit and
+// miss counts go to each context's private stats.Thread instead
+// (CacheHits/CacheMisses — plain per-thread increments, no shared RMW),
+// which the harness folds into the cache_hit_frac bench column.
 func (r *ReadCache) Fills() uint64 { return r.fills.Load() }

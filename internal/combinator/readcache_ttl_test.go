@@ -1,0 +1,200 @@
+package combinator
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// TestReadCacheTTLBattery runs the settest TTL-expiry contract (stale
+// values under out-of-band inner churn are never served past the TTL)
+// against the real readcache with an injected clock.
+func TestReadCacheTTLBattery(t *testing.T) {
+	settest.RunCacheTTL(t, func(inner core.Set, ttl time.Duration, now func() int64) core.Set {
+		rc := NewReadCacheOpts(64, inner, core.Options{CacheTTL: ttl})
+		rc.SetClock(now)
+		return rc
+	})
+}
+
+// admitInner counts inner gets (hit/miss discrimination for the
+// admission tests) over a plain map; single-threaded use only.
+type admitInner struct {
+	m    map[core.Key]core.Value
+	gets int
+}
+
+func (s *admitInner) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	s.gets++
+	v, ok := s.m[k]
+	return v, ok
+}
+func (s *admitInner) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = v
+	return true
+}
+func (s *admitInner) Remove(c *core.Ctx, k core.Key) bool {
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+func (s *admitInner) Len() int { return len(s.m) }
+
+// TestTinyLFUProtectsHotEntry: a hot key read many times must not be
+// displaced from its slot by a colliding key read once — that is the
+// entire point of frequency-based admission.
+func TestTinyLFUProtectsHotEntry(t *testing.T) {
+	inner := &admitInner{m: map[core.Key]core.Value{}}
+	rc := NewReadCacheOpts(1, inner, core.Options{CacheAdmission: AdmitTinyLFU}) // one slot: everything collides
+	c := core.NewCtx(0)
+	hot, cold := core.Key(1), core.Key(2)
+	inner.m[hot], inner.m[cold] = 10, 20
+
+	for i := 0; i < 32; i++ {
+		rc.Get(c, hot) // build frequency; first fills, rest hit
+	}
+	base := inner.gets
+	if base != 1 {
+		t.Fatalf("hot key consulted inner %d times, want 1", base)
+	}
+	// One cold read: a miss, but it must NOT displace the hot entry.
+	if v, _ := rc.Get(c, cold); v != 20 {
+		t.Fatal("cold read wrong value")
+	}
+	if c.Stats.CacheRejects == 0 {
+		t.Fatal("cold fill not rejected by tinylfu admission")
+	}
+	rc.Get(c, hot)
+	if inner.gets != base+1 { // +1 is the cold read itself
+		t.Fatalf("hot key lost its slot to a one-touch cold key (inner gets %d, want %d)", inner.gets, base+1)
+	}
+}
+
+// TestWindowAdmitsOnSecondMiss: the doorkeeper rejects a newcomer's first
+// miss and admits its second within the window.
+func TestWindowAdmitsOnSecondMiss(t *testing.T) {
+	inner := &admitInner{m: map[core.Key]core.Value{}}
+	rc := NewReadCacheOpts(1, inner, core.Options{CacheAdmission: AdmitWindow})
+	c := core.NewCtx(0)
+	resident, newcomer := core.Key(1), core.Key(2)
+	inner.m[resident], inner.m[newcomer] = 10, 20
+
+	rc.Get(c, resident) // fills the empty slot (empty always admits)
+	rc.Get(c, newcomer) // first miss: doorkeeper says no
+	if c.Stats.CacheRejects != 1 {
+		t.Fatalf("first newcomer miss rejects=%d, want 1", c.Stats.CacheRejects)
+	}
+	before := inner.gets
+	rc.Get(c, resident) // still cached
+	if inner.gets != before {
+		t.Fatal("resident displaced by a one-touch key")
+	}
+	rc.Get(c, newcomer) // second miss: admitted, displaces resident
+	if c.Stats.CacheFills != 2 {
+		t.Fatalf("fills=%d after second newcomer miss, want 2", c.Stats.CacheFills)
+	}
+	before = inner.gets
+	rc.Get(c, newcomer)
+	if inner.gets != before {
+		t.Fatal("admitted newcomer not served from cache")
+	}
+}
+
+// TestAdmissionStatsBalance: every miss resolves to exactly one of fill,
+// reject, or a version-raced no-op; hits plus misses equals gets.
+func TestAdmissionStatsBalance(t *testing.T) {
+	for _, policy := range []string{AdmitAlways, AdmitTinyLFU, AdmitWindow} {
+		inner := &admitInner{m: map[core.Key]core.Value{}}
+		rc := NewReadCacheOpts(8, inner, core.Options{CacheAdmission: policy})
+		c := core.NewCtx(0)
+		const gets = 1000
+		for i := 0; i < 64; i++ {
+			inner.m[core.Key(i+1)] = core.Value(i)
+		}
+		for i := 0; i < gets; i++ {
+			rc.Get(c, core.Key(i%64+1))
+		}
+		st := c.Stats
+		if st.CacheHits+st.CacheMisses != gets {
+			t.Fatalf("%s: hits %d + misses %d != gets %d", policy, st.CacheHits, st.CacheMisses, gets)
+		}
+		// Single-threaded: no version races, so every miss fills or rejects.
+		if st.CacheFills+st.CacheRejects != st.CacheMisses {
+			t.Fatalf("%s: fills %d + rejects %d != misses %d", policy, st.CacheFills, st.CacheRejects, st.CacheMisses)
+		}
+		if policy == AdmitAlways && st.CacheRejects != 0 {
+			t.Fatalf("always-admit rejected %d fills", st.CacheRejects)
+		}
+	}
+}
+
+func TestNewReadCacheOptsRejectsUnknownPolicy(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown admission policy accepted")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, "tinylfu") {
+			t.Fatalf("panic message lacks the policy vocabulary: %v", r)
+		}
+	}()
+	inner := &admitInner{m: map[core.Key]core.Value{}}
+	NewReadCacheOpts(8, inner, core.Options{CacheAdmission: "lru"})
+}
+
+func TestValidAdmission(t *testing.T) {
+	for _, ok := range []string{"", AdmitAlways, AdmitTinyLFU, AdmitWindow} {
+		if !ValidAdmission(ok) {
+			t.Fatalf("ValidAdmission(%q) = false", ok)
+		}
+	}
+	if ValidAdmission("lru") {
+		t.Fatal("ValidAdmission accepted lru")
+	}
+}
+
+// TestMultiGetTTLAndStats drives the batched path through expiry: the
+// probe pass must treat an expired entry as a miss (recorded as an
+// expiry) and the fill pass must refresh it.
+func TestMultiGetTTLAndStats(t *testing.T) {
+	var now int64
+	inner := &admitInner{m: map[core.Key]core.Value{1: 10, 2: 20}}
+	rc := NewReadCacheOpts(64, inner, core.Options{CacheTTL: 100 * time.Nanosecond})
+	rc.SetClock(func() int64 { return now })
+	c := core.NewCtx(0)
+
+	got := map[core.Key]core.Value{}
+	cb := func(keys []core.Key) func(i int, v core.Value, ok bool) {
+		return func(i int, v core.Value, ok bool) {
+			if ok {
+				got[keys[i]] = v
+			}
+		}
+	}
+	keys := []core.Key{1, 2}
+	rc.MultiGet(c, keys, cb(keys)) // two misses, two fills
+	inner.m[1] = 11                // out-of-band change
+	now = 100                      // both entries expired
+	got = map[core.Key]core.Value{}
+	rc.MultiGet(c, keys, cb(keys))
+	if got[1] != 11 || got[2] != 20 {
+		t.Fatalf("post-expiry MultiGet = %v, want fresh values {1:11 2:20}", got)
+	}
+	if c.Stats.CacheExpiries != 2 {
+		t.Fatalf("expiries = %d, want 2", c.Stats.CacheExpiries)
+	}
+	got = map[core.Key]core.Value{}
+	before := inner.gets
+	rc.MultiGet(c, keys, cb(keys)) // refreshed: both hits
+	if inner.gets != before || got[1] != 11 {
+		t.Fatalf("refresh after batched expiry not served from cache (gets %d → %d, got %v)", before, inner.gets, got)
+	}
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"csds/internal/ebr"
 	"csds/internal/htm"
@@ -187,6 +188,20 @@ type Options struct {
 	// Domain, when non-nil, makes Remove retire unlinked nodes through
 	// contexts that carry an EBR record of this domain.
 	Domain *ebr.Domain
+	// CacheTTL bounds the staleness of read-through cache entries (the
+	// readcache combinator): entries older than this are never served and
+	// are refreshed in place on the next get. 0 disables expiry. Updates
+	// through the cache invalidate immediately regardless — TTL matters
+	// when the inner structure is also mutated out of band (a replica
+	// applying remote writes).
+	CacheTTL time.Duration
+	// CacheAdmission names the read-through cache's admission policy:
+	// "always" (default, every miss fills), "tinylfu" (frequency-sketch
+	// admission: a miss only displaces the cached entry if the new key has
+	// been seen at least as often in the recent window), or "window" (a
+	// doorkeeper: only a second miss for the same key within the window
+	// admits — one-touch traffic such as scans never evicts a hot entry).
+	CacheAdmission string
 }
 
 // Region builds the htm.Region for these options (Attempts 0 = plain

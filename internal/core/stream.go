@@ -28,6 +28,12 @@ package core
 // moved and the merge thrashes its sources.
 const streamMinChunk = 8
 
+// StreamMinChunk exports the per-part refill floor for consumers that
+// size cursor pages around it (the tuner floors its page-length hint at
+// width*StreamMinChunk: smaller pages make every per-shard pull fetch
+// the floor chunk and discard most of it).
+const StreamMinChunk = streamMinChunk
+
 // streamChunk sizes per-part refill pulls so the initial fill of a k-way
 // merge materializes about one page budget in total (max/k per part),
 // floored at streamMinChunk and capped at the budget itself.

@@ -13,6 +13,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -51,6 +52,12 @@ type Config struct {
 	UseEBR bool
 	// Seed makes runs reproducible.
 	Seed uint64
+
+	// CacheTTL / CacheAdmission configure any readcache combinator in the
+	// algorithm spec (passed through core.Options): entry expiry and the
+	// admission policy (combinator.AdmitAlways/AdmitTinyLFU/AdmitWindow).
+	CacheTTL       time.Duration
+	CacheAdmission string
 
 	// DelayedThreads is how many workers run the Figure 9 victim plan
 	// (delays while holding locks).
@@ -192,6 +199,17 @@ type Result struct {
 	CombineFrac     float64 // fraction of batches applied by a combiner
 	CombinedBatches uint64
 
+	// Read-through cache behaviour (set when the spec composes a
+	// readcache). The hit fraction is the cache's service rate over point
+	// gets; expiries count TTL deaths (entries present but too old to
+	// serve); rejects count fills the admission policy refused.
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheFills    uint64
+	CacheExpiries uint64
+	CacheRejects  uint64
+	CacheHitFrac  float64 // CacheHits / (CacheHits + CacheMisses)
+
 	// AllocsPerOp is the heap-allocation rate: runtime.ReadMemStats
 	// Mallocs delta across the run divided by all work units (point ops,
 	// batch keys, scans and pages). Averaged over runs.
@@ -296,6 +314,14 @@ func (a *Result) accumulate(r *Result, runs int) {
 	}
 	a.CombineFrac += r.CombineFrac * f
 	a.CombinedBatches += r.CombinedBatches
+	a.CacheHits += r.CacheHits
+	a.CacheMisses += r.CacheMisses
+	a.CacheFills += r.CacheFills
+	a.CacheExpiries += r.CacheExpiries
+	a.CacheRejects += r.CacheRejects
+	if lookups := a.CacheHits + a.CacheMisses; lookups > 0 {
+		a.CacheHitFrac = float64(a.CacheHits) / float64(lookups)
+	}
 	a.AllocsPerOp += r.AllocsPerOp * f
 	a.WaitFraction += r.WaitFraction * f
 	a.WaitFractionStddev += r.WaitFractionStddev * f
@@ -333,7 +359,9 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 		ExpectedSize:  cfg.Workload.Size,
 		// Workload keys are drawn from [1, KeySpace]; range-partitioning
 		// combinators split exactly that domain.
-		KeySpan: core.Key(cfg.Workload.KeySpace) + 1,
+		KeySpan:        core.Key(cfg.Workload.KeySpace) + 1,
+		CacheTTL:       cfg.CacheTTL,
+		CacheAdmission: cfg.CacheAdmission,
 	}
 	var dom *ebr.Domain
 	if cfg.UseEBR {
@@ -432,9 +460,25 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			start.Done()
 			<-startGate
 			t0 := time.Now()
+			// Phase-based dynamics (flash crowds, drift, diurnal think
+			// time): the phase — elapsed fraction of the window — is
+			// resampled every 64 ops, and only for dynamic workloads, so
+			// the steady-state loop stays clock-free. Static workloads
+			// keep phase 0, where KeyAt is bit-identical to Key.
+			dynamic := gen.Dynamic()
+			durNs := float64(cfg.Duration)
+			var phase float64
+			var opsSince uint
 			for !stop.Load() {
+				if dynamic {
+					if opsSince&63 == 0 {
+						phase = float64(time.Since(t0)) / durNs
+						phase -= math.Floor(phase)
+					}
+					opsSince++
+				}
 				op := gen.NextOp(rng)
-				k := gen.Key(rng)
+				k := gen.KeyAt(rng, phase)
 				switch op {
 				case workload.OpGet:
 					_, hit := s.Get(c, k)
@@ -453,7 +497,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					// longer than point ops, so the paper's no-clock-on-the-
 					// fast-path methodology is preserved) and record into
 					// their own counters, never into Ops.
-					lo, hi := gen.ScanRange(rng)
+					lo, hi := gen.ScanRangeAt(rng, phase)
 					keys := 0
 					scanStart := time.Now()
 					scanner.Scan(c, lo, hi, func(core.Key, core.Value) bool {
@@ -470,7 +514,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					// CursorNext interface is used directly — the wire
 					// token costs an encode/decode per page and belongs
 					// to service boundaries, not the measurement loop.
-					lo, hi := gen.ScanRange(rng)
+					lo, hi := gen.ScanRangeAt(rng, phase)
 					pos := lo
 					for done := false; !done; {
 						keys := 0
@@ -493,7 +537,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					case workload.OpMultiGet:
 						keyBuf = keyBuf[:0]
 						for i := 0; i < n; i++ {
-							keyBuf = append(keyBuf, gen.Key(rng))
+							keyBuf = append(keyBuf, gen.KeyAt(rng, phase))
 						}
 						batchStart := time.Now()
 						batcher.MultiGet(c, keyBuf, func(int, core.Value, bool) {})
@@ -502,7 +546,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 						inj.OnUpdate()
 						pairBuf = pairBuf[:0]
 						for i := 0; i < n; i++ {
-							bk := gen.Key(rng)
+							bk := gen.KeyAt(rng, phase)
 							pairBuf = append(pairBuf, core.KV{K: bk, V: core.Value(bk)})
 						}
 						batchStart := time.Now()
@@ -512,7 +556,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 						inj.OnUpdate()
 						keyBuf = keyBuf[:0]
 						for i := 0; i < n; i++ {
-							keyBuf = append(keyBuf, gen.Key(rng))
+							keyBuf = append(keyBuf, gen.KeyAt(rng, phase))
 						}
 						batchStart := time.Now()
 						batcher.MultiRemove(c, keyBuf, func(int, bool) {})
@@ -526,6 +570,13 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					// cache line: no shared RMW traffic on the hot path.
 					live[w].ops.Store(c.Stats.Ops)
 					live[w].waitNs.Store(c.Stats.LockWaitNs)
+				}
+				if dynamic {
+					// Diurnal ramp: the closed loop throttles itself with a
+					// phase-dependent think time (zero for non-diurnal mixes).
+					if tn := gen.ThinkNsAt(phase); tn > 0 {
+						time.Sleep(time.Duration(tn))
+					}
 				}
 				inj.BetweenOps()
 			}
@@ -806,6 +857,17 @@ func summarize(cfg Config, ths []stats.Thread, dom *ebr.Domain) Result {
 	res.PoolHits, res.PoolMisses = hits, misses
 	if draws := hits + misses; draws > 0 {
 		res.PoolHitFrac = float64(hits) / float64(draws)
+	}
+	for i := range ths {
+		t := &ths[i]
+		res.CacheHits += t.CacheHits
+		res.CacheMisses += t.CacheMisses
+		res.CacheFills += t.CacheFills
+		res.CacheExpiries += t.CacheExpiries
+		res.CacheRejects += t.CacheRejects
+	}
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitFrac = float64(res.CacheHits) / float64(lookups)
 	}
 	return res
 }

@@ -1,0 +1,212 @@
+package settest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csds/internal/core"
+)
+
+// CacheBuilder builds the read-through cache under test over the given
+// inner set, with the given TTL and fake clock (nanoseconds, monotone
+// non-decreasing). The combinator package's readcache satisfies this via
+// NewReadCacheOpts + SetClock.
+type CacheBuilder func(inner core.Set, ttl time.Duration, now func() int64) core.Set
+
+// RunCacheTTL pins the TTL-expiry contract of a read-through cache whose
+// inner structure is mutated OUT OF BAND (a replica applying remote
+// writes underneath the cache — updates through the cache already
+// invalidate immediately, so TTL only matters for this case):
+//
+//   - an entry younger than the TTL may serve a stale value;
+//   - an entry at or past the TTL is NEVER served — the next get consults
+//     the inner structure and refreshes the entry in place.
+//
+// The battery is deterministic (injected fake clock, no wall-clock
+// assertions) and 1-CPU safe: the churn phase uses bounded loops with
+// explicit yields, and the clock is advanced only between operations so
+// fill timestamps are exact.
+func RunCacheTTL(t *testing.T, build CacheBuilder) {
+	t.Helper()
+	t.Run("DeterministicExpiry", func(t *testing.T) { testCacheExpiry(t, build) })
+	t.Run("OutOfBandChurn", func(t *testing.T) { testCacheChurn(t, build) })
+}
+
+// oobSet is a locked map with an extra out-of-band mutation entry point
+// (setDirect overwrites without the cache seeing it) and a consult
+// counter, so the battery can tell hits from read-throughs.
+type oobSet struct {
+	mu   sync.Mutex
+	m    map[core.Key]core.Value
+	gets atomic.Uint64
+}
+
+func newOOBSet() *oobSet { return &oobSet{m: map[core.Key]core.Value{}} }
+
+func (s *oobSet) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
+	s.gets.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+func (s *oobSet) Put(c *core.Ctx, k core.Key, v core.Value) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = v
+	return true
+}
+
+func (s *oobSet) Remove(c *core.Ctx, k core.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *oobSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// setDirect overwrites k out of band: the cache above never hears of it.
+func (s *oobSet) setDirect(k core.Key, v core.Value) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// testCacheExpiry walks the single-threaded contract along a fake clock.
+func testCacheExpiry(t *testing.T, build CacheBuilder) {
+	const ttl = 1000 // ns
+	var clock atomic.Int64
+	inner := newOOBSet()
+	cache := build(inner, ttl*time.Nanosecond, clock.Load)
+	c := core.NewCtx(0)
+	k := core.Key(7)
+
+	inner.setDirect(k, 100)
+	if v, ok := cache.Get(c, k); !ok || v != 100 {
+		t.Fatalf("first get = (%d, %v), want (100, true)", v, ok)
+	}
+	if g := inner.gets.Load(); g != 1 {
+		t.Fatalf("first get consulted inner %d times, want 1 (miss + fill)", g)
+	}
+	if v, _ := cache.Get(c, k); v != 100 {
+		t.Fatalf("second get = %d, want the cached 100", v)
+	}
+	if g := inner.gets.Load(); g != 1 {
+		t.Fatalf("second get consulted inner (%d consults): not served from cache", g)
+	}
+
+	// Mutate out of band. Within the TTL the cache may legally serve the
+	// stale 100 (that's what a freshness bound means) — and this cache
+	// does, which is what makes the expiry assertions below meaningful.
+	inner.setDirect(k, 200)
+	clock.Store(ttl - 1)
+	if v, _ := cache.Get(c, k); v != 100 {
+		t.Fatalf("get inside TTL = %d, want the stale 100 still served", v)
+	}
+	if g := inner.gets.Load(); g != 1 {
+		t.Fatalf("inside-TTL get consulted inner (%d consults)", g)
+	}
+
+	// At exactly fill+TTL the entry is dead: the stale 100 must never be
+	// served again; the get reads through and refreshes in place.
+	clock.Store(ttl)
+	if v, ok := cache.Get(c, k); !ok || v != 200 {
+		t.Fatalf("get at TTL = (%d, %v), want the fresh (200, true)", v, ok)
+	}
+	if g := inner.gets.Load(); g != 2 {
+		t.Fatalf("expired get consulted inner %d times, want 2", g)
+	}
+	if c.Stats.CacheExpiries == 0 {
+		t.Fatal("expiry not recorded in stats")
+	}
+
+	// The refresh re-armed the entry: served from cache again.
+	if v, _ := cache.Get(c, k); v != 200 {
+		t.Fatalf("post-refresh get = %d, want 200", v)
+	}
+	if g := inner.gets.Load(); g != 2 {
+		t.Fatalf("post-refresh get consulted inner (%d consults)", g)
+	}
+}
+
+// testCacheChurn hammers one hot key with out-of-band overwrites while a
+// reader gets through the cache, and checks every returned value against
+// the freshness bound. Values are a monotone counter; replacedAt[i]
+// records (atomically, AFTER the overwrite lands) when value i-1 stopped
+// being current. A read returning v with replacedAt[v+1] set means v is
+// stale — legal only while now - replacedAt[v+1] < TTL.
+//
+// Only the reader advances the clock, and only between its own gets, so
+// the clock is frozen inside every Get: a fill's timestamp f equals the
+// clock at its inner read, the read saw v so the replacement's (later)
+// timestamp is >= f, and the serve window now-f < TTL implies
+// now - replacedAt[v+1] < TTL with no slack term. Recording replacedAt
+// after the overwrite can only time-stamp the replacement late, which
+// under-detects but never false-positives — the deterministic phase
+// already pins the exact boundary.
+func testCacheChurn(t *testing.T, build CacheBuilder) {
+	const (
+		ttl    = 50 // in clock steps of 1ns
+		writes = 4000
+	)
+	var clock atomic.Int64
+	inner := newOOBSet()
+	cache := build(inner, ttl*time.Nanosecond, clock.Load)
+	k := core.Key(3)
+	replacedAt := make([]atomic.Int64, writes+2) // stored as time+1; 0 = not replaced yet
+
+	inner.setDirect(k, 0)
+
+	var writerDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for i := int64(1); i <= writes; i++ {
+			inner.setDirect(k, core.Value(i))
+			replacedAt[i].Store(clock.Load() + 1)
+			if i%8 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	c := core.NewCtx(1)
+	for i := 0; !writerDone.Load() || i < 2000; i++ {
+		now := clock.Load()
+		v, ok := cache.Get(c, k)
+		if !ok {
+			t.Fatalf("hot key absent at read %d", i)
+		}
+		if enc := replacedAt[v+1].Load(); enc != 0 {
+			if age := now - (enc - 1); age >= ttl {
+				t.Fatalf("read %d returned value %d replaced %dns ago (TTL %d): expired value observed", i, v, age, ttl)
+			}
+		}
+		clock.Add(1)
+		if i%4 == 0 {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if c.Stats.CacheHits == 0 || c.Stats.CacheExpiries == 0 {
+		t.Fatalf("churn exercised hits=%d expiries=%d: battery did not cover both paths",
+			c.Stats.CacheHits, c.Stats.CacheExpiries)
+	}
+}

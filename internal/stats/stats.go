@@ -134,6 +134,21 @@ type Thread struct {
 	PoolHits   uint64
 	PoolMisses uint64
 
+	// Read-through cache (the readcache combinator). CacheHits are gets
+	// served from the cached entry (one atomic load); CacheMisses
+	// consulted the inner structure, of which CacheExpiries are the
+	// subset whose cached entry had outlived the TTL (the stale value is
+	// never served — it is re-fetched and refreshed in place).
+	// CacheFills installed a fresh entry; CacheRejects are fills the
+	// admission policy refused. These are per-thread plain increments
+	// like every other counter here — recording a hit does not add a
+	// shared RMW to the cache's read path.
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheFills    uint64
+	CacheExpiries uint64
+	CacheRejects  uint64
+
 	// Wall-clock of the thread's measurement window, set by the harness.
 	ActiveNs uint64
 
@@ -235,6 +250,24 @@ func (t *Thread) RecordBatch(keys int, ns uint64) {
 // combining winner on its behalf).
 func (t *Thread) RecordCombined() { t.CombinedBatches++ }
 
+// RecordCacheHit notes a get served straight from a read-through cache.
+func (t *Thread) RecordCacheHit() { t.CacheHits++ }
+
+// RecordCacheMiss notes a get that consulted the inner structure;
+// expired says a cached entry was present but had outlived its TTL.
+func (t *Thread) RecordCacheMiss(expired bool) {
+	t.CacheMisses++
+	if expired {
+		t.CacheExpiries++
+	}
+}
+
+// RecordCacheFill notes a fresh entry installed in a read-through cache.
+func (t *Thread) RecordCacheFill() { t.CacheFills++ }
+
+// RecordCacheReject notes a fill refused by the cache admission policy.
+func (t *Thread) RecordCacheReject() { t.CacheRejects++ }
+
 // RecordAcquire notes an uncontended lock acquisition.
 func (t *Thread) RecordAcquire() { t.LockAcqs++ }
 
@@ -330,8 +363,23 @@ func (t *Thread) Merge(o *Thread) {
 	t.Reclaims += o.Reclaims
 	t.PoolHits += o.PoolHits
 	t.PoolMisses += o.PoolMisses
+	t.CacheHits += o.CacheHits
+	t.CacheMisses += o.CacheMisses
+	t.CacheFills += o.CacheFills
+	t.CacheExpiries += o.CacheExpiries
+	t.CacheRejects += o.CacheRejects
 	t.ActiveNs += o.ActiveNs
 	t.TrylockFails += o.TrylockFails
+}
+
+// CacheHitFraction returns CacheHits / (CacheHits + CacheMisses) — the
+// read-through cache's hit rate (0 when no cache is in the composition).
+func (t *Thread) CacheHitFraction() float64 {
+	total := t.CacheHits + t.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.CacheHits) / float64(total)
 }
 
 // PoolHitFraction returns PoolHits / (PoolHits + PoolMisses) — the

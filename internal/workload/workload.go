@@ -101,6 +101,45 @@ type Config struct {
 	// BatchLenDist selects the batch-length distribution: the same
 	// choices as ScanLenDist (uniform default, fixed, geometric).
 	BatchLenDist string
+
+	// --- Dynamics: phase-based traffic shaping. A phase is the elapsed
+	// fraction of the measurement window in [0, 1); the harness samples
+	// it coarsely (every ~64 ops) so the hot loop stays clock-free, and
+	// passes it to KeyAt / ScanRangeAt / ThinkNsAt. With none of these
+	// fields set the At methods are bit-identical to the static draws.
+
+	// FlashPeriod > 0 enables hot-key flash crowds: the run divides into
+	// cycles of FlashPeriod phase each, and during the first FlashDuty
+	// of every cycle a FlashBoost fraction of key draws is redirected
+	// into a hot set of FlashFrac*KeySpace keys (the hottest ranks under
+	// Zipf, the lowest keys under uniform).
+	FlashPeriod float64
+	// FlashDuty is the active fraction of each flash cycle; 0 defaults
+	// to 0.5 when FlashPeriod is set.
+	FlashDuty float64
+	// FlashFrac sizes the hot set as a fraction of the key space; 0
+	// defaults to 1/64 when FlashPeriod is set.
+	FlashFrac float64
+	// FlashBoost is the fraction of draws redirected into the hot set
+	// while a flash is active; 0 defaults to 0.9 when FlashPeriod is set.
+	FlashBoost float64
+
+	// DriftPeriod > 0 enables working-set drift: the popularity-to-key
+	// mapping rotates through the whole key space once per DriftPeriod
+	// of the run, so the hot working set moves continuously (the
+	// read-latest pattern of YCSB-D, approximated in a closed loop).
+	DriftPeriod float64
+
+	// ThinkNs > 0 enables a diurnal ramp: each operation is followed by
+	// a think time on a raised-cosine day curve — zero at phase 0,
+	// peaking at ThinkNs at phase 0.5 — the closed-loop equivalent of an
+	// offered-load trough in the middle of the window.
+	ThinkNs int64
+
+	// Mix names the catalog mix this config was derived from (set by
+	// ParseMix, informational): it becomes the workload axis of the
+	// bench CSV. Empty for hand-assembled configs.
+	Mix string
 }
 
 // WithDefaults fills derived fields.
@@ -165,6 +204,34 @@ func (c Config) WithDefaults() Config {
 	if c.BatchLenDist == "" {
 		c.BatchLenDist = ScanLenUniform
 	}
+	if c.FlashPeriod < 0 || math.IsNaN(c.FlashPeriod) || math.IsInf(c.FlashPeriod, 0) {
+		c.FlashPeriod = 0
+	}
+	if c.FlashPeriod > 1 {
+		c.FlashPeriod = 1
+	}
+	if c.FlashPeriod > 0 {
+		if c.FlashDuty <= 0 || c.FlashDuty > 1 || math.IsNaN(c.FlashDuty) {
+			c.FlashDuty = 0.5
+		}
+		if c.FlashFrac <= 0 || c.FlashFrac > 1 || math.IsNaN(c.FlashFrac) {
+			c.FlashFrac = 1.0 / 64
+		}
+		if c.FlashBoost <= 0 || c.FlashBoost > 1 || math.IsNaN(c.FlashBoost) {
+			c.FlashBoost = 0.9
+		}
+	} else {
+		c.FlashDuty, c.FlashFrac, c.FlashBoost = 0, 0, 0
+	}
+	if c.DriftPeriod < 0 || math.IsNaN(c.DriftPeriod) || math.IsInf(c.DriftPeriod, 0) {
+		c.DriftPeriod = 0
+	}
+	if c.DriftPeriod > 1 {
+		c.DriftPeriod = 1
+	}
+	if c.ThinkNs < 0 {
+		c.ThinkNs = 0
+	}
 	return c
 }
 
@@ -188,6 +255,10 @@ type Generator struct {
 	// exactly like the point segment, so batch traffic mirrors the
 	// point mix's read/write proportions.
 	pCursor, pScan, pBatchPut, pBatchRemove, pBatch, pPut, pRemove float64
+
+	// hotN is the hot-set size in keys when flash crowds are configured
+	// (FlashFrac * KeySpace, at least 1); 0 otherwise.
+	hotN int64
 }
 
 // NewGenerator prepares the (possibly shared) sampling tables.
@@ -205,6 +276,15 @@ func NewGenerator(cfg Config) *Generator {
 		g.zipf = xrand.NewZipf(cfg.KeySpace, cfg.ZipfS)
 		g.perm = xrand.Perm(cfg.KeySpace, xrand.New(0xC0FFEE))
 	}
+	if cfg.FlashPeriod > 0 {
+		g.hotN = int64(cfg.FlashFrac * float64(cfg.KeySpace))
+		if g.hotN < 1 {
+			g.hotN = 1
+		}
+		if g.hotN > cfg.KeySpace {
+			g.hotN = cfg.KeySpace
+		}
+	}
 	return g
 }
 
@@ -218,6 +298,74 @@ func (g *Generator) Key(rng *xrand.Rng) core.Key {
 		return core.Key(1 + rng.Int63n(g.cfg.KeySpace))
 	}
 	return core.Key(1 + g.perm[g.zipf.Rank(rng)])
+}
+
+// Dynamic reports whether any phase-dependent dynamics (flash crowds,
+// drift, diurnal think time) are configured. Callers that hold phase at 0
+// when this is false never pay a clock read: KeyAt(rng, 0) is then
+// bit-identical to Key(rng).
+func (g *Generator) Dynamic() bool {
+	return g.cfg.FlashPeriod > 0 || g.cfg.DriftPeriod > 0 || g.cfg.ThinkNs > 0
+}
+
+// flashActive reports whether the given phase falls inside a flash
+// window: the first FlashDuty of each FlashPeriod-long cycle.
+func (g *Generator) flashActive(phase float64) bool {
+	if g.cfg.FlashPeriod <= 0 {
+		return false
+	}
+	pos := phase / g.cfg.FlashPeriod
+	return pos-math.Floor(pos) < g.cfg.FlashDuty
+}
+
+// keyIndex draws a zero-based key-space index from the static popularity
+// distribution.
+func (g *Generator) keyIndex(rng *xrand.Rng) int64 {
+	if g.zipf == nil {
+		return rng.Int63n(g.cfg.KeySpace)
+	}
+	return g.perm[g.zipf.Rank(rng)]
+}
+
+// KeyAt draws a key at the given run phase in [0, 1): the static
+// popularity draw, redirected into the hot set during flash windows and
+// rotated through the key space under drift. With no dynamics configured
+// it consumes exactly the same RNG stream as Key, so static workloads are
+// unchanged by callers switching to the phased form.
+func (g *Generator) KeyAt(rng *xrand.Rng, phase float64) core.Key {
+	var idx int64
+	if g.flashActive(phase) && rng.Float64() < g.cfg.FlashBoost {
+		// Hot-set draw: the hottest hotN ranks under Zipf (their keys are
+		// scattered by the rank permutation, like a real flash crowd's),
+		// the lowest hotN indices under uniform.
+		if g.zipf != nil {
+			idx = g.perm[rng.Int63n(g.hotN)]
+		} else {
+			idx = rng.Int63n(g.hotN)
+		}
+	} else {
+		idx = g.keyIndex(rng)
+	}
+	if g.cfg.DriftPeriod > 0 {
+		// Rotate the popularity→key mapping once around the key space per
+		// DriftPeriod of the run: the hot working set moves continuously.
+		off := int64(phase / g.cfg.DriftPeriod * float64(g.cfg.KeySpace))
+		idx = (idx + off) % g.cfg.KeySpace
+		if idx < 0 {
+			idx += g.cfg.KeySpace
+		}
+	}
+	return core.Key(1 + idx)
+}
+
+// ThinkNsAt returns the post-op think time at the given phase: a
+// raised-cosine day curve peaking at ThinkNs mid-window. 0 when no
+// diurnal ramp is configured.
+func (g *Generator) ThinkNsAt(phase float64) int64 {
+	if g.cfg.ThinkNs <= 0 {
+		return 0
+	}
+	return int64(float64(g.cfg.ThinkNs) * (1 - math.Cos(2*math.Pi*phase)) / 2)
 }
 
 // NextOp draws the operation kind: one uniform variate against the
@@ -300,6 +448,13 @@ func drawLen(rng *xrand.Rng, mean int64, dist string) int64 {
 // half-full structures a width of L covers about L/2 live elements.
 func (g *Generator) ScanRange(rng *xrand.Rng) (lo, hi core.Key) {
 	lo = g.Key(rng)
+	return lo, lo + core.Key(g.ScanLen(rng))
+}
+
+// ScanRangeAt is ScanRange with the start key drawn at the given phase
+// (see KeyAt); the width draw is phase-independent.
+func (g *Generator) ScanRangeAt(rng *xrand.Rng, phase float64) (lo, hi core.Key) {
+	lo = g.KeyAt(rng, phase)
 	return lo, lo + core.Key(g.ScanLen(rng))
 }
 

@@ -31,6 +31,10 @@
 # deliberately contended sharded(1) cell where every batch fights for a
 # single lock: its combine_frac column proves the flat-combining path
 # engages in the trajectory (and stays near zero in the wide cells).
+#
+# The two ycsb-b workload cells (hand-tuned spec vs -auto-spec) keep the
+# model-driven tuner honest against the best fixed configuration — see
+# run_wl_cell below.
 set -eu
 
 BIN=${1:?usage: bench_grid.sh /path/to/csdsbench [/path/to/csdsd]}
@@ -80,6 +84,23 @@ run_ebr_cell() {
         -dur 300ms -runs 2 -csv)"
 }
 
+# The workload cells (workload=ycsb-b in the artifact) run a named
+# production mix instead of bare flags: one hand-tuned cell on the best
+# fixed spec for this host shape, and one -auto-spec cell where the
+# tuner derives the composite from the mix and the machine (for ycsb-b
+# at 4 threads / 2048 elements it derives
+# readcache(1024,sharded(32,list/lazy)) — pinned by the tuner and
+# csdsmodel tests, so the cell identity cannot drift silently). The
+# pair is the standing auto-tuned-vs-hand-tuned comparison: benchsnap
+# -diff carries both cells, and the auto cell's alg column records the
+# derived spec that was actually measured.
+run_wl_cell() {
+    wl=$1
+    shift
+    emit "$("$BIN" -workload "$wl" -threads 4 -size 2048 "$@" \
+        -dur 300ms -runs 2 -csv)"
+}
+
 # The networked cell (net=1 in the artifact) measures the whole serving
 # stack: a real csdsd on loopback, csdsbench as a closed-loop -net
 # client driving the same point+scan+cursor mix through the memcache
@@ -118,6 +139,8 @@ run_batch_cell 'sharded(32,list/lazy)' 0.9
 run_batch_cell 'elastic(32,list/lazy)' 0
 run_batch_cell 'elastic(32,list/lazy)' 0.9
 run_batch_cell 'sharded(1,list/lazy)' 0.9
+run_wl_cell ycsb-b -alg 'sharded(32,list/lazy)'
+run_wl_cell ycsb-b -alg 'list/lazy' -auto-spec
 if [ -n "$CSDSD" ]; then
     run_net_cell 'sharded(8,list/lazy)' 127.0.0.1:21311
 else
