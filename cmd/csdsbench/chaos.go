@@ -1,0 +1,455 @@
+// The wire chaos cell: csdsbench -net -fault replaces the
+// duration-driven closed loop with a fixed per-worker operation budget
+// (so firing counts reproduce exactly for a given plan seed), injects
+// client-side wire faults from the same deterministic plan grammar the
+// server and harness use, drives every operation through the client's
+// deadline/retry/backoff discipline, and proves the recovery story the
+// only way that matters over a network: every write the server
+// acknowledged must still be readable when the dust settles.
+//
+// Client-side points honored here: conn.drop severs the connection
+// before an operation (the next request observes a transport fault and
+// redials under the policy), op.delay and conn.slow stall the think
+// loop. Server-side points (shed.busy, handler.panic, conn.* on the
+// accept side, ...) come from the csdsd the cell targets — start it
+// with its own -fault to compose both ends; the recovery evidence
+// (client retries, write reissues) folds into the same hit count.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/fault"
+	"csds/internal/harness"
+	"csds/internal/server"
+	"csds/internal/stats"
+	"csds/internal/workload"
+	"csds/internal/xrand"
+)
+
+const (
+	// netChaosOps is the fixed per-worker operation budget. Fixed —
+	// not duration-derived — so a (plan, seed, threads) triple fires
+	// exactly the same faults on every run.
+	netChaosOps = 4096
+	// netChaosTrackEvery: every N-th operation is a tracked write to
+	// the worker's private key stripe; its acknowledgement is recorded
+	// and verified present after the run.
+	netChaosTrackEvery = 8
+	// netChaosWriteTries bounds the reissue loop for a failed write
+	// (both provably-unexecuted sheds and unknown-outcome transport
+	// faults — reissue is safe because stores are insert-if-absent and
+	// deletes are idempotent).
+	netChaosWriteTries = 10
+)
+
+// netChaosInfo is what the chaos cell learned, for the text report.
+// The zero value (Armed false) means the plain net path ran instead.
+type netChaosInfo struct {
+	Armed   bool
+	Budget  int    // per-worker operation budget
+	Ops     uint64 // operations completed across all workers
+	Hits    uint64 // operations that hit an injected fault or engaged recovery
+	Retries uint64 // client-level retry attempts beyond the first
+	Acked   uint64 // tracked stripe writes acknowledged (all verified)
+	Tally   *fault.Tally
+}
+
+func netChaosRun(addr string, cfg harness.Config, plan *fault.Plan) (harness.Result, netChaosInfo, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xD1CE
+	}
+	cfg.Runs = 1 // one deterministic pass; averaging would blur the firing counts
+	cfg.Workload = cfg.Workload.WithDefaults()
+	gen := workload.NewGenerator(cfg.Workload)
+	if err := netChaosPrefill(addr, gen.Config()); err != nil {
+		return harness.Result{}, netChaosInfo{}, err
+	}
+
+	tally := fault.NewTally()
+	ths := make([]stats.Thread, cfg.Threads)
+	workers := make([]*chaosWorker, cfg.Threads)
+	// Private write stripes live above the workload key space so no
+	// other worker's deletes (or the mix's own churn) can legitimately
+	// remove an acknowledged key — a miss at verification time is
+	// therefore always a lost write, never a false alarm.
+	stripeBase := gen.Config().KeySpace + 1
+	const stripe = int64(2 * netChaosOps / netChaosTrackEvery)
+	for w := range workers {
+		c, err := server.DialRetry(addr, 5*time.Second)
+		if err != nil {
+			for _, cw := range workers[:w] {
+				cw.c.Close()
+			}
+			return harness.Result{}, netChaosInfo{}, fmt.Errorf("csdsbench: %w", err)
+		}
+		c.Policy = server.RetryPolicy{Budget: 8, OpDeadline: 2 * time.Second}
+		workers[w] = &chaosWorker{
+			c:    c,
+			gen:  gen,
+			inj:  fault.NewInjector(plan, uint64(w), tally),
+			rng:  xrand.New(cfg.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15),
+			th:   &ths[w],
+			base: stripeBase + int64(w)*stripe,
+		}
+	}
+	defer func() {
+		for _, cw := range workers {
+			cw.c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Threads)
+	start := make(chan struct{})
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			errs[w] = workers[w].run(netChaosOps)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return harness.Result{}, netChaosInfo{}, fmt.Errorf("csdsbench: chaos worker: %w", err)
+		}
+	}
+
+	// Verification: every acknowledged stripe write must be present.
+	// A fresh, fault-free connection does the reading (still under the
+	// retry policy, so server-side residual faults cannot fail the
+	// verification spuriously).
+	vc, err := server.DialRetry(addr, 5*time.Second)
+	if err != nil {
+		return harness.Result{}, netChaosInfo{}, fmt.Errorf("csdsbench: chaos verify: %w", err)
+	}
+	vc.Policy = server.RetryPolicy{Budget: 8, OpDeadline: 2 * time.Second}
+	defer vc.Close()
+	var acked uint64
+	lost := 0
+	for _, cw := range workers {
+		for _, k := range cw.acked {
+			acked++
+			_, hit, err := vc.Get(k)
+			if err != nil {
+				return harness.Result{}, netChaosInfo{}, fmt.Errorf("csdsbench: chaos verify: %w", err)
+			}
+			if !hit {
+				lost++
+			}
+		}
+	}
+	if lost > 0 {
+		return harness.Result{}, netChaosInfo{},
+			fmt.Errorf("csdsbench: chaos: %d of %d acknowledged writes lost", lost, acked)
+	}
+
+	res := harness.SummarizeThreads(cfg, ths)
+	res.Faults = tally.Total()
+	res.FaultFires = tally.Snapshot()
+	info := netChaosInfo{Armed: true, Budget: netChaosOps, Acked: acked, Tally: tally}
+	for _, cw := range workers {
+		info.Ops += cw.ops
+		info.Hits += cw.hits
+		info.Retries += cw.c.Retries
+	}
+	return res, info, nil
+}
+
+// netChaosPrefill fills the remote structure like netPrefill, but one
+// reissued store at a time: the target server may already be under its
+// own fault plan, so busy sheds and dropped connections during the fill
+// are expected, not fatal.
+func netChaosPrefill(addr string, w workload.Config) error {
+	c, err := server.DialRetry(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.Policy = server.RetryPolicy{Budget: 8, OpDeadline: 2 * time.Second}
+	n := 0
+	for k := int64(1); k <= w.KeySpace && n < w.Size; k += 2 {
+		for attempt := 0; ; attempt++ {
+			_, err := c.Set(core.Key(k), core.Value(k))
+			if err == nil {
+				break
+			}
+			if attempt >= netChaosWriteTries {
+				return fmt.Errorf("csdsbench: chaos prefill: %w", err)
+			}
+			var re *server.RetryableError
+			if !errors.As(err, &re) {
+				if rerr := c.Redial(); rerr != nil {
+					return fmt.Errorf("csdsbench: chaos prefill: %w", err)
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		n++
+	}
+	return nil
+}
+
+// chaosWorker is one connection's share of the budget: the standard
+// workload mix plus periodic tracked writes, every operation carrying
+// the client-side injector draws in a fixed order (so the draw index —
+// and therefore the firing schedule — depends only on the op index).
+type chaosWorker struct {
+	c     *server.Client
+	gen   *workload.Generator
+	inj   *fault.Injector
+	rng   *xrand.Rng
+	th    *stats.Thread
+	base  int64      // private stripe base key
+	seq   int64      // next stripe offset
+	acked []core.Key // stripe keys the server acknowledged
+	ops   uint64
+	hits  uint64
+}
+
+func (w *chaosWorker) run(budget int) error {
+	t0 := time.Now()
+	defer func() { w.th.ActiveNs = uint64(time.Since(t0)) }()
+	for n := 0; n < budget; n++ {
+		w.ops++
+		retries0 := w.c.Retries
+		faulted := false
+		// Client-side wire faults, drawn in a fixed order every op.
+		if w.inj.Fire(fault.ConnDrop) {
+			w.c.Sever()
+			faulted = true
+		}
+		if w.inj.Delay(fault.OpDelay) {
+			faulted = true
+		}
+		if w.inj.Delay(fault.ConnSlow) {
+			faulted = true
+		}
+		var err error
+		if n%netChaosTrackEvery == 0 {
+			err = w.trackedWrite(&faulted)
+		} else {
+			err = w.mixedOp(&faulted)
+		}
+		if err != nil {
+			return err
+		}
+		if w.c.Retries > retries0 {
+			faulted = true
+		}
+		if faulted {
+			w.hits++
+		}
+	}
+	return nil
+}
+
+// trackedWrite stores the next private-stripe key and records the
+// acknowledgement. NOT_STORED on a stripe key still acknowledges it:
+// only this worker writes the stripe, so a duplicate means an earlier
+// reissued attempt already landed.
+func (w *chaosWorker) trackedWrite(faulted *bool) error {
+	k := core.Key(w.base + w.seq)
+	w.seq++
+	stored, err := w.setReissued(k, core.Value(k), faulted)
+	if err != nil {
+		return err
+	}
+	w.th.RecordInsert(stored)
+	w.acked = append(w.acked, k)
+	return nil
+}
+
+// setReissued is the write discipline the client deliberately does not
+// hide: a busy shed (provably unexecuted) reissues on the same
+// connection; a transport fault redials first — reissue is still safe
+// because the store is insert-if-absent — all bounded by the tries cap.
+func (w *chaosWorker) setReissued(k core.Key, v core.Value, faulted *bool) (bool, error) {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		stored, err := w.c.Set(k, v)
+		if err == nil {
+			return stored, nil
+		}
+		if attempt >= netChaosWriteTries {
+			return false, err
+		}
+		*faulted = true
+		var re *server.RetryableError
+		if !errors.As(err, &re) {
+			if rerr := w.c.Redial(); rerr != nil {
+				return false, err
+			}
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// deleteReissued mirrors setReissued for removes (idempotent: a
+// reissued delete of an already-removed key answers NOT_FOUND).
+func (w *chaosWorker) deleteReissued(k core.Key, faulted *bool) (bool, error) {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		deleted, err := w.c.Delete(k)
+		if err == nil {
+			return deleted, nil
+		}
+		if attempt >= netChaosWriteTries {
+			return false, err
+		}
+		*faulted = true
+		var re *server.RetryableError
+		if !errors.As(err, &re) {
+			if rerr := w.c.Redial(); rerr != nil {
+				return false, err
+			}
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// mixedOp draws one operation from the workload mix. Reads, pages and
+// mgets ride the client's transparent retry; writes go through the
+// reissue loops above; the pipelined Multi* trains — which the client
+// never retries (the caller owns pipeline recovery) — are abandoned on
+// a fault and the connection replaced, exactly the recovery a real
+// pipelined producer performs.
+func (w *chaosWorker) mixedOp(faulted *bool) error {
+	switch op := w.gen.NextOp(w.rng); op {
+	case workload.OpGet:
+		_, hit, err := w.c.Get(w.gen.Key(w.rng))
+		if err != nil {
+			return err
+		}
+		w.th.RecordRead(hit)
+	case workload.OpPut:
+		k := w.gen.Key(w.rng)
+		stored, err := w.setReissued(k, core.Value(k), faulted)
+		if err != nil {
+			return err
+		}
+		w.th.RecordInsert(stored)
+	case workload.OpRemove:
+		deleted, err := w.deleteReissued(w.gen.Key(w.rng), faulted)
+		if err != nil {
+			return err
+		}
+		w.th.RecordRemove(deleted)
+	case workload.OpScan:
+		lo, hi := w.gen.ScanRange(w.rng)
+		keys := 0
+		scanStart := time.Now()
+		token, done, err := w.c.Range(lo, hi, netPagePull, func(core.Key, core.Value) { keys++ })
+		for err == nil && !done {
+			token, done, err = w.c.Page(token, netPagePull, func(core.Key, core.Value) { keys++ })
+		}
+		if err != nil {
+			return err
+		}
+		w.th.RecordScan(keys, uint64(time.Since(scanStart)))
+	case workload.OpCursorScan:
+		lo, hi := w.gen.ScanRange(w.rng)
+		var token string
+		var done bool
+		var err error
+		first := true
+		for !done {
+			keys := 0
+			n := int(w.gen.PageLen(w.rng))
+			pageStart := time.Now()
+			if first {
+				token, done, err = w.c.Range(lo, hi, n, func(core.Key, core.Value) { keys++ })
+				first = false
+			} else {
+				token, done, err = w.c.Page(token, n, func(core.Key, core.Value) { keys++ })
+			}
+			if err != nil {
+				return err
+			}
+			w.th.RecordPage(keys, uint64(time.Since(pageStart)))
+		}
+		w.th.RecordCursorScan()
+	case workload.OpMultiGet:
+		n := int(w.gen.BatchLen(w.rng))
+		keys := make([]core.Key, n)
+		vals := make([]core.Value, n)
+		oks := make([]bool, n)
+		for i := range keys {
+			keys[i] = w.gen.Key(w.rng)
+		}
+		batchStart := time.Now()
+		if err := w.c.MultiGet(keys, vals, oks); err != nil {
+			return err
+		}
+		w.th.RecordBatch(n, uint64(time.Since(batchStart)))
+	case workload.OpMultiPut, workload.OpMultiRemove:
+		if err := w.pipelinedTrain(op, faulted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipelinedTrain sends one Multi* burst through the explicit pipeline
+// layer. A fault anywhere in the train abandons it (the responses
+// already consumed stand; the rest are unknowable on a torn stream)
+// and replaces the connection — these writes are untracked, so the
+// verification phase never depends on their outcome.
+func (w *chaosWorker) pipelinedTrain(op workload.Op, faulted *bool) error {
+	n := int(w.gen.BatchLen(w.rng))
+	batchStart := time.Now()
+	abandon := func(err error) error {
+		*faulted = true
+		if rerr := w.c.Redial(); rerr != nil {
+			return fmt.Errorf("train fault %v, redial: %w", err, rerr)
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		k := w.gen.Key(w.rng)
+		var err error
+		if op == workload.OpMultiPut {
+			err = w.c.PipeSet(k, core.Value(k))
+		} else {
+			err = w.c.PipeDelete(k)
+		}
+		if err != nil {
+			return abandon(err)
+		}
+	}
+	if err := w.c.Flush(); err != nil {
+		return abandon(err)
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if op == workload.OpMultiPut {
+			_, err = w.c.RecvStored()
+		} else {
+			_, err = w.c.RecvDeleted()
+		}
+		if err != nil && !errors.Is(err, server.ErrBusy) {
+			return abandon(err)
+		}
+		if errors.Is(err, server.ErrBusy) {
+			*faulted = true
+		}
+	}
+	w.th.RecordBatch(n, uint64(time.Since(batchStart)))
+	return nil
+}

@@ -1,0 +1,148 @@
+// End-to-end wire chaos: a real csdsd-shaped server (with its own
+// server-side fault plan) serves a csdsbench -net -fault cell. The cell
+// must complete with every acknowledged write verified present, report
+// a fault-hit fraction above the acceptance floor, and — because the
+// plan grammar is deterministic — reproduce its client-side firing
+// tally exactly on a second identical run.
+package main
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"csds/internal/fault"
+	"csds/internal/server"
+)
+
+func startChaosServer(t *testing.T, faultSpec string) (addr string, shutdown func() error) {
+	t.Helper()
+	plan, err := fault.ParsePlan(faultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Spec: "sharded(4,hashtable/lazy)", Size: 1 << 12,
+		UseEBR: true, MaxInflight: 64, Fault: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	return l.Addr().String(), func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		<-serveDone
+		return err
+	}
+}
+
+// reportLine returns the first line of out starting with prefix.
+func reportLine(t *testing.T, out, prefix string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	t.Fatalf("report missing %q line:\n%s", prefix, out)
+	return ""
+}
+
+func TestNetChaosCell(t *testing.T) {
+	// Server-side sheds compose with the client-side wire faults; both
+	// ends' recovery discipline is in the loop.
+	addr, shutdown := startChaosServer(t, "shed.busy:every=31;seed=5")
+	const clientSpec = "conn.drop:every=29;op.delay:every=17,min=1us,max=20us;seed=3"
+	runCell := func() string {
+		var out, errOut strings.Builder
+		code := run([]string{
+			"-net", addr, "-fault", clientSpec,
+			"-threads", "2", "-size", "256", "-runs", "1",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("chaos cell exited %d (stderr: %s)", code, errOut.String())
+		}
+		return out.String()
+	}
+
+	out := runCell()
+	for _, want := range []string{
+		"net chaos", "fault tally", "all verified present",
+		"conn.drop=", "op.delay=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The acceptance floor: at least 5% of operations hit an injected
+	// fault (op.delay every 17 alone guarantees ~5.9%).
+	fields := strings.Fields(reportLine(t, out, "fault hit frac"))
+	frac, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		t.Fatalf("unparseable hit frac in %q: %v", fields, err)
+	}
+	if frac < 0.05 {
+		t.Fatalf("fault hit frac %.4f below the 5%% floor:\n%s", frac, out)
+	}
+
+	// Same plan, same seed, same budget: the client-side firing tally
+	// must reproduce verbatim.
+	out2 := runCell()
+	t1 := reportLine(t, out, "fault tally")
+	t2 := reportLine(t, out2, "fault tally")
+	if t1 != t2 {
+		t.Fatalf("firing tally not reproducible:\n run 1: %s\n run 2: %s", t1, t2)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+}
+
+// TestNetChaosRejectsBadSpec: a malformed or typo'd schedule fails up
+// front with the parser's message, never a silent no-fault run.
+func TestNetChaosRejectsBadSpec(t *testing.T) {
+	for _, bad := range []string{"nosuch.point:p=0.1", "conn.drop", "conn.drop:p=2"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-fault", bad, "-dur", "10ms", "-runs", "1", "-threads", "1"}, &out, &errOut); code == 0 {
+			t.Fatalf("-fault %q accepted", bad)
+		} else if !strings.Contains(errOut.String(), "-fault") {
+			t.Fatalf("-fault %q: stderr does not point at the flag:\n%s", bad, errOut.String())
+		}
+	}
+}
+
+// TestLocalFaultReport: a local harness run under a plan reports the
+// injected-fault tally line; a plain run never shows it.
+func TestLocalFaultReport(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-alg", "sharded(2,list/lazy)", "-threads", "2", "-size", "128",
+		"-dur", "60ms", "-runs", "1", "-ebr", "-fault", "chaos:seed=7",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("local fault run exited %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "faults injected") {
+		t.Fatalf("report missing the injected-fault tally:\n%s", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-alg", "list/lazy", "-threads", "1", "-dur", "20ms", "-runs", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain run exited %d", code)
+	}
+	if strings.Contains(out.String(), "faults injected") {
+		t.Fatalf("fault-free report shows the fault line:\n%s", out.String())
+	}
+}

@@ -60,6 +60,7 @@ import (
 
 	"csds/internal/combinator"
 	"csds/internal/core"
+	"csds/internal/fault"
 	"csds/internal/harness"
 	"csds/internal/interrupt"
 	"csds/internal/tuner"
@@ -113,6 +114,7 @@ type benchOpts struct {
 	emax       *int
 	einterval  *time.Duration
 	net        *string
+	faultSpec  *string
 	wl         *string
 	autoSpec   *bool
 	cacheTTL   *time.Duration
@@ -153,6 +155,7 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *benchOpts) {
 		emax:       fs.Int("elastic-max", 64, "adaptive policy width ceiling"),
 		einterval:  fs.Duration("elastic-interval", 25*time.Millisecond, "adaptive policy sampling cadence"),
 		net:        fs.String("net", "", "drive a remote csdsd at host:port as a closed-loop client instead of running in-process"),
+		faultSpec:  fs.String("fault", "", "fault-injection schedule, e.g. 'chaos:seed=7' (local: drives the harness injectors; with -net: a fixed-budget wire chaos cell that verifies acknowledged writes; empty: off)"),
 		wl:         fs.String("workload", "", "named workload mix with optional modifiers, e.g. 'ycsb-b' or 'flash:updates=0.2' (see -list; explicitly-set flags override the mix)"),
 		autoSpec:   fs.Bool("auto-spec", false, "derive the composite spec from the workload via the tuner; -alg must then name a plain leaf algorithm"),
 		cacheTTL:   fs.Duration("cache-ttl", 0, "readcache entry TTL: expired entries are never served and re-read through (0 = no expiry)"),
@@ -169,6 +172,21 @@ func flagRoster(fs *flag.FlagSet) []string {
 	var names []string
 	fs.VisitAll(func(f *flag.Flag) { names = append(names, "-"+f.Name) })
 	return names
+}
+
+// faultFiresLine renders a Result's per-point firing counts in canonical
+// point order — the local-harness twin of fault.Tally.String.
+func faultFiresLine(fires map[fault.Point]uint64) string {
+	var parts []string
+	for _, pt := range fault.Points {
+		if n := fires[pt]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", pt, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
 }
 
 // parseResizeSteps parses the -resize-at syntax: a comma-separated list of
@@ -283,6 +301,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "csdsbench: -cache-ttl %v: a freshness bound cannot be negative\n", *o.cacheTTL)
 		return 1
 	}
+	plan, perr := fault.ParsePlan(*o.faultSpec)
+	if perr != nil {
+		fmt.Fprintf(stderr, "csdsbench: -fault: %v\n", perr)
+		return 1
+	}
 
 	// The workload: flags alone, or a named mix overridden field by field
 	// by whichever flags were explicitly set (-size always governs the
@@ -362,6 +385,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Algorithm: alg, Threads: *o.threads, Duration: *o.dur, Runs: *o.runs,
 		ElideAttempts: *o.elide, UseEBR: *o.ebrOn,
 		CacheTTL: *o.cacheTTL, CacheAdmission: cacheAdmit,
+		Fault:    plan,
 		Workload: wcfg,
 	}
 	if *o.delayed > 0 {
@@ -397,6 +421,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	var res harness.Result
+	var chaos netChaosInfo
 	var err error
 	if *o.net != "" {
 		// Networked mode measures a remote csdsd; flags that configure
@@ -417,7 +442,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				strings.Join(rejected, " "))
 			return 1
 		}
-		res, err = netRun(*o.net, cfg)
+		res, chaos, err = netRun(*o.net, cfg, plan)
 	} else {
 		res, err = harness.Run(cfg)
 	}
@@ -520,6 +545,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *o.ebrOn {
 		fmt.Fprintf(stdout, "EBR                retired %d, reclaimed %d, pool hit frac %.4f (%d hits / %d misses)\n",
 			res.Retired, res.Reclaimed, res.PoolHitFrac, res.PoolHits, res.PoolMisses)
+	}
+	if chaos.Armed {
+		fmt.Fprintf(stdout, "net chaos          %d ops budget x %d workers, plan '%s'\n", chaos.Budget, *o.threads, plan)
+		hitFrac := 0.0
+		if chaos.Ops > 0 {
+			hitFrac = float64(chaos.Hits) / float64(chaos.Ops)
+		}
+		fmt.Fprintf(stdout, "fault hit frac     %.4f (%d of %d ops hit an injected fault or engaged recovery; %d client retries)\n",
+			hitFrac, chaos.Hits, chaos.Ops, chaos.Retries)
+		fmt.Fprintf(stdout, "fault tally        %s\n", chaos.Tally)
+		fmt.Fprintf(stdout, "acked writes       %d tracked, all verified present after the run\n", chaos.Acked)
+	} else if res.Faults > 0 {
+		fmt.Fprintf(stdout, "faults injected    %d (%s)\n", res.Faults, faultFiresLine(res.FaultFires))
 	}
 	if res.GCPauseNs > 0 {
 		fmt.Fprintf(stdout, "GC pause           %v stop-the-world inside the measured window\n", time.Duration(res.GCPauseNs))

@@ -116,7 +116,7 @@ func TestFlagRosterPinned(t *testing.T) {
 		"-cursor-frac", "-delayed", "-dur", "-ebr",
 		"-elastic-grow", "-elastic-growwait", "-elastic-interval",
 		"-elastic-max", "-elastic-min", "-elastic-shrink",
-		"-elide", "-list", "-net", "-page-dist", "-page-len",
+		"-elide", "-fault", "-list", "-net", "-page-dist", "-page-len",
 		"-resize-at", "-runs", "-scan-dist", "-scan-frac", "-scan-len",
 		"-size", "-threads", "-updates", "-workload", "-zipf",
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"csds/internal/core"
+	"csds/internal/fault"
 	"csds/internal/harness"
 	"csds/internal/server"
 	"csds/internal/stats"
@@ -31,8 +32,14 @@ const netPagePull = 1024
 // folds the per-worker counters into the same Result the local harness
 // produces. Server-side effects the client cannot observe (EBR, HTM,
 // resizes) stay zero in the Result; the CSV's net column marks the row
-// so those zeros are never mistaken for local measurements.
-func netRun(addr string, cfg harness.Config) (harness.Result, error) {
+// so those zeros are never mistaken for local measurements. With a
+// fault plan armed the duration-driven loop is replaced by the
+// fixed-budget wire chaos cell (chaos.go), whose returned info the text
+// report renders.
+func netRun(addr string, cfg harness.Config, plan *fault.Plan) (harness.Result, netChaosInfo, error) {
+	if plan != nil {
+		return netChaosRun(addr, cfg, plan)
+	}
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
 	}
@@ -49,17 +56,17 @@ func netRun(addr string, cfg harness.Config) (harness.Result, error) {
 	gen := workload.NewGenerator(cfg.Workload)
 
 	if err := netPrefill(addr, gen.Config()); err != nil {
-		return harness.Result{}, err
+		return harness.Result{}, netChaosInfo{}, err
 	}
 	agg := harness.Result{Config: cfg}
 	for r := 0; r < cfg.Runs; r++ {
 		res, err := netRunOnce(addr, cfg, gen, uint64(r))
 		if err != nil {
-			return harness.Result{}, err
+			return harness.Result{}, netChaosInfo{}, err
 		}
 		agg.Accumulate(&res, cfg.Runs)
 	}
-	return agg, nil
+	return agg, netChaosInfo{}, nil
 }
 
 // netPrefill fills the remote structure to steady state the way

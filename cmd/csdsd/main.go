@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"csds/internal/fault"
 	"csds/internal/server"
 
 	_ "csds/internal/bst"
@@ -39,6 +40,9 @@ type daemonOpts struct {
 	writeq   int
 	burst    int
 	drain    time.Duration
+	idle     time.Duration
+	watchdog time.Duration
+	fault    string
 	quiet    bool
 }
 
@@ -54,6 +58,9 @@ func newFlags(stderr io.Writer) (*flag.FlagSet, *daemonOpts) {
 	fs.IntVar(&o.writeq, "writeq", 32, "per-connection write-queue depth (backpressure bound)")
 	fs.IntVar(&o.burst, "burst", 64, "max pipelined requests merged per read-loop turn")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "graceful drain budget after SIGTERM")
+	fs.DurationVar(&o.idle, "idle-timeout", 0, "evict connections with no read progress for this long (0: never)")
+	fs.DurationVar(&o.watchdog, "watchdog", time.Second, "EBR watchdog tick: expel wedged reclamation records (0: off)")
+	fs.StringVar(&o.fault, "fault", "", "fault-injection schedule, e.g. 'chaos:seed=7' or 'shed.busy:every=50;conn.drop:p=0.001;seed=3' (empty: off)")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-connection diagnostics")
 	return fs, o
 }
@@ -64,13 +71,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	logger := log.New(stderr, "csdsd: ", log.LstdFlags)
+	plan, err := fault.ParsePlan(o.fault)
+	if err != nil {
+		fmt.Fprintln(stderr, "csdsd: -fault:", err)
+		return 2
+	}
 	cfg := server.Config{
-		Spec:        o.alg,
-		Size:        o.size,
-		UseEBR:      o.ebr,
-		MaxInflight: o.inflight,
-		WriteQueue:  o.writeq,
-		MaxBurst:    o.burst,
+		Spec:         o.alg,
+		Size:         o.size,
+		UseEBR:       o.ebr,
+		MaxInflight:  o.inflight,
+		WriteQueue:   o.writeq,
+		MaxBurst:     o.burst,
+		IdleTimeout:  o.idle,
+		WatchdogTick: o.watchdog,
+		Fault:        plan,
 	}
 	if !o.quiet {
 		cfg.Logf = logger.Printf
@@ -104,8 +119,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	<-serveErr // Serve returns nil once the listener closes under drain
 
 	a := srv.Audit()
-	fmt.Fprintf(stdout, "csdsd: drained: conns=%d ops=%d shed=%d lock_waits=%d restarts=%d retired=%d reclaimed=%d\n",
-		a.Conns, a.Ops, a.Shed, a.LockWaits, a.Restarts, a.Retired, a.Reclaimed)
+	fmt.Fprintf(stdout, "csdsd: drained: conns=%d ops=%d shed=%d evictions=%d watchdog_fires=%d combine_stalls=%d faults=%d lock_waits=%d restarts=%d retired=%d reclaimed=%d\n",
+		a.Conns, a.Ops, a.Shed, a.Evictions, a.WatchdogFires, a.CombineStalls, a.Faults, a.LockWaits, a.Restarts, a.Retired, a.Reclaimed)
+	if t := srv.FaultTally(); t != nil {
+		fmt.Fprintf(stdout, "csdsd: fault fires: %s\n", t)
+	}
 	if drainErr != nil {
 		fmt.Fprintln(stderr, "csdsd: drain:", drainErr)
 		return 1

@@ -1,0 +1,19 @@
+package bst
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The chaos battery (settest.RunChaos): seeded fault injection under the
+// full invariant set — see internal/settest/chaostest.go.
+
+func TestTKChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewTK(o) })
+}
+
+func TestInternalChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewInternal(o) })
+}

@@ -204,6 +204,13 @@ func (r *ReadCache) Get(c *core.Ctx, k core.Key) (core.Value, bool) {
 	}
 	v0 := sl.ver.Load()
 	v, ok := r.inner.Get(c, k)
+	if c != nil && c.SkipCacheFill {
+		// Degraded mode (server overload): serve the inner read but do
+		// not pay the fill lock or touch admission state. Refreshing an
+		// expired resident is skipped too — the stale entry is already
+		// unservable and updates still invalidate it.
+		return v, ok
+	}
 	if ok && v0&1 == 0 {
 		if expired || r.admit(k, e) {
 			r.fill(c, sl, k, v, v0)

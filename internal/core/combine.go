@@ -30,6 +30,11 @@ const (
 	BatchRemove
 )
 
+// combineStallSpins is how many failed spins a parked loser tolerates
+// before recording a combine stall (~milliseconds of Gosched-yielding
+// waiting; a healthy drain completes in microseconds).
+const combineStallSpins = 1 << 16
+
 // combineReq is one published batch awaiting a combiner. The owner
 // spins on done (release-stored by whichever thread applies the batch,
 // acquire-loaded by the owner) and owns res again once done is set.
@@ -87,6 +92,19 @@ func (cb *Combiner) Run(c *Ctx, op BatchOp, pairs []KV, res []bool, apply Combin
 		if req.done.Load() {
 			c.RecordCombined()
 			return
+		}
+		if spins == combineStallSpins {
+			// The winner has held the lock for a conspicuously long time
+			// with our batch unapplied — it may be wedged (a stall with
+			// the lock held, the §5.4 adversary). We cannot proceed (the
+			// winner may be mid-apply on these keys) and may not break
+			// the lock; record the stall so watchdogs and audits see it,
+			// and keep waiting. Reclamation liveness is the EBR
+			// watchdog's job: the winner holds an epoch bracket, so a
+			// truly wedged winner is also a Blocked() record.
+			if t := c.Stat(); t != nil {
+				t.RecordCombineStall()
+			}
 		}
 		if cb.mu.TryAcquire(nil) {
 			cb.drain(c, apply)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"csds/internal/ebr"
+	"csds/internal/fault"
 	"csds/internal/htm"
 	"csds/internal/stats"
 	"csds/internal/xrand"
@@ -95,6 +96,15 @@ type Ctx struct {
 	// CSHook, when non-nil, is invoked by blocking write phases while
 	// their locks are held (interrupt injection point, Figure 9).
 	CSHook func()
+	// Fault is the worker's deterministic fault injector; nil means no
+	// faults. Structure and combinator code consults it only through the
+	// Fault* helpers below, which tolerate nil at every level.
+	Fault *fault.Injector
+	// SkipCacheFill, when set, tells read-through caches not to admit new
+	// entries on miss (served hits are unaffected) — the server's degraded
+	// mode flips it under sustained overload so misses stop paying the
+	// fill lock on top of the inner traversal.
+	SkipCacheFill bool
 }
 
 // NewCtx builds a self-contained context for worker id, with its own RNG
@@ -121,6 +131,20 @@ func (c *Ctx) Stat() *stats.Thread {
 func (c *Ctx) InCS() {
 	if c != nil && c.CSHook != nil {
 		c.CSHook()
+	}
+}
+
+// FaultFire draws fault point pt and reports whether it fires, tolerating
+// a nil context and a nil injector.
+func (c *Ctx) FaultFire(pt fault.Point) bool {
+	return c != nil && c.Fault.Fire(pt)
+}
+
+// FaultDelay draws fault point pt and busy-spins for the drawn duration
+// when it fires, tolerating nil.
+func (c *Ctx) FaultDelay(pt fault.Point) {
+	if c != nil {
+		c.Fault.Delay(pt)
 	}
 }
 
@@ -153,6 +177,12 @@ func (c *Ctx) EpochExit() {
 // helping descriptors; see DESIGN.md).
 func (c *Ctx) Retire(ptr any, fn func(any)) {
 	if c != nil && c.Epoch != nil {
+		if fn != nil && c.Fault.Fire(fault.RetireDelay) {
+			// Chaos plane: the reclaim callback runs late (at reclaim
+			// time, wherever the flush happens), not the retirement.
+			d, inner := c.Fault.Duration(fault.RetireDelay), fn
+			fn = func(p any) { fault.Spin(d); inner(p) }
+		}
 		c.Epoch.Retire(ptr, fn)
 		if c.Stats != nil {
 			c.Stats.Retires++

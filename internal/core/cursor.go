@@ -43,6 +43,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"runtime"
+
+	"csds/internal/fault"
 )
 
 // Cursor is an optional Set extension: resumable, bounded-batch
@@ -306,7 +308,7 @@ func GuardedPage(c *Ctx, g *ScanGuard, hi Key, max int, collect func(emit func(k
 		}
 		buf, full = buf[:0], false
 		collect(emit)
-		if g.validate(s) {
+		if g.validate(s) && !c.FaultFire(fault.GuardFail) {
 			c.RecordCursorRetries(attempt)
 			c.RecordPagePull(visited)
 			next, done = ReplayPage(buf, !full, hi, f)

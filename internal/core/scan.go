@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"csds/internal/fault"
 	"csds/internal/locks"
 	"csds/internal/stats"
 )
@@ -186,7 +187,9 @@ func GuardedScan(c *Ctx, g *ScanGuard, collect func(emit func(k Key, v Value)), 
 		}
 		buf = buf[:0]
 		collect(emit)
-		if g.validate(s) {
+		// A forced guard failure (chaos plane) discards an otherwise
+		// consistent snapshot, driving the retry and barrier paths.
+		if g.validate(s) && !c.FaultFire(fault.GuardFail) {
 			c.RecordScanRetries(attempt)
 			return ReplayScan(buf, f)
 		}

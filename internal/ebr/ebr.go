@@ -16,6 +16,16 @@
 // the epoch it was retired in and may be reclaimed once the global epoch
 // has advanced twice, which requires every active critical region to have
 // been observed in the current epoch.
+//
+// The scheme's classic failure mode — one stalled reader wedging
+// reclamation for every thread (Fraser, TR 579 §4) — gets first-class
+// treatment here: Blocked exposes the records currently holding the epoch
+// back, and Expel lets a watchdog forcibly detach one. Expulsion is safe
+// by construction at a documented cost: because an expelled reader may
+// still be traversing, the whole domain permanently downgrades to
+// GC-backed reclamation (reclaim callbacks — poisoning, pooling — stop
+// running; the counters still balance, so drains still quiesce). The
+// watchdog restores liveness; Go's GC keeps memory safety.
 package ebr
 
 import (
@@ -45,6 +55,14 @@ type Domain struct {
 	orphans     [buckets][]retiredNode
 	orphanEpoch [buckets]uint64
 
+	// gcOnly is set forever once any record has been forcibly expelled:
+	// from then on reclaim callbacks are skipped and every "reclaimed"
+	// node is simply dropped for the GC to collect. A wedged-but-running
+	// reader can hold references to nodes retired at ANY later epoch, so
+	// no callback-based recycling is safe once one has been abandoned.
+	gcOnly   atomic.Bool
+	expelled atomic.Uint64
+
 	// Reclaimed counts nodes actually handed back (summed from records on
 	// demand).
 	reclaimed atomic.Uint64
@@ -59,10 +77,14 @@ func NewDomain() *Domain {
 	return d
 }
 
-// Record is one thread's participation handle. Acquire via Register; do not
-// share between goroutines.
+// Record is one thread's participation handle. Acquire via Register. The
+// owning goroutine calls Enter/Exit/Retire/Collect/Unregister; a watchdog
+// may concurrently call Domain.Expel on it — every other use is
+// single-goroutine.
 type Record struct {
-	d *Domain
+	// dom is the owning domain; nil once unregistered or expelled. The
+	// pointer is claimed by CAS so Unregister and Expel race idempotently.
+	dom atomic.Pointer[Domain]
 	// state = epoch<<1 | active.
 	state atomic.Uint64
 
@@ -70,11 +92,15 @@ type Record struct {
 	// bracket across many point operations that bracket themselves.
 	depth int
 
+	// limboMu guards the limbo buckets against the one legal concurrent
+	// accessor, Domain.Expel. Owner-side operations (Retire, Collect,
+	// Unregister) take it uncontended in the common case.
+	limboMu    sync.Mutex
 	limbo      [buckets][]retiredNode
 	limboEpoch [buckets]uint64 // epoch each bucket's contents were retired in
 	sinceCheck int
 
-	// Retired/Reclaimed are this record's lifetime counters.
+	// Retired/Reclaimed are this record's lifetime counters (owner-read).
 	Retired   uint64
 	Reclaimed uint64
 
@@ -88,7 +114,8 @@ type retiredNode struct {
 
 // Register adds a new participant record to the domain.
 func (d *Domain) Register() *Record {
-	r := &Record{d: d}
+	r := &Record{}
+	r.dom.Store(d)
 	d.mu.Lock()
 	d.recs = append(d.recs, r)
 	d.mu.Unlock()
@@ -103,16 +130,29 @@ func (d *Domain) Stats() (retired, reclaimed uint64) {
 	return d.retired.Load(), d.reclaimed.Load()
 }
 
+// Expelled returns how many records have been forcibly expelled.
+func (d *Domain) Expelled() uint64 { return d.expelled.Load() }
+
+// GCOnly reports whether the domain has downgraded to GC-backed
+// reclamation (a consequence of expulsion; see Expel).
+func (d *Domain) GCOnly() bool { return d.gcOnly.Load() }
+
 // Enter marks the start of a critical region: nodes the thread can observe
 // from now on will not be reclaimed until the matching Exit. Brackets nest
 // (a batch-level bracket may enclose self-bracketing point operations);
-// only the outermost pair touches the shared announcement word.
+// only the outermost pair touches the shared announcement word. On an
+// expelled or unregistered record, Enter is a no-op — the traversal
+// proceeds under GC protection only.
 func (r *Record) Enter() {
 	r.depth++
 	if r.depth > 1 {
 		return
 	}
-	e := r.d.epoch.Load()
+	d := r.dom.Load()
+	if d == nil {
+		return
+	}
+	e := d.epoch.Load()
 	r.state.Store(e<<1 | 1)
 }
 
@@ -131,36 +171,55 @@ func (r *Record) Active() bool { return r.state.Load()&1 == 1 }
 // Retire hands a node to the domain for deferred reclamation; fn (optional)
 // runs when the node's grace period has elapsed. Must be called between
 // Enter and Exit or when the caller otherwise knows the node is unlinked.
+// On an expelled or unregistered record, the node is left to the GC.
 func (r *Record) Retire(ptr any, fn func(any)) {
-	e := r.d.epoch.Load()
+	d := r.dom.Load()
+	if d == nil {
+		return
+	}
+	advance := false
+	r.limboMu.Lock()
+	if r.dom.Load() != d {
+		// Expelled between the load and the lock: the node goes to the GC.
+		r.limboMu.Unlock()
+		return
+	}
+	e := d.epoch.Load()
 	b := int(e % buckets)
 	// If the bucket holds garbage from an older epoch that is now safe
 	// (two advances have happened since), flush it first.
 	if r.limboEpoch[b] != e && len(r.limbo[b]) > 0 {
-		r.flush(b)
+		r.flushLocked(d, b)
 	}
 	r.limboEpoch[b] = e
 	r.limbo[b] = append(r.limbo[b], retiredNode{ptr, fn})
 	r.Retired++
-	r.d.retired.Add(1)
+	d.retired.Add(1)
 
 	r.sinceCheck++
 	if r.sinceCheck >= advanceThreshold {
 		r.sinceCheck = 0
-		r.d.tryAdvance()
+		advance = true
+	}
+	r.limboMu.Unlock()
+	if advance {
+		d.tryAdvance()
 		r.Collect()
 	}
 }
 
-// flush reclaims every node in bucket b unconditionally; callers must have
-// established safety.
-func (r *Record) flush(b int) {
+// flushLocked reclaims every node in bucket b unconditionally; callers must
+// have established safety and hold r.limboMu. In a gcOnly domain the
+// callbacks are skipped — the nodes are dropped for the GC — but the
+// counters advance identically, so quiesce checks are mode-independent.
+func (r *Record) flushLocked(d *Domain, b int) {
+	gcOnly := d.gcOnly.Load()
 	for _, n := range r.limbo[b] {
-		if n.fn != nil {
+		if n.fn != nil && !gcOnly {
 			n.fn(n.ptr)
 		}
 		r.Reclaimed++
-		r.d.reclaimed.Add(1)
+		d.reclaimed.Add(1)
 	}
 	r.limbo[b] = r.limbo[b][:0]
 }
@@ -168,12 +227,20 @@ func (r *Record) flush(b int) {
 // Collect reclaims any of this record's limbo buckets whose grace period
 // has elapsed (retirement epoch at least two behind the global epoch).
 func (r *Record) Collect() {
-	e := r.d.epoch.Load()
-	for b := 0; b < buckets; b++ {
-		if len(r.limbo[b]) > 0 && e >= r.limboEpoch[b]+2 {
-			r.flush(b)
+	d := r.dom.Load()
+	if d == nil {
+		return
+	}
+	e := d.epoch.Load()
+	r.limboMu.Lock()
+	if r.dom.Load() == d {
+		for b := 0; b < buckets; b++ {
+			if len(r.limbo[b]) > 0 && e >= r.limboEpoch[b]+2 {
+				r.flushLocked(d, b)
+			}
 		}
 	}
+	r.limboMu.Unlock()
 }
 
 // Unregister removes the record from its domain. It is safe to call from
@@ -186,14 +253,55 @@ func (r *Record) Collect() {
 // buckets and reclaimed after later epoch advances — without this, a
 // finished worker's record would linger in Domain.recs forever and, if
 // abandoned Active(), wedge epoch advancement for every other thread.
+// Unregister after Expel (either order) is a no-op: the dom pointer is
+// claimed exactly once.
 func (r *Record) Unregister() {
-	d := r.d
-	if d == nil {
+	d := r.dom.Load()
+	if d == nil || !r.dom.CompareAndSwap(d, nil) {
 		return
 	}
 	r.depth = 0
 	r.state.Store(0) // inactive: no longer blocks advancement
+	d.remove(r)
 	e := d.epoch.Load()
+	var handoff [buckets][]retiredNode
+	r.limboMu.Lock()
+	for b := 0; b < buckets; b++ {
+		if len(r.limbo[b]) == 0 {
+			continue
+		}
+		if e >= r.limboEpoch[b]+2 {
+			r.flushLocked(d, b)
+			continue
+		}
+		// Still in its grace period: orphan it. Tagging the merged bucket
+		// with the newest epoch of the two only delays reclamation, never
+		// makes it premature.
+		handoff[b] = r.limbo[b]
+		r.limbo[b] = nil
+	}
+	epochs := r.limboEpoch
+	r.limboMu.Unlock()
+	d.mu.Lock()
+	for b := 0; b < buckets; b++ {
+		if len(handoff[b]) == 0 {
+			continue
+		}
+		d.orphans[b] = append(d.orphans[b], handoff[b]...)
+		if epochs[b] > d.orphanEpoch[b] {
+			d.orphanEpoch[b] = epochs[b]
+		}
+	}
+	d.mu.Unlock()
+	// A departing record may have been the one holding the epoch back;
+	// give the domain a chance to advance and drain the orphans.
+	if d.tryAdvance() {
+		d.tryAdvance()
+	}
+}
+
+// remove drops r from the participant list.
+func (d *Domain) remove(r *Record) {
 	d.mu.Lock()
 	for i, rec := range d.recs {
 		if rec == r {
@@ -204,39 +312,79 @@ func (r *Record) Unregister() {
 			break
 		}
 	}
+	d.mu.Unlock()
+}
+
+// BlockedRecord is one record currently holding the epoch back, paired
+// with the raw announcement word it was observed at. A watchdog compares
+// two samples: the same record blocked at the same state word across a
+// full tick interval is wedged, not merely slow.
+type BlockedRecord struct {
+	Rec   *Record
+	State uint64
+}
+
+// Blocked returns the records whose open critical regions prevent the
+// epoch from advancing right now (active, announced in an older epoch).
+// Diagnostics and watchdog input; the result is a snapshot.
+func (d *Domain) Blocked() []BlockedRecord {
+	e := d.epoch.Load()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []BlockedRecord
+	for _, r := range d.recs {
+		s := r.state.Load()
+		if s&1 == 1 && s>>1 != e {
+			out = append(out, BlockedRecord{Rec: r, State: s})
+		}
+	}
+	return out
+}
+
+// Expel forcibly detaches a wedged record from the domain: the watchdog's
+// recovery path for Fraser's stalled-reader failure mode. The record is
+// removed from the participant set (its announcement no longer blocks
+// advancement), its limbo is dropped to the GC and counted reclaimed (so
+// reclaimed == retired remains reachable at drain), and the domain
+// permanently downgrades to GC-backed reclamation — the expelled owner
+// may still be running its traversal, so from here on no reclaim
+// callback (poisoning, pooling) may recycle memory it could reach; see
+// the package comment. The owner's later Unregister is a harmless no-op.
+// Reports whether this call performed the expulsion.
+func (d *Domain) Expel(r *Record) bool {
+	if !r.dom.CompareAndSwap(d, nil) {
+		return false
+	}
+	// Downgrade BEFORE the record stops blocking advancement: once the
+	// epoch can move again, no flush anywhere may run callbacks.
+	d.gcOnly.Store(true)
+	r.state.Store(0)
+	d.remove(r)
+	dropped := uint64(0)
+	r.limboMu.Lock()
 	for b := 0; b < buckets; b++ {
-		if len(r.limbo[b]) == 0 {
-			continue
-		}
-		if e >= r.limboEpoch[b]+2 {
-			r.flush(b)
-			continue
-		}
-		// Still in its grace period: orphan it. Tagging the merged bucket
-		// with the newest epoch of the two only delays reclamation, never
-		// makes it premature.
-		d.orphans[b] = append(d.orphans[b], r.limbo[b]...)
-		if r.limboEpoch[b] > d.orphanEpoch[b] {
-			d.orphanEpoch[b] = r.limboEpoch[b]
-		}
+		dropped += uint64(len(r.limbo[b]))
 		r.limbo[b] = nil
 	}
-	d.mu.Unlock()
-	r.d = nil
-	// A departing record may have been the one holding the epoch back;
-	// give the domain a chance to advance and drain the orphans.
+	r.limboMu.Unlock()
+	// The dropped nodes are reclaimed by the GC the moment the last real
+	// reference dies; no grace period applies to dropping a reference.
+	d.reclaimed.Add(dropped)
+	d.expelled.Add(1)
 	if d.tryAdvance() {
 		d.tryAdvance()
 	}
+	return true
 }
 
 // flushOrphansLocked reclaims every orphan bucket whose grace period has
 // elapsed. Callers hold d.mu.
 func (d *Domain) flushOrphansLocked(e uint64) {
+	gcOnly := d.gcOnly.Load()
 	for b := 0; b < buckets; b++ {
 		if len(d.orphans[b]) > 0 && e >= d.orphanEpoch[b]+2 {
 			for _, n := range d.orphans[b] {
-				if n.fn != nil {
+				if n.fn != nil && !gcOnly {
 					n.fn(n.ptr)
 				}
 			}

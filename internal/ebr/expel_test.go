@@ -1,0 +1,134 @@
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A stalled reader (active record announced in an old epoch) must show up
+// in Blocked, and Expel must restore epoch liveness while keeping the
+// reclaimed/retired ledger balanced — at the documented price of the
+// domain downgrading to GC-only reclamation.
+func TestExpelRestoresLiveness(t *testing.T) {
+	d := NewDomain()
+	victim := d.Register()
+	worker := d.Register()
+	defer worker.Unregister()
+
+	victim.Enter() // ...and never exits: the wedged reader.
+	if !d.Advance() {
+		t.Fatal("first advance must succeed (victim announced current epoch)")
+	}
+	if d.Advance() {
+		t.Fatal("second advance must be blocked by the stalled reader")
+	}
+	blocked := d.Blocked()
+	if len(blocked) != 1 || blocked[0].Rec != victim {
+		t.Fatalf("Blocked() = %v, want exactly the victim", blocked)
+	}
+	// Meanwhile the healthy worker retires nodes that cannot reclaim.
+	var freed atomic.Int64
+	cb := func(any) { freed.Add(1) }
+	worker.Enter()
+	for i := 0; i < 10; i++ {
+		worker.Retire(new(int), cb)
+	}
+	worker.Exit()
+
+	if !d.Expel(victim) {
+		t.Fatal("Expel returned false")
+	}
+	if d.Expel(victim) {
+		t.Fatal("second Expel must be a no-op")
+	}
+	victim.Unregister() // owner's deferred cleanup: must be a harmless no-op
+	if !d.GCOnly() || d.Expelled() != 1 {
+		t.Fatalf("gcOnly=%v expelled=%d, want true/1", d.GCOnly(), d.Expelled())
+	}
+	if len(d.Blocked()) != 0 {
+		t.Fatal("victim still reported blocked after expulsion")
+	}
+	for i := 0; i < 4; i++ {
+		if !d.Advance() {
+			t.Fatalf("advance %d still blocked after expulsion", i)
+		}
+	}
+	worker.Collect()
+	ret, rec := d.Stats()
+	if ret != rec {
+		t.Fatalf("stats = (%d, %d): ledger unbalanced after expel+drain", ret, rec)
+	}
+	// GC-only mode: the nodes counted reclaimed, but no callback ran.
+	if freed.Load() != 0 {
+		t.Fatalf("%d reclaim callbacks ran in a gcOnly domain", freed.Load())
+	}
+}
+
+// The expelled record's own limbo is dropped to the GC and counted, so a
+// drain still ends at reclaimed == retired.
+func TestExpelCountsVictimLimbo(t *testing.T) {
+	d := NewDomain()
+	victim := d.Register()
+	victim.Enter()
+	for i := 0; i < 5; i++ {
+		victim.Retire(new(int), func(any) {})
+	}
+	if !d.Expel(victim) {
+		t.Fatal("Expel returned false")
+	}
+	ret, rec := d.Stats()
+	if ret != 5 || rec != 5 {
+		t.Fatalf("stats = (%d, %d), want (5, 5)", ret, rec)
+	}
+}
+
+// Retire racing with Expel must never strand a counted-retired node in a
+// limbo bucket nobody will ever flush.
+func TestExpelRetireRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		d := NewDomain()
+		r := d.Register()
+		r.Enter()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Retire(new(int), func(any) {})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			d.Expel(r)
+		}()
+		wg.Wait()
+		for i := 0; i < 4; i++ {
+			d.Advance()
+		}
+		ret, rec := d.Stats()
+		if ret != rec {
+			t.Fatalf("round %d: stats = (%d, %d) after expel race", round, ret, rec)
+		}
+	}
+}
+
+// Operations on an expelled record must be safe no-ops: the owner may be
+// mid-operation when the watchdog fires.
+func TestExpelledRecordIsInert(t *testing.T) {
+	d := NewDomain()
+	r := d.Register()
+	d.Expel(r)
+	r.Enter()
+	if r.Active() {
+		t.Fatal("Enter on an expelled record announced itself")
+	}
+	r.Retire(new(int), func(any) { t.Fatal("callback ran for a post-expel retire") })
+	r.Collect()
+	r.Exit()
+	r.Unregister()
+	ret, rec := d.Stats()
+	if ret != 0 || rec != 0 {
+		t.Fatalf("post-expel retire was counted: (%d, %d)", ret, rec)
+	}
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNumPointsPinned(t *testing.T) {
+	if len(Points) != numPoints {
+		t.Fatalf("numPoints const is %d but Points has %d entries", numPoints, len(Points))
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=42;op.delay:p=0.02,min=1µs,max=50µs",
+		"seed=7;conn.drop:every=500;handler.panic:every=9",
+		"seed=1;guard.fail:p=0.25;ebr.stall:every=7,min=50µs,max=500µs",
+	}
+	for _, spec := range specs {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		again, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("ParsePlan(String()=%q): %v", p.String(), err)
+		}
+		if p.String() != again.String() {
+			t.Fatalf("round trip drifted: %q -> %q", p.String(), again.String())
+		}
+	}
+	// The standard battery plan must round-trip through its own rendering.
+	cp := ChaosPlan(3)
+	back, err := ParsePlan(cp.String())
+	if err != nil {
+		t.Fatalf("ParsePlan(ChaosPlan.String()=%q): %v", cp.String(), err)
+	}
+	if back.String() != cp.String() {
+		t.Fatalf("chaos plan drifted: %q -> %q", cp.String(), back.String())
+	}
+}
+
+func TestParsePlanShorthands(t *testing.T) {
+	for _, spec := range []string{"", "off", "  off  "} {
+		p, err := ParsePlan(spec)
+		if err != nil || p != nil {
+			t.Fatalf("ParsePlan(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	p, err := ParsePlan("chaos:seed=9")
+	if err != nil || p == nil || p.Seed != 9 {
+		t.Fatalf("ParsePlan(chaos:seed=9) = %v, %v", p, err)
+	}
+	if p.String() != ChaosPlan(9).String() {
+		t.Fatalf("chaos shorthand != ChaosPlan(9)")
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	bad := []string{
+		"seed=1",                          // no points scheduled
+		"seed=1;bogus.point:p=0.5",        // unknown point
+		"seed=1;op.delay:p=1.5",           // probability out of range
+		"seed=1;op.delay:p=0.5,every=3",   // both triggers
+		"seed=1;op.delay:min=5us,max=1us", // inverted range
+		"seed=1;op.delay:frequency=3",     // unknown key
+		"seed=x;op.delay:p=0.5",           // bad seed
+		"op.delay",                        // no rule at all
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted; want error", spec)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan, err := ParsePlan("seed=11;op.delay:p=0.1,min=0s,max=0s;conn.drop:every=37;guard.fail:p=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() map[Point]uint64 {
+		tally := NewTally()
+		for w := uint64(0); w < 4; w++ {
+			in := NewInjector(plan, w, tally)
+			for i := 0; i < 5000; i++ {
+				in.Fire(OpDelay)
+				in.Fire(ConnDrop)
+				in.Fire(GuardFail)
+			}
+		}
+		return tally.Snapshot()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired at all")
+	}
+	for pt, n := range a {
+		if b[pt] != n {
+			t.Fatalf("point %s: run1 fired %d, run2 fired %d", pt, n, b[pt])
+		}
+	}
+	if a[ConnDrop] != 4*(5000/37) {
+		t.Fatalf("every=37 over 4x5000 draws fired %d, want %d", a[ConnDrop], 4*(5000/37))
+	}
+}
+
+func TestInjectorStreamsIndependent(t *testing.T) {
+	// Arming an extra point must not shift another point's stream.
+	base, _ := ParsePlan("seed=5;op.delay:p=0.1")
+	more, _ := ParsePlan("seed=5;op.delay:p=0.1;conn.drop:p=0.5")
+	ta, tb := NewTally(), NewTally()
+	ia, ib := NewInjector(base, 0, ta), NewInjector(more, 0, tb)
+	for i := 0; i < 3000; i++ {
+		ia.Fire(OpDelay)
+		ib.Fire(OpDelay)
+		ib.Fire(ConnDrop)
+	}
+	if ta.Count(OpDelay) != tb.Count(OpDelay) {
+		t.Fatalf("op.delay stream shifted: %d vs %d", ta.Count(OpDelay), tb.Count(OpDelay))
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for _, pt := range Points {
+		if in.Fire(pt) {
+			t.Fatalf("nil injector fired %s", pt)
+		}
+		if in.Duration(pt) != 0 {
+			t.Fatalf("nil injector drew a duration for %s", pt)
+		}
+		if in.Delay(pt) {
+			t.Fatalf("nil injector delayed at %s", pt)
+		}
+	}
+	var p *Plan
+	if p.Enabled(OpDelay) || p.String() != "off" || len(p.Active()) != 0 {
+		t.Fatal("nil plan misbehaved")
+	}
+	var tl *Tally
+	if tl.Total() != 0 || tl.Count(OpDelay) != 0 {
+		t.Fatal("nil tally misbehaved")
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	plan, _ := ParsePlan("seed=2;op.delay:p=1,min=3us,max=9us")
+	in := NewInjector(plan, 1, nil)
+	for i := 0; i < 200; i++ {
+		d := in.Duration(OpDelay)
+		if d < 3*time.Microsecond || d > 9*time.Microsecond {
+			t.Fatalf("duration %v outside [3us,9us]", d)
+		}
+	}
+}
+
+func TestTallyString(t *testing.T) {
+	tl := NewTally()
+	if tl.String() != "none" {
+		t.Fatalf("empty tally = %q", tl.String())
+	}
+	plan, _ := ParsePlan("seed=1;shed.busy:every=1")
+	in := NewInjector(plan, 0, tl)
+	in.Fire(ShedBusy)
+	in.Fire(ShedBusy)
+	if !strings.Contains(tl.String(), "shed.busy=2") {
+		t.Fatalf("tally = %q, want shed.busy=2", tl.String())
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"csds/internal/core"
 	"csds/internal/ebr"
+	"csds/internal/fault"
 	"csds/internal/htm"
 	"csds/internal/interrupt"
 	"csds/internal/stats"
@@ -67,6 +68,14 @@ type Config struct {
 	// SwitchPlan, when non-nil on a run, subjects every worker to
 	// multiprogramming-style context switches (Tables 2–3).
 	SwitchPlan *interrupt.SwitchPlan
+
+	// Fault, when non-nil, arms the chaos plane (internal/fault) for the
+	// run: every worker gets a deterministic per-worker injector wired
+	// into its context (operation delays, critical-section delays,
+	// forced guard failures, delayed retire callbacks), and — with EBR
+	// on — a reclamation antagonist stalls and abandons records for the
+	// plan's ebr.* points. Firing counts land in Result.FaultFires.
+	Fault *fault.Plan
 
 	// ResizeSteps schedules explicit width changes at fixed offsets into
 	// each run. The algorithm must resolve to a core.Resizable composite
@@ -246,6 +255,11 @@ type Result struct {
 	Resizes    int           // resizes published, summed over runs
 	FinalWidth int           // partition width at the end of the last run
 	WidthTrace []WidthSample // width-over-time trace of the last run
+
+	// Chaos plane (set when Config.Fault armed a plan): injected-fault
+	// firing counts per point, summed over runs, and their total.
+	FaultFires map[fault.Point]uint64
+	Faults     uint64
 }
 
 // Run executes the experiment and averages the runs.
@@ -351,6 +365,13 @@ func (a *Result) accumulate(r *Result, runs int) {
 	if r.WidthTrace != nil {
 		a.WidthTrace = r.WidthTrace
 	}
+	for pt, n := range r.FaultFires {
+		if a.FaultFires == nil {
+			a.FaultFires = make(map[fault.Point]uint64)
+		}
+		a.FaultFires[pt] += n
+	}
+	a.Faults += r.Faults
 }
 
 func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Result, error) {
@@ -415,6 +436,11 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 	var done sync.WaitGroup
 	startGate := make(chan struct{})
 
+	var tally *fault.Tally
+	if cfg.Fault != nil {
+		tally = fault.NewTally()
+	}
+
 	for w := 0; w < cfg.Threads; w++ {
 		start.Add(1)
 		done.Add(1)
@@ -449,6 +475,22 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 			inj.Elided = cfg.ElideAttempts > 0
 			if inj.Delay != nil || inj.Switch != nil {
 				c.CSHook = inj.CSHook
+			}
+			// Chaos plane: the fault injector's per-worker stream rides
+			// alongside the interrupt injector — interrupts model scheduler
+			// hostility, faults model everything else (forced guard
+			// failures, delayed retires, scheduled stalls). The CS hooks
+			// chain so both planes can fire inside one critical section.
+			var fin *fault.Injector
+			if cfg.Fault != nil {
+				fin = fault.NewInjector(cfg.Fault, uint64(w), tally)
+				c.Fault = fin
+				prev := c.CSHook
+				if prev == nil {
+					c.CSHook = func() { fin.Delay(fault.CSDelay) }
+				} else {
+					c.CSHook = func() { prev(); fin.Delay(fault.CSDelay) }
+				}
 			}
 
 			// Reusable batch buffers: grown to the largest batch drawn so
@@ -579,9 +621,44 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 					}
 				}
 				inj.BetweenOps()
+				fin.Delay(fault.OpDelay)
 			}
 			ths[w].ActiveNs = uint64(time.Since(t0))
 		}(w)
+	}
+
+	// The EBR antagonist: with a fault plan scheduling ebr.* points and
+	// reclamation on, a dedicated goroutine stalls inside epoch brackets
+	// (holding the global epoch back while workers retire into limbo) and
+	// abandons records active-without-exit, exercising Unregister's
+	// force-exit and the server watchdog's failure model. It uses
+	// throwaway records so worker reclamation stays untouched, and the
+	// worker stream space continues past the workers (stream cfg.Threads).
+	var antWg sync.WaitGroup
+	if dom != nil && cfg.Fault != nil &&
+		(cfg.Fault.Enabled(fault.EBRStall) || cfg.Fault.Enabled(fault.EBRAbandon)) {
+		antIn := fault.NewInjector(cfg.Fault, uint64(cfg.Threads), tally)
+		antWg.Add(1)
+		go func() {
+			defer antWg.Done()
+			<-startGate
+			for !stop.Load() {
+				if antIn.Fire(fault.EBRStall) {
+					r := dom.Register()
+					r.Enter()
+					fault.Spin(antIn.Duration(fault.EBRStall))
+					r.Exit()
+					r.Unregister()
+				}
+				if antIn.Fire(fault.EBRAbandon) {
+					r := dom.Register()
+					r.Enter()
+					// No Exit: the panicking-worker shape.
+					r.Unregister()
+				}
+				runtime.Gosched()
+			}
+		}()
 	}
 
 	var ctrlWg sync.WaitGroup
@@ -674,6 +751,7 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	done.Wait()
+	antWg.Wait()
 	ctrlWg.Wait()
 	if dom != nil {
 		// Quiesced drain: every record has unregistered, so each advance
@@ -695,6 +773,10 @@ func runOnce(cfg Config, newSet func(core.Options) core.Set, round uint64) (Resu
 		res.Resizes = resizes
 		res.FinalWidth = rz.Width()
 		res.WidthTrace = trace
+	}
+	if tally != nil {
+		res.FaultFires = tally.Snapshot()
+		res.Faults = tally.Total()
 	}
 	return res, nil
 }

@@ -1,0 +1,175 @@
+// Panic containment on the batch path: the robustness contract behind
+// the harness worker's deferred-Unregister discipline (runOnce) and the
+// server's serveConn recovery. A worker that panics out of a MultiPut —
+// from the per-key result callback, mid-replay, while other workers are
+// driving the same shard combiners — must not wedge epoch advancement
+// or leak its EBR record's limbo. The combiner protocol guarantees the
+// panic cannot orphan a combiner lock (user callbacks replay only after
+// Run has released it); the EBR discipline guarantees the rest.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csds/internal/core"
+	"csds/internal/ebr"
+	"csds/internal/fault"
+	"csds/internal/workload"
+
+	_ "csds/internal/combinator"
+	_ "csds/internal/list"
+)
+
+func TestBatchPanicContainment(t *testing.T) {
+	dom := ebr.NewDomain()
+	f, err := core.NewFactory("sharded(4,list/lazy)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := f(core.Options{Domain: dom, ExpectedSize: 256})
+	batcher, ok := set.(core.Batcher)
+	if !ok {
+		t.Fatal("sharded(4,list/lazy) is not a Batcher")
+	}
+
+	const span = 128
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Antagonist workers keep the shard combiners hot so the victim's
+	// batches actually collide (publication list, combined drains) while
+	// it dies.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := core.NewCtx(w)
+			c.Epoch = dom.Register()
+			defer c.Epoch.Unregister()
+			pairs := make([]core.KV, 16)
+			keys := make([]core.Key, 16)
+			for r := 0; !stop.Load(); r++ {
+				for i := range pairs {
+					k := core.Key((r*7 + i*3 + w) % span)
+					pairs[i] = core.KV{K: k, V: core.Value(k)}
+					keys[i] = k
+				}
+				batcher.MultiPut(c, pairs, func(int, bool) {})
+				batcher.MultiRemove(c, keys, func(int, bool) {})
+			}
+		}(w)
+	}
+
+	// The victim: panics out of MultiPut's result replay, with results
+	// half-delivered. Run several rounds so panics land while the
+	// antagonists hold combiner locks in every interleaving the host
+	// offers. Each round mirrors the harness/server worker shape: the
+	// deferred recover + Unregister is the entire recovery protocol.
+	const rounds = 50
+	panics := 0
+	for r := 0; r < rounds; r++ {
+		func() {
+			c := core.NewCtx(2)
+			c.Epoch = dom.Register()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panics++
+				}
+				c.Epoch.Unregister()
+			}()
+			pairs := make([]core.KV, 16)
+			for i := range pairs {
+				k := core.Key((r*5 + i) % span)
+				pairs[i] = core.KV{K: k, V: core.Value(k)}
+			}
+			batcher.MultiPut(c, pairs, func(i int, _ bool) {
+				if i == 8 {
+					panic("die mid-replay")
+				}
+			})
+		}()
+		runtime.Gosched() // let the antagonists collide with the next round
+	}
+	if panics != rounds {
+		t.Fatalf("victim panicked %d of %d rounds", panics, rounds)
+	}
+
+	// Epoch liveness: with the victims dead and unregistered, the
+	// antagonists' brackets must not be held back by leaked state.
+	e0 := dom.Epoch()
+	stop.Store(true)
+	wg.Wait()
+	dom.Advance()
+	if dom.Epoch() == e0 && e0 == 0 {
+		t.Fatal("epoch never advanced across the whole run")
+	}
+
+	// Deterministic retirements: clear the structure through a clean
+	// worker so the drain below has real limbo to account for even on a
+	// host whose scheduler starved the antagonists of removes.
+	func() {
+		c := core.NewCtx(3)
+		c.Epoch = dom.Register()
+		defer c.Epoch.Unregister()
+		keys := make([]core.Key, span)
+		for i := range keys {
+			keys[i] = core.Key(i)
+		}
+		batcher.MultiRemove(c, keys, func(int, bool) {})
+	}()
+
+	// Ledger: everything the panicking workers and antagonists retired
+	// must drain once all records are gone.
+	dom.Advance()
+	dom.Advance()
+	dom.Advance()
+	retired, reclaimed := dom.Stats()
+	if retired == 0 {
+		t.Fatal("workload retired nothing; the test exercised no reclamation")
+	}
+	if reclaimed != retired {
+		t.Fatalf("panic leaked limbo: retired %d, reclaimed %d", retired, reclaimed)
+	}
+	if dom.GCOnly() {
+		t.Fatal("clean unregisters must not downgrade the domain to GC-only")
+	}
+}
+
+// TestRunWithFaultPlan: the chaos plane threads through the harness —
+// every worker gets a deterministic injector, the EBR antagonist runs,
+// the firing counts surface in the Result, and the run's own invariants
+// (throughput measured, domain drained by runOnce) hold under fire.
+func TestRunWithFaultPlan(t *testing.T) {
+	cfg := Config{
+		Algorithm: "sharded(2,list/lazy)",
+		Threads:   2,
+		Duration:  60 * time.Millisecond,
+		UseEBR:    true,
+		Fault:     fault.ChaosPlan(7),
+		Workload:  workload.Config{Size: 128, UpdateRatio: 0.4},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatalf("no ops under the fault plan: %+v", res)
+	}
+	if res.Faults == 0 || len(res.FaultFires) == 0 {
+		t.Fatalf("fault plan fired nothing: faults=%d fires=%v", res.Faults, res.FaultFires)
+	}
+	var sum uint64
+	for _, n := range res.FaultFires {
+		sum += n
+	}
+	if sum != res.Faults {
+		t.Fatalf("fault tally inconsistent: sum %d != total %d", sum, res.Faults)
+	}
+	if res.Retired != res.Reclaimed {
+		t.Fatalf("fault run left limbo: retired %d, reclaimed %d", res.Retired, res.Reclaimed)
+	}
+}

@@ -1,0 +1,38 @@
+package list
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The chaos battery (settest.RunChaos): a seeded fault schedule — stalls
+// between and inside critical sections, forced guard-validation failures,
+// delayed retire callbacks, and an EBR antagonist stalling/abandoning
+// records — under the full invariant set: linearizability ledger, the
+// poison equation, and a drain ending at reclaimed == retired.
+
+func TestLazyChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewLazy(o) })
+}
+
+func TestLockCouplingChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewLockCoupling(o) })
+}
+
+func TestPughChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewPugh(o) })
+}
+
+func TestCOWChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewCOW(o) })
+}
+
+func TestHarrisChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewHarris(o) })
+}
+
+func TestWaitFreeChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewWaitFree(o) })
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"csds/internal/core"
+	"csds/internal/fault"
 )
 
 // Protocol response fragments.
@@ -35,8 +36,18 @@ const maxMergedKeys = 1024
 // It returns the grown buffer and whether the connection must close
 // after the buffer is flushed (quit or a fatal protocol error).
 func (s *session) execBurst(reqs []Request, buf []byte) (_ []byte, closeAfter bool) {
+	// Degraded mode is sampled once per burst: under saturation the
+	// read paths serve hits but skip cache fills and admission work.
+	s.ctx.SkipCacheFill = s.srv.degraded()
 	i := 0
 	for i < len(reqs) {
+		// The injected panic lands between requests of a burst — after
+		// some responses are already rendered and possibly mid-pipeline —
+		// which is exactly the shape serveConn's recovery contract must
+		// absorb (unregister the EBR record, flush what was produced).
+		if s.inj.Fire(fault.HandlerPanic) {
+			panic("fault: injected handler panic")
+		}
 		r := &reqs[i]
 		switch r.Op {
 		case OpGet:
@@ -97,13 +108,24 @@ func appendValue(buf []byte, k core.Key, v core.Value, withCAS bool) []byte {
 	return buf
 }
 
+// admit claims an in-flight slot for this session's next request,
+// first letting the fault plane force a shed (the injected failure is
+// indistinguishable from real saturation on the wire, which is the
+// point — clients must handle busy identically either way).
+func (s *session) admit() bool {
+	if s.inj.Fire(fault.ShedBusy) {
+		return false
+	}
+	return s.srv.acquire()
+}
+
 // execGetRun answers a run of merged get requests with one structure
 // crossing: the concatenated key list goes through MultiGet when the
 // structure batches (every registry structure does), falling back to
 // looped Gets otherwise. Results replay per request, in request order,
 // misses omitted per the memcache contract, each request closed by END.
 func (s *session) execGetRun(reqs []Request, total int, withCAS bool, buf []byte) []byte {
-	if !s.srv.acquire() {
+	if !s.admit() {
 		s.srv.audit.shed.Add(uint64(len(reqs)))
 		for range reqs {
 			buf = append(buf, respBusy...)
@@ -151,7 +173,7 @@ func (s *session) execGetRun(reqs []Request, total int, withCAS bool, buf []byte
 
 // execSet applies one insert-if-absent store.
 func (s *session) execSet(r *Request, buf []byte) []byte {
-	if !s.srv.acquire() {
+	if !s.admit() {
 		s.srv.audit.shed.Add(1)
 		if r.NoReply {
 			return buf
@@ -172,7 +194,7 @@ func (s *session) execSet(r *Request, buf []byte) []byte {
 
 // execDelete applies one remove.
 func (s *session) execDelete(r *Request, buf []byte) []byte {
-	if !s.srv.acquire() {
+	if !s.admit() {
 		s.srv.audit.shed.Add(1)
 		if r.NoReply {
 			return buf
@@ -215,7 +237,10 @@ func (s *session) execPage(r *Request, buf []byte) []byte {
 		buf = append(buf, "CLIENT_ERROR bad cursor token\r\n"...)
 		return buf
 	}
-	if !s.srv.acquire() {
+	// Pages shed before point ops: under degradation the long-bracket
+	// requests are the first load dropped (they pin an epoch bracket and
+	// a response buffer for the whole page).
+	if s.srv.degraded() || !s.admit() {
 		s.srv.audit.shed.Add(1)
 		return append(buf, respBusy...)
 	}
@@ -252,6 +277,7 @@ func (s *session) execStats(buf []byte) []byte {
 	a.Ops += s.ctx.Stats.Ops
 	a.LockWaits += s.ctx.Stats.LockWaits
 	a.Restarts += s.ctx.Stats.Restarts
+	a.CombineStalls += s.ctx.Stats.CombineStalls
 	if s.ctx.Stats.MaxWaitNs > a.MaxWaitNs {
 		a.MaxWaitNs = s.ctx.Stats.MaxWaitNs
 	}
@@ -268,6 +294,11 @@ func (s *session) execStats(buf []byte) []byte {
 	stat("restarts", a.Restarts)
 	stat("max_wait_ns", a.MaxWaitNs)
 	stat("shed", a.Shed)
+	stat("inflight", a.Inflight)
+	stat("evictions", a.Evictions)
+	stat("watchdog_fires", a.WatchdogFires)
+	stat("combine_stalls", a.CombineStalls)
+	stat("faults", a.Faults)
 	stat("retired", a.Retired)
 	stat("reclaimed", a.Reclaimed)
 	buf = append(buf, respEnd...)

@@ -17,6 +17,7 @@ import (
 
 	"csds/internal/core"
 	"csds/internal/ebr"
+	"csds/internal/fault"
 	"csds/internal/stats"
 	"csds/internal/xrand"
 )
@@ -47,6 +48,24 @@ type Config struct {
 	// parses and answers with a single write; get runs inside a burst
 	// merge into one MultiGet. 0 defaults to 64.
 	MaxBurst int
+	// IdleTimeout, when positive, arms a per-connection read deadline
+	// outside drain: a client idle (or too slow to make read progress)
+	// past it is evicted and counted in the stats as an eviction, so a
+	// stalled peer cannot pin a worker goroutine forever. 0 disables.
+	IdleTimeout time.Duration
+	// WatchdogTick, when positive with UseEBR, runs the self-watchdog:
+	// every tick it nudges the epoch and samples the reclamation
+	// domain's blocked records; a record wedged at the same state word
+	// across two consecutive ticks is force-unregistered (Domain.Expel),
+	// restoring epoch liveness at the documented cost of downgrading the
+	// domain to GC-backed reclamation. Each expulsion counts as a
+	// watchdog fire in the stats. 0 disables.
+	WatchdogTick time.Duration
+	// Fault, when non-nil, arms server-side fault injection: slow, torn
+	// and dropped connections, injected handler panics, and forced busy
+	// shedding, each on a deterministic per-connection schedule. Test
+	// and chaos-drill machinery — nil in production.
+	Fault *fault.Plan
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -70,14 +89,19 @@ func (c Config) withDefaults() Config {
 // Audit is the server's lifetime counter snapshot: closed connections'
 // worker metrics merged with the reclamation domain totals.
 type Audit struct {
-	Conns     uint64 // connections served to completion
-	Ops       uint64 // point operations executed
-	LockWaits uint64 // operations that waited for a lock
-	Restarts  uint64 // operation restart events
-	MaxWaitNs uint64 // worst single lock wait
-	Shed      uint64 // requests answered SERVER_ERROR busy
-	Retired   uint64 // EBR nodes retired (0 without EBR)
-	Reclaimed uint64 // EBR nodes reclaimed
+	Conns         uint64 // connections served to completion
+	Ops           uint64 // point operations executed
+	LockWaits     uint64 // operations that waited for a lock
+	Restarts      uint64 // operation restart events
+	MaxWaitNs     uint64 // worst single lock wait
+	Shed          uint64 // requests answered SERVER_ERROR busy
+	Inflight      uint64 // requests executing right now (gauge, not a counter)
+	Evictions     uint64 // connections evicted by the idle read deadline
+	WatchdogFires uint64 // wedged EBR records expelled by the watchdog
+	CombineStalls uint64 // flat-combining waits that exceeded the stall bound
+	Faults        uint64 // injected faults fired server-side (0 without a plan)
+	Retired       uint64 // EBR nodes retired (0 without EBR)
+	Reclaimed     uint64 // EBR nodes reclaimed
 }
 
 // Server serves the memcache-text dialect over one structure instance.
@@ -87,6 +111,7 @@ type Server struct {
 	batcher  core.Batcher // nil when the spec's structure cannot batch
 	dom      *ebr.Domain  // nil without EBR
 	inflight chan struct{}
+	tally    *fault.Tally // nil without a fault plan
 
 	mu    sync.Mutex
 	lis   net.Listener
@@ -96,18 +121,26 @@ type Server struct {
 	wg       sync.WaitGroup
 	nextID   atomic.Int64
 
+	inflightNow atomic.Int64
+	watchStop   chan struct{}
+	watchOnce   sync.Once
+	watchWg     sync.WaitGroup
+
 	audit auditCounters
 }
 
 // auditCounters accumulates closed connections' metrics atomically so
 // any session's stats request can snapshot them without a lock.
 type auditCounters struct {
-	conns     atomic.Uint64
-	ops       atomic.Uint64
-	lockWaits atomic.Uint64
-	restarts  atomic.Uint64
-	maxWaitNs atomic.Uint64
-	shed      atomic.Uint64
+	conns         atomic.Uint64
+	ops           atomic.Uint64
+	lockWaits     atomic.Uint64
+	restarts      atomic.Uint64
+	maxWaitNs     atomic.Uint64
+	shed          atomic.Uint64
+	evictions     atomic.Uint64
+	watchdogFires atomic.Uint64
+	combineStalls atomic.Uint64
 }
 
 // New builds a server over cfg.Spec. The structure is built once; every
@@ -135,7 +168,67 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
+	if cfg.Fault != nil {
+		s.tally = fault.NewTally()
+	}
+	if s.dom != nil && cfg.WatchdogTick > 0 {
+		s.watchStop = make(chan struct{})
+		s.watchWg.Add(1)
+		go s.watchdog(cfg.WatchdogTick)
+	}
 	return s, nil
+}
+
+// FaultTally exposes the server-side injected-fault counters (nil
+// without a fault plan).
+func (s *Server) FaultTally() *fault.Tally { return s.tally }
+
+// watchdog is the self-healing loop: each tick it nudges the epoch
+// forward and samples the domain's blocked records. A record observed
+// wedged at the same announced state word on two consecutive ticks is
+// not merely slow — nothing it could legally do leaves the state word
+// unchanged across a full tick except being stalled inside one bracket
+// — so the watchdog expels it. What Expel may do: unblock epoch
+// advancement and make the ledger whole by dropping the wedge's limbo
+// to the garbage collector. What it may not do: ever run a reclamation
+// callback again on this domain — the expelled reader may still hold
+// references into any later epoch's retirements, so the domain is
+// permanently downgraded to GC-backed reclamation (see ebr.Expel).
+func (s *Server) watchdog(tick time.Duration) {
+	defer s.watchWg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	prev := make(map[*ebr.Record]uint64)
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-t.C:
+		}
+		s.dom.Advance()
+		blocked := s.dom.Blocked()
+		cur := make(map[*ebr.Record]uint64, len(blocked))
+		for _, b := range blocked {
+			cur[b.Rec] = b.State
+			if st, ok := prev[b.Rec]; ok && st == b.State {
+				if s.dom.Expel(b.Rec) {
+					s.audit.watchdogFires.Add(1)
+					s.logf("server: watchdog expelled a wedged reclamation record (state %#x); domain is now GC-backed", b.State)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// stopWatchdog halts the watchdog loop (idempotent).
+func (s *Server) stopWatchdog() {
+	if s.watchStop != nil {
+		s.watchOnce.Do(func() {
+			close(s.watchStop)
+			s.watchWg.Wait()
+		})
+	}
 }
 
 // Set exposes the served structure (examples prefill through it only in
@@ -147,10 +240,12 @@ func (s *Server) Set() core.Set { return s.set }
 // request behind an unbounded backlog it may never drain.
 func (s *Server) acquire() bool {
 	if s.inflight == nil {
+		s.inflightNow.Add(1)
 		return true
 	}
 	select {
 	case s.inflight <- struct{}{}:
+		s.inflightNow.Add(1)
 		return true
 	default:
 		return false
@@ -158,9 +253,22 @@ func (s *Server) acquire() bool {
 }
 
 func (s *Server) release() {
+	s.inflightNow.Add(-1)
 	if s.inflight != nil {
 		<-s.inflight
 	}
+}
+
+// degraded reports whether the server is saturated enough to shed load
+// selectively: at three quarters of the in-flight cap, scans and pages
+// (the expensive, long-bracket requests) are answered busy while point
+// ops still run, and read paths skip cache fills (core.Ctx.SkipCacheFill)
+// so a degraded server serves hits without paying admission work.
+func (s *Server) degraded() bool {
+	if s.inflight == nil {
+		return false
+	}
+	return int(s.inflightNow.Load())*4 >= cap(s.inflight)*3
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -224,6 +332,8 @@ type session struct {
 	ctx        *core.Ctx
 	br         *bufio.Reader
 	q          *writeQueue
+	nc         net.Conn        // nil when driven over plain readers (tests, fuzzer)
+	inj        *fault.Injector // nil without a fault plan; methods are nil-safe
 	reqs       []Request
 	keyScratch []core.Key
 	valScratch []core.Value
@@ -245,7 +355,19 @@ func (s *Server) serveConn(nc net.Conn) {
 	if s.dom != nil {
 		ctx.Epoch = s.dom.Register()
 	}
-	q := newWriteQueue(nc, s.cfg.WriteQueue)
+	var inj *fault.Injector
+	if s.cfg.Fault != nil {
+		inj = fault.NewInjector(s.cfg.Fault, uint64(id), s.tally)
+	}
+	// The connection the session reads and writes may be a fault wrapper
+	// (slow, torn, dropped I/O); deadlines and the close path stay on the
+	// real conn underneath, which the wrapper delegates to.
+	var rw net.Conn = nc
+	if inj != nil && (s.cfg.Fault.Enabled(fault.ConnSlow) ||
+		s.cfg.Fault.Enabled(fault.ConnTorn) || s.cfg.Fault.Enabled(fault.ConnDrop)) {
+		rw = &faultConn{Conn: nc, inj: inj}
+	}
+	q := newWriteQueue(rw, s.cfg.WriteQueue)
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("server: panic in connection handler: %v", r)
@@ -264,8 +386,10 @@ func (s *Server) serveConn(nc net.Conn) {
 	sess := &session{
 		srv:  s,
 		ctx:  ctx,
-		br:   bufio.NewReaderSize(nc, maxLineLen),
+		br:   bufio.NewReaderSize(rw, maxLineLen),
 		q:    q,
+		nc:   nc,
+		inj:  inj,
 		reqs: make([]Request, s.cfg.MaxBurst),
 	}
 	sess.run()
@@ -282,9 +406,22 @@ func (s *session) run() {
 		if s.srv.draining.Load() {
 			return
 		}
+		if s.nc != nil && s.srv.cfg.IdleTimeout > 0 {
+			// Armed per blocking read, cleared implicitly by the next arm:
+			// a client that neither sends a request nor drains its
+			// responses (the write queue backpressures into this read
+			// staying blocked) within the window is evicted.
+			s.nc.SetReadDeadline(time.Now().Add(s.srv.cfg.IdleTimeout))
+		}
 		if err := ReadRequest(s.br, &s.reqs[0]); err != nil {
 			// io.EOF is the clean end; drain interrupts surface as read
-			// deadline errors; everything else is a dead peer.
+			// deadline errors; everything else is a dead peer. An idle
+			// deadline outside drain is an eviction and is counted.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.srv.draining.Load() {
+				s.srv.audit.evictions.Add(1)
+				s.srv.logf("server: evicting idle connection (no read progress in %v)", s.srv.cfg.IdleTimeout)
+			}
 			return
 		}
 		n := 1
@@ -335,6 +472,7 @@ func (s *Server) mergeAudit(th *stats.Thread) {
 	s.audit.ops.Add(th.Ops)
 	s.audit.lockWaits.Add(th.LockWaits)
 	s.audit.restarts.Add(th.Restarts)
+	s.audit.combineStalls.Add(th.CombineStalls)
 	for {
 		cur := s.audit.maxWaitNs.Load()
 		if th.MaxWaitNs <= cur || s.audit.maxWaitNs.CompareAndSwap(cur, th.MaxWaitNs) {
@@ -347,12 +485,21 @@ func (s *Server) mergeAudit(th *stats.Thread) {
 // reclamation totals.
 func (s *Server) auditSnapshot() Audit {
 	a := Audit{
-		Conns:     s.audit.conns.Load(),
-		Ops:       s.audit.ops.Load(),
-		LockWaits: s.audit.lockWaits.Load(),
-		Restarts:  s.audit.restarts.Load(),
-		MaxWaitNs: s.audit.maxWaitNs.Load(),
-		Shed:      s.audit.shed.Load(),
+		Conns:         s.audit.conns.Load(),
+		Ops:           s.audit.ops.Load(),
+		LockWaits:     s.audit.lockWaits.Load(),
+		Restarts:      s.audit.restarts.Load(),
+		MaxWaitNs:     s.audit.maxWaitNs.Load(),
+		Shed:          s.audit.shed.Load(),
+		Evictions:     s.audit.evictions.Load(),
+		WatchdogFires: s.audit.watchdogFires.Load(),
+		CombineStalls: s.audit.combineStalls.Load(),
+	}
+	if n := s.inflightNow.Load(); n > 0 {
+		a.Inflight = uint64(n)
+	}
+	if s.tally != nil {
+		a.Faults = s.tally.Total()
 	}
 	if s.dom != nil {
 		a.Retired, a.Reclaimed = s.dom.Stats()
@@ -392,7 +539,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopWatchdog()
 	case <-ctx.Done():
+		s.stopWatchdog()
 		return ctx.Err()
 	}
 	if s.dom != nil {

@@ -1,0 +1,23 @@
+package skiplist
+
+import (
+	"testing"
+
+	"csds/internal/core"
+	"csds/internal/settest"
+)
+
+// The chaos battery (settest.RunChaos): seeded fault injection under the
+// full invariant set — see internal/settest/chaostest.go.
+
+func TestHerlihyChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewHerlihy(o) })
+}
+
+func TestPughChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewPugh(o) })
+}
+
+func TestLockFreeChaos(t *testing.T) {
+	settest.RunChaos(t, func(o core.Options) core.Set { return NewLockFree(o) })
+}

@@ -121,6 +121,7 @@ type Thread struct {
 	BatchNs         uint64 // wall time spent inside Multi* calls
 	MaxBatchNs      uint64 // worst single batch (tail latency)
 	CombinedBatches uint64 // batches applied via a flat-combining list
+	CombineStalls   uint64 // combining waits that exceeded the stall threshold
 
 	// Memory reclamation (the EBR + pooling path). Retires counts nodes
 	// this worker handed to EBR; Reclaims counts nodes whose grace period
@@ -250,6 +251,13 @@ func (t *Thread) RecordBatch(keys int, ns uint64) {
 // combining winner on its behalf).
 func (t *Thread) RecordCombined() { t.CombinedBatches++ }
 
+// RecordCombineStall notes that a wait for a flat-combining winner ran
+// long enough to look wedged (once per episode, not per spin). A loser
+// cannot safely proceed — the winner may be mid-apply on its keys — so
+// the stall surfaces here and in the server audit, and the EBR watchdog
+// handles the reclamation side (the winner holds an epoch bracket).
+func (t *Thread) RecordCombineStall() { t.CombineStalls++ }
+
 // RecordCacheHit notes a get served straight from a read-through cache.
 func (t *Thread) RecordCacheHit() { t.CacheHits++ }
 
@@ -359,6 +367,7 @@ func (t *Thread) Merge(o *Thread) {
 		t.MaxBatchNs = o.MaxBatchNs
 	}
 	t.CombinedBatches += o.CombinedBatches
+	t.CombineStalls += o.CombineStalls
 	t.Retires += o.Retires
 	t.Reclaims += o.Reclaims
 	t.PoolHits += o.PoolHits

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# chaos_smoke.sh — the CI wire-chaos smoke: boot csdsd under a
+# server-side fault plan (forced busy sheds, torn connections, injected
+# handler panics) with the idle-eviction timeout and the EBR watchdog
+# armed, drive a csdsbench -net -fault chaos cell against it (client-side
+# connection drops and delays over a fixed, seed-reproducible operation
+# budget, with acked-write tracking), then SIGTERM the server.
+#
+# Pass criteria, all hard:
+#   - the chaos cell exits 0, which already asserts zero lost
+#     acknowledged writes (csdsbench verifies every acked key by Get);
+#   - at least 5% of the cell's operations hit an injected fault or
+#     engaged the retry/reissue discipline (the client plan's
+#     op.delay every=17 alone guarantees ~5.9%);
+#   - csdsd's graceful drain exits 0, which already asserts
+#     retired == reclaimed (csdsd exits 1 on a reclamation leak).
+set -eu
+
+BENCH=${1:?usage: chaos_smoke.sh /path/to/csdsbench /path/to/csdsd [addr]}
+CSDSD=${2:?usage: chaos_smoke.sh /path/to/csdsbench /path/to/csdsd [addr]}
+ADDR=${3:-127.0.0.1:21713}
+
+SERVER_PLAN='shed.busy:every=37;conn.torn:every=211;handler.panic:every=401;seed=11'
+CLIENT_PLAN='conn.drop:every=29;op.delay:every=17,min=1us,max=20us;seed=3'
+
+"$CSDSD" -addr "$ADDR" -alg 'sharded(8,hashtable/lazy)' -size 4096 \
+    -fault "$SERVER_PLAN" -idle-timeout 5s -watchdog 250ms -quiet &
+srv=$!
+
+status=0
+out=$("$BENCH" -net "$ADDR" -fault "$CLIENT_PLAN" -threads 2 -size 512 -runs 1) || status=$?
+printf '%s\n' "$out"
+
+kill -TERM "$srv"
+if ! wait "$srv"; then
+    echo "chaos_smoke: csdsd drain failed (leak or drain error)" >&2
+    exit 1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "chaos_smoke: chaos cell failed (lost acked writes or worker error)" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$out" | grep -q 'all verified present'; then
+    echo "chaos_smoke: report missing the acked-write verification line" >&2
+    exit 1
+fi
+frac=$(printf '%s\n' "$out" | awk '/^fault hit frac/ {print $4}')
+if [ -z "$frac" ]; then
+    echo "chaos_smoke: report missing the fault hit frac line" >&2
+    exit 1
+fi
+if ! awk -v f="$frac" 'BEGIN { exit (f >= 0.05) ? 0 : 1 }'; then
+    echo "chaos_smoke: fault hit frac $frac below the 0.05 floor" >&2
+    exit 1
+fi
+echo "chaos_smoke: ok (fault hit frac $frac)"
